@@ -1,0 +1,158 @@
+(* The benchmark / reproduction harness.
+
+   Running this executable regenerates every table and figure of the
+   dissertation's evaluation (see DESIGN.md's per-experiment index) and
+   then reports Bechamel microbenchmarks for the per-packet costs of
+   Chapter 7 (fingerprint computation, traffic validation, set
+   reconciliation). *)
+
+let reproduction () =
+  print_endline "Detecting Malicious Routers - evaluation reproduction";
+  print_endline "======================================================";
+  Experiments.Fig_pr.run ();
+  Experiments.Tab_state.run ();
+  Experiments.Fig_fatih.run ();
+  Experiments.Fig_confidence.run ();
+  Experiments.Fig_qerror.run ();
+  Experiments.Fig_droptail.run ();
+  Experiments.Tab_threshold.run ();
+  Experiments.Fig_red.run ();
+  Experiments.Tab_reconcile.run ();
+  Experiments.Tab_baselines.run ();
+  Experiments.Tab_models.run ();
+  Experiments.Ablations.run ();
+  Experiments.Tab_comm.run ();
+  Experiments.Tab_latency.run ();
+  Experiments.Fig_fleet.run ();
+  Experiments.Tab_watchers.run ()
+
+(* --- microbenchmarks (§7.1 computing fingerprints, Appendix A) --- *)
+
+open Bechamel
+open Toolkit
+
+let packet_bytes n = String.init n (fun i -> Char.chr ((i * 7) land 0xff))
+
+let bench_fingerprints =
+  let key = Crypto_sim.Siphash.key_of_string "bench" in
+  let small = packet_bytes 40 and full = packet_bytes 1500 in
+  [ Test.make ~name:"siphash-40B" (Staged.stage (fun () -> Crypto_sim.Siphash.hash key small));
+    Test.make ~name:"siphash-1500B" (Staged.stage (fun () -> Crypto_sim.Siphash.hash key full));
+    Test.make ~name:"fnv-1500B" (Staged.stage (fun () -> Crypto_sim.Fnv.hash_string full)) ]
+
+let bench_tv =
+  let mk n offset =
+    let s = Core.Summary.create Core.Summary.Content in
+    for i = 0 to n - 1 do
+      Core.Summary.observe s ~fp:(Int64.of_int (i + offset)) ~size:1000 ~time:0.0
+    done;
+    s
+  in
+  let sent = mk 1000 0 and received = mk 995 0 in
+  [ Test.make ~name:"tv-content-1000pkts"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Validation.tv
+                ~thresholds:(Core.Validation.lenient ())
+                ~sent ~received ()))) ]
+
+let bench_reconcile =
+  let shared = Array.init 512 (fun i -> (i * 211) + 5) in
+  let mk_pair diff =
+    let a = Array.append shared (Array.init diff (fun i -> 900_000 + i)) in
+    let b = Array.append shared (Array.init diff (fun i -> 800_000 + i)) in
+    (a, b)
+  in
+  let a8, b8 = mk_pair 8 in
+  let a32, b32 = mk_pair 32 in
+  let rng = Random.State.make [| 3 |] in
+  [ Test.make ~name:"reconcile-diff16"
+      (Staged.stage (fun () -> ignore (Setrecon.Reconcile.diff ~rng ~a:a8 ~b:b8 ())));
+    Test.make ~name:"reconcile-diff64"
+      (Staged.stage (fun () -> ignore (Setrecon.Reconcile.diff ~rng ~a:a32 ~b:b32 ())));
+    Test.make ~name:"bloom-add+query"
+      (Staged.stage
+         (let f = Setrecon.Bloom.create ~bits:8192 () in
+          fun () ->
+            Setrecon.Bloom.add f 123456789L;
+            ignore (Setrecon.Bloom.mem f 987654321L))) ]
+
+let bench_routing =
+  let g = Topology.Generate.ebone_like () in
+  let rt = Topology.Routing.compute g in
+  [ Test.make ~name:"link-state-tables-ebone"
+      (Staged.stage (fun () -> ignore (Topology.Routing.compute g)));
+    Test.make ~name:"pik2-family-ebone-k1"
+      (Staged.stage (fun () -> ignore (Topology.Segments.pik2_family rt ~k:1)));
+    Test.make ~name:"policy-tables-1-exclusion"
+      (Staged.stage
+         (let seg =
+            match Topology.Routing.all_routed_paths rt with
+            | p :: _ when List.length p >= 3 -> List.filteri (fun i _ -> i < 3) p
+            | _ -> [ 0; 1 ]
+          in
+          fun () -> ignore (Topology.Policy.compute g ~forbidden:[ seg ]))) ]
+
+let bench_crypto_heavy =
+  let msg = packet_bytes 1500 in
+  let keyring = Crypto_sim.Keyring.create ~n:5 () in
+  [ Test.make ~name:"sha256-1500B"
+      (Staged.stage (fun () -> ignore (Crypto_sim.Sha256.digest msg)));
+    Test.make ~name:"hmac-sha256-1500B"
+      (Staged.stage (fun () -> ignore (Crypto_sim.Sha256.hmac ~key:"k" msg)));
+    Test.make ~name:"dolev-strong-5-parties"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Consensus.broadcast ~keyring ~parties:5 ~f:1 ~sender:0 ~value:7L
+                ~behavior:(fun _ -> Core.Consensus.Correct)))) ]
+
+let all_tests =
+  Test.make_grouped ~name:"costs"
+    (bench_fingerprints @ bench_tv @ bench_reconcile @ bench_routing
+    @ bench_crypto_heavy)
+
+let run_benchmarks () =
+  print_endline "";
+  print_endline "Microbenchmarks (Ch. 7 per-packet and per-round costs)";
+  print_endline "======================================================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/op\n" name ns
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let simulator_performance () =
+  (* A reference scenario to gauge engine throughput. *)
+  print_endline "";
+  print_endline "Simulator performance (reference scenario)";
+  print_endline "==========================================";
+  let g = Topology.Generate.ring ~n:8 in
+  let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 g in
+  Netsim.Net.use_routing net (Topology.Routing.compute g);
+  List.iter
+    (fun (s, d) ->
+      ignore
+        (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500 ~start:0.0
+           ~stop:30.0))
+    [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+  ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
+  let t0 = Unix.gettimeofday () in
+  Netsim.Net.run ~until:30.0 net;
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Netsim.Sim.events_processed (Netsim.Net.sim net) in
+  Printf.printf "  %d events in %.2f s wall = %.1fk events/s (30 s simulated)
+" events
+    wall
+    (float_of_int events /. wall /. 1000.0)
+
+let () =
+  reproduction ();
+  simulator_performance ();
+  run_benchmarks ()

@@ -1,0 +1,101 @@
+(* mrdetect: command-line driver for the reproduction experiments.
+
+   Each subcommand regenerates one table/figure of the dissertation's
+   evaluation (see DESIGN.md for the experiment index); `all` runs the
+   whole set, which is what `dune exec bench/main.exe` also does before
+   its microbenchmarks. *)
+
+open Cmdliner
+
+let experiments =
+  [ ("pr", "Figures 5.2/5.4: per-router |Pr| vs k", Experiments.Fig_pr.run);
+    ("state", "Tables 5.1/7.2: counter state, WATCHERS vs Pi2 vs Pik+2",
+     Experiments.Tab_state.run);
+    ("fatih", "Figure 5.7: Fatih timeline on Abilene", Experiments.Fig_fatih.run);
+    ("confidence", "Figure 6.2: single-loss confidence curve",
+     Experiments.Fig_confidence.run);
+    ("qerror", "Figure 6.3: queue prediction error distribution",
+     Experiments.Fig_qerror.run);
+    ("droptail", "Figures 6.5-6.9: Protocol chi, drop-tail attacks",
+     Experiments.Fig_droptail.run);
+    ("threshold", "Section 6.4.3: chi vs static threshold", Experiments.Tab_threshold.run);
+    ("red", "Figures 6.11-6.16: Protocol chi with RED", Experiments.Fig_red.run);
+    ("reconcile", "Appendix A: set reconciliation vs Bloom", Experiments.Tab_reconcile.run);
+    ("baselines", "Ch. 3 literature baselines: Herzberg/SecTrace/properties",
+     Experiments.Tab_baselines.run);
+    ("models", "Section 6.1.2: analytic congestion models vs measurement",
+     Experiments.Tab_models.run);
+    ("ablations", "Design-choice ablations: jitter, tau, sampling, clock skew",
+     Experiments.Ablations.run);
+    ("comm", "Section 7.2: summary exchange cost by mechanism", Experiments.Tab_comm.run);
+    ("latency", "Detection latency vs attack intensity", Experiments.Tab_latency.run);
+    ("fleet", "Network-wide chi localization trials (Fig 2.3)", Experiments.Fig_fleet.run);
+    ("watchers", "WATCHERS-live vs chi at packet level", Experiments.Tab_watchers.run)
+  ]
+
+let simulate_cmd =
+  let topo =
+    Arg.(value & opt string "ring"
+         & info [ "topology" ] ~docv:"TOPO" ~doc:"line | ring | grid | abilene")
+  in
+  let protocol =
+    Arg.(value & opt string "fatih" & info [ "protocol" ] ~docv:"P" ~doc:"chi | fatih")
+  in
+  let attack =
+    Arg.(value & opt string "drop-fraction"
+         & info [ "attack" ] ~docv:"A" ~doc:"none | drop-all | drop-fraction | syn | queue")
+  in
+  let fraction =
+    Arg.(value & opt float 0.2
+         & info [ "fraction" ] ~docv:"F" ~doc:"drop fraction / queue trigger")
+  in
+  let attacker =
+    Arg.(value & opt int 2 & info [ "attacker" ] ~docv:"R" ~doc:"compromised router id")
+  in
+  let duration =
+    Arg.(value & opt float 60.0 & info [ "duration" ] ~docv:"S" ~doc:"seconds simulated")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"rng seed") in
+  let flows = Arg.(value & opt int 8 & info [ "flows" ] ~docv:"N" ~doc:"CBR flows") in
+  let trace =
+    Arg.(value & opt int 0
+         & info [ "trace" ] ~docv:"N" ~doc:"dump the last N events at the attacker")
+  in
+  let run topo protocol attack fraction attacker duration seed flows trace =
+    let fail msg = `Error (false, msg) in
+    match Experiments.Simulate.topo_of_string topo with
+    | Error e -> fail e
+    | Ok topo -> (
+        match Experiments.Simulate.attack_of_string attack ~fraction with
+        | Error e -> fail e
+        | Ok attack -> (
+            match protocol with
+            | "chi" | "fatih" ->
+                let protocol = if protocol = "chi" then `Chi else `Fatih in
+                Experiments.Simulate.run ~topo ~protocol ~attack ~attacker ~duration ~seed
+                  ~flows ~trace ();
+                `Ok ()
+            | p -> fail (Printf.sprintf "unknown protocol %S (chi|fatih)" p)))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
+    Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
+               $ seed $ flows $ trace))
+
+let subcommand (name, doc, run) =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+
+let all_cmd =
+  let run () = List.iter (fun (_, _, run) -> run ()) experiments in
+  Cmd.v (Cmd.info "all" ~doc:"Run every reproduction experiment") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "mrdetect" ~version:"1.0.0"
+      ~doc:"Reproduction driver for 'Detecting Malicious Routers'"
+  in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          (all_cmd :: simulate_cmd :: List.map subcommand experiments)))

@@ -1,0 +1,1 @@
+examples/abilene_fatih.ml: Core Flow List Net Netsim Ping Printf Router String Topology

@@ -1,0 +1,1 @@
+examples/abilene_fatih.mli:

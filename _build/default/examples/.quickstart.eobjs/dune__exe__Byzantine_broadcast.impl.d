@@ -1,0 +1,1 @@
+examples/byzantine_broadcast.ml: Consensus Core Crypto_sim List Printf

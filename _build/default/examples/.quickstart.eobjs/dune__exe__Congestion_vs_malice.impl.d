@@ -1,0 +1,1 @@
+examples/congestion_vs_malice.ml: Core List Net Netsim Printf Router Tcp Topology

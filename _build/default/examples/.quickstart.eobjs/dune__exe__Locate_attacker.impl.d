@@ -1,0 +1,1 @@
+examples/locate_attacker.ml: Core Flow List Net Netsim Printf Router String Topology

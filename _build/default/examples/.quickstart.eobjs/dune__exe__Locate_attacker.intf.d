@@ -1,0 +1,1 @@
+examples/locate_attacker.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core List Pik2 Printf Rounds Spec String Topology

@@ -1,0 +1,1 @@
+examples/red_validation.ml: Core List Net Netsim Printf Red Router String Tcp Topology

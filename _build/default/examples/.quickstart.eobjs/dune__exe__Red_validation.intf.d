@@ -1,0 +1,1 @@
+examples/red_validation.mli:

@@ -1,0 +1,1 @@
+examples/robust_delivery.ml: Core List Net Netsim Printf Router Sim String Topology

@@ -1,0 +1,1 @@
+examples/set_reconciliation.ml: Array Crypto_sim Int64 List Printf Setrecon String

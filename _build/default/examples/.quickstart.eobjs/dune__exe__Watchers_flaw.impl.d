@@ -1,0 +1,1 @@
+examples/watchers_flaw.ml: Core List Printf Topology Watchers

@@ -1,0 +1,1 @@
+examples/watchers_flaw.mli:

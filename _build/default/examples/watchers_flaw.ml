@@ -1,0 +1,41 @@
+(* The WATCHERS consorting-routers flaw (§3.1) and its fix.
+
+   On the path a-b-c-d-e, router c drops all transit packets and inflates
+   its "sent to d" counters; its accomplice d keeps honest counters but
+   never accuses anyone.  The flooded snapshots show the c-d link
+   counters disagreeing — but original WATCHERS leaves that to c and d
+   themselves ("they will detect each other"), and both stay silent.
+   The improved protocol has the bystanders detect the link when the
+   expected accusation never arrives.
+
+   Run with:  dune exec examples/watchers_flaw.exe *)
+
+open Core
+
+let show label detections =
+  Printf.printf "%s\n" label;
+  if detections = [] then print_endline "  (nothing detected)"
+  else
+    List.iter
+      (fun d ->
+        match d with
+        | Watchers.Bad_link (x, y) -> Printf.printf "  bad link <%d,%d>\n" x y
+        | Watchers.Bad_router r -> Printf.printf "  bad router %d\n" r)
+      detections
+
+let () =
+  let rt = Topology.Routing.compute (Topology.Generate.line ~n:6) in
+  (* c (= router 2) drops only the traffic it forwards toward d (= 3). *)
+  let drops r ~next = r = 2 && next = 3 in
+
+  (* Scenario 1: honest counters.  Conservation of flow exposes c. *)
+  let honest = Watchers.collect ~rt ~drops ~lies:(fun _ -> `Honest) () in
+  show "Honest dropper (CoF test catches it):" (Watchers.detect honest);
+
+  (* Scenario 2: the consorting pair.  c lies, d stays silent. *)
+  let lies r = if r = 2 then `Inflate_sent 3 else if r = 3 then `Silent else `Honest in
+  let consorting = Watchers.collect ~rt ~drops ~lies () in
+  show "\nConsorting pair, original WATCHERS (the flaw):"
+    (Watchers.detect ~improved:false consorting);
+  show "\nConsorting pair, improved protocol (bystander timeout):"
+    (Watchers.detect ~improved:true consorting)

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Crypto_sim Int64 List Netsim Packet Router

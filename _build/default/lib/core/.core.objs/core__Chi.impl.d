@@ -1,0 +1,1 @@
+lib/core/chi.ml: Crypto_sim Float Hashtbl List Mrstats Netsim Option Qmon

@@ -1,0 +1,1 @@
+lib/core/chi.mli: Crypto_sim Netsim Topology

@@ -1,0 +1,1 @@
+lib/core/chi_fleet.ml: Chi Hashtbl List Netsim Response Topology

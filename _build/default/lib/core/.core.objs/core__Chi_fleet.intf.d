@@ -1,0 +1,1 @@
+lib/core/chi_fleet.mli: Chi Netsim Response Topology

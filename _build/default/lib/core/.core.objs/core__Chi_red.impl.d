@@ -1,0 +1,1 @@
+lib/core/chi_red.ml: Array Crypto_sim Hashtbl List Mrstats Netsim Qmon Topology

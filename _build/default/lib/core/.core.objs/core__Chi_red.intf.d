@@ -1,0 +1,1 @@
+lib/core/chi_red.mli: Crypto_sim Netsim Topology

@@ -1,0 +1,1 @@
+lib/core/congestion_models.mli:

@@ -1,0 +1,1 @@
+lib/core/consensus.ml: Array Crypto_sim Fun Int64 List

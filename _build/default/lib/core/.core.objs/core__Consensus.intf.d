@@ -1,0 +1,1 @@
+lib/core/consensus.mli: Crypto_sim

@@ -1,0 +1,1 @@
+lib/core/fatih.ml: Array Crypto_sim Hashtbl List Netsim Option Response Setrecon Summary Topology Validation

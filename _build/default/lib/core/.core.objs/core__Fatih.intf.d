@@ -1,0 +1,1 @@
+lib/core/fatih.mli: Crypto_sim Netsim Response Summary Topology Validation

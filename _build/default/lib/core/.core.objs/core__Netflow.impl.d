@@ -1,0 +1,1 @@
+lib/core/netflow.ml: Hashtbl Netsim Option

@@ -1,0 +1,1 @@
+lib/core/perlman.ml: Array Fun List Printf Queue Topology

@@ -1,0 +1,1 @@
+lib/core/perlman.mli: Topology

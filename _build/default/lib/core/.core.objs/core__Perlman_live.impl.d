@@ -1,0 +1,1 @@
+lib/core/perlman_live.ml: Hashtbl Int64 List Netsim Printf Topology

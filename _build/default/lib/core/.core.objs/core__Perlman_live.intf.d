@@ -1,0 +1,1 @@
+lib/core/perlman_live.mli: Netsim

@@ -1,0 +1,1 @@
+lib/core/pi2.ml: Array Fun List Rounds Spec Topology Validation

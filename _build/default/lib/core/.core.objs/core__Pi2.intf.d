@@ -1,0 +1,1 @@
+lib/core/pi2.mli: Rounds Spec Topology Validation

@@ -1,0 +1,1 @@
+lib/core/pi2_live.ml: Array Crypto_sim Hashtbl List Netsim Option Summary Topology Validation

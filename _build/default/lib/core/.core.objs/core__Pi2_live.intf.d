@@ -1,0 +1,1 @@
+lib/core/pi2_live.mli: Crypto_sim Netsim Summary Topology Validation

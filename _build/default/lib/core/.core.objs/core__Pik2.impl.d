@@ -1,0 +1,1 @@
+lib/core/pik2.ml: Array Crypto_sim Fun List Rounds Spec Summary Topology Validation

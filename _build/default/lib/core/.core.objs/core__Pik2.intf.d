@@ -1,0 +1,1 @@
+lib/core/pik2.mli: Crypto_sim Rounds Spec Topology Validation

@@ -1,0 +1,1 @@
+lib/core/qmon.ml: Hashtbl List Netsim Topology

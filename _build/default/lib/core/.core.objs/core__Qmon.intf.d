@@ -1,0 +1,1 @@
+lib/core/qmon.mli: Crypto_sim Netsim Topology

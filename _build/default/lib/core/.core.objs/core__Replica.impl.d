@@ -1,0 +1,1 @@
+lib/core/replica.ml: Crypto_sim Float Hashtbl List Netsim Queue Topology

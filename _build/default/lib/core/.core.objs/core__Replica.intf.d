@@ -1,0 +1,1 @@
+lib/core/replica.mli: Crypto_sim Netsim Topology

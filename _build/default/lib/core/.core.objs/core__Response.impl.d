@@ -1,0 +1,1 @@
+lib/core/response.ml: Float List Netsim Topology

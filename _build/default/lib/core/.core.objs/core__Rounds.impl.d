@@ -1,0 +1,1 @@
+lib/core/rounds.ml: Array Crypto_sim Fun Hashtbl Int64 List Option Summary Topology

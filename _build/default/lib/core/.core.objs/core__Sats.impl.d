@@ -1,0 +1,1 @@
+lib/core/sats.ml: Array Crypto_sim Hashtbl Int64 List Printf

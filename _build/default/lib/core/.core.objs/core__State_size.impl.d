@@ -1,0 +1,1 @@
+lib/core/state_size.ml: Array List Summary Topology Watchers

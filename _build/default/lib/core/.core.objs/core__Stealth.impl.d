@@ -1,0 +1,1 @@
+lib/core/stealth.ml: Crypto_sim Hashtbl Int64 Netsim

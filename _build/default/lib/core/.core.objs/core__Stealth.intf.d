@@ -1,0 +1,1 @@
+lib/core/stealth.mli: Crypto_sim Netsim

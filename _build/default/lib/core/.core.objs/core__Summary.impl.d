@@ -1,0 +1,1 @@
+lib/core/summary.ml: Array Hashtbl Int64 List

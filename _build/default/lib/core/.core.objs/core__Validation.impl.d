@@ -1,0 +1,1 @@
+lib/core/validation.ml: Array Float Int64 List Summary

@@ -1,0 +1,1 @@
+lib/core/watchers.ml: Array Hashtbl List Option Topology

@@ -1,0 +1,1 @@
+lib/core/watchers_live.ml: Array Fun List Netflow Netsim Topology

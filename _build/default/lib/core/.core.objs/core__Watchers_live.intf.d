@@ -1,0 +1,1 @@
+lib/core/watchers_live.mli: Netsim

@@ -1,0 +1,55 @@
+open Netsim
+
+let transit_only behavior : Router.behavior =
+ fun ctx pkt ->
+  match ctx.Router.prev with Some _ -> behavior ctx pkt | None -> Router.Forward
+
+let after t behavior : Router.behavior =
+ fun ctx pkt -> if ctx.Router.now >= t then behavior ctx pkt else Router.Forward
+
+let on_flows flows behavior : Router.behavior =
+ fun ctx pkt ->
+  if List.mem pkt.Packet.flow flows then behavior ctx pkt else Router.Forward
+
+let drop_all = transit_only (fun _ _ -> Router.Drop)
+
+let coin ~seed ~fraction pkt =
+  let key = Crypto_sim.Siphash.key_of_ints (Int64.of_int seed) 0xadfeL in
+  let h = Crypto_sim.Siphash.hash_int64s key [ Int64.of_int pkt.Packet.uid ] in
+  let u = Int64.to_float (Int64.shift_right_logical h 11) /. 9.007199254740992e15 in
+  u < fraction
+
+let drop_fraction ?(seed = 1) fraction =
+  transit_only (fun _ pkt -> if coin ~seed ~fraction pkt then Router.Drop else Router.Forward)
+
+let drop_when_queue_above frac =
+  transit_only (fun ctx _ ->
+      if float_of_int ctx.Router.queue_occupancy
+         >= frac *. float_of_int ctx.Router.queue_limit
+      then Router.Drop
+      else Router.Forward)
+
+let drop_when_red_avg_above bytes =
+  transit_only (fun ctx _ ->
+      match ctx.Router.red_avg with
+      | Some avg when avg > bytes -> Router.Drop
+      | Some _ | None -> Router.Forward)
+
+let drop_fraction_when_red_avg_above ?(seed = 1) ~fraction ~avg () =
+  transit_only (fun ctx pkt ->
+      match ctx.Router.red_avg with
+      | Some a when a > avg && coin ~seed ~fraction pkt -> Router.Drop
+      | Some _ | None -> Router.Forward)
+
+let drop_syn =
+  transit_only (fun _ pkt -> if Packet.is_syn pkt then Router.Drop else Router.Forward)
+
+let modify_fraction ?(seed = 1) fraction =
+  transit_only (fun _ pkt ->
+      if coin ~seed ~fraction pkt then
+        Router.Modify (Int64.logxor pkt.Packet.payload 0x6d616c6963656421L)
+      else Router.Forward)
+
+let delay_fraction ?(seed = 1) ~delay fraction =
+  transit_only (fun _ pkt ->
+      if coin ~seed ~fraction pkt then Router.Delay delay else Router.Forward)

@@ -1,0 +1,209 @@
+type config = {
+  tau : float;
+  slack : float;
+  th_single : float;
+  th_combined : float;
+  learning_rounds : int;
+  sigma_floor : float;
+  min_suspicious : int;
+}
+
+let default_config =
+  { tau = 2.0; slack = 0.3; th_single = 0.99; th_combined = 0.99; learning_rounds = 5;
+    sigma_floor = 40.0; min_suspicious = 1 }
+
+type loss = {
+  fp : int64;
+  size : int;
+  flow : int;
+  time : float;
+  qpred : float;
+  confidence : float;
+}
+
+type report = {
+  round : int;
+  start_time : float;
+  end_time : float;
+  arrivals : int;
+  departures : int;
+  losses : loss list;
+  fabricated : int;
+  predicted_congestive : int;
+  c_single_max : float;
+  c_combined : float option;
+  victims : int list;  (* flows with individually-malicious losses *)
+  alarm : bool;
+  learning : bool;
+}
+
+type t = {
+  qmon : Qmon.t;
+  config : config;
+  qlimit : float;
+  error : Mrstats.Welford.t;
+  mutable error_samples_rev : float list;
+  mutable error_sample_count : int;
+  mutable qpred : float;
+  mutable carry_d : Qmon.entry list;   (* departures past the horizon *)
+  mutable round : int;
+  mutable reports_rev : report list;
+}
+
+let mu_sigma t =
+  let sigma = Float.max t.config.sigma_floor (Mrstats.Welford.stddev t.error) in
+  (Mrstats.Welford.mean t.error, sigma)
+
+let c_single t ~qpred ~size =
+  let mu, sigma = mu_sigma t in
+  (* Fig 6.2: the loss is malicious iff there was room in the queue, i.e.
+     X = q_act - q_pred satisfies X + q_pred + ps <= q_limit. *)
+  Mrstats.Erf.normal_cdf ~mu ~sigma (t.qlimit -. qpred -. float_of_int size)
+
+type replay_event =
+  | Arrive of Qmon.entry
+  | Depart of Qmon.entry
+
+let process_round t (data : Qmon.round_data) ~horizon ~learning =
+  let departed = Hashtbl.create (List.length data.Qmon.departures * 2) in
+  List.iter (fun (e : Qmon.entry) -> Hashtbl.replace departed e.Qmon.fp ())
+    data.Qmon.departures;
+  let occ_of = Hashtbl.create 16 in
+  List.iter (fun (fp, occ) -> Hashtbl.replace occ_of fp occ) data.Qmon.occupancy_samples;
+  (* Departures beyond the horizon belong to the next replay so that
+     q_pred carries the backlog across round boundaries. *)
+  let now_d, later_d =
+    List.partition (fun (e : Qmon.entry) -> e.Qmon.time <= horizon) data.Qmon.departures
+  in
+  let events =
+    List.merge
+      (fun a b ->
+        let time = function Arrive e | Depart e -> e.Qmon.time in
+        compare (time a) (time b))
+      (List.map (fun e -> Arrive e) data.Qmon.arrivals)
+      (List.map (fun e -> Depart e) (List.merge Qmon.(fun a b -> compare a.time b.time)
+                                       t.carry_d now_d))
+  in
+  t.carry_d <- later_d;
+  let losses = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Depart e -> t.qpred <- Float.max 0.0 (t.qpred -. float_of_int e.Qmon.size)
+      | Arrive e ->
+          if Hashtbl.mem departed e.Qmon.fp then begin
+            (* Admitted: calibrate the prediction error if the trusted
+               occupancy sample is available. *)
+            (match Hashtbl.find_opt occ_of e.Qmon.fp with
+            | Some occ when learning ->
+                let err = float_of_int occ -. t.qpred in
+                Mrstats.Welford.add t.error err;
+                if t.error_sample_count < 100_000 then begin
+                  t.error_sample_count <- t.error_sample_count + 1;
+                  t.error_samples_rev <- err :: t.error_samples_rev
+                end
+            | _ -> ());
+            t.qpred <- t.qpred +. float_of_int e.Qmon.size
+          end
+          else begin
+            let confidence = c_single t ~qpred:t.qpred ~size:e.Qmon.size in
+            losses :=
+              { fp = e.Qmon.fp; size = e.Qmon.size; flow = e.Qmon.flow;
+                time = e.Qmon.time; qpred = t.qpred; confidence }
+              :: !losses
+          end)
+    events;
+  List.rev !losses
+
+let evaluate t ~losses ~fabricated ~learning =
+  let n = List.length losses in
+  let c_single_max = List.fold_left (fun acc l -> Float.max acc l.confidence) 0.0 losses in
+  let suspicious_n =
+    List.length (List.filter (fun l -> l.confidence >= t.config.th_single) losses)
+  in
+  let c_combined =
+    if n < 2 then None
+    else begin
+      let mu, sigma = mu_sigma t in
+      let mean f = List.fold_left (fun acc l -> acc +. f l) 0.0 losses /. float_of_int n in
+      Some
+        (Mrstats.Ztest.combined_loss_confidence ~qlimit:t.qlimit
+           ~mean_qpred:(mean (fun l -> l.qpred))
+           ~mean_ps:(mean (fun l -> float_of_int l.size))
+           ~mu ~sigma ~n)
+    end
+  in
+  let alarm =
+    (not learning)
+    && (fabricated > 0
+       || suspicious_n >= t.config.min_suspicious
+       || match c_combined with Some c -> c >= t.config.th_combined | None -> false)
+  in
+  (c_single_max, c_combined, alarm)
+
+let run_round t ~start_time ~end_time ~learning =
+  let horizon = end_time -. t.config.slack in
+  let data = Qmon.drain t.qmon ~horizon in
+  let losses = process_round t data ~horizon ~learning in
+  let fabricated = List.length data.Qmon.fabricated in
+  let c_single_max, c_combined, alarm = evaluate t ~losses ~fabricated ~learning in
+  let predicted_congestive =
+    List.length (List.filter (fun l -> l.confidence < t.config.th_single) losses)
+  in
+  let victims =
+    (* Name a flow only on repeated individually-malicious losses within
+       the round: one borderline packet is not an attribution. *)
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        if l.confidence >= t.config.th_single then
+          Hashtbl.replace counts l.flow
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts l.flow)))
+      losses;
+    List.sort compare
+      (Hashtbl.fold (fun flow c acc -> if c >= 2 then flow :: acc else acc) counts [])
+  in
+  let report =
+    { round = t.round; start_time; end_time;
+      arrivals = List.length data.Qmon.arrivals;
+      departures = List.length data.Qmon.departures;
+      losses; fabricated; predicted_congestive; c_single_max; c_combined; victims;
+      alarm; learning }
+  in
+  t.round <- t.round + 1;
+  t.reports_rev <- report :: t.reports_rev
+
+let deploy ~net ~rt ~router ~next ?(config = default_config)
+    ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew () =
+  let predict =
+    match predict with Some p -> p | None -> Qmon.predict_of_routing rt ~router
+  in
+  let qmon = Qmon.attach ~net ~predict ~key ?skew ~router ~next () in
+  let qlimit =
+    match Netsim.Net.iface net ~src:router ~dst:next with
+    | Some iface -> float_of_int (Netsim.Iface.queue_limit iface)
+    | None -> invalid_arg "Chi.deploy: no such link"
+  in
+  let t =
+    { qmon; config; qlimit; error = Mrstats.Welford.create ();
+      error_samples_rev = []; error_sample_count = 0; qpred = 0.0; carry_d = [];
+      round = 0; reports_rev = [] }
+  in
+  Qmon.set_calibrating qmon true;
+  let sim = Netsim.Net.sim net in
+  let rec tick start_time () =
+    let end_time = Netsim.Sim.now sim in
+    let learning = t.round < config.learning_rounds in
+    run_round t ~start_time ~end_time ~learning;
+    if t.round >= config.learning_rounds then Qmon.set_calibrating qmon false;
+    Netsim.Sim.schedule sim ~delay:config.tau (tick end_time)
+  in
+  Netsim.Sim.schedule sim ~delay:config.tau (tick 0.0);
+  t
+
+let set_predict t p = Qmon.set_predict t.qmon p
+
+let reports t = List.rev t.reports_rev
+let alarms t = List.filter (fun r -> r.alarm) (reports t)
+
+let error_samples t = List.rev t.error_samples_rev

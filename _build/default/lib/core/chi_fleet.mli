@@ -1,0 +1,43 @@
+(** Network-wide Protocol χ: the per-interface traffic-validation
+    architecture of Fig 2.3 deployed on every output queue.
+
+    Each router's every output interface is validated by its neighbours;
+    an alarm therefore localizes a compromised forwarding plane to a
+    specific (router, interface) pair — precision 2 with strong
+    completeness (§2.4.2, the ZHANG/χ row of the design space). *)
+
+type suspect = {
+  router : int;
+  next : int;            (** the output interface (neighbour it feeds) *)
+  first_alarm : float;
+  alarm_rounds : int;
+}
+
+type t
+
+val deploy :
+  net:Netsim.Net.t ->
+  rt:Topology.Routing.t ->
+  ?config:Chi.config ->
+  ?response:Response.t ->
+  unit ->
+  t
+(** Install a {!Chi} monitor on every directed link of the network.
+    With [response], each first alarm on a queue feeds the suspected
+    2-path-segment ⟨router, next⟩ to the response engine, which excises
+    the interface from the routing fabric after the OSPF timers — the
+    full detect-then-route-around loop at per-interface precision. *)
+
+val monitors : t -> (int * int) list
+(** The (router, next) queues being validated. *)
+
+val suspects : t -> suspect list
+(** Interfaces with at least one alarming round, ordered by first alarm
+    time. *)
+
+val suspected_routers : t -> int list
+(** Distinct routers owning a suspected interface. *)
+
+val reports_for : t -> router:int -> next:int -> Chi.report list
+(** The per-round reports of one monitor.  Raises [Not_found] for an
+    unmonitored pair. *)

@@ -1,0 +1,32 @@
+let check_pos name v = if v <= 0.0 then invalid_arg ("Congestion_models: non-positive " ^ name)
+
+let sqrt_throughput ~rtt ~loss ~b ~mss =
+  check_pos "rtt" rtt;
+  check_pos "loss" loss;
+  if b <= 0 || mss <= 0 then invalid_arg "Congestion_models: non-positive b/mss";
+  float_of_int mss /. rtt *. sqrt (3.0 /. (2.0 *. float_of_int b *. loss))
+
+let implied_loss ~rtt ~throughput ~b ~mss =
+  check_pos "rtt" rtt;
+  check_pos "throughput" throughput;
+  if b <= 0 || mss <= 0 then invalid_arg "Congestion_models: non-positive b/mss";
+  (* Invert B = (mss/RTT) sqrt(3/2bp): p = 3 mss^2 / (2 b B^2 RTT^2). *)
+  let p =
+    3.0 *. float_of_int mss *. float_of_int mss
+    /. (2.0 *. float_of_int b *. throughput *. throughput *. rtt *. rtt)
+  in
+  Float.min 1.0 p
+
+let buffer_sigma ~tp ~capacity ~buffer ~flows =
+  check_pos "tp" tp;
+  check_pos "capacity" capacity;
+  check_pos "buffer" buffer;
+  if flows <= 0 then invalid_arg "Congestion_models: non-positive flows";
+  ((2.0 *. tp *. capacity) +. buffer)
+  /. (3.0 *. sqrt 3.0)
+  /. sqrt (float_of_int flows)
+
+let overflow_probability ~buffer ~sigma =
+  check_pos "buffer" buffer;
+  check_pos "sigma" sigma;
+  (1.0 -. Mrstats.Erf.erf (buffer /. 2.0 /. (sqrt 2.0 *. sigma))) /. 2.0

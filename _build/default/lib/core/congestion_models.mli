@@ -1,0 +1,35 @@
+(** The congestion-inference alternatives Protocol χ replaces (§6.1.2).
+
+    Before committing to measurement-based validation, the dissertation
+    evaluates (and rejects) predicting congestive loss from traffic
+    models:
+
+    - the classic square-root TCP throughput law
+      B = (1/RTT) * sqrt(3 / 2bp), inverted to predict the loss rate a
+      measured throughput implies;
+    - Appenzeller et al.'s buffer-occupancy model for n desynchronized
+      flows: Q is approximately normal with
+      sigma_Q = (2 Tp C + B) / (3 sqrt 3 sqrt n), giving an overflow
+      probability p = (1 - erf(B/2 / (sqrt 2 sigma_Q))) / 2.
+
+    The experiment `mrdetect models` compares both against the
+    simulator's measured behaviour, reproducing the section's conclusion
+    that the predictions are too rough to arbitrate individual drops. *)
+
+val sqrt_throughput : rtt:float -> loss:float -> b:int -> mss:int -> float
+(** Predicted steady-state TCP throughput in bytes/second given the loss
+    probability ([b] = packets acknowledged per ACK, usually 1).  Raises
+    [Invalid_argument] for non-positive parameters. *)
+
+val implied_loss : rtt:float -> throughput:float -> b:int -> mss:int -> float
+(** The inversion: what loss probability the square-root law says a
+    measured throughput corresponds to (clamped to [0, 1]). *)
+
+val buffer_sigma : tp:float -> capacity:float -> buffer:float -> flows:int -> float
+(** Appenzeller's sigma_Q (bytes): [tp] is the average two-way
+    propagation delay, [capacity] the bottleneck in bytes/s, [buffer]
+    the queue limit in bytes. *)
+
+val overflow_probability : buffer:float -> sigma:float -> float
+(** The model's probability that the (normal) occupancy exceeds the
+    buffer. *)

@@ -1,0 +1,112 @@
+type value = int64
+
+type behavior =
+  | Correct
+  | Silent
+  | Equivocate of value * value
+
+let default_value = 0x00defa17L
+
+type outcome = {
+  decisions : (int * value) list;
+  rounds_used : int;
+}
+
+(* A signature chain: [signers] in signing order, where signature i
+   covers (value, signers_0 .. signers_{i-1}). *)
+type chain = {
+  value : value;
+  signers : int list;
+  sigs : Crypto_sim.Keyring.signature list;
+}
+
+let words value prior = value :: List.map Int64.of_int prior
+
+let sign keyring ~signer ~value ~prior =
+  Crypto_sim.Keyring.sign_words keyring ~signer (words value prior)
+
+let valid_chain keyring ~sender chain =
+  let rec check prior signers sigs =
+    match (signers, sigs) with
+    | [], [] -> true
+    | s :: signers, tag :: sigs ->
+        Crypto_sim.Keyring.verify_words keyring ~signer:s (words chain.value prior) tag
+        && check (prior @ [ s ]) signers sigs
+    | _ -> false
+  in
+  match chain.signers with
+  | first :: _ ->
+      first = sender
+      && List.length (List.sort_uniq compare chain.signers) = List.length chain.signers
+      && check [] chain.signers chain.sigs
+  | [] -> false
+
+let extend keyring chain ~signer =
+  { chain with
+    signers = chain.signers @ [ signer ];
+    sigs = chain.sigs @ [ sign keyring ~signer ~value:chain.value ~prior:chain.signers ] }
+
+let broadcast ~keyring ~parties ~f ~sender ~value ~behavior =
+  if parties < 2 then invalid_arg "Consensus.broadcast: need at least 2 parties";
+  if f < 0 || f >= parties then invalid_arg "Consensus.broadcast: f outside [0, parties)";
+  if sender < 0 || sender >= parties then invalid_arg "Consensus.broadcast: bad sender";
+  let correct p = behavior p = Correct in
+  let extracted = Array.make parties [] in
+  let inbox = Array.make parties [] in
+  let post ~to_ chain = inbox.(to_) <- chain :: inbox.(to_) in
+  let everyone = List.init parties Fun.id in
+  (* Round 1: the sender speaks (and, if correct, trivially holds its
+     own value). *)
+  (match behavior sender with
+  | Correct ->
+      extracted.(sender) <- [ value ];
+      let c = { value; signers = []; sigs = [] } in
+      let c = extend keyring c ~signer:sender in
+      List.iter (fun p -> if p <> sender then post ~to_:p c) everyone
+  | Silent -> ()
+  | Equivocate (v1, v2) ->
+      List.iter
+        (fun p ->
+          let v = if p mod 2 = 0 then v1 else v2 in
+          let c = { value = v; signers = []; sigs = [] } in
+          post ~to_:p (extend keyring c ~signer:sender))
+        everyone);
+  let rounds = f + 1 in
+  for round = 1 to rounds do
+    let deliveries = Array.map (fun l -> l) inbox in
+    Array.iteri (fun p _ -> inbox.(p) <- []) inbox;
+    Array.iteri
+      (fun p chains ->
+        if correct p then
+          List.iter
+            (fun chain ->
+              (* Accept a chain that is properly signed, rooted at the
+                 sender, has exactly [round] signatures, and does not
+                 already carry our own. *)
+              if
+                List.length chain.signers = round
+                && (not (List.mem p chain.signers))
+                && valid_chain keyring ~sender chain
+                && not (List.mem chain.value extracted.(p))
+              then begin
+                extracted.(p) <- chain.value :: extracted.(p);
+                if round < rounds then begin
+                  let c = extend keyring chain ~signer:p in
+                  List.iter (fun q -> if q <> p then post ~to_:q c) everyone
+                end
+              end)
+            chains)
+      deliveries
+  done;
+  let decisions =
+    List.filter_map
+      (fun p ->
+        if not (correct p) then None
+        else begin
+          match extracted.(p) with
+          | [ v ] -> Some (p, v)
+          | _ -> Some (p, default_value)
+        end)
+      everyone
+  in
+  { decisions; rounds_used = rounds }

@@ -1,0 +1,48 @@
+(** Byzantine broadcast with signed messages (Dolev–Strong).
+
+    Protocol Π2 requires the routers of a path-segment to agree on each
+    other's traffic summaries: "each router sends that traffic
+    information to all routers in π using consensus ... digitally signed
+    to prevent an attack during consensus" (§5.1).  With signatures,
+    synchronous Byzantine broadcast is solvable for any number of faults
+    in f+1 rounds (Dolev–Strong): the sender signs its value; each round
+    a correct party relays any value carrying a chain of r distinct
+    signatures, adding its own; after f+1 rounds a correct party decides
+    the unique acceptable value, or a default when the (necessarily
+    faulty) sender equivocated.
+
+    Faulty parties here can equivocate, stay silent, relay selectively
+    and collude — but cannot forge a correct party's signature
+    ({!Crypto_sim.Keyring} enforces this structurally). *)
+
+type value = int64
+(** Broadcast payload (a summary digest in Π2's use). *)
+
+type behavior =
+  | Correct
+  | Silent                      (** drops every protocol message *)
+  | Equivocate of value * value (** as sender: signs two different values;
+                                    as relay: behaves like [Silent] *)
+
+val default_value : value
+(** The fallback decided when the sender provably equivocated or sent
+    nothing acceptable. *)
+
+type outcome = {
+  decisions : (int * value) list;  (** correct party -> decided value *)
+  rounds_used : int;
+}
+
+val broadcast :
+  keyring:Crypto_sim.Keyring.t ->
+  parties:int ->
+  f:int ->
+  sender:int ->
+  value:value ->
+  behavior:(int -> behavior) ->
+  outcome
+(** Run one Dolev–Strong broadcast among parties 0..parties-1 tolerating
+    [f] signature-respecting Byzantine parties.  Guarantees (checked by
+    the property tests): {e agreement} — all correct parties decide the
+    same value; {e validity} — if the sender is correct they decide its
+    value.  Raises [Invalid_argument] on nonsensical parameters. *)

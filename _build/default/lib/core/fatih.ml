@@ -1,0 +1,218 @@
+type exchange = Full_sets | Reconcile
+
+type config = {
+  tau : float;
+  thresholds : Validation.thresholds;
+  min_packets : int;
+  policy : Summary.policy;
+  exchange : exchange;
+  response : Response.config;
+}
+
+let default_config =
+  { tau = 5.0; thresholds = Validation.lenient (); min_packets = 20;
+    policy = Summary.Content; exchange = Full_sets;
+    response = Response.default_config }
+
+type detection = {
+  time : float;
+  segment : Topology.Graph.node list;
+  detected_by : Topology.Graph.node * Topology.Graph.node;
+  missing : int;
+  fabricated : int;
+  reordered : int;
+  max_delay : float;
+  sent : int;
+}
+
+type seg_state = {
+  mutable sent : Summary.t;
+  mutable received : Summary.t;
+  (* Last round's sent summary: a packet "received without being sent"
+     this round is benign if it was announced last round (it was simply
+     in flight across the round boundary). *)
+  mutable prev_sent : Summary.t;
+}
+
+type t = {
+  config : config;
+  response : Response.t;
+  segs : (Topology.Graph.node list, seg_state) Hashtbl.t;
+  mutable detections_rev : detection list;
+  (* Time of the last routing installation: validation windows that
+     overlap it see in-flight packets attributed under two different
+     table generations, so only windows that started strictly after it
+     are judged. *)
+  mutable last_policy_change : float;
+  (* §5.3.2 component overhead: fingerprints computed and summary words
+     exchanged across all monitored segments. *)
+  mutable fingerprints_observed : int;
+  mutable words_exchanged : int;
+}
+
+let detections t = List.rev t.detections_rev
+let response t = t.response
+let monitored_segments t = Hashtbl.fold (fun seg _ acc -> seg :: acc) t.segs []
+
+let fresh_state policy =
+  { sent = Summary.create policy;
+    received = Summary.create policy;
+    prev_sent = Summary.create policy }
+
+let reset_state policy st =
+  st.prev_sent <- st.sent;
+  st.sent <- Summary.create policy;
+  st.received <- Summary.create policy
+
+let deploy ~net ~rt ?(config = default_config)
+    ?(key = Crypto_sim.Siphash.key_of_string "fatih") () =
+  let t =
+    { config; response = Response.create ~net ~config:config.response ();
+      segs = Hashtbl.create 256; detections_rev = []; last_policy_change = neg_infinity;
+      fingerprints_observed = 0; words_exchanged = 0 }
+  in
+  List.iter
+    (fun seg ->
+      if List.length seg = 3 && not (Hashtbl.mem t.segs seg) then
+        Hashtbl.add t.segs seg (fresh_state config.policy))
+    (Topology.Segments.pik2_family rt ~k:1);
+  (* Predicted path per (src, dst): how a terminal router decides which
+     monitored segments a packet belongs to (§4.1 predictability).  After
+     a routing update the coordinator re-derives the predictions from the
+     freshly installed tables (§5.3.1). *)
+  let path_cache = Hashtbl.create 256 in
+  let path_fn =
+    ref (fun src dst -> Topology.Routing.path rt ~src ~dst)
+  in
+  let predicted src dst =
+    match Hashtbl.find_opt path_cache (src, dst) with
+    | Some p -> p
+    | None ->
+        let p = Option.map Array.of_list (!path_fn src dst) in
+        Hashtbl.add path_cache (src, dst) p;
+        p
+  in
+  Response.set_on_update t.response (fun pol ->
+      t.last_policy_change <- Netsim.Sim.now (Netsim.Net.sim net);
+      Hashtbl.reset path_cache;
+      path_fn := (fun src dst -> Topology.Policy.path pol ~src ~dst);
+      (* Discard mid-round state collected under the old tables. *)
+      Hashtbl.iter
+        (fun _ st ->
+          st.sent <- Summary.create config.policy;
+          st.received <- Summary.create config.policy;
+          st.prev_sent <- Summary.create config.policy)
+        t.segs);
+  Netsim.Net.subscribe_iface net (fun ev ->
+      match ev.Netsim.Net.kind with
+      | Netsim.Iface.Delivered pkt -> (
+          let u = ev.Netsim.Net.router and v = ev.Netsim.Net.next in
+          match predicted pkt.Netsim.Packet.src pkt.Netsim.Packet.dst with
+          | None -> ()
+          | Some p ->
+              let len = Array.length p in
+              let fp = Netsim.Packet.fingerprint key pkt in
+              let observe state_of seg =
+                match Hashtbl.find_opt t.segs seg with
+                | Some st ->
+                    t.fingerprints_observed <- t.fingerprints_observed + 1;
+                    Summary.observe (state_of st) ~fp ~size:pkt.Netsim.Packet.size
+                      ~time:ev.Netsim.Net.time
+                | None -> ()
+              in
+              for i = 0 to len - 2 do
+                if p.(i) = u && p.(i + 1) = v then begin
+                  (* Link (u,v) opens the 3-segment ⟨u,v,p(i+2)⟩: terminal
+                     router u records what it sent into it. *)
+                  if i + 2 < len then
+                    observe (fun st -> st.sent) [ u; v; p.(i + 2) ];
+                  (* Link (u,v) closes ⟨p(i-1),u,v⟩: terminal router v
+                     records what came out. *)
+                  if i >= 1 then observe (fun st -> st.received) [ p.(i - 1); u; v ]
+                end
+              done)
+      | _ -> ());
+  let sim = Netsim.Net.sim net in
+  let rec tick () =
+    let now = Netsim.Sim.now sim in
+    Hashtbl.iter
+      (fun seg st ->
+        if now -. config.tau > t.last_policy_change +. 1e-9
+           && Summary.packets st.sent >= config.min_packets
+        then begin
+          let v =
+            Validation.tv ~thresholds:config.thresholds ~sent:st.sent
+              ~received:st.received ()
+          in
+          (* Boundary filter: ignore "fabricated" packets announced in the
+             previous round. *)
+          let fabricated =
+            List.filter
+              (fun fp -> not (Summary.mem st.prev_sent fp))
+              v.Validation.fabricated
+          in
+          let sent_n = Summary.packets st.sent in
+          let loss_bad =
+            float_of_int (List.length v.Validation.missing)
+            > config.thresholds.Validation.max_loss_fraction *. float_of_int sent_n
+          in
+          let fab_bad =
+            List.length fabricated > config.thresholds.Validation.max_fabricated
+          in
+          let order_bad =
+            v.Validation.reordered > config.thresholds.Validation.max_reordered
+          in
+          let delay_bad =
+            v.Validation.max_delay_seen > config.thresholds.Validation.max_delay
+          in
+          if loss_bad || fab_bad || order_bad || delay_bad then begin
+            let ends =
+              match seg with [ a; _; b ] -> (a, b) | _ -> assert false
+            in
+            t.detections_rev <-
+              { time = now; segment = seg; detected_by = ends;
+                missing = List.length v.Validation.missing;
+                fabricated = List.length fabricated;
+                reordered = v.Validation.reordered;
+                max_delay = v.Validation.max_delay_seen; sent = sent_n }
+              :: t.detections_rev;
+            Response.suspect t.response seg
+          end
+        end;
+        (match config.exchange with
+        | Full_sets ->
+            t.words_exchanged <-
+              t.words_exchanged + Summary.state_words st.sent
+              + Summary.state_words st.received
+        | Reconcile ->
+            (* Appendix A in the loop: each end ships characteristic-
+               polynomial evaluations instead of its fingerprint set; the
+               cost is O(losses), falling back to the full set when the
+               difference overwhelms the bound. *)
+            if Summary.packets st.sent >= config.min_packets then begin
+              let elements s =
+                Array.of_list
+                  (List.map Setrecon.Reconcile.element_of_fingerprint
+                     (Summary.fingerprints s))
+              in
+              match
+                Setrecon.Reconcile.diff ~max_bound:512 ~a:(elements st.sent)
+                  ~b:(elements st.received) ()
+              with
+              | Some r ->
+                  t.words_exchanged <-
+                    t.words_exchanged + (2 * r.Setrecon.Reconcile.evals_used) + 4
+              | None ->
+                  t.words_exchanged <-
+                    t.words_exchanged + Summary.state_words st.sent
+                    + Summary.state_words st.received
+            end);
+        reset_state config.policy st)
+      t.segs;
+    Netsim.Sim.schedule sim ~delay:config.tau tick
+  in
+  Netsim.Sim.schedule sim ~delay:config.tau tick;
+  t
+
+let fingerprints_observed t = t.fingerprints_observed
+let words_exchanged t = t.words_exchanged

@@ -1,0 +1,72 @@
+(** Fatih (§5.3): the packet-level Πk+2 prototype with response.
+
+    Deploys Protocol Πk+2 with k = 1 over a simulated network: every
+    3-path-segment of the routed paths is monitored by its two terminal
+    routers, which collect conservation-of-content summaries per τ = 5 s
+    round and validate them.  A failed validation raises an alert that
+    feeds the {!Response} engine, reproducing the Fig 5.7 timeline
+    (attack → detection within one round → rerouting after the OSPF
+    timers). *)
+
+type exchange =
+  | Full_sets  (** each end ships its whole fingerprint summary *)
+  | Reconcile  (** Appendix A set reconciliation: O(difference) words *)
+
+type config = {
+  tau : float;                         (** validation round, 5 s *)
+  thresholds : Validation.thresholds;  (** TV tolerance *)
+  min_packets : int;                   (** ignore segments with less traffic *)
+  policy : Summary.policy;
+      (** the conservation policy of the summaries: [Content] (default)
+          catches loss/modification/fabrication; [Order] additionally
+          reordering; [Timeliness] additionally delaying (§2.4.1) *)
+  exchange : exchange;
+      (** how segment ends compare summaries; affects
+          {!words_exchanged}, not detections *)
+  response : Response.config;
+}
+
+val default_config : config
+(** tau 5 s, 2% loss tolerance, min 20 packets, Content policy,
+    full-set exchange, default OSPF timers. *)
+
+type detection = {
+  time : float;
+  segment : Topology.Graph.node list;
+  detected_by : Topology.Graph.node * Topology.Graph.node;  (** terminal routers *)
+  missing : int;
+  fabricated : int;
+  reordered : int;     (** order violations (Order/Timeliness policies) *)
+  max_delay : float;   (** worst per-packet transit delay (Timeliness) *)
+  sent : int;
+}
+
+type t
+
+val deploy :
+  net:Netsim.Net.t ->
+  rt:Topology.Routing.t ->
+  ?config:config ->
+  ?key:Crypto_sim.Siphash.key ->
+  unit ->
+  t
+(** Start monitoring every 3-segment of the current routed paths.  The
+    network must still be using plain routing from [rt] at deploy time;
+    after detections the engine installs policy routing itself. *)
+
+val detections : t -> detection list
+(** All alerts raised, oldest first. *)
+
+val response : t -> Response.t
+(** The response engine (for its update timeline). *)
+
+val monitored_segments : t -> Topology.Graph.node list list
+
+val fingerprints_observed : t -> int
+(** Total fingerprint computations across all segment summaries — the
+    §5.3.2 per-packet monitoring overhead. *)
+
+val words_exchanged : t -> int
+(** Total 64-bit words of summary state shipped between segment ends
+    over all validation rounds (full-set exchange; see `mrdetect comm`
+    for the reconciliation alternative). *)

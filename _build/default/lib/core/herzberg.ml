@@ -1,0 +1,90 @@
+type variant =
+  | End_to_end
+  | Hop_by_hop
+  | Checkpointed of int
+
+type outcome = {
+  delivered : bool;
+  suspected : (int * int) option;
+  detection_time : int;
+  messages : int;
+}
+
+let check_pos name len = function
+  | Some i when i <= 0 || i >= len - 1 ->
+      invalid_arg (Printf.sprintf "Herzberg.run: %s position %d outside (0, %d)" name i (len - 1))
+  | Some _ | None -> ()
+
+let checkpoints c len =
+  (* Source, every c-th node, destination. *)
+  let rec build i acc = if i >= len - 1 then List.rev ((len - 1) :: acc) else build (i + c) (i :: acc) in
+  build 0 []
+
+let message_complexity variant ~path_len =
+  match variant with
+  | End_to_end -> path_len - 1 (* one ack relayed back along the path *)
+  | Hop_by_hop ->
+      (* Node i's ack travels i hops back to the source. *)
+      path_len * (path_len - 1) / 2
+  | Checkpointed c ->
+      if c < 1 then invalid_arg "Herzberg.message_complexity: c must be >= 1";
+      (* Each checkpoint acks to the previous one, <= c hops away. *)
+      List.fold_left
+        (fun (acc, prev) cp -> (acc + (cp - prev), cp))
+        (0, 0)
+        (List.tl (checkpoints c path_len))
+      |> fst
+
+let worst_detection_time variant ~path_len =
+  match variant with
+  | End_to_end -> 2 * (path_len - 1)
+  | Hop_by_hop -> 2 * (path_len - 1)
+  | Checkpointed c -> 2 * min c (path_len - 1)
+
+let run variant ~path_len ~drop_at ?(congestion_drop_at = None) () =
+  if path_len < 2 then invalid_arg "Herzberg.run: path needs at least 2 nodes";
+  check_pos "drop_at" path_len drop_at;
+  check_pos "congestion_drop_at" path_len congestion_drop_at;
+  (* The message dies at the first loss on its way — the detector cannot
+     tell a malicious from a congestive one. *)
+  let death =
+    match (drop_at, congestion_drop_at) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | Some a, Some b -> Some (min a b)
+  in
+  match death with
+  | None ->
+      { delivered = true; suspected = None; detection_time = 0;
+        messages = message_complexity variant ~path_len }
+  | Some d -> (
+      match variant with
+      | End_to_end ->
+          (* Nested timeouts: node d-1 is the last to have held the
+             message; it hears neither ack nor announcement from d and
+             announces <d-1, d> once d's (smaller) timeout has provably
+             passed. *)
+          { delivered = false; suspected = Some (d - 1, d);
+            detection_time = 2 * (path_len - 1 - (d - 1));
+            messages = d - 1 (* acks relayed by nodes before the loss: none; announcement hops *) + (d - 1) }
+      | Hop_by_hop ->
+          (* The source received acks from 1..d-1 and times out on d at
+             twice its distance. *)
+          { delivered = false; suspected = Some (d - 1, d); detection_time = 2 * d;
+            messages = (d - 1) * d / 2 }
+      | Checkpointed c ->
+          if c < 1 then invalid_arg "Herzberg.run: c must be >= 1";
+          let cps = checkpoints c path_len in
+          let rec span prev = function
+            | cp :: rest -> if cp >= d then (prev, cp) else span cp rest
+            | [] -> (prev, path_len - 1)
+          in
+          let lo, hi = span 0 cps in
+          { delivered = false; suspected = Some (lo, hi); detection_time = 2 * (hi - lo);
+            messages =
+              List.fold_left
+                (fun (acc, prev) cp ->
+                  if cp < d then (acc + (cp - prev), cp) else (acc, prev))
+                (0, 0) (List.tl cps)
+              |> fst })

@@ -1,0 +1,54 @@
+(** The HERZBERG baselines (§3.3): early detection of message forwarding
+    faults on a fixed path.
+
+    Herzberg & Kutten's model: a single message travels a path of m
+    processors; acknowledgments flow back from the destination and
+    possibly from chosen intermediate checkpoints; each node runs a
+    timeout.  The three protocols trade detection time against message
+    complexity:
+
+    - end-to-end: one ack, detection time O(m);
+    - hop-by-hop: every node acks, optimal time, O(m) messages;
+    - checkpointed ("optimal"): acks from sqrt-spaced checkpoints.
+
+    These detectors watch a single packet per round, which is exactly why
+    Chapter 6 faults the whole family: a benign congestion drop of the
+    monitored packet is indistinguishable from an attack (exposed here by
+    [congestion_drop_at]). *)
+
+type variant =
+  | End_to_end
+  | Hop_by_hop
+  | Checkpointed of int  (** ack every c-th node; c >= 1 *)
+
+type outcome = {
+  delivered : bool;
+  suspected : (int * int) option;
+      (** span (i, j) of path positions the detector suspects: a link
+          (i, i+1) for end-to-end and hop-by-hop, an inter-checkpoint
+          span for the checkpointed variant *)
+  detection_time : int;
+      (** synchronous time units (hops) until every timeout resolved *)
+  messages : int;  (** total ack messages generated *)
+}
+
+val run :
+  variant ->
+  path_len:int ->
+  drop_at:int option ->
+  ?congestion_drop_at:int option ->
+  unit ->
+  outcome
+(** Deliver one monitored message along a path of [path_len] nodes
+    (indices 0 .. len-1).  [drop_at = Some i] means the router at
+    position i maliciously discards it (0 < i < len-1);
+    [congestion_drop_at] models a benign loss at a position — the
+    detector cannot tell the difference, which the caller can observe by
+    comparing outcomes.  Raises [Invalid_argument] on out-of-range
+    positions. *)
+
+val message_complexity : variant -> path_len:int -> int
+(** Ack messages on a fault-free delivery. *)
+
+val worst_detection_time : variant -> path_len:int -> int
+(** Worst-case time units to localize a fault. *)

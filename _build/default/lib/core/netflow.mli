@@ -1,0 +1,33 @@
+(** NetFlow-style per-destination traffic counters (§2.4.1).
+
+    The dissertation notes WATCHERS' conservation-of-flow counters "might
+    be extracted from existing traffic analysis tools, such as Cisco's
+    NetFlow".  This module is that collector on the simulator: for a
+    router r it counts, per (neighbour, destination),
+
+    - [received r ~from ~dst]: packets delivered to r by a neighbour, and
+    - [sent r ~to_ ~dst]: packets r put on the wire toward a neighbour,
+
+    as the neighbours themselves could observe on the wire — which is the
+    flooded snapshot WATCHERS validates. *)
+
+type t
+
+val attach : net:Netsim.Net.t -> unit -> t
+(** Start counting every link event in the network (call before
+    traffic starts). *)
+
+val received : t -> router:int -> from_:int -> dst:int -> int
+val sent : t -> router:int -> to_:int -> dst:int -> int
+
+val originated : t -> router:int -> dst:int -> int
+(** Packets the router itself injected, per destination. *)
+
+val consumed : t -> router:int -> int
+(** Packets delivered locally at the router. *)
+
+val conservation_deficit : t -> router:int -> int
+(** WATCHERS' per-router conservation-of-flow quantity: transit packets
+    in minus transit packets out (positive = packets vanished inside the
+    router).  Counts only traffic neither originated nor consumed
+    there. *)

@@ -1,0 +1,78 @@
+let robust_flood g ~faulty ~src =
+  if faulty src then []
+  else begin
+    let n = Topology.Graph.size g in
+    let reached = Array.make n false in
+    let q = Queue.create () in
+    reached.(src) <- true;
+    Queue.push src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      (* Faulty routers may swallow the flood: only correct routers
+         re-forward.  (They cannot stop the flood reaching a correct
+         router connected through correct routers.) *)
+      if not (faulty v) then
+        List.iter
+          (fun w ->
+            if not reached.(w) then begin
+              reached.(w) <- true;
+              Queue.push w q
+            end)
+          (Topology.Graph.out_neighbors g v)
+    done;
+    List.filter
+      (fun v -> reached.(v) && not (faulty v))
+      (List.init n Fun.id)
+    |> List.sort compare
+  end
+
+let robust_route g ~faulty ~src ~dst ~f =
+  if faulty src || faulty dst then
+    invalid_arg "Perlman.robust_route: terminal routers are assumed correct";
+  if f < 0 then invalid_arg "Perlman.robust_route: f must be non-negative";
+  let paths = Topology.Disjoint.max_disjoint_paths g ~src ~dst in
+  let chosen = List.filteri (fun i _ -> i <= f) paths in
+  List.find_opt
+    (fun p -> List.for_all (fun v -> v = src || v = dst || not (faulty v)) p)
+    chosen
+
+type ack_outcome = {
+  delivered : bool;
+  acks_received : int list;
+  suspected : (int * int) option;
+}
+
+let perlmand ~path_len ~drops_data_at ~drops_acks_from () =
+  if path_len < 3 then invalid_arg "Perlman.perlmand: path needs an intermediate router";
+  let check name = function
+    | Some i when i <= 0 || i >= path_len ->
+        invalid_arg (Printf.sprintf "Perlman.perlmand: %s out of range" name)
+    | Some _ | None -> ()
+  in
+  check "drops_data_at" drops_data_at;
+  check "drops_acks_from" drops_acks_from;
+  let data_limit = match drops_data_at with Some d -> d | None -> path_len in
+  (* Routers strictly before the drop forwarded (and ack); the
+     destination acks receipt when the data arrives. *)
+  let ackers =
+    List.filter
+      (fun i -> i < data_limit || (i = path_len - 1 && drops_data_at = None))
+      (List.init (path_len - 1) (fun i -> i + 1))
+  in
+  let acks_received =
+    match drops_acks_from with
+    | None -> ackers
+    | Some a -> List.filter (fun i -> i <= a) ackers
+  in
+  let delivered = drops_data_at = None in
+  let suspected =
+    if delivered && List.length acks_received = path_len - 1 then None
+    else begin
+      (* The source blames the link right after the last contiguous
+         acknowledger. *)
+      let rec last_contig k = if List.mem (k + 1) acks_received then last_contig (k + 1) else k in
+      let k = last_contig 0 in
+      Some (k, k + 1)
+    end
+  in
+  { delivered; acks_received; suspected }

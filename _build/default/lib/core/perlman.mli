@@ -1,0 +1,53 @@
+(** Perlman's Byzantine-robust network layer (§3.7).
+
+    Three pieces of her design space, each with the property the
+    dissertation discusses:
+
+    - {e robust flooding}: a packet reaches every correct router as long
+      as correct routers are connected through correct routers (the good
+      path condition) — faulty routers can refuse to forward but cannot
+      partition the correct subgraph;
+    - {e robust routing} for TotalFault(f): send a copy over f+1
+      vertex-disjoint paths; at least one avoids every faulty router, so
+      delivery is guaranteed without detecting anyone;
+    - {e PERLMANd}, the rejected per-hop-ack detection variant: every
+      intermediate router acks to the source; Fig 3.8 shows two colluding
+      routers (one dropping data, one dropping the other's acks) making
+      the source suspect an innocent link — the protocol is neither
+      accurate nor complete, which is why Perlman discarded it. *)
+
+val robust_flood :
+  Topology.Graph.t -> faulty:(Topology.Graph.node -> bool) -> src:Topology.Graph.node ->
+  Topology.Graph.node list
+(** Correct routers reached when faulty routers refuse to re-flood
+    (sorted; includes [src] if correct). *)
+
+val robust_route :
+  Topology.Graph.t ->
+  faulty:(Topology.Graph.node -> bool) ->
+  src:Topology.Graph.node ->
+  dst:Topology.Graph.node ->
+  f:int ->
+  Topology.Graph.node list option
+(** Deliver over f+1 vertex-disjoint paths: the first all-correct path,
+    or [None] when every chosen path crosses a faulty router (possible
+    only if more than [f] of them are faulty or connectivity < f+1).
+    Terminals must be correct; raises [Invalid_argument] otherwise. *)
+
+type ack_outcome = {
+  delivered : bool;
+  acks_received : int list;         (** positions that acked successfully *)
+  suspected : (int * int) option;   (** the link the source blames *)
+}
+
+val perlmand :
+  path_len:int ->
+  drops_data_at:int option ->
+  drops_acks_from:int option ->
+  unit ->
+  ack_outcome
+(** The per-hop-ack detector on a path of the given length: position
+    [drops_data_at] discards the data packet; position [drops_acks_from]
+    discards acks of every node beyond it.  The source blames the link
+    after the last ack it received — with the Fig 3.8 collusion this is
+    an innocent link. *)

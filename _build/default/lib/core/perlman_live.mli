@@ -1,0 +1,36 @@
+(** Perlman's Byzantine-robust data delivery on the simulator (§3.7).
+
+    Each logical message is sent as f+1 copies over f+1 vertex-disjoint
+    paths (pinned through {!Netsim.Net.pin_flow_path}); the receiver
+    deduplicates by message id.  With TotalFault(f) at least one copy
+    avoids every compromised router, so delivery is guaranteed without
+    detecting anyone — Byzantine robustness, bought with (f+1)×
+    bandwidth.  Raises at setup when the topology lacks the required
+    path diversity. *)
+
+type t
+
+val create :
+  net:Netsim.Net.t ->
+  src:int ->
+  dst:int ->
+  f:int ->
+  t
+(** Establish the f+1 disjoint delivery paths.  Raises
+    [Invalid_argument] when fewer than f+1 vertex-disjoint paths
+    exist. *)
+
+val paths : t -> int list list
+(** The pinned paths, one per copy. *)
+
+val send : t -> size:int -> unit
+(** Send one logical message (f+1 copies on the wire). *)
+
+val sent : t -> int
+(** Logical messages sent. *)
+
+val delivered : t -> int
+(** Logical messages received (deduplicated). *)
+
+val copies_received : t -> int
+(** Raw copies that arrived (up to (f+1) x sent). *)

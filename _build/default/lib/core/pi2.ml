@@ -1,0 +1,39 @@
+let family rt ~k = Topology.Segments.pi2_family rt ~k
+let pr rt ~k = Topology.Segments.pi2_pr rt ~k
+
+let pairwise_suspicions ~adversary ~thresholds (seg, truth) =
+  let nodes = Array.of_list seg in
+  let reported =
+    Array.mapi (fun pos r -> adversary.Rounds.misreport ~router:r ~pos ~truth) nodes
+  in
+  let out = ref [] in
+  for i = 0 to Array.length nodes - 2 do
+    let v = Validation.tv ~thresholds ~sent:reported.(i) ~received:reported.(i + 1) () in
+    if not v.Validation.ok then out := [ nodes.(i); nodes.(i + 1) ] :: !out
+  done;
+  !out
+
+let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?packets_per_path
+    ~round () =
+  let segments = family rt ~k in
+  let obs = Rounds.observe ~rt ~segments ~adversary ?packets_per_path ~round () in
+  let suspicions =
+    List.concat_map (pairwise_suspicions ~adversary ~thresholds) obs.Rounds.truth
+  in
+  List.sort_uniq compare suspicions
+
+let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ~rounds () =
+  let g = Topology.Routing.graph rt in
+  let correct = Rounds.correct_routers g ~faulty:adversary.Rounds.faulty in
+  List.concat_map
+    (fun round ->
+      let segs =
+        detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ~round ()
+      in
+      List.concat_map
+        (fun seg ->
+          List.map (fun by -> { Spec.segment = seg; round; by }) correct)
+        segs)
+    (List.init rounds Fun.id)
+
+let state_counters rt ~k = Array.map List.length (pr rt ~k)

@@ -1,0 +1,129 @@
+type detection = {
+  time : float;
+  pair : Topology.Graph.node * Topology.Graph.node;
+  segment : Topology.Graph.node list;
+  missing : int;
+  fabricated : int;
+}
+
+(* For a 3-segment <a, x, b>:
+   - s01 is the traffic a forwarded into the segment (link a -> x);
+   - s12 is the traffic x forwarded onward (link x -> b), which is also
+     what b truthfully reports having received.
+   The three consensus submissions are a's view of s01 and x's and b's
+   views of s12; misreporting routers substitute their own. *)
+type seg_state = {
+  mutable s01 : Summary.t;
+  mutable s12 : Summary.t;
+  mutable prev_s01 : Summary.t;
+  mutable prev_s12 : Summary.t;
+}
+
+type misreport = segment:Topology.Graph.node list -> pos:int -> Summary.t -> Summary.t
+
+type t = {
+  thresholds : Validation.thresholds;
+  min_packets : int;
+  segs : (Topology.Graph.node list, seg_state) Hashtbl.t;
+  misreports : (Topology.Graph.node, misreport) Hashtbl.t;
+  mutable detections_rev : detection list;
+}
+
+let detections t = List.rev t.detections_rev
+
+let suspected_pairs t =
+  List.sort_uniq compare (List.map (fun d -> d.pair) (detections t))
+
+let set_misreport t ~router f = Hashtbl.replace t.misreports router f
+
+let fresh () = Summary.create Summary.Content
+
+let deploy ~net ~rt ?(tau = 5.0) ?(thresholds = Validation.lenient ())
+    ?(min_packets = 20) ?(key = Crypto_sim.Siphash.key_of_string "pi2-live") () =
+  let t =
+    { thresholds; min_packets; segs = Hashtbl.create 256;
+      misreports = Hashtbl.create 4; detections_rev = [] }
+  in
+  List.iter
+    (fun seg ->
+      if List.length seg = 3 && not (Hashtbl.mem t.segs seg) then
+        Hashtbl.add t.segs seg
+          { s01 = fresh (); s12 = fresh (); prev_s01 = fresh (); prev_s12 = fresh () })
+    (Topology.Segments.pik2_family rt ~k:1);
+  let path_cache = Hashtbl.create 256 in
+  let predicted src dst =
+    match Hashtbl.find_opt path_cache (src, dst) with
+    | Some p -> p
+    | None ->
+        let p = Option.map Array.of_list (Topology.Routing.path rt ~src ~dst) in
+        Hashtbl.add path_cache (src, dst) p;
+        p
+  in
+  Netsim.Net.subscribe_iface net (fun ev ->
+      match ev.Netsim.Net.kind with
+      | Netsim.Iface.Delivered pkt -> (
+          let u = ev.Netsim.Net.router and v = ev.Netsim.Net.next in
+          match predicted pkt.Netsim.Packet.src pkt.Netsim.Packet.dst with
+          | None -> ()
+          | Some p ->
+              let len = Array.length p in
+              let fp = Netsim.Packet.fingerprint key pkt in
+              let observe field seg =
+                match Hashtbl.find_opt t.segs seg with
+                | Some st ->
+                    Summary.observe (field st) ~fp ~size:pkt.Netsim.Packet.size
+                      ~time:ev.Netsim.Net.time
+                | None -> ()
+              in
+              for i = 0 to len - 2 do
+                if p.(i) = u && p.(i + 1) = v then begin
+                  if i + 2 < len then observe (fun st -> st.s01) [ u; v; p.(i + 2) ];
+                  if i >= 1 then observe (fun st -> st.s12) [ p.(i - 1); u; v ]
+                end
+              done)
+      | _ -> ());
+  let sim = Netsim.Net.sim net in
+  let report seg ~pos ~router truth =
+    match Hashtbl.find_opt t.misreports router with
+    | Some f -> f ~segment:seg ~pos (Summary.copy truth)
+    | None -> truth
+  in
+  let rec tick () =
+    let now = Netsim.Sim.now sim in
+    Hashtbl.iter
+      (fun seg st ->
+        (match seg with
+        | [ a; x; b ] when Summary.packets st.s01 >= t.min_packets ->
+            let r0 = report seg ~pos:0 ~router:a st.s01 in
+            let r1 = report seg ~pos:1 ~router:x st.s12 in
+            let r2 = report seg ~pos:2 ~router:b st.s12 in
+            let judge ~pair ~sent ~received ~prev =
+              let v = Validation.tv ~thresholds:t.thresholds ~sent ~received () in
+              let fabricated =
+                List.filter (fun fp -> not (Summary.mem prev fp)) v.Validation.fabricated
+              in
+              let loss_bad =
+                float_of_int (List.length v.Validation.missing)
+                > t.thresholds.Validation.max_loss_fraction
+                  *. float_of_int (Summary.packets sent)
+              in
+              if loss_bad || List.length fabricated > t.thresholds.Validation.max_fabricated
+              then
+                t.detections_rev <-
+                  { time = now; pair; segment = seg;
+                    missing = List.length v.Validation.missing;
+                    fabricated = List.length fabricated }
+                  :: t.detections_rev
+            in
+            judge ~pair:(a, x) ~sent:r0 ~received:r1 ~prev:st.prev_s01;
+            judge ~pair:(x, b) ~sent:r1 ~received:r2 ~prev:st.prev_s12
+        | _ -> ());
+        st.prev_s01 <- st.s01;
+        st.prev_s12 <- st.s12;
+        st.s01 <- fresh ();
+        st.s12 <- fresh ())
+      t.segs;
+    Netsim.Sim.schedule sim ~delay:tau tick
+  in
+  Netsim.Sim.schedule sim ~delay:tau tick;
+  t

@@ -1,0 +1,53 @@
+(** Protocol Π2 at packet level (§5.1 on the simulator).
+
+    Every router of every monitored 3-path-segment collects a summary of
+    the traffic it forwarded along the segment; each round the summaries
+    are exchanged by (simulated) consensus — signed, so a protocol-faulty
+    router can lie about its own summary but cannot forge another's —
+    and every correct router evaluates TV pairwise.  A failing adjacent
+    pair is suspected by all correct routers: precision 2, against the
+    k = 1 adversary the Fatih deployment targets.
+
+    The consensus layer is modelled as reliable delivery of
+    per-router-signed summaries (the abstraction of Fig 5.1); a
+    misreporting router substitutes its own summary through
+    [set_misreport]. *)
+
+type detection = {
+  time : float;
+  pair : Topology.Graph.node * Topology.Graph.node;
+      (** the suspected 2-path-segment *)
+  segment : Topology.Graph.node list;  (** the monitored segment it came from *)
+  missing : int;
+  fabricated : int;
+}
+
+type t
+
+val deploy :
+  net:Netsim.Net.t ->
+  rt:Topology.Routing.t ->
+  ?tau:float ->
+  ?thresholds:Validation.thresholds ->
+  ?min_packets:int ->
+  ?key:Crypto_sim.Siphash.key ->
+  unit ->
+  t
+(** Monitor every 3-segment of the routed paths with per-position
+    summaries, validating every [tau] seconds (default 5 s, 2% loss
+    tolerance, 20-packet minimum). *)
+
+val set_misreport :
+  t ->
+  router:Topology.Graph.node ->
+  (segment:Topology.Graph.node list -> pos:int -> Summary.t -> Summary.t) ->
+  unit
+(** Make a router protocol-faulty: the function rewrites the summary it
+    submits to consensus for each segment (receives the truthful one). *)
+
+val detections : t -> detection list
+(** All suspected 2-path-segments, oldest first, deduplicated per
+    round. *)
+
+val suspected_pairs : t -> (Topology.Graph.node * Topology.Graph.node) list
+(** Distinct pairs suspected so far. *)

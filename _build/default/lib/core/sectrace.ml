@@ -1,0 +1,52 @@
+type attacker = {
+  position : int;
+  active : frontier:int -> bool;
+}
+
+let consistent_attacker ~position = { position; active = (fun ~frontier:_ -> true) }
+
+let timing_attacker ~position =
+  (* Behave while the prober is still validating up to (and including)
+     the attacker's next hop; attack once the frontier has moved past —
+     the failure then implicates the freshly-probed downstream link. *)
+  { position; active = (fun ~frontier -> frontier >= position + 2) }
+
+type result = {
+  suspected : (int * int) option;
+  rounds : int;
+}
+
+(* Validation of the prefix 0..frontier fails iff the attacker corrupts
+   traffic this round from a position strictly inside the prefix. *)
+let validation_fails attacker ~frontier =
+  match attacker with
+  | None -> false
+  | Some a -> a.position < frontier && a.active ~frontier
+
+let sectrace ~path_len ~attacker =
+  if path_len < 2 then invalid_arg "Sectrace.sectrace: path too short";
+  let rec walk frontier rounds =
+    if frontier > path_len - 1 then { suspected = None; rounds }
+    else if validation_fails attacker ~frontier then
+      { suspected = Some (frontier - 1, frontier); rounds = rounds + 1 }
+    else walk (frontier + 1) (rounds + 1)
+  in
+  walk 1 0
+
+let awerbuch ~path_len ~attacker =
+  if path_len < 2 then invalid_arg "Sectrace.awerbuch: path too short";
+  (* Round 1: end-to-end validation. *)
+  if not (validation_fails attacker ~frontier:(path_len - 1)) then
+    { suspected = None; rounds = 1 }
+  else begin
+    let rec search lo hi rounds =
+      (* Invariant: prefix 0..lo validated good, prefix 0..hi bad. *)
+      if hi - lo <= 1 then { suspected = Some (lo, hi); rounds }
+      else begin
+        let mid = (lo + hi) / 2 in
+        if validation_fails attacker ~frontier:mid then search lo mid (rounds + 1)
+        else search mid hi (rounds + 1)
+      end
+    in
+    search 0 (path_len - 1) 1
+  end

@@ -1,0 +1,41 @@
+(** Secure Traceroute and the AWERBUCH binary-search prober (§3.5, §3.6).
+
+    Both localize a fault on a known path by validating prefixes from the
+    source:
+
+    - SecTrace walks hop by hop: validate traffic with router 1, then 2,
+      ... until a validation fails; suspect the link between the last
+      good prober and the first bad one.  O(m) validation rounds.
+    - AWERBUCH binary-searches the path: validate with the midpoint,
+      recurse into the bad half.  O(log m) rounds.
+
+    Against a {e consistent} dropper both are accurate with precision 2.
+    The §3.6 caveat (Fig 3.7) is reproduced by [timing_attacker]: a
+    faulty router that only attacks once the probe frontier has moved
+    past it frames an innocent downstream link. *)
+
+type attacker = {
+  position : int;  (** the faulty router's index on the path *)
+  active : frontier:int -> bool;
+      (** whether it corrupts traffic during a round whose validation
+          reaches [frontier] *)
+}
+
+val consistent_attacker : position:int -> attacker
+(** Always attacks (any frontier), from its position. *)
+
+val timing_attacker : position:int -> attacker
+(** The Fig 3.7 framing strategy: behaves until its own link has been
+    validated, then attacks — the blame lands downstream. *)
+
+type result = {
+  suspected : (int * int) option;  (** path positions of the blamed link *)
+  rounds : int;                    (** validation rounds used *)
+}
+
+val sectrace : path_len:int -> attacker:attacker option -> result
+(** Hop-by-hop secure traceroute from position 0. *)
+
+val awerbuch : path_len:int -> attacker:attacker option -> result
+(** Binary-search probing (the attacker hook receives the midpoint being
+    validated as the frontier). *)

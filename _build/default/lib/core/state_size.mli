@@ -1,0 +1,27 @@
+(** §7.2 state-size accounting.
+
+    How much per-router memory each protocol needs for one validation
+    round, as a function of the conservation policy, the traffic rate
+    through the monitored region and the round length.  Pure arithmetic
+    mirroring §7.1–7.2: flow keeps counters, content keeps a fingerprint
+    per packet, order keeps the sequence, timeliness adds a timestamp. *)
+
+val summary_bytes :
+  policy:Summary.policy -> packets_per_round:int -> int
+(** Bytes of summary state for one monitored region for one round
+    (8-byte words; counters are two words). *)
+
+val pi2_router_bytes :
+  rt:Topology.Routing.t -> k:int -> policy:Summary.policy ->
+  pps_per_segment:float -> tau:float -> int array
+(** Per-router bytes under Π2: one summary per monitored segment, each
+    fed [pps_per_segment * tau] packets. *)
+
+val pik2_router_bytes :
+  rt:Topology.Routing.t -> k:int -> policy:Summary.policy ->
+  pps_per_segment:float -> tau:float -> int array
+(** Per-router bytes under Πk+2 (two directions per monitored
+    segment). *)
+
+val watchers_router_bytes : Topology.Graph.t -> int array
+(** WATCHERS: 7 eight-byte counters per neighbour per destination. *)

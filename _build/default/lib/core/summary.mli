@@ -1,0 +1,53 @@
+(** Traffic summaries (§2.4.1, §4.2.1).
+
+    A summary is the per-router state [info(r, π, τ)] collected about the
+    traffic that traversed a monitored region during a validation round.
+    Each conservation-of-traffic policy needs a different amount of
+    state:
+
+    - {e flow}: packet/byte counters only (WATCHERS-style);
+    - {e content}: a set of packet fingerprints — detects loss,
+      fabrication and modification;
+    - {e order}: the fingerprints as an ordered list — additionally
+      detects reordering;
+    - {e timeliness}: fingerprints with timestamps — additionally detects
+      delaying. *)
+
+type policy = Flow | Content | Order | Timeliness
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+val observe : t -> fp:int64 -> size:int -> time:float -> unit
+(** Record one forwarded packet. *)
+
+val packets : t -> int
+val bytes : t -> int
+
+val mem : t -> int64 -> bool
+(** Fingerprint membership ([false] under the [Flow] policy, which keeps
+    no identities). *)
+
+val fingerprints : t -> int64 list
+(** Distinct fingerprints, unordered.  Empty under [Flow]. *)
+
+val sequence : t -> int64 array
+(** Fingerprints in forwarding order.  Available under [Order] and
+    [Timeliness]; raises [Invalid_argument] otherwise. *)
+
+val time_of : t -> int64 -> float option
+(** Timestamp of a fingerprint ([Timeliness] only; [None] elsewhere or if
+    absent). *)
+
+val state_words : t -> int
+(** Approximate per-round state footprint in 64-bit words — the quantity
+    compared across protocols in §7.2. *)
+
+val copy : t -> t
+(** Independent snapshot (misreporting adversaries mutate copies). *)
+
+val remove : t -> int64 -> unit
+(** Delete a fingerprint (used to forge under-reports in tests).
+    No-op under [Flow] apart from the counters being left unchanged. *)

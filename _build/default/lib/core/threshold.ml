@@ -1,0 +1,27 @@
+type t = { loss_rate : float }
+
+let create ~loss_rate =
+  if loss_rate < 0.0 || loss_rate > 1.0 then
+    invalid_arg "Threshold.create: loss_rate outside [0,1]";
+  { loss_rate }
+
+let loss_rate t = t.loss_rate
+
+type round_verdict = { sent : int; lost : int; alarm : bool }
+
+let judge t ~sent ~lost =
+  let alarm =
+    sent > 0 && float_of_int lost > t.loss_rate *. float_of_int sent
+  in
+  { sent; lost; alarm }
+
+let confusion t ~rounds =
+  List.fold_left
+    (fun (tp, fp, fn, tn) (sent, lost, attack) ->
+      let v = judge t ~sent ~lost in
+      match (v.alarm, attack) with
+      | true, true -> (tp + 1, fp, fn, tn)
+      | true, false -> (tp, fp + 1, fn, tn)
+      | false, true -> (tp, fp, fn + 1, tn)
+      | false, false -> (tp, fp, fn, tn + 1))
+    (0, 0, 0, 0) rounds

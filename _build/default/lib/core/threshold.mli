@@ -1,0 +1,30 @@
+(** The static-threshold loss detector (§6.1.1) — the baseline Protocol χ
+    is compared against in §6.4.3.
+
+    Per validation round the detector sees how many packets entered a
+    monitored region and how many left; it raises an alarm when the loss
+    rate exceeds a user-chosen threshold.  The section's point: any
+    threshold large enough to absorb congestive loss lets a targeted
+    attacker drop beneath it for free, and any threshold small enough to
+    catch the attacker fires on every congested round. *)
+
+type t
+
+val create : loss_rate:float -> t
+(** Alarm when losses / sent exceeds [loss_rate] in a round.  Raises
+    [Invalid_argument] unless [0 <= loss_rate <= 1]. *)
+
+val loss_rate : t -> float
+
+type round_verdict = { sent : int; lost : int; alarm : bool }
+
+val judge : t -> sent:int -> lost:int -> round_verdict
+(** Evaluate one round (an empty round never alarms). *)
+
+val confusion :
+  t ->
+  rounds:(int * int * bool) list ->
+  int * int * int * int
+(** [confusion t ~rounds] where each round is (sent, lost,
+    attack_present) returns (true positives, false positives, false
+    negatives, true negatives) — the sweep quantity of §6.4.3. *)

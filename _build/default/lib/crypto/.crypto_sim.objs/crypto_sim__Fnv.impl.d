@@ -1,0 +1,1 @@
+lib/crypto/fnv.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Int64 Printf Siphash

@@ -1,0 +1,1 @@
+lib/crypto/sampling.ml: Float Int64 Siphash

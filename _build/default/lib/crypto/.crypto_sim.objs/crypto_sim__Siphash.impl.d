@@ -1,0 +1,1 @@
+lib/crypto/siphash.ml: Char Fnv Int64 List String

@@ -1,0 +1,26 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let step acc byte =
+  Int64.mul (Int64.logxor acc (Int64.of_int byte)) prime
+
+let hash_string s =
+  let acc = ref offset_basis in
+  String.iter (fun c -> acc := step !acc (Char.code c)) s;
+  !acc
+
+let hash_int64 x =
+  let acc = ref offset_basis in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xffL) in
+    acc := step !acc byte
+  done;
+  !acc
+
+let combine acc x =
+  let acc = ref acc in
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xffL) in
+    acc := step !acc byte
+  done;
+  !acc

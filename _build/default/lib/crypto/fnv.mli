@@ -1,0 +1,19 @@
+(** FNV-1a 64-bit hash.
+
+    An unkeyed fingerprint used where adversarial resistance is not needed
+    (hash-range packet sampling as in Trajectory Sampling / SATS, Bloom
+    filter index derivation). For adversarial fingerprints use
+    {!Siphash}. *)
+
+val hash_string : string -> int64
+(** FNV-1a over the bytes of a string. *)
+
+val hash_int64 : int64 -> int64
+(** FNV-1a over the 8 little-endian bytes of an int64. *)
+
+val combine : int64 -> int64 -> int64
+(** [combine acc x] folds [x] into a running FNV state [acc]; start from
+    {!offset_basis}. *)
+
+val offset_basis : int64
+(** The standard FNV-1a 64-bit offset basis. *)

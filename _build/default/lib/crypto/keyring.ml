@@ -1,0 +1,30 @@
+type t = { n : int; seed : string }
+type signature = int64
+
+let create ?(seed = "detecting-malicious-routers") ~n () =
+  if n <= 0 then invalid_arg "Keyring.create: n must be positive";
+  { n; seed }
+
+let size t = t.n
+
+let check_id t id name =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Keyring.%s: router id %d outside [0,%d)" name id t.n)
+
+let pairwise t a b =
+  check_id t a "pairwise";
+  check_id t b "pairwise";
+  let lo = min a b and hi = max a b in
+  Siphash.key_of_string (Printf.sprintf "%s|pair|%d|%d" t.seed lo hi)
+
+let monitoring_key t = Siphash.key_of_string (t.seed ^ "|monitor")
+
+let signing_key t id =
+  check_id t id "signing_key";
+  Siphash.key_of_string (Printf.sprintf "%s|sign|%d" t.seed id)
+
+let sign t ~signer msg = Siphash.hash (signing_key t signer) msg
+let verify t ~signer msg tag = Int64.equal (sign t ~signer msg) tag
+let sign_words t ~signer words = Siphash.hash_int64s (signing_key t signer) words
+let verify_words t ~signer words tag = Int64.equal (sign_words t ~signer words) tag
+let forge_attempt = 0xdeadbeefdeadbeefL

@@ -1,0 +1,46 @@
+(** Simulated key distribution (§2.1.5).
+
+    The protocols assume "the administrative ability to assign and
+    distribute shared keys or a public key infrastructure".  Inside the
+    simulation boundary we model that infrastructure directly: a keyring
+    deterministically derives (a) a pairwise symmetric key for every pair
+    of routers and (b) a per-router signing key, and exposes sign/verify
+    operations.  Unforgeability holds by construction because adversary
+    code in this codebase can only produce signatures through [sign] with
+    its own router id — the same abstract guarantee a real PKI provides
+    to the protocol layer. *)
+
+type t
+
+type signature = private int64
+(** An authentication tag binding a message to a signer id. *)
+
+val create : ?seed:string -> n:int -> unit -> t
+(** Keyring for routers with ids [0 .. n-1].  The [seed] makes key
+    material deterministic for reproducible runs. *)
+
+val size : t -> int
+(** Number of routers the ring was created for. *)
+
+val pairwise : t -> int -> int -> Siphash.key
+(** Symmetric key shared by two routers; order-independent
+    ([pairwise t a b = pairwise t b a]). Raises [Invalid_argument] on
+    out-of-range ids. *)
+
+val monitoring_key : t -> Siphash.key
+(** A network-wide key for fingerprint computation where the dissertation
+    uses a shared secret among the routers of a monitored region. *)
+
+val sign : t -> signer:int -> string -> signature
+(** Produce the signature of [signer] over a message. *)
+
+val verify : t -> signer:int -> string -> signature -> bool
+(** Check a signature against the claimed signer. *)
+
+val sign_words : t -> signer:int -> int64 list -> signature
+(** Like {!sign} but over a word list (packet summaries). *)
+
+val verify_words : t -> signer:int -> int64 list -> signature -> bool
+
+val forge_attempt : signature
+(** A constant bogus tag, handy for tests exercising the reject path. *)

@@ -1,0 +1,24 @@
+type t = { key : Siphash.key; fraction : float; threshold : int64 }
+
+(* The sampled range is [0, threshold) within the unsigned 64-bit space of
+   a keyed re-hash of the fingerprint. *)
+let make key fraction =
+  let fraction = Float.max 0.0 (Float.min 1.0 fraction) in
+  let threshold =
+    if fraction >= 1.0 then Int64.minus_one
+    else Int64.of_float (fraction *. 1.8446744073709552e19)
+  in
+  { key; fraction; threshold }
+
+let create ~key ~fraction = make key fraction
+let all = make (Siphash.key_of_ints 0L 0L) 1.0
+
+let selects t fp =
+  if t.fraction >= 1.0 then true
+  else begin
+    let h = Siphash.hash_int64s t.key [ fp ] in
+    (* Unsigned comparison of h against the threshold. *)
+    Int64.unsigned_compare h t.threshold < 0
+  end
+
+let fraction t = t.fraction

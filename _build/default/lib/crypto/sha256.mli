@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4) and HMAC-SHA-256 (RFC 2104).
+
+    §2.1.5 lists one-way hash functions (MD5, SHA-1) and MACs (HMAC) as
+    the cryptographic toolbox of the detection protocols.  SipHash
+    ({!Siphash}) is the fast per-packet fingerprint; this module provides
+    the collision-resistant hash used where 64 bits are not enough — key
+    derivation, summary digests for signatures, and the HMAC
+    construction. *)
+
+val digest : string -> string
+(** Raw 32-byte SHA-256 digest. *)
+
+val digest_hex : string -> string
+(** Lowercase hex rendering of {!digest} (64 characters). *)
+
+val hmac : key:string -> string -> string
+(** Raw 32-byte HMAC-SHA-256 tag. *)
+
+val hmac_hex : key:string -> string -> string
+
+val digest64 : string -> int64
+(** The first 8 digest bytes as a big-endian int64 — a convenient
+    truncated form for summary digests. *)

@@ -1,0 +1,79 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_ints k0 k1 = { k0; k1 }
+
+let key_of_string s =
+  let h0 = Fnv.hash_string s in
+  let h1 = Fnv.hash_string (s ^ "\x01siphash-key-expansion") in
+  { k0 = h0; k1 = h1 }
+
+type state = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+let sipround st =
+  st.v0 <- Int64.add st.v0 st.v1;
+  st.v1 <- rotl st.v1 13;
+  st.v1 <- Int64.logxor st.v1 st.v0;
+  st.v0 <- rotl st.v0 32;
+  st.v2 <- Int64.add st.v2 st.v3;
+  st.v3 <- rotl st.v3 16;
+  st.v3 <- Int64.logxor st.v3 st.v2;
+  st.v0 <- Int64.add st.v0 st.v3;
+  st.v3 <- rotl st.v3 21;
+  st.v3 <- Int64.logxor st.v3 st.v0;
+  st.v2 <- Int64.add st.v2 st.v1;
+  st.v1 <- rotl st.v1 17;
+  st.v1 <- Int64.logxor st.v1 st.v2;
+  st.v2 <- rotl st.v2 32
+
+let init key =
+  { v0 = Int64.logxor key.k0 0x736f6d6570736575L;
+    v1 = Int64.logxor key.k1 0x646f72616e646f6dL;
+    v2 = Int64.logxor key.k0 0x6c7967656e657261L;
+    v3 = Int64.logxor key.k1 0x7465646279746573L }
+
+let compress st m =
+  st.v3 <- Int64.logxor st.v3 m;
+  sipround st;
+  sipround st;
+  st.v0 <- Int64.logxor st.v0 m
+
+let finalize st =
+  st.v2 <- Int64.logxor st.v2 0xffL;
+  sipround st;
+  sipround st;
+  sipround st;
+  sipround st;
+  Int64.logxor (Int64.logxor st.v0 st.v1) (Int64.logxor st.v2 st.v3)
+
+let word_le s off len =
+  (* Little-endian load of up to 8 bytes starting at [off]. *)
+  let w = ref 0L in
+  for i = len - 1 downto 0 do
+    w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !w
+
+let hash key s =
+  let st = init key in
+  let len = String.length s in
+  let full = len / 8 in
+  for i = 0 to full - 1 do
+    compress st (word_le s (8 * i) 8)
+  done;
+  let rem = len - (8 * full) in
+  let last =
+    Int64.logor (word_le s (8 * full) rem)
+      (Int64.shift_left (Int64.of_int (len land 0xff)) 56)
+  in
+  compress st last;
+  finalize st
+
+let hash_int64s key words =
+  let st = init key in
+  let n = List.length words in
+  List.iter (fun w -> compress st w) words;
+  (* Trailing length block, mirroring the byte-string padding rule. *)
+  compress st (Int64.shift_left (Int64.of_int ((8 * n) land 0xff)) 56);
+  finalize st

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Adversary Chi Core Crypto_sim List Netsim Pik2 Printf Rounds Scenario Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/fig_confidence.ml: List Mrstats Printf Util

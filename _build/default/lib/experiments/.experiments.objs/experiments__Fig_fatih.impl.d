@@ -1,0 +1,1 @@
+lib/experiments/fig_fatih.ml: Core Float Flow List Net Netsim Ping Printf Router String Topology Util

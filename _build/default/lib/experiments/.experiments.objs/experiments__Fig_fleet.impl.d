@@ -1,0 +1,1 @@
+lib/experiments/fig_fleet.ml: Core Flow Fun List Net Netsim Printf Random Router String Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/fig_pr.ml: Core List Printf Topology Util

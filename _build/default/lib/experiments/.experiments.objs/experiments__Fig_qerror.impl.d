@@ -1,0 +1,1 @@
+lib/experiments/fig_qerror.ml: Array Core Flow List Mrstats Net Netsim Printf Tcp Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/fig_red.ml: Core Scenario

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Core Float Flow Iface List Meter Net Netsim Printf Red Router Tcp Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/simulate.ml: Core Flow Iface List Net Netsim Printf Random Router String Tcp Topology Tracer

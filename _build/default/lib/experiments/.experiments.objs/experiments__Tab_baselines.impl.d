@@ -1,0 +1,1 @@
+lib/experiments/tab_baselines.ml: Core Herzberg List Sectrace Util

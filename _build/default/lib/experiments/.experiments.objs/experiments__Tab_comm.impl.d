@@ -1,0 +1,1 @@
+lib/experiments/tab_comm.ml: Array List Random Setrecon Util

@@ -1,0 +1,1 @@
+lib/experiments/tab_latency.ml: Adversary Chi Core Fatih List Netsim Printf Scenario Threshold Topology Util

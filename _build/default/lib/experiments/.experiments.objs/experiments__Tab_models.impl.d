@@ -1,0 +1,1 @@
+lib/experiments/tab_models.ml: Array Core Iface List Mrstats Net Netsim Option Printf Sim Tcp Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/tab_reconcile.ml: Array Int64 List Printf Random Setrecon Util

@@ -1,0 +1,1 @@
+lib/experiments/tab_state.ml: Array Core List Printf Topology Util

@@ -1,0 +1,1 @@
+lib/experiments/tab_threshold.ml: Core List Printf Scenario Util

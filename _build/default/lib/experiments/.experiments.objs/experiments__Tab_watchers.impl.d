@@ -1,0 +1,1 @@
+lib/experiments/tab_watchers.ml: Core Flow Iface List Net Netsim Printf Router String Topology Util

@@ -1,0 +1,43 @@
+type series = {
+  k : int;
+  max_pr : float;
+  mean_pr : float;
+  median_pr : float;
+}
+
+let topology_of = function
+  | `Sprintlink -> Topology.Generate.sprintlink_like ()
+  | `Ebone -> Topology.Generate.ebone_like ()
+
+let name_of = function `Sprintlink -> "Sprintlink-like (315/972)" | `Ebone -> "EBONE-like (87/161)"
+
+let sweep ~protocol ~topology ?(ks = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () =
+  let rt = Topology.Routing.compute (topology_of topology) in
+  List.map
+    (fun k ->
+      let pr =
+        match protocol with
+        | `Pi2 -> Core.Pi2.pr rt ~k
+        | `Pik2 -> Core.Pik2.pr rt ~k
+      in
+      let max_pr, mean_pr, median_pr = Topology.Segments.pr_stats pr in
+      { k; max_pr; mean_pr; median_pr })
+    ks
+
+let print_figure ~title ~protocol ~topology =
+  Util.banner (Printf.sprintf "%s - %s" title (name_of topology));
+  Util.row [ "k"; "max |Pr|"; "avg |Pr|"; "med |Pr|" ];
+  List.iter
+    (fun s ->
+      Util.row
+        (string_of_int s.k :: Util.fseries [ s.max_pr; s.mean_pr; s.median_pr ]))
+    (sweep ~protocol ~topology ())
+
+let run () =
+  print_figure ~title:"Figure 5.2: Protocol Pi2, segments monitored per router"
+    ~protocol:`Pi2 ~topology:`Sprintlink;
+  print_figure ~title:"Figure 5.2 (EBONE): Protocol Pi2" ~protocol:`Pi2 ~topology:`Ebone;
+  print_figure ~title:"Figure 5.4: Protocol Pik+2, segments monitored per router"
+    ~protocol:`Pik2 ~topology:`Sprintlink;
+  print_figure ~title:"Figure 5.4 (EBONE): Protocol Pik+2" ~protocol:`Pik2
+    ~topology:`Ebone

@@ -1,0 +1,139 @@
+open Netsim
+
+type topo = Line | Ring | Grid | Abilene
+
+let topo_of_string = function
+  | "line" -> Ok Line
+  | "ring" -> Ok Ring
+  | "grid" -> Ok Grid
+  | "abilene" -> Ok Abilene
+  | s -> Error (Printf.sprintf "unknown topology %S (line|ring|grid|abilene)" s)
+
+type attack =
+  | No_attack
+  | Drop_all
+  | Drop_fraction of float
+  | Drop_syn
+  | Queue_conditioned of float
+
+let attack_of_string s ~fraction =
+  match s with
+  | "none" -> Ok No_attack
+  | "drop-all" -> Ok Drop_all
+  | "drop-fraction" -> Ok (Drop_fraction fraction)
+  | "syn" -> Ok Drop_syn
+  | "queue" -> Ok (Queue_conditioned fraction)
+  | s -> Error (Printf.sprintf "unknown attack %S (none|drop-all|drop-fraction|syn|queue)" s)
+
+let graph_of = function
+  | Line -> Topology.Generate.line ~n:6
+  | Ring -> Topology.Generate.ring ~n:8
+  | Grid -> Topology.Generate.grid ~rows:3 ~cols:4
+  | Abilene -> Topology.Abilene.graph ()
+
+let behavior_of = function
+  | No_attack -> None
+  | Drop_all -> Some Core.Adversary.drop_all
+  | Drop_fraction f -> Some (Core.Adversary.drop_fraction ~seed:9 f)
+  | Drop_syn -> Some Core.Adversary.drop_syn
+  | Queue_conditioned f -> Some (Core.Adversary.drop_when_queue_above f)
+
+let run ~topo ~protocol ~attack ~attacker ~duration ~seed ~flows ?(trace = 0) () =
+  let g = graph_of topo in
+  let n = Topology.Graph.size g in
+  if attacker < 0 || attacker >= n then
+    invalid_arg (Printf.sprintf "Simulate.run: attacker %d outside [0,%d)" attacker n);
+  if flows < 1 then invalid_arg "Simulate.run: need at least one flow";
+  let net = Net.create ~seed ~jitter_bound:200e-6 g in
+  let rt = Topology.Routing.compute g in
+  Net.use_routing net rt;
+  let attack_start = duration /. 3.0 in
+  (* Ground truth. *)
+  let malicious = ref 0 and congestion = ref 0 in
+  Net.subscribe_router net (fun ev ->
+      match ev.Net.kind with Router.Malicious_drop _ -> incr malicious | _ -> ());
+  Net.subscribe_iface net (fun ev ->
+      match ev.Net.kind with Iface.Drop_congestion _ -> incr congestion | _ -> ());
+  (* Traffic: CBR between pseudo-random distinct pairs that transit the
+     attacker where possible. *)
+  let rng = Random.State.make [| seed; 0xf10 |] in
+  let pairs = ref [] in
+  let guard = ref 0 in
+  while List.length !pairs < flows && !guard < 1000 do
+    incr guard;
+    let s = Random.State.int rng n and d = Random.State.int rng n in
+    if s <> d && not (List.mem (s, d) !pairs) then pairs := (s, d) :: !pairs
+  done;
+  List.iter
+    (fun (s, d) ->
+      ignore (Flow.cbr net ~src:s ~dst:d ~rate_pps:80.0 ~size:500 ~start:0.0 ~stop:duration))
+    !pairs;
+  Printf.printf "topology: %d routers, %d links; %d flows; attack at %.0f s\n"
+    n (Topology.Graph.link_count g) (List.length !pairs) attack_start;
+  (match behavior_of attack with
+  | Some b ->
+      Router.set_behavior (Net.router net attacker) (Core.Adversary.after attack_start b)
+  | None -> ());
+  let tracer =
+    if trace > 0 then Some (Tracer.attach ~net ~capacity:trace ~routers:[ attacker ] ())
+    else None
+  in
+  let dump_trace () =
+    match tracer with
+    | Some tr ->
+        Printf.printf "last %d events at router %d:\n" trace attacker;
+        List.iter (fun line -> Printf.printf "  %s\n" line) (Tracer.events tr)
+    | None -> ()
+  in
+  match protocol with
+  | `Fatih ->
+      let fatih = Core.Fatih.deploy ~net ~rt () in
+      Net.run ~until:duration net;
+      Printf.printf "ground truth: %d malicious drops, %d congestion drops\n" !malicious
+        !congestion;
+      let ds = Core.Fatih.detections fatih in
+      Printf.printf "fatih: %d detections\n" (List.length ds);
+      List.iter
+        (fun (d : Core.Fatih.detection) ->
+          Printf.printf "  %.1f s  <%s>  %d/%d missing\n" d.Core.Fatih.time
+            (String.concat "," (List.map string_of_int d.Core.Fatih.segment))
+            d.Core.Fatih.missing d.Core.Fatih.sent)
+        ds;
+      List.iter
+        (fun (u : Core.Response.event) ->
+          Printf.printf "  %.1f s  routing update (%d segments excised)\n"
+            u.Core.Response.time
+            (List.length u.Core.Response.forbidden))
+        (Core.Response.updates (Core.Fatih.response fatih));
+      dump_trace ()
+  | `Chi ->
+      (* Monitor the attacker's busiest output queue; TCP through it
+         creates the congestion ambiguity χ resolves. *)
+      let next =
+        match Topology.Graph.out_neighbors g attacker with
+        | n :: _ -> n
+        | [] -> invalid_arg "Simulate.run: attacker has no interface"
+      in
+      (* Ensure monitored-queue traffic exists: a TCP through it. *)
+      let upstreams =
+        List.filter (fun v -> v <> next) (Topology.Graph.out_neighbors g attacker)
+      in
+      (match upstreams with
+      | u :: _ -> ignore (Tcp.connect net ~src:u ~dst:next ())
+      | [] -> ());
+      let config = { Core.Chi.default_config with Core.Chi.tau = 2.0 } in
+      let chi = Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config () in
+      Net.run ~until:duration net;
+      Printf.printf "ground truth: %d malicious drops, %d congestion drops\n" !malicious
+        !congestion;
+      Printf.printf "chi on queue <%d -> %d>: %d rounds, %d alarms\n" attacker next
+        (List.length (Core.Chi.reports chi))
+        (List.length (Core.Chi.alarms chi));
+      List.iter
+        (fun (r : Core.Chi.report) ->
+          if r.Core.Chi.alarm then
+            Printf.printf "  %.0f s  %d losses, c_single %.3f\n" r.Core.Chi.end_time
+              (List.length r.Core.Chi.losses)
+              r.Core.Chi.c_single_max)
+        (Core.Chi.reports chi);
+      dump_trace ()

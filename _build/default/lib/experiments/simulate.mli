@@ -1,0 +1,27 @@
+(** Free-form scenario driver behind `mrdetect simulate`: pick a
+    topology, an attack and a detector, run it, and print what the
+    detector concluded next to the ground truth. *)
+
+type topo = Line | Ring | Grid | Abilene
+
+val topo_of_string : string -> (topo, string) result
+
+type attack = No_attack | Drop_all | Drop_fraction of float | Drop_syn | Queue_conditioned of float
+
+val attack_of_string : string -> fraction:float -> (attack, string) result
+
+val run :
+  topo:topo ->
+  protocol:[ `Chi | `Fatih ] ->
+  attack:attack ->
+  attacker:int ->
+  duration:float ->
+  seed:int ->
+  flows:int ->
+  ?trace:int ->
+  unit ->
+  unit
+(** Build the network, start [flows] CBR flows between distinct random
+    pairs plus TCP where the detector needs congestion, compromise
+    [attacker] at one third of [duration], run, and print a summary.
+    Raises [Invalid_argument] for out-of-range attacker/flows. *)

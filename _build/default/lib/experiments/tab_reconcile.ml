@@ -1,0 +1,45 @@
+(* Appendix A: set reconciliation cost.
+
+   Communication (field elements per direction) as a function of the
+   symmetric difference, for sets of 2000 fingerprints per side —
+   demonstrating the O(|difference|) bound against the Bloom-filter
+   alternative's fixed-size-but-approximate answer. *)
+
+let run () =
+  Util.banner "Appendix A: set reconciliation vs Bloom filters";
+  let n = 2000 in
+  let rng = Random.State.make [| 77 |] in
+  Util.row [ "|A delta B|"; "evals sent"; "exact?"; "bloom est." ];
+  List.iter
+    (fun diff ->
+      let shared = Array.init n (fun i -> (i * 211) + 5) in
+      let only_a = Array.init diff (fun i -> 1_000_000 + (i * 17)) in
+      let only_b = Array.init diff (fun i -> 2_000_000 + (i * 19)) in
+      let a = Array.append shared only_a in
+      let b = Array.append shared only_b in
+      let result = Setrecon.Reconcile.diff ~rng ~max_bound:2048 ~a ~b () in
+      let evals, exact =
+        match result with
+        | Some r ->
+            ( r.Setrecon.Reconcile.evals_used,
+              List.length r.Setrecon.Reconcile.a_minus_b = diff
+              && List.length r.Setrecon.Reconcile.b_minus_a = diff )
+        | None -> (0, false)
+      in
+      (* Bloom alternative: fixed 4 KiB filters. *)
+      let fa = Setrecon.Bloom.create ~bits:32768 () in
+      let fb = Setrecon.Bloom.create ~bits:32768 () in
+      Array.iter (fun e -> Setrecon.Bloom.add fa (Int64.of_int e)) a;
+      Array.iter (fun e -> Setrecon.Bloom.add fb (Int64.of_int e)) b;
+      let est =
+        Setrecon.Bloom.symmetric_difference_estimate ~na:(Array.length a)
+          ~nb:(Array.length b) fa fb
+      in
+      Util.row
+        [ string_of_int (2 * diff); string_of_int evals;
+          (if exact then "yes" else "NO"); Printf.sprintf "%.0f" est ])
+    [ 0; 1; 2; 5; 10; 25; 50; 100 ];
+  Util.kv "bloom filter size" "32768 bits per side, every row";
+  Util.kv "takeaway"
+    "reconciliation transmits O(difference) elements and recovers the exact \
+     fingerprints; Bloom filters only estimate the count"

@@ -1,0 +1,1 @@
+lib/netsim/iface.ml: Packet Queue_fifo Random Red Sim Topology

@@ -1,0 +1,1 @@
+lib/netsim/iface.mli: Packet Red Sim Topology

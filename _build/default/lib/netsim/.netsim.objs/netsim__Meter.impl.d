@@ -1,0 +1,1 @@
+lib/netsim/meter.ml: Array Hashtbl Iface List Mrstats Net Option Packet Sim

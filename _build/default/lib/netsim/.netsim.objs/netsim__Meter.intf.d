@@ -1,0 +1,1 @@
+lib/netsim/meter.mli: Net

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Hashtbl Iface List Packet Random Red Router Sim Topology

@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Iface Packet Red Router Sim Topology

@@ -1,0 +1,1 @@
+lib/netsim/packet.ml: Crypto_sim Int64 Printf Sim

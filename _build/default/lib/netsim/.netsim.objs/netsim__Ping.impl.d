@@ -1,0 +1,1 @@
+lib/netsim/ping.ml: Hashtbl List Net Packet Sim

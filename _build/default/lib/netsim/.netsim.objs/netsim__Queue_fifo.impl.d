@@ -1,0 +1,1 @@
+lib/netsim/queue_fifo.ml: Packet Queue

@@ -1,0 +1,1 @@
+lib/netsim/red.ml: Float Packet Queue Random

@@ -1,0 +1,1 @@
+lib/netsim/router.ml: Hashtbl Iface List Option Packet Red Sim

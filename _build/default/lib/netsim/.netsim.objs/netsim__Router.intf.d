@@ -1,0 +1,1 @@
+lib/netsim/router.mli: Iface Packet Sim

@@ -1,0 +1,1 @@
+lib/netsim/tcp.ml: Float Hashtbl Net Option Packet Sim

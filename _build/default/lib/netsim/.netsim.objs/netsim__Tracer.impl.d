@@ -1,0 +1,1 @@
+lib/netsim/tracer.ml: Array Iface List Net Packet Printf Router

@@ -1,0 +1,38 @@
+type t = { flow : int; mutable sent : int }
+
+let flow_id t = t.flow
+let sent t = t.sent
+
+let check_args ~rate_pps ~size ~start ~stop =
+  if rate_pps <= 0.0 then invalid_arg "Flow: rate must be positive";
+  if size <= 0 then invalid_arg "Flow: size must be positive";
+  if stop < start then invalid_arg "Flow: stop before start"
+
+let generator net ~src ~dst ~size ~start ~stop ~gap =
+  let sim = Net.sim net in
+  let t = { flow = Sim.fresh_id sim; sent = 0 } in
+  let rec tick () =
+    if Sim.now sim <= stop then begin
+      let pkt = Packet.make ~sim ~src ~dst ~flow:t.flow ~size Packet.Udp in
+      t.sent <- t.sent + 1;
+      Net.originate net pkt;
+      Sim.schedule sim ~delay:(gap ()) tick
+    end
+  in
+  Sim.schedule_at sim ~time:start tick;
+  t
+
+let cbr net ~src ~dst ~rate_pps ~size ~start ~stop =
+  check_args ~rate_pps ~size ~start ~stop;
+  generator net ~src ~dst ~size ~start ~stop ~gap:(fun () -> 1.0 /. rate_pps)
+
+let poisson net ~src ~dst ~rate_pps ~size ~start ~stop =
+  check_args ~rate_pps ~size ~start ~stop;
+  let rng = Sim.rng (Net.sim net) in
+  generator net ~src ~dst ~size ~start ~stop ~gap:(fun () ->
+      Mrstats.Variate.exponential rng ~rate:rate_pps)
+
+let delivered_counter net ~node ~flow =
+  let count = ref 0 in
+  Net.attach_app net ~node (fun pkt -> if pkt.Packet.flow = flow then incr count);
+  fun () -> !count

@@ -1,0 +1,105 @@
+type kind =
+  | Droptail of int
+  | Red_queue of Red.params
+
+type event =
+  | Enqueued of Packet.t
+  | Drop_congestion of Packet.t
+  | Drop_red_early of Packet.t
+  | Drop_link_down of Packet.t
+  | Drop_corrupted of Packet.t
+  | Transmit_start of Packet.t
+  | Delivered of Packet.t
+
+type queue = Fifo of Queue_fifo.t | Red_q of Red.t
+
+type t = {
+  sim : Sim.t;
+  link : Topology.Graph.link;
+  queue : queue;
+  on_event : t -> event -> unit;
+  deliver : prev:int -> Packet.t -> unit;
+  mutable busy : bool;
+  mutable up : bool;
+  mutable corruption : float;
+}
+
+let create ~sim ~link ~kind ~on_event ~deliver =
+  let queue =
+    match kind with
+    | Droptail limit_bytes -> Fifo (Queue_fifo.create ~limit_bytes ())
+    | Red_queue params -> Red_q (Red.create ~params ~rng:(Sim.rng sim) ())
+  in
+  { sim; link; queue; on_event; deliver; busy = false; up = true; corruption = 0.0 }
+
+let owner t = t.link.Topology.Graph.src
+let next_hop t = t.link.Topology.Graph.dst
+let link t = t.link
+
+let occupancy t =
+  match t.queue with Fifo q -> Queue_fifo.occupancy q | Red_q q -> Red.occupancy q
+
+let queue_limit t =
+  match t.queue with
+  | Fifo q -> Queue_fifo.limit q
+  | Red_q q -> (Red.params q).Red.limit_bytes
+
+let red_state t = match t.queue with Red_q q -> Some q | Fifo _ -> None
+
+let backlog t =
+  match t.queue with Fifo q -> Queue_fifo.length q | Red_q q -> Red.length q
+
+let dequeue t =
+  match t.queue with
+  | Fifo q -> Queue_fifo.dequeue q
+  | Red_q q -> Red.dequeue q ~now:(Sim.now t.sim)
+
+(* Serialize the head packet; at transmission end start the next one; at
+   transmission end + propagation delay the packet reaches the
+   neighbour. *)
+let rec kick t =
+  if (not t.busy) && t.up then begin
+    match dequeue t with
+    | None -> ()
+    | Some p ->
+        t.busy <- true;
+        t.on_event t (Transmit_start p);
+        let tx = float_of_int p.Packet.size /. t.link.Topology.Graph.bw in
+        Sim.schedule t.sim ~delay:tx (fun () ->
+            t.busy <- false;
+            kick t);
+        Sim.schedule t.sim ~delay:(tx +. t.link.Topology.Graph.delay) (fun () ->
+            if t.corruption > 0.0
+               && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
+            then t.on_event t (Drop_corrupted p)
+            else begin
+              t.on_event t (Delivered p);
+              t.deliver ~prev:(owner t) p
+            end)
+  end
+
+let is_up t = t.up
+
+let set_corruption t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Iface.set_corruption: probability outside [0,1]";
+  t.corruption <- p
+
+let set_up t up =
+  t.up <- up;
+  if up then kick t
+
+let enqueue t p =
+  if not t.up then t.on_event t (Drop_link_down p)
+  else begin
+  let verdict =
+    match t.queue with
+    | Fifo q -> if Queue_fifo.try_enqueue q p then `Enqueued else `Forced_drop
+    | Red_q q -> Red.enqueue q ~now:(Sim.now t.sim) ~link_bw:t.link.Topology.Graph.bw p
+  in
+  match verdict with
+  | `Enqueued ->
+      t.on_event t (Enqueued p);
+      kick t
+  | `Forced_drop -> t.on_event t (Drop_congestion p)
+  | `Early_drop -> t.on_event t (Drop_red_early p)
+  end

@@ -1,0 +1,69 @@
+(** An output interface: a queue drained onto a point-to-point link.
+
+    Implements the §6.1.3 forwarding model: a packet is enqueued into the
+    output buffer (or dropped by congestion/RED), transmitted at link
+    rate, and delivered to the neighbour after the propagation delay.
+    Every observable transition is reported through an event callback;
+    the monitoring layer builds its traffic information from these events
+    exactly as neighbours would observe them on the wire. *)
+
+type kind =
+  | Droptail of int        (** drop-tail with the given byte limit *)
+  | Red_queue of Red.params
+
+type event =
+  | Enqueued of Packet.t         (** admitted to the output buffer *)
+  | Drop_congestion of Packet.t  (** buffer full (drop-tail or RED forced) *)
+  | Drop_red_early of Packet.t   (** RED probabilistic early drop *)
+  | Drop_link_down of Packet.t   (** offered to a failed link *)
+  | Drop_corrupted of Packet.t   (** damaged in flight, discarded by the
+                                     receiving line card (4.2.1) *)
+  | Transmit_start of Packet.t   (** left the queue, serialization begins *)
+  | Delivered of Packet.t        (** arrived at the far end of the link *)
+
+type t
+
+val create :
+  sim:Sim.t ->
+  link:Topology.Graph.link ->
+  kind:kind ->
+  on_event:(t -> event -> unit) ->
+  deliver:(prev:int -> Packet.t -> unit) ->
+  t
+(** Build the interface for a directed link.  [deliver] is invoked at the
+    packet's arrival instant at [link.dst] with [prev = link.src]. *)
+
+val owner : t -> int
+(** The router that owns the queue ([link.src]). *)
+
+val next_hop : t -> int
+(** The neighbour the interface feeds ([link.dst]). *)
+
+val link : t -> Topology.Graph.link
+
+val occupancy : t -> int
+(** Bytes currently buffered. *)
+
+val queue_limit : t -> int
+(** Byte limit of the buffer. *)
+
+val red_state : t -> Red.t option
+(** The RED queue when [kind] is [Red_queue]. *)
+
+val enqueue : t -> Packet.t -> unit
+(** Submit a packet for transmission (the router's forwarding step). *)
+
+val backlog : t -> int
+(** Packets currently buffered. *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+(** Fail or restore the link.  While down, offered packets are dropped
+    with [Drop_link_down] and buffered packets wait; restoring resumes
+    transmission. *)
+
+val set_corruption : t -> float -> unit
+(** Per-packet probability of in-flight damage (checksum failure at the
+    receiver); corrupted packets raise [Drop_corrupted] instead of being
+    delivered.  Raises [Invalid_argument] outside [0,1]. *)

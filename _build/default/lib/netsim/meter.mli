@@ -1,0 +1,33 @@
+(** Measurement taps: per-flow delivery series and queue occupancy
+    sampling.
+
+    The Chapter 6 figures plot victim-flow throughput collapsing under
+    attack next to the detector's confidence; this module collects those
+    series from the event stream without touching the forwarding path. *)
+
+type flow_series
+
+val flow_throughput :
+  Net.t -> node:int -> flow:int -> bucket:float -> flow_series
+(** Record the bytes of [flow] delivered at [node] into [bucket]-second
+    bins. *)
+
+val series : flow_series -> (float * float) list
+(** [(bin end time, bytes/second over the bin)] in time order, including
+    empty bins up to the last delivery. *)
+
+val total_bytes : flow_series -> int
+
+type queue_series
+
+val queue_occupancy :
+  Net.t -> router:int -> next:int -> period:float -> queue_series
+(** Sample the output queue every [period] seconds from t = 0 (runs for
+    the lifetime of the simulation).  Raises [Invalid_argument] if the
+    link does not exist. *)
+
+val samples : queue_series -> (float * int) list
+(** [(time, bytes)] in time order. *)
+
+val occupancy_stats : queue_series -> float * float
+(** (mean, stddev) of the sampled occupancy in bytes. *)

@@ -1,0 +1,139 @@
+type queue_spec =
+  | Droptail of int
+  | Red of Red.params
+
+type iface_event = {
+  time : float;
+  router : int;
+  next : int;
+  kind : Iface.event;
+}
+
+type router_event = {
+  time : float;
+  router : int;
+  kind : Router.event;
+}
+
+type t = {
+  sim : Sim.t;
+  graph : Topology.Graph.t;
+  mutable routers : Router.t array;
+  mutable iface_listeners : (iface_event -> unit) list;
+  mutable router_listeners : (router_event -> unit) list;
+  apps : (Packet.t -> unit) list ref array;
+  pins : (int * int, int) Hashtbl.t; (* (flow, router) -> next hop *)
+}
+
+let sim t = t.sim
+let graph t = t.graph
+let router t id = t.routers.(id)
+
+let iface t ~src ~dst = Router.iface_to t.routers.(src) dst
+
+let subscribe_iface t f = t.iface_listeners <- f :: t.iface_listeners
+let subscribe_router t f = t.router_listeners <- f :: t.router_listeners
+
+let emit_iface t ev = List.iter (fun f -> f ev) t.iface_listeners
+let emit_router t ev = List.iter (fun f -> f ev) t.router_listeners
+
+let attach_app t ~node f = t.apps.(node) := f :: !(t.apps.(node))
+
+let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) graph =
+  let sim = Sim.create ~seed () in
+  let n = Topology.Graph.size graph in
+  let t =
+    { sim; graph;
+      routers = [||];
+      iface_listeners = [];
+      router_listeners = [];
+      apps = Array.init n (fun _ -> ref []);
+      pins = Hashtbl.create 16 }
+  in
+  let jitter () =
+    if jitter_bound <= 0.0 then 0.0 else Random.State.float (Sim.rng sim) jitter_bound
+  in
+  t.routers <-
+    Array.init n (fun id ->
+        Router.create ~sim ~id ~jitter
+          ~on_event:(fun r ev ->
+            emit_router t { time = Sim.now sim; router = Router.id r; kind = ev })
+          ~local_deliver:(fun pkt -> List.iter (fun f -> f pkt) !(t.apps.(id))));
+  let kind =
+    match queue with Droptail b -> Iface.Droptail b | Red p -> Iface.Red_queue p
+  in
+  List.iter
+    (fun (l : Topology.Graph.link) ->
+      let iface =
+        Iface.create ~sim ~link:l ~kind
+          ~on_event:(fun i ev ->
+            emit_iface t
+              { time = Sim.now sim; router = Iface.owner i; next = Iface.next_hop i;
+                kind = ev })
+          ~deliver:(fun ~prev pkt ->
+            Router.receive t.routers.(l.Topology.Graph.dst) ~prev:(Some prev) pkt)
+      in
+      Router.add_iface t.routers.(l.Topology.Graph.src) iface)
+    (Topology.Graph.links graph);
+  t
+
+let with_pins t r fallback ~prev pkt =
+  match Hashtbl.find_opt t.pins (pkt.Packet.flow, Router.id r) with
+  | Some next -> Some next
+  | None -> fallback ~prev pkt
+
+let use_routing t rt =
+  Array.iter
+    (fun r ->
+      Router.set_forwarding r
+        (with_pins t r (fun ~prev:_ pkt ->
+             Topology.Routing.next_hop rt (Router.id r) ~dst:pkt.Packet.dst)))
+    t.routers
+
+let use_policy t pol =
+  Array.iter
+    (fun r ->
+      Router.set_forwarding r
+        (with_pins t r (fun ~prev pkt ->
+             Topology.Policy.next_hop pol ~prev ~cur:(Router.id r) ~dst:pkt.Packet.dst)))
+    t.routers
+
+let use_ecmp t ecmp =
+  Array.iter
+    (fun r ->
+      Router.set_forwarding r
+        (with_pins t r (fun ~prev:_ pkt ->
+             Topology.Ecmp.next_hop ecmp (Router.id r) ~dst:pkt.Packet.dst
+               ~flow:pkt.Packet.flow)))
+    t.routers
+
+let add_multicast_route t ~router ~group ~next_hops ~local =
+  Router.add_multicast_route t.routers.(router) ~group ~next_hops ~local
+
+let pin_flow_path t ~flow ~path =
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        if Topology.Graph.link t.graph a b = None then
+          invalid_arg "Net.pin_flow_path: consecutive nodes not linked";
+        Hashtbl.replace t.pins (flow, a) b;
+        walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk path
+
+let set_link t ~src ~dst up =
+  match iface t ~src ~dst with
+  | Some i -> Iface.set_up i up
+  | None -> invalid_arg "Net: no such link"
+
+let fail_link t ~src ~dst = set_link t ~src ~dst false
+
+let set_link_corruption t ~src ~dst p =
+  match iface t ~src ~dst with
+  | Some i -> Iface.set_corruption i p
+  | None -> invalid_arg "Net.set_link_corruption: no such link"
+let restore_link t ~src ~dst = set_link t ~src ~dst true
+
+let originate t pkt = Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+
+let run ?until t = Sim.run ?until t.sim

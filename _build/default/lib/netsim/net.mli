@@ -1,0 +1,93 @@
+(** A network: a topology instantiated in a simulation.
+
+    Wires a {!Topology.Graph.t} into routers and interfaces, installs
+    link-state or policy forwarding, and exposes the global event stream
+    that the monitoring layer (and the experiment harness) observes. *)
+
+type queue_spec =
+  | Droptail of int         (** byte limit for every output queue *)
+  | Red of Red.params
+
+type iface_event = {
+  time : float;
+  router : int;            (** owner of the queue *)
+  next : int;              (** neighbour the queue feeds *)
+  kind : Iface.event;
+}
+
+type router_event = {
+  time : float;
+  router : int;
+  kind : Router.event;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?queue:queue_spec ->
+  ?jitter_bound:float ->
+  Topology.Graph.t ->
+  t
+(** Build the network.  Every router gets one output interface per
+    outgoing link with the given queue discipline (default
+    [Droptail 64000]).  [jitter_bound] is the per-packet processing delay
+    upper bound, drawn uniformly (default 300 microseconds; pass 0. for a
+    perfectly deterministic forwarding plane). *)
+
+val sim : t -> Sim.t
+val graph : t -> Topology.Graph.t
+val router : t -> int -> Router.t
+val iface : t -> src:int -> dst:int -> Iface.t option
+
+val use_routing : t -> Topology.Routing.t -> unit
+(** Install plain link-state forwarding on every router. *)
+
+val use_policy : t -> Topology.Policy.t -> unit
+(** Install policy (segment-excising) forwarding on every router. *)
+
+val use_ecmp : t -> Topology.Ecmp.t -> unit
+(** Install deterministic equal-cost multipath forwarding (§7.4.1):
+    every router picks among its equal-cost next hops by the shared flow
+    hash. *)
+
+val subscribe_iface : t -> (iface_event -> unit) -> unit
+(** Observe every queue/link event in the network (enqueue, drops,
+    transmit, deliver). *)
+
+val subscribe_router : t -> (router_event -> unit) -> unit
+(** Observe router-level events (malicious actions, TTL expiry, local
+    deliveries, ...). *)
+
+val attach_app : t -> node:int -> (Packet.t -> unit) -> unit
+(** Register a local-delivery handler at a node; every handler attached
+    to the node sees every packet delivered there. *)
+
+val add_multicast_route :
+  t -> router:int -> group:int -> next_hops:int list -> local:bool -> unit
+(** Install one hop of a multicast distribution tree (§7.4.3). *)
+
+val pin_flow_path : t -> flow:int -> path:int list -> unit
+(** Pin a flow to an explicit router path (the simulator's stand-in for
+    source routing, needed by Perlman's multipath robustness, §3.7).
+    Pinned hops take precedence over the installed forwarding for that
+    flow.  Raises [Invalid_argument] if consecutive path nodes are not
+    linked. *)
+
+val fail_link : t -> src:int -> dst:int -> unit
+(** Fail the directed link (fail-stop): offered packets are lost until
+    {!restore_link}.  Raises [Invalid_argument] if absent. *)
+
+val restore_link : t -> src:int -> dst:int -> unit
+
+val set_link_corruption : t -> src:int -> dst:int -> float -> unit
+(** Give a link a bit-error floor: each packet is damaged in flight with
+    this probability (4.2.1's benign corruption losses).  Raises
+    [Invalid_argument] if the link is absent. *)
+
+val originate : t -> Packet.t -> unit
+(** Hand a locally-generated packet to its source router for
+    forwarding. *)
+
+val run : ?until:float -> t -> unit
+(** Convenience alias for [Sim.run (sim t)]. *)

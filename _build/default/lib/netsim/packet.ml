@@ -1,0 +1,57 @@
+type proto =
+  | Udp
+  | Tcp of tcp_header
+  | Ping of int
+  | Pong of int
+
+and tcp_header = { seq : int; ack : int; syn : bool; fin : bool }
+
+type t = {
+  uid : int;
+  src : int;
+  dst : int;
+  flow : int;
+  size : int;
+  proto : proto;
+  mutable ttl : int;
+  mutable payload : int64;
+  created : float;
+}
+
+let make ~sim ~src ~dst ~flow ~size ?(ttl = 64) proto =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  let uid = Sim.fresh_id sim in
+  (* Payloads carry pseudo-random bytes: on the wire nothing
+     distinguishes one application's packet from another's, which
+     stealth probing (§3.8) depends on. *)
+  { uid; src; dst; flow; size; proto; ttl;
+    payload = Crypto_sim.Fnv.hash_int64 (Int64.of_int uid); created = Sim.now sim }
+
+let clone t = { t with uid = t.uid }
+
+let proto_words = function
+  | Udp -> [ 0L ]
+  | Tcp { seq; ack; syn; fin } ->
+      [ 1L; Int64.of_int seq; Int64.of_int ack;
+        Int64.of_int ((if syn then 2 else 0) lor if fin then 1 else 0) ]
+  | Ping seq -> [ 2L; Int64.of_int seq ]
+  | Pong seq -> [ 3L; Int64.of_int seq ]
+
+let fingerprint key p =
+  Crypto_sim.Siphash.hash_int64s key
+    (Int64.of_int p.uid :: Int64.of_int p.src :: Int64.of_int p.dst
+     :: Int64.of_int p.flow :: Int64.of_int p.size :: p.payload :: proto_words p.proto)
+
+let is_syn p = match p.proto with Tcp h -> h.syn | Udp | Ping _ | Pong _ -> false
+
+let describe p =
+  let proto =
+    match p.proto with
+    | Udp -> "udp"
+    | Tcp h ->
+        Printf.sprintf "tcp seq=%d ack=%d%s%s" h.seq h.ack (if h.syn then " SYN" else "")
+          (if h.fin then " FIN" else "")
+    | Ping s -> Printf.sprintf "ping %d" s
+    | Pong s -> Printf.sprintf "pong %d" s
+  in
+  Printf.sprintf "#%d %d->%d flow=%d %dB %s" p.uid p.src p.dst p.flow p.size proto

@@ -1,0 +1,52 @@
+(** Packets.
+
+    A packet's identity for traffic-validation purposes is its invariant
+    content: everything except the TTL, which routers rewrite hop by hop
+    and the fingerprint must exclude (§7.4.2). *)
+
+type proto =
+  | Udp
+  | Tcp of tcp_header
+  | Ping of int  (** echo request, sequence number *)
+  | Pong of int  (** echo reply *)
+
+and tcp_header = {
+  seq : int;        (** first payload byte number carried, -1 for pure ACK *)
+  ack : int;        (** cumulative ACK (next byte expected), -1 if unset *)
+  syn : bool;
+  fin : bool;
+}
+
+type t = {
+  uid : int;           (** globally unique id, part of the packet content *)
+  src : int;           (** originating router *)
+  dst : int;           (** destination router *)
+  flow : int;          (** flow identifier *)
+  size : int;          (** total bytes on the wire *)
+  proto : proto;
+  mutable ttl : int;   (** rewritten per hop; excluded from fingerprints *)
+  mutable payload : int64;  (** stand-in for payload bytes; a modification
+                                attack overwrites it *)
+  created : float;     (** origination time *)
+}
+
+val make :
+  sim:Sim.t -> src:int -> dst:int -> flow:int -> size:int -> ?ttl:int -> proto -> t
+(** Allocate a packet with a fresh uid and a pseudo-random payload (so
+    applications' packets are indistinguishable on the wire).  Raises
+    [Invalid_argument] for a non-positive size. *)
+
+val clone : t -> t
+(** An independent copy carrying the same identity (uid, payload, header)
+    — multicast duplication (§7.4.3): the copies are the same packet to
+    any fingerprint, but mutate (TTL) independently per branch. *)
+
+val fingerprint : Crypto_sim.Siphash.key -> t -> int64
+(** Keyed fingerprint of the packet's invariant content (uid, addresses,
+    flow, size, protocol header, payload — not the TTL). *)
+
+val is_syn : t -> bool
+(** True for TCP SYN segments (the target of attack 4 / attack 5). *)
+
+val describe : t -> string
+(** One-line rendering for traces. *)

@@ -1,0 +1,25 @@
+type t = { q : Packet.t Queue.t; limit : int; mutable bytes : int }
+
+let create ?(limit_bytes = 64000) () =
+  if limit_bytes <= 0 then invalid_arg "Queue_fifo.create: limit must be positive";
+  { q = Queue.create (); limit = limit_bytes; bytes = 0 }
+
+let limit t = t.limit
+let occupancy t = t.bytes
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+
+let try_enqueue t p =
+  if t.bytes + p.Packet.size > t.limit then false
+  else begin
+    Queue.push p t.q;
+    t.bytes <- t.bytes + p.Packet.size;
+    true
+  end
+
+let dequeue t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+      t.bytes <- t.bytes - p.Packet.size;
+      Some p

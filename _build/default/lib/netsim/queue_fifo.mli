@@ -1,0 +1,26 @@
+(** Output-buffered drop-tail FIFO queue, measured in bytes (§6.1.3).
+
+    Protocol χ's traffic validation predicts exactly this queue's
+    behaviour: a packet is dropped by congestion iff enqueueing it would
+    exceed the byte limit. *)
+
+type t
+
+val create : ?limit_bytes:int -> unit -> t
+(** Default limit 64000 bytes, the size used in the Emulab experiments'
+    scale.  Raises [Invalid_argument] on a non-positive limit. *)
+
+val limit : t -> int
+val occupancy : t -> int
+(** Bytes currently queued. *)
+
+val length : t -> int
+(** Packets currently queued. *)
+
+val is_empty : t -> bool
+
+val try_enqueue : t -> Packet.t -> bool
+(** Append the packet if it fits; [false] means a congestion drop. *)
+
+val dequeue : t -> Packet.t option
+(** Remove the head packet. *)

@@ -1,0 +1,123 @@
+type params = {
+  limit_bytes : int;
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  wq : float;
+  mean_pkt_size : int;
+  gentle : bool;
+}
+
+let default_params =
+  { limit_bytes = 64000; min_th = 30000.0; max_th = 60000.0; max_p = 0.1; wq = 0.002;
+    mean_pkt_size = 1000; gentle = false }
+
+type t = {
+  p : params;
+  q : Packet.t Queue.t;
+  rng : Random.State.t;
+  mutable bytes : int;
+  mutable avg : float;
+  mutable count : int;      (* packets since last drop; -1 = below min_th *)
+  mutable idle_since : float option;
+}
+
+let validate p =
+  if p.limit_bytes <= 0 then invalid_arg "Red.create: limit must be positive";
+  if not (0.0 <= p.min_th && p.min_th < p.max_th) then
+    invalid_arg "Red.create: need 0 <= min_th < max_th";
+  if not (0.0 < p.max_p && p.max_p <= 1.0) then invalid_arg "Red.create: max_p in (0,1]";
+  if not (0.0 < p.wq && p.wq <= 1.0) then invalid_arg "Red.create: wq in (0,1]"
+
+let create ?(params = default_params) ~rng () =
+  validate params;
+  { p = params; q = Queue.create (); rng; bytes = 0; avg = 0.0; count = -1;
+    idle_since = Some 0.0 }
+
+let params t = t.p
+let occupancy t = t.bytes
+let avg t = t.avg
+let count_since_drop t = t.count
+let is_empty t = Queue.is_empty t.q
+let length t = Queue.length t.q
+
+let decay_avg p ~avg ~idle ~link_bw =
+  (* The queue was empty for [idle] seconds: pretend m small packets
+     departed and apply the EWMA m times. *)
+  if idle <= 0.0 then avg
+  else begin
+    let s = float_of_int p.mean_pkt_size /. link_bw in
+    let m = idle /. s in
+    avg *. ((1.0 -. p.wq) ** m)
+  end
+
+let update_avg p ~avg ~occupancy =
+  ((1.0 -. p.wq) *. avg) +. (p.wq *. float_of_int occupancy)
+
+let base_probability p ~avg =
+  if avg < p.min_th then 0.0
+  else if avg < p.max_th then p.max_p *. (avg -. p.min_th) /. (p.max_th -. p.min_th)
+  else if p.gentle && avg < 2.0 *. p.max_th then
+    (* Gentle ramp: max_p at max_th up to 1 at 2*max_th. *)
+    p.max_p +. ((1.0 -. p.max_p) *. (avg -. p.max_th) /. p.max_th)
+  else 1.0
+
+let early_drop_probability p ~avg ~count =
+  let pb = base_probability p ~avg in
+  if pb <= 0.0 then 0.0
+  else if pb >= 1.0 then 1.0
+  else begin
+    let denom = 1.0 -. (float_of_int (max 0 count) *. pb) in
+    if denom <= 0.0 then 1.0 else Float.min 1.0 (pb /. denom)
+  end
+
+type verdict = [ `Enqueued | `Early_drop | `Forced_drop ]
+
+let enqueue t ~now ~link_bw pkt =
+  (* EWMA update, including idle decay if the queue was empty. *)
+  (match t.idle_since with
+  | Some since when Queue.is_empty t.q ->
+      t.avg <- decay_avg t.p ~avg:t.avg ~idle:(now -. since) ~link_bw;
+      t.idle_since <- None
+  | _ -> ());
+  t.avg <- update_avg t.p ~avg:t.avg ~occupancy:t.bytes;
+  let decide () =
+    let pb = base_probability t.p ~avg:t.avg in
+    if pb <= 0.0 then begin
+      t.count <- -1;
+      `Admit
+    end
+    else if pb >= 1.0 then begin
+      t.count <- 0;
+      `Drop
+    end
+    else begin
+      t.count <- t.count + 1;
+      let pa = early_drop_probability t.p ~avg:t.avg ~count:t.count in
+      if Random.State.float t.rng 1.0 < pa then begin
+        t.count <- 0;
+        `Drop
+      end
+      else `Admit
+    end
+  in
+  match decide () with
+  | `Drop -> `Early_drop
+  | `Admit ->
+      if t.bytes + pkt.Packet.size > t.p.limit_bytes then begin
+        t.count <- 0;
+        `Forced_drop
+      end
+      else begin
+        Queue.push pkt t.q;
+        t.bytes <- t.bytes + pkt.Packet.size;
+        `Enqueued
+      end
+
+let dequeue t ~now =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+      t.bytes <- t.bytes - p.Packet.size;
+      if Queue.is_empty t.q then t.idle_since <- Some now;
+      Some p

@@ -1,0 +1,166 @@
+type context = {
+  now : float;
+  prev : int option;
+  next_hop : int;
+  queue_occupancy : int;
+  queue_limit : int;
+  red_avg : float option;
+}
+
+type action =
+  | Forward
+  | Drop
+  | Modify of int64
+  | Delay of float
+
+type behavior = context -> Packet.t -> action
+
+let honest _ _ = Forward
+
+type event =
+  | Malicious_drop of { next : int; pkt : Packet.t }
+  | Fragmented of { next : int; original : Packet.t; fragments : int }
+  | Malicious_modify of { next : int; pkt : Packet.t; old_payload : int64 }
+  | Malicious_delay of { next : int; pkt : Packet.t; delay : float }
+  | Fabricated of { next : int; pkt : Packet.t }
+  | No_route of Packet.t
+  | Ttl_expired of Packet.t
+  | Delivered_local of Packet.t
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  jitter : unit -> float;
+  on_event : t -> event -> unit;
+  local_deliver : Packet.t -> unit;
+  out : (int, Iface.t) Hashtbl.t;
+  mutable forwarding : prev:int option -> Packet.t -> int option;
+  mutable behavior : behavior;
+  mutable mtu : int option;
+  mcast : (int, int list * bool) Hashtbl.t; (* group -> (branches, local) *)
+}
+
+let create ~sim ~id ~jitter ~on_event ~local_deliver =
+  { sim; id; jitter; on_event; local_deliver; out = Hashtbl.create 4;
+    forwarding = (fun ~prev:_ _ -> None); behavior = honest; mtu = None;
+    mcast = Hashtbl.create 2 }
+
+let id t = t.id
+
+let add_iface t iface =
+  if Iface.owner iface <> t.id then invalid_arg "Router.add_iface: foreign interface";
+  Hashtbl.replace t.out (Iface.next_hop iface) iface
+
+let iface_to t next = Hashtbl.find_opt t.out next
+let ifaces t = Hashtbl.fold (fun _ i acc -> i :: acc) t.out []
+
+let set_forwarding t f = t.forwarding <- f
+let set_behavior t b = t.behavior <- b
+let add_multicast_route t ~group ~next_hops ~local =
+  List.iter
+    (fun nh ->
+      if not (Hashtbl.mem t.out nh) then
+        invalid_arg "Router.add_multicast_route: no interface to a listed branch")
+    next_hops;
+  Hashtbl.replace t.mcast group (next_hops, local)
+
+let set_mtu t m =
+  (match m with
+  | Some v when v <= 0 -> invalid_arg "Router.set_mtu: mtu must be positive"
+  | _ -> ());
+  t.mtu <- m
+
+let enqueue_after_jitter t iface pkt =
+  let j = t.jitter () in
+  if j <= 0.0 then Iface.enqueue iface pkt
+  else Sim.schedule t.sim ~delay:j (fun () -> Iface.enqueue iface pkt)
+
+(* §7.4.4: splitting produces fresh packets whose fingerprints no
+   upstream router ever announced. *)
+let fragment_if_needed t ~next iface pkt =
+  match t.mtu with
+  | Some mtu when pkt.Packet.size > mtu ->
+      let pieces = (pkt.Packet.size + mtu - 1) / mtu in
+      t.on_event t (Fragmented { next; original = pkt; fragments = pieces });
+      let remaining = ref pkt.Packet.size in
+      for _ = 1 to pieces do
+        let size = min mtu !remaining in
+        remaining := !remaining - size;
+        let frag =
+          Packet.make ~sim:t.sim ~src:pkt.Packet.src ~dst:pkt.Packet.dst
+            ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl pkt.Packet.proto
+        in
+        enqueue_after_jitter t iface frag
+      done
+  | Some _ | None -> enqueue_after_jitter t iface pkt
+
+let forward_one t ~prev ~next pkt =
+  match iface_to t next with
+  | None -> t.on_event t (No_route pkt)
+  | Some iface ->
+      let ctx =
+        { now = Sim.now t.sim; prev; next_hop = next;
+          queue_occupancy = Iface.occupancy iface;
+          queue_limit = Iface.queue_limit iface;
+          red_avg = Option.map Red.avg (Iface.red_state iface) }
+      in
+      (match t.behavior ctx pkt with
+      | Forward -> fragment_if_needed t ~next iface pkt
+      | Drop -> t.on_event t (Malicious_drop { next; pkt })
+      | Modify payload ->
+          let old_payload = pkt.Packet.payload in
+          pkt.Packet.payload <- payload;
+          t.on_event t (Malicious_modify { next; pkt; old_payload });
+          fragment_if_needed t ~next iface pkt
+      | Delay d ->
+          t.on_event t (Malicious_delay { next; pkt; delay = d });
+          Sim.schedule t.sim ~delay:d (fun () -> fragment_if_needed t ~next iface pkt))
+
+let receive t ~prev pkt =
+  match Hashtbl.find_opt t.mcast pkt.Packet.dst with
+  | Some (branches, local) ->
+      (* Multicast: duplicate per branch (same identity, §7.4.3);
+         deliver locally if this router is a leaf. *)
+      let expired =
+        match prev with
+        | None -> false
+        | Some _ ->
+            pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+            pkt.Packet.ttl <= 0
+      in
+      if expired then t.on_event t (Ttl_expired pkt)
+      else begin
+        if local then begin
+          t.on_event t (Delivered_local pkt);
+          t.local_deliver pkt
+        end;
+        List.iter (fun next -> forward_one t ~prev ~next (Packet.clone pkt)) branches
+      end
+  | None ->
+  if pkt.Packet.dst = t.id then begin
+    t.on_event t (Delivered_local pkt);
+    t.local_deliver pkt
+  end
+  else begin
+    (* TTL is only spent on transit hops. *)
+    let expired =
+      match prev with
+      | None -> false
+      | Some _ ->
+          pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+          pkt.Packet.ttl <= 0
+    in
+    if expired then t.on_event t (Ttl_expired pkt)
+    else begin
+      match t.forwarding ~prev pkt with
+      | None -> t.on_event t (No_route pkt)
+      | Some next -> forward_one t ~prev ~next pkt
+    end
+  end
+
+let fabricate t ~next pkt =
+  match iface_to t next with
+  | None -> invalid_arg "Router.fabricate: no interface to that neighbour"
+  | Some iface ->
+      t.on_event t (Fabricated { next; pkt });
+      Iface.enqueue iface pkt

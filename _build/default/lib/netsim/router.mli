@@ -1,0 +1,89 @@
+(** A router: forwarding, TTL handling, and the adversarial hook.
+
+    A {e traffic-faulty} router (§2.2.1) alters the packets it forwards.
+    Every way it can do so — dropping, modifying, delaying, fabricating —
+    is expressed through the [behavior] hook, which sees exactly the
+    state a compromised forwarding plane would see (the packet, where it
+    came from, where it is going, and the output queue state) and decides
+    what happens to the packet.  Correct routers use {!honest}. *)
+
+type context = {
+  now : float;
+  prev : int option;        (** previous-hop router; [None] if originated here *)
+  next_hop : int;
+  queue_occupancy : int;    (** bytes in the output queue toward [next_hop] *)
+  queue_limit : int;
+  red_avg : float option;   (** RED EWMA when the queue is RED *)
+}
+
+type action =
+  | Forward                 (** behave correctly *)
+  | Drop                    (** maliciously discard (silent) *)
+  | Modify of int64         (** overwrite the payload, then forward *)
+  | Delay of float          (** hold for the given time, then forward *)
+
+type behavior = context -> Packet.t -> action
+
+val honest : behavior
+(** Always [Forward]. *)
+
+type event =
+  | Malicious_drop of { next : int; pkt : Packet.t }
+  | Fragmented of { next : int; original : Packet.t; fragments : int }
+  | Malicious_modify of { next : int; pkt : Packet.t; old_payload : int64 }
+  | Malicious_delay of { next : int; pkt : Packet.t; delay : float }
+  | Fabricated of { next : int; pkt : Packet.t }
+  | No_route of Packet.t
+  | Ttl_expired of Packet.t
+  | Delivered_local of Packet.t
+
+type t
+
+val create :
+  sim:Sim.t ->
+  id:int ->
+  jitter:(unit -> float) ->
+  on_event:(t -> event -> unit) ->
+  local_deliver:(Packet.t -> unit) ->
+  t
+(** [jitter ()] is the per-packet processing delay (the source of the
+    queue-prediction error Protocol χ calibrates, §6.2.1). *)
+
+val id : t -> int
+
+val add_iface : t -> Iface.t -> unit
+(** Register the output interface toward [Iface.next_hop].  Replaces any
+    previous interface to the same neighbour. *)
+
+val iface_to : t -> int -> Iface.t option
+val ifaces : t -> Iface.t list
+
+val set_forwarding : t -> (prev:int option -> Packet.t -> int option) -> unit
+(** Install the forwarding decision (link-state or policy routing). *)
+
+val set_behavior : t -> behavior -> unit
+(** Compromise (or restore) the router. *)
+
+val add_multicast_route :
+  t -> group:int -> next_hops:int list -> local:bool -> unit
+(** Join the distribution tree of multicast [group] (a virtual
+    destination id): packets addressed to it are duplicated onto each
+    listed interface (the behavior hook runs per branch, so a
+    compromised router can prune branches selectively) and delivered
+    locally when [local].  §7.4.3: note the deliberate violation of
+    naive per-router conservation of flow. *)
+
+val set_mtu : t -> int option -> unit
+(** Limit the payload this router forwards per packet: oversized packets
+    are split into fresh fragments (§7.4.4 — fragmentation invalidates
+    upstream fingerprints, which is why the protocols require
+    don't-fragment paths; see test_extensions.ml for the resulting false
+    positives). *)
+
+val receive : t -> prev:int option -> Packet.t -> unit
+(** Packet arrival: local delivery or forwarding through the behavior
+    hook.  [prev = None] means the packet originates at this router. *)
+
+val fabricate : t -> next:int -> Packet.t -> unit
+(** Inject a packet the router made up straight into an output queue
+    (packet-fabrication attack); emits [Fabricated]. *)

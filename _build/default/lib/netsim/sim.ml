@@ -1,0 +1,48 @@
+type t = {
+  mutable clock : float;
+  events : (unit -> unit) Prioq.t;
+  rng : Random.State.t;
+  mutable processed : int;
+  mutable next_id : int;
+}
+
+let create ?(seed = 1) () =
+  { clock = 0.0; events = Prioq.create (); rng = Random.State.make [| seed; 0x51a7 |];
+    processed = 0; next_id = 0 }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time thunk =
+  if time < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %.9f is in the past (now %.9f)" time t.clock);
+  Prioq.push t.events ~priority:(Float.max time t.clock) thunk
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) thunk
+
+let run ?until t =
+  let continue () =
+    match Prioq.peek t.events with
+    | None -> false
+    | Some (time, _) -> ( match until with None -> true | Some u -> time <= u)
+  in
+  while continue () do
+    match Prioq.pop t.events with
+    | None -> ()
+    | Some (time, thunk) ->
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        thunk ()
+  done;
+  match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
+
+let events_processed t = t.processed
+let pending t = Prioq.length t.events
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id

@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    The synchronous system model of §2.1.2/§4.1 is realized by a global
+    event clock: bounded message delays and coarsely synchronized clocks
+    hold by construction.  Deterministic for a fixed seed: events at equal
+    times fire in scheduling order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulation at time 0. *)
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val rng : t -> Random.State.t
+(** The simulation's random state (single source of randomness). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk [delay] seconds from now ([delay >= 0]). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run a thunk at an absolute time (must not be in the past). *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue is empty or the clock passes [until].
+    Events scheduled at exactly [until] are processed. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far. *)
+
+val pending : t -> int
+(** Number of events currently scheduled. *)
+
+val fresh_id : t -> int
+(** Monotonically increasing identifier source (packet uids, flow ids);
+    deterministic per simulation instance. *)

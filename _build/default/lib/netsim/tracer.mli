@@ -1,0 +1,28 @@
+(** A bounded human-readable event trace (tcpdump for the simulator).
+
+    Captures link and router events into a ring buffer with optional
+    filters; dump it when debugging a scenario or teaching a protocol
+    run. *)
+
+type t
+
+val attach :
+  net:Net.t ->
+  ?capacity:int ->
+  ?routers:int list ->
+  ?flows:int list ->
+  unit ->
+  t
+(** Start recording (default capacity 1000 events; empty filter lists
+    mean "everything").  Raises [Invalid_argument] on non-positive
+    capacity. *)
+
+val events : t -> string list
+(** The retained event lines, oldest first, each like
+    "12.0345 r3->r4 deliver #812 0->4 flow=2 500B udp". *)
+
+val count : t -> int
+(** Events recorded since attach (including evicted ones). *)
+
+val dump : t -> out_channel -> unit
+(** Write the retained lines to a channel. *)

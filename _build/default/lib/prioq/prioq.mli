@@ -1,0 +1,25 @@
+(** A mutable binary min-heap keyed by a float priority.
+
+    Shared by the Dijkstra implementations (priority = path cost) and the
+    discrete-event simulator (priority = event time).  Ties are broken by
+    insertion order, which makes every consumer deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty heap. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an element. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; [None] when empty.
+    Equal priorities come out in insertion order (FIFO). *)
+
+val peek : 'a t -> (float * 'a) option
+(** The minimum without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/setrecon/bloom.ml: Array Bytes Char Crypto_sim Float Int64

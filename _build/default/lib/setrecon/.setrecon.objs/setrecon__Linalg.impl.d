@@ -1,0 +1,1 @@
+lib/setrecon/linalg.ml: Array Gfp

@@ -1,0 +1,1 @@
+lib/setrecon/poly.ml: Array Gfp List Printf Random String

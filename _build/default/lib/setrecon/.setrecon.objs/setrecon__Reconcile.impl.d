@@ -1,0 +1,1 @@
+lib/setrecon/reconcile.ml: Array Gfp Hashtbl Linalg List Poly Printf Random

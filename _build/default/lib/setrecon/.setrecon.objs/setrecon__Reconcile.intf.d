@@ -1,0 +1,1 @@
+lib/setrecon/reconcile.mli: Random

@@ -1,0 +1,71 @@
+type t = { data : Bytes.t; bits : int; hashes : int }
+
+let create ?(hashes = 4) ~bits () =
+  if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
+  if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  { data = Bytes.make ((bits + 7) / 8) '\000'; bits; hashes }
+
+let bits t = t.bits
+let hashes t = t.hashes
+
+(* Double hashing: index_i = h1 + i*h2 (mod bits). *)
+(* Mask to 62 bits so the conversion to a (63-bit) native int stays
+   non-negative. *)
+let mask62 = 0x3fffffffffffffffL
+
+let index t fp i =
+  let h1 = Int64.to_int (Int64.logand (Crypto_sim.Fnv.hash_int64 fp) mask62) in
+  let h2 =
+    Int64.to_int
+      (Int64.logand (Crypto_sim.Fnv.hash_int64 (Int64.logxor fp 0x9e3779b97f4a7c15L)) mask62)
+  in
+  let step = if t.bits = 1 then 0 else (h2 mod (t.bits - 1)) + 1 in
+  ((h1 mod t.bits) + (i * step)) mod t.bits
+
+let set_bit t i = Bytes.unsafe_set t.data (i / 8)
+    (Char.chr (Char.code (Bytes.unsafe_get t.data (i / 8)) lor (1 lsl (i mod 8))))
+
+let get_bit t i = Char.code (Bytes.unsafe_get t.data (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let add t fp =
+  for i = 0 to t.hashes - 1 do
+    set_bit t (index t fp i)
+  done
+
+let mem t fp =
+  let rec loop i = i >= t.hashes || (get_bit t (index t fp i) && loop (i + 1)) in
+  loop 0
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let popcount t =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) t.data;
+  !acc
+
+let estimate_from_popcount t count =
+  let m = float_of_int t.bits in
+  let k = float_of_int t.hashes in
+  let x = float_of_int count in
+  if x >= m then infinity else -.(m /. k) *. log (1.0 -. (x /. m))
+
+let cardinality_estimate t = estimate_from_popcount t (popcount t)
+
+let union_estimate a b =
+  if a.bits <> b.bits || a.hashes <> b.hashes then
+    invalid_arg "Bloom.union_estimate: filters have different shapes";
+  let count = ref 0 in
+  for i = 0 to Bytes.length a.data - 1 do
+    let c = Char.code (Bytes.get a.data i) lor Char.code (Bytes.get b.data i) in
+    count := !count + popcount_byte (Char.chr c)
+  done;
+  estimate_from_popcount a !count
+
+let symmetric_difference_estimate ~na ~nb a b =
+  let union = union_estimate a b in
+  Float.max 0.0 ((2.0 *. union) -. float_of_int na -. float_of_int nb)

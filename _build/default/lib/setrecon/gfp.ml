@@ -1,0 +1,44 @@
+let p = 0x7fffffff (* 2^31 - 1 *)
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let of_int64 x =
+  Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int p))
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = let d = a - b in if d < 0 then d + p else d
+let neg a = if a = 0 then 0 else p - a
+
+(* Operands are < 2^31, so the product fits in a 62-bit OCaml int on
+   64-bit platforms. *)
+let mul a b = a * b mod p
+
+let rec ext_gcd a b =
+  if b = 0 then (a, 1, 0)
+  else begin
+    let g, x, y = ext_gcd b (a mod b) in
+    (g, y, x - (a / b * y))
+  end
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  let _, x, _ = ext_gcd a p in
+  of_int x
+
+let div a b = mul a (inv b)
+
+let pow a e =
+  if e < 0 then invalid_arg "Gfp.pow: negative exponent";
+  let rec loop base e acc =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      loop (mul base base) (e lsr 1) acc
+    end
+  in
+  loop (of_int a) e 1

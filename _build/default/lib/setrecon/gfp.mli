@@ -1,0 +1,28 @@
+(** Arithmetic in the prime field GF(p) with p = 2^31 - 1.
+
+    The substrate for the set reconciliation algorithm of Appendix A
+    (Minsky–Trachtenberg characteristic-polynomial interpolation).
+    Elements are represented as [int] in [0, p). *)
+
+val p : int
+(** The field modulus, the Mersenne prime 2^31 - 1. *)
+
+val of_int : int -> int
+(** Canonical representative of an arbitrary integer (handles negatives). *)
+
+val of_int64 : int64 -> int
+(** Reduce a 64-bit fingerprint into the field. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val neg : int -> int
+val mul : int -> int -> int
+
+val inv : int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val div : int -> int -> int
+(** [div a b = mul a (inv b)]. *)
+
+val pow : int -> int -> int
+(** [pow a e] with [e >= 0], by square-and-multiply. *)

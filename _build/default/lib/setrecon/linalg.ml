@@ -1,0 +1,68 @@
+let solve m rhs =
+  let rows = Array.length m in
+  if rows = 0 then Some [||]
+  else begin
+    let cols = Array.length m.(0) in
+    let a = Array.map Array.copy m in
+    let b = Array.copy rhs in
+    let pivot_col_of_row = Array.make rows (-1) in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < rows && !col < cols do
+      (* Find a nonzero pivot in this column at or below [row]. *)
+      let p = ref (-1) in
+      (try
+         for r = !row to rows - 1 do
+           if a.(r).(!col) <> 0 then begin
+             p := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !p = -1 then incr col
+      else begin
+        let pr = !p in
+        if pr <> !row then begin
+          let tmp = a.(pr) in
+          a.(pr) <- a.(!row);
+          a.(!row) <- tmp;
+          let tb = b.(pr) in
+          b.(pr) <- b.(!row);
+          b.(!row) <- tb
+        end;
+        let inv = Gfp.inv a.(!row).(!col) in
+        for c = !col to cols - 1 do
+          a.(!row).(c) <- Gfp.mul a.(!row).(c) inv
+        done;
+        b.(!row) <- Gfp.mul b.(!row) inv;
+        for r = 0 to rows - 1 do
+          if r <> !row && a.(r).(!col) <> 0 then begin
+            let f = a.(r).(!col) in
+            for c = !col to cols - 1 do
+              a.(r).(c) <- Gfp.sub a.(r).(c) (Gfp.mul f a.(!row).(c))
+            done;
+            b.(r) <- Gfp.sub b.(r) (Gfp.mul f b.(!row))
+          end
+        done;
+        pivot_col_of_row.(!row) <- !col;
+        incr row;
+        incr col
+      end
+    done;
+    (* Inconsistency: a zero row with nonzero rhs. *)
+    let inconsistent = ref false in
+    for r = !row to rows - 1 do
+      if b.(r) <> 0 then inconsistent := true
+    done;
+    if !inconsistent then None
+    else begin
+      let x = Array.make cols 0 in
+      for r = 0 to !row - 1 do
+        let c = pivot_col_of_row.(r) in
+        (* Row is reduced: x_c = b_r - sum of free-variable terms, and free
+           variables are 0, so x_c = b_r. *)
+        x.(c) <- b.(r)
+      done;
+      Some x
+    end
+  end

@@ -1,0 +1,7 @@
+(** Dense linear algebra over {!Gfp} for rational-function interpolation. *)
+
+val solve : int array array -> int array -> int array option
+(** [solve m rhs] finds some [x] with [m x = rhs] by Gaussian elimination
+    with partial search for nonzero pivots; free variables are set to 0.
+    Returns [None] if the system is inconsistent.  [m] is an array of
+    rows; neither [m] nor [rhs] is mutated. *)

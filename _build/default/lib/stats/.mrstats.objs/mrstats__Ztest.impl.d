@@ -1,0 +1,1 @@
+lib/stats/ztest.ml: Array Erf

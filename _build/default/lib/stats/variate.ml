@@ -1,0 +1,50 @@
+let uniform st ~lo ~hi =
+  if hi <= lo then invalid_arg "Variate.uniform: hi must exceed lo";
+  lo +. Random.State.float st (hi -. lo)
+
+let exponential st ~rate =
+  if rate <= 0.0 then invalid_arg "Variate.exponential: rate must be positive";
+  let u = 1.0 -. Random.State.float st 1.0 in
+  -.log u /. rate
+
+let pareto st ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Variate.pareto: parameters must be positive";
+  let u = 1.0 -. Random.State.float st 1.0 in
+  scale /. (u ** (1.0 /. shape))
+
+let normal st ~mu ~sigma =
+  let u1 = 1.0 -. Random.State.float st 1.0 in
+  let u2 = Random.State.float st 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let poisson st ~lambda =
+  if lambda < 0.0 then invalid_arg "Variate.poisson: lambda must be non-negative";
+  if lambda = 0.0 then 0
+  else if lambda > 60.0 then begin
+    let x = normal st ~mu:lambda ~sigma:(sqrt lambda) in
+    max 0 (int_of_float (Float.round x))
+  end
+  else begin
+    let limit = exp (-.lambda) in
+    let rec loop k prod =
+      let prod = prod *. Random.State.float st 1.0 in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+
+let bernoulli st ~p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  Random.State.float st 1.0 < p
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick st a =
+  if Array.length a = 0 then invalid_arg "Variate.pick: empty array";
+  a.(Random.State.int st (Array.length a))

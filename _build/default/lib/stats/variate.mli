@@ -1,0 +1,31 @@
+(** Random variate generation over an explicit [Random.State.t].
+
+    The simulator is deterministic given a seed; every source of randomness
+    (traffic inter-arrivals, processing jitter, RED coin flips, synthetic
+    topologies) draws from an explicit state threaded through the code. *)
+
+val uniform : Random.State.t -> lo:float -> hi:float -> float
+(** Uniform draw on [lo, hi). Requires [hi > lo]. *)
+
+val exponential : Random.State.t -> rate:float -> float
+(** Exponential with the given [rate] (mean 1/rate). Requires rate > 0. *)
+
+val pareto : Random.State.t -> shape:float -> scale:float -> float
+(** Pareto draw, the heavy-tailed flow-size distribution used for
+    realistic traffic mixes. Requires shape > 0 and scale > 0. *)
+
+val normal : Random.State.t -> mu:float -> sigma:float -> float
+(** Gaussian draw via Box–Muller. *)
+
+val poisson : Random.State.t -> lambda:float -> int
+(** Poisson draw (Knuth's method for small lambda, normal approximation
+    above 60). Requires lambda >= 0. *)
+
+val bernoulli : Random.State.t -> p:float -> bool
+(** True with probability [p] (clamped to [0,1]). *)
+
+val shuffle : Random.State.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : Random.State.t -> 'a array -> 'a
+(** Uniformly random element. Raises [Invalid_argument] on empty. *)

@@ -1,0 +1,32 @@
+(** Online mean/variance accumulator (Welford's algorithm).
+
+    Protocol χ estimates the mean and standard deviation of the
+    queue-prediction error during a learning period (§6.2.1); the router
+    cannot buffer all samples, so the estimate is maintained online. *)
+
+type t
+
+val create : unit -> t
+(** Fresh accumulator with no observations. *)
+
+val add : t -> float -> unit
+(** Feed one observation. *)
+
+val count : t -> int
+(** Number of observations so far. *)
+
+val mean : t -> float
+(** Running mean; 0. before any observation. *)
+
+val variance : t -> float
+(** Unbiased running variance; 0. with fewer than two observations. *)
+
+val stddev : t -> float
+(** [sqrt (variance t)]. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators as if their streams were concatenated
+    (parallel-axis update); neither argument is mutated. *)
+
+val reset : t -> unit
+(** Drop all state, returning to the freshly-created condition. *)

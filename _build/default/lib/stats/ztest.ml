@@ -1,0 +1,31 @@
+let one_sided_upper ~sample_mean ~mu ~sigma ~n =
+  if sigma <= 0.0 then invalid_arg "Ztest.one_sided_upper: sigma must be positive";
+  if n < 1 then invalid_arg "Ztest.one_sided_upper: n must be at least 1";
+  let z = (sample_mean -. mu) /. (sigma /. sqrt (float_of_int n)) in
+  Erf.normal_cdf z
+
+(* §6.2.1 "Combined packet losses test": hypothesis mu_error >
+   qlimit - mean(qpred) - mean(ps); its confidence is the lower-tail
+   probability of the corresponding standardized score. *)
+let combined_loss_confidence ~qlimit ~mean_qpred ~mean_ps ~mu ~sigma ~n =
+  if sigma <= 0.0 then invalid_arg "Ztest.combined_loss_confidence: sigma must be positive";
+  if n < 1 then invalid_arg "Ztest.combined_loss_confidence: n must be at least 1";
+  let z1 = (qlimit -. mean_qpred -. mean_ps -. mu) /. (sigma /. sqrt (float_of_int n)) in
+  (* Large headroom (z1 >> 0) means congestion alone cannot explain the
+     losses, so the malicious hypothesis is confident. *)
+  Erf.normal_cdf z1
+
+let poisson_binomial_upper_tail ~probs ~observed =
+  if observed <= 0 then 1.0
+  else begin
+    let mu = Array.fold_left ( +. ) 0.0 probs in
+    let var = Array.fold_left (fun acc p -> acc +. (p *. (1.0 -. p))) 0.0 probs in
+    if var <= 1e-12 then begin
+      (* All probabilities are 0 or 1: the count is deterministic. *)
+      if float_of_int observed <= mu +. 1e-9 then 1.0 else 0.0
+    end
+    else begin
+      let z = (float_of_int observed -. 0.5 -. mu) /. sqrt var in
+      1.0 -. Erf.normal_cdf z
+    end
+  end

@@ -1,0 +1,29 @@
+(** Significance tests used by Protocol χ (§6.2.1).
+
+    The combined packet-losses test of Protocol χ is a one-sided Z-test on
+    the mean of the predicted queue lengths at the drop instants; the RED
+    variant (§6.5.2) tests the observed drop count of a Poisson-binomial
+    set of packets against its expectation. *)
+
+val one_sided_upper : sample_mean:float -> mu:float -> sigma:float -> n:int -> float
+(** [one_sided_upper ~sample_mean ~mu ~sigma ~n] returns
+    P(Z < z1) where z1 = (sample_mean - mu) / (sigma / sqrt n): the
+    confidence that the sample mean genuinely exceeds [mu].  [sigma] must
+    be positive and [n >= 1]. *)
+
+val combined_loss_confidence :
+  qlimit:float -> mean_qpred:float -> mean_ps:float -> mu:float -> sigma:float -> n:int -> float
+(** The dissertation's combined packet-losses test (Fig. in §6.2.1):
+    confidence for the hypothesis "the n packets were lost maliciously",
+    i.e. that the true error mean exceeds
+    [qlimit - mean_qpred - mean_ps].  Equals
+    P(Z < (qlimit - mean_qpred - mean_ps - mu) / (sigma / sqrt n)). *)
+
+val poisson_binomial_upper_tail : probs:float array -> observed:int -> float
+(** [poisson_binomial_upper_tail ~probs ~observed] is the probability that
+    independent Bernoulli trials with success probabilities [probs] yield
+    at least [observed] successes, via the normal approximation with
+    continuity correction.  Used for RED validation: if the chance of RED
+    itself producing [observed] drops is tiny, the drops were malicious.
+    Degenerate cases ([observed <= 0], all-zero variance) are handled
+    exactly. *)

@@ -1,0 +1,1 @@
+lib/topology/abilene.ml: Array Graph List

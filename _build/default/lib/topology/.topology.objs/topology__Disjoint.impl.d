@@ -1,0 +1,1 @@
+lib/topology/disjoint.ml: Array Graph Hashtbl List Queue

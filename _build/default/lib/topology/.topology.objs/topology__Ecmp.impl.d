@@ -1,0 +1,1 @@
+lib/topology/ecmp.ml: Array Dijkstra Graph Int64 List

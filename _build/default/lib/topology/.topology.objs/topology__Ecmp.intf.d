@@ -1,0 +1,1 @@
+lib/topology/ecmp.mli: Graph

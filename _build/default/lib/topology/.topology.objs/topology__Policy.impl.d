@@ -1,0 +1,1 @@
+lib/topology/policy.ml: Array Graph Hashtbl List Option Printf Prioq

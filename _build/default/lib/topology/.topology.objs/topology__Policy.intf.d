@@ -1,0 +1,1 @@
+lib/topology/policy.mli: Graph

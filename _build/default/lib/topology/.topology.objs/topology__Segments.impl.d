@@ -1,0 +1,1 @@
+lib/topology/segments.ml: Array Fun Graph Hashtbl List Mrstats Routing

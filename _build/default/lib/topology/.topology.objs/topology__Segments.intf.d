@@ -1,0 +1,1 @@
+lib/topology/segments.mli: Graph Routing

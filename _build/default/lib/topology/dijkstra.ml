@@ -1,0 +1,40 @@
+let unreachable = max_int
+
+let transpose g =
+  let rev = Graph.create ~n:(Graph.size g) in
+  List.iter
+    (fun (l : Graph.link) ->
+      Graph.add_link rev ~cost:l.cost ~bw:l.bw ~delay:l.delay l.dst l.src)
+    (Graph.links g);
+  rev
+
+let distances g ~src =
+  let n = Graph.size g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.distances: bad source";
+  let dist = Array.make n unreachable in
+  let settled = Array.make n false in
+  let heap = Prioq.create () in
+  dist.(src) <- 0;
+  Prioq.push heap ~priority:0.0 src;
+  let rec drain () =
+    match Prioq.pop heap with
+    | None -> ()
+    | Some (_, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun v ->
+              let l = Graph.link_exn g u v in
+              let cand = dist.(u) + l.Graph.cost in
+              if cand < dist.(v) then begin
+                dist.(v) <- cand;
+                Prioq.push heap ~priority:(float_of_int cand) v
+              end)
+            (Graph.out_neighbors g u)
+        end;
+        drain ()
+  in
+  drain ();
+  dist
+
+let distances_to g ~dst = distances (transpose g) ~src:dst

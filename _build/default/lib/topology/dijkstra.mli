@@ -1,0 +1,21 @@
+(** Deterministic shortest paths.
+
+    Forwarding in the protocols relies on every router predicting the path
+    a packet will take (§4.1: routers "use a deterministic hash algorithm"
+    so paths are predictable).  We obtain the same property with a
+    deterministic tie-break: among equal-cost candidates the lowest node
+    id wins, so every router computing over the same topology derives the
+    same next hops. *)
+
+val unreachable : int
+(** Distance value for unreachable nodes ([max_int]). *)
+
+val distances : Graph.t -> src:Graph.node -> int array
+(** Least cost from [src] to every node. *)
+
+val distances_to : Graph.t -> dst:Graph.node -> int array
+(** Least cost from every node to [dst] (Dijkstra on the transposed
+    graph); this is the orientation hop-by-hop forwarding needs. *)
+
+val transpose : Graph.t -> Graph.t
+(** The graph with every link reversed (attributes preserved). *)

@@ -1,0 +1,91 @@
+(* Unit-capacity max-flow on the node-split graph.  Node v becomes
+   v_in = 2v and v_out = 2v + 1; the internal edge v_in -> v_out has
+   capacity 1 (infinite for the terminals), and every link u -> v becomes
+   u_out -> v_in with capacity 1. *)
+
+let max_disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Disjoint.max_disjoint_paths: src = dst";
+  let n = Graph.size g in
+  let vin v = 2 * v and vout v = (2 * v) + 1 in
+  let nn = 2 * n in
+  let cap = Hashtbl.create (4 * Graph.link_count g) in
+  let adj = Array.make nn [] in
+  let add_edge a b c =
+    if not (Hashtbl.mem cap (a, b)) then begin
+      Hashtbl.replace cap (a, b) (ref c);
+      Hashtbl.replace cap (b, a) (ref 0);
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+    else begin
+      let r = Hashtbl.find cap (a, b) in
+      r := !r + c
+    end
+  in
+  let big = n + 1 in
+  for v = 0 to n - 1 do
+    let c = if v = src || v = dst then big else 1 in
+    add_edge (vin v) (vout v) c
+  done;
+  List.iter (fun (l : Graph.link) -> add_edge (vout l.Graph.src) (vin l.Graph.dst) 1)
+    (Graph.links g);
+  let s = vout src and t = vin dst in
+  (* Edmonds-Karp: repeatedly push one unit along a BFS shortest
+     augmenting path. *)
+  let rec augment () =
+    let parent = Array.make nn (-1) in
+    parent.(s) <- s;
+    let q = Queue.create () in
+    Queue.push s q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if parent.(v) = -1 && !(Hashtbl.find cap (u, v)) > 0 then begin
+            parent.(v) <- u;
+            if v = t then found := true else Queue.push v q
+          end)
+        adj.(u)
+    done;
+    if !found then begin
+      let rec push v =
+        if v <> s then begin
+          let u = parent.(v) in
+          decr (Hashtbl.find cap (u, v));
+          incr (Hashtbl.find cap (v, u));
+          push u
+        end
+      in
+      push t;
+      augment ()
+    end
+  in
+  augment ();
+  (* Flow decomposition: walk saturated link edges from src, consuming
+     them so each unit of flow yields one router path. *)
+  let used (a, b) =
+    match Hashtbl.find_opt cap (b, a) with Some r -> !r > 0 | None -> false
+  in
+  let consume (a, b) = decr (Hashtbl.find cap (b, a)) in
+  let next_of v =
+    (* Follow flow out of v_out into some w_in. *)
+    List.find_opt (fun w -> w mod 2 = 0 && used (vout v, w)) adj.(vout v)
+  in
+  let rec walk v acc =
+    if v = dst then Some (List.rev (v :: acc))
+    else begin
+      match next_of v with
+      | None -> None
+      | Some win ->
+          let w = win / 2 in
+          consume (vout v, win);
+          walk w (v :: acc)
+    end
+  in
+  let rec collect acc =
+    match walk src [] with Some p -> collect (p :: acc) | None -> List.rev acc
+  in
+  collect []
+
+let connectivity g ~src ~dst = List.length (max_disjoint_paths g ~src ~dst)

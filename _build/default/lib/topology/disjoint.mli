@@ -1,0 +1,15 @@
+(** Vertex-disjoint paths (Perlman's Byzantine-robust routing, §3.7).
+
+    Perlman's data-routing protocol tolerates TotalFault(f) by sending
+    each packet over f+1 vertex-disjoint paths.  We compute maximal sets
+    of internally-vertex-disjoint paths by unit-capacity max-flow over
+    the node-split graph (Menger's theorem). *)
+
+val max_disjoint_paths :
+  Graph.t -> src:Graph.node -> dst:Graph.node -> Graph.node list list
+(** A maximum-cardinality set of paths from [src] to [dst] that share no
+    intermediate router.  Empty when [dst] is unreachable.  Raises
+    [Invalid_argument] when [src = dst]. *)
+
+val connectivity : Graph.t -> src:Graph.node -> dst:Graph.node -> int
+(** The number of such paths (local vertex connectivity). *)

@@ -1,0 +1,86 @@
+type node = int
+
+type link = { src : node; dst : node; cost : int; bw : float; delay : float }
+
+type t = { n : int; adj : (node, link) Hashtbl.t array }
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { n; adj = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let size t = t.n
+
+let check_node t v name =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Graph.%s: node %d outside [0,%d)" name v t.n)
+
+let add_link t ?(cost = 1) ?(bw = 1.25e6) ?(delay = 0.001) src dst =
+  check_node t src "add_link";
+  check_node t dst "add_link";
+  if src = dst then invalid_arg "Graph.add_link: self-loop";
+  if cost <= 0 then invalid_arg "Graph.add_link: cost must be positive";
+  Hashtbl.replace t.adj.(src) dst { src; dst; cost; bw; delay }
+
+let add_duplex t ?cost ?bw ?delay a b =
+  add_link t ?cost ?bw ?delay a b;
+  add_link t ?cost ?bw ?delay b a
+
+let link t src dst =
+  if src < 0 || src >= t.n then None else Hashtbl.find_opt t.adj.(src) dst
+
+let link_exn t src dst =
+  match link t src dst with Some l -> l | None -> raise Not_found
+
+let out_neighbors t v =
+  check_node t v "out_neighbors";
+  Hashtbl.fold (fun dst _ acc -> dst :: acc) t.adj.(v) [] |> List.sort compare
+
+let links t =
+  Array.to_list t.adj
+  |> List.concat_map (fun h -> Hashtbl.fold (fun _ l acc -> l :: acc) h [])
+
+let link_count t = Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 t.adj
+
+let duplex_link_count t =
+  let count = ref 0 in
+  Array.iteri
+    (fun src h ->
+      Hashtbl.iter (fun dst _ -> if src < dst && link t dst src <> None then incr count) h)
+    t.adj;
+  !count
+
+let out_degree t v =
+  check_node t v "out_degree";
+  Hashtbl.length t.adj.(v)
+
+let degrees t = Array.map Hashtbl.length t.adj
+
+let reachable_from t start =
+  let seen = Array.make t.n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Hashtbl.iter (fun dst _ -> visit dst) t.adj.(v)
+    end
+  in
+  if t.n > 0 then visit start;
+  seen
+
+let is_connected t =
+  if t.n <= 1 then true
+  else begin
+    let fwd = reachable_from t 0 in
+    (* Reverse reachability: build the transposed adjacency once. *)
+    let rev = create ~n:t.n in
+    List.iter (fun l -> add_link rev ~cost:l.cost ~bw:l.bw ~delay:l.delay l.dst l.src) (links t);
+    let bwd = reachable_from rev 0 in
+    Array.for_all Fun.id fwd && Array.for_all Fun.id bwd
+  end
+
+let copy t = { n = t.n; adj = Array.map Hashtbl.copy t.adj }
+
+let remove_link t src dst =
+  check_node t src "remove_link";
+  Hashtbl.remove t.adj.(src) dst
+
+let fold_links t ~init ~f = List.fold_left f init (links t)

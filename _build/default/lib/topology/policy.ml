@@ -1,0 +1,145 @@
+module Transition = struct
+  type t = int * int * int
+
+  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
+  let hash (a, b, c) = Hashtbl.hash (a, b, c)
+end
+
+module Tset = Hashtbl.Make (Transition)
+
+type t = {
+  work : Graph.t; (* topology with length-2 segments removed *)
+  banned : unit Tset.t;
+  (* dist_cache.(dst) lazily holds distTo.(u * n + v): least cost from v
+     to dst given the previous hop was u. *)
+  dist_cache : int array option array;
+}
+
+let validate_segment g seg =
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Graph.link g a b = None then
+          invalid_arg
+            (Printf.sprintf "Policy.compute: segment hop %d->%d is not a link" a b);
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  if List.length seg < 2 then invalid_arg "Policy.compute: segment shorter than 2";
+  check seg
+
+let rec triples = function
+  | a :: (b :: c :: _ as rest) -> (a, b, c) :: triples rest
+  | _ -> []
+
+let compute g ~forbidden =
+  List.iter (validate_segment g) forbidden;
+  let work = Graph.copy g in
+  let banned = Tset.create 16 in
+  List.iter
+    (fun seg ->
+      match seg with
+      | [ a; b ] -> Graph.remove_link work a b
+      | _ -> List.iter (fun tr -> Tset.replace banned tr ()) (triples seg))
+    forbidden;
+  { work; banned; dist_cache = Array.make (Graph.size g) None }
+
+let infinity_cost = max_int
+
+(* Backward Dijkstra over (prev, cur) states toward [dst]. *)
+let state_distances t dst =
+  match t.dist_cache.(dst) with
+  | Some d -> d
+  | None ->
+      let n = Graph.size t.work in
+      let dist = Array.make (n * n) infinity_cost in
+      let heap = Prioq.create () in
+      (* Entry states: arriving at dst over any existing link. *)
+      List.iter
+        (fun (l : Graph.link) ->
+          if l.Graph.dst = dst then begin
+            dist.((l.Graph.src * n) + dst) <- 0;
+            Prioq.push heap ~priority:0.0 ((l.Graph.src * n) + dst)
+          end)
+        (Graph.links t.work);
+      let rec drain () =
+        match Prioq.pop heap with
+        | None -> ()
+        | Some (prio, state) ->
+            if int_of_float prio = dist.(state) then begin
+              let v = state / n and w = state mod n in
+              (* Relax predecessor states (u, v) for links u -> v where the
+                 transition u -> v -> w is allowed. *)
+              List.iter
+                (fun (l : Graph.link) ->
+                  if l.Graph.dst = v then begin
+                    let u = l.Graph.src in
+                    if not (Tset.mem t.banned (u, v, w)) then begin
+                      let hop = (Graph.link_exn t.work v w).Graph.cost in
+                      let cand = hop + dist.(state) in
+                      let pstate = (u * n) + v in
+                      if cand < dist.(pstate) then begin
+                        dist.(pstate) <- cand;
+                        Prioq.push heap ~priority:(float_of_int cand) pstate
+                      end
+                    end
+                  end)
+                (Graph.links t.work)
+            end;
+            drain ()
+      in
+      drain ();
+      t.dist_cache.(dst) <- Some dist;
+      dist
+
+let next_hop t ~prev ~cur ~dst =
+  let n = Graph.size t.work in
+  if cur < 0 || cur >= n || dst < 0 || dst >= n then invalid_arg "Policy.next_hop: bad node";
+  if cur = dst then None
+  else begin
+    let dist = state_distances t dst in
+    let score w =
+      let allowed =
+        match prev with Some p -> not (Tset.mem t.banned (p, cur, w)) | None -> true
+      in
+      if not allowed then None
+      else begin
+        let tail = if w = dst then 0 else dist.((cur * n) + w) in
+        if tail = infinity_cost then None
+        else Some ((Graph.link_exn t.work cur w).Graph.cost + tail)
+      end
+    in
+    let best =
+      List.fold_left
+        (fun acc w ->
+          match score w with
+          | None -> acc
+          | Some c -> (
+              match acc with Some (c0, _) when c0 <= c -> acc | _ -> Some (c, w)))
+        None
+        (Graph.out_neighbors t.work cur)
+    in
+    Option.map snd best
+  end
+
+let path t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let rec follow prev cur acc =
+      if cur = dst then Some (List.rev (cur :: acc))
+      else begin
+        match next_hop t ~prev ~cur ~dst with
+        | None -> None
+        | Some w -> follow (Some cur) w (cur :: acc)
+      end
+    in
+    follow None src []
+  end
+
+let forbidden_transitions t = Tset.fold (fun tr () acc -> tr :: acc) t.banned []
+
+let is_forbidden_path t chain =
+  let rec bad_link = function
+    | a :: (b :: _ as rest) -> Graph.link t.work a b = None || bad_link rest
+    | [ _ ] | [] -> false
+  in
+  bad_link chain || List.exists (Tset.mem t.banned) (triples chain)

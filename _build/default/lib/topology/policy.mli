@@ -1,0 +1,38 @@
+(** Policy routing that excises suspected path-segments (§2.4.3, §5.3.1).
+
+    Fatih's response removes a suspected path-segment from the routing
+    fabric without removing its routers: "routers update their forwarding
+    tables such that no traffic traverses along the suspected path-segment
+    anymore", distinguishing flows by where they came from.  We model this
+    exactly for segments of length 2 (link removal) and 3 (forbidden
+    transitions, the k = 1 case Fatih implements); longer suspected
+    segments are handled conservatively by forbidding every interior
+    3-window, which excises a superset of the suspected segment.
+
+    Forwarding decisions depend on (previous hop, current router,
+    destination) — the simulator-level equivalent of Fatih's
+    source-address policy routing. *)
+
+type t
+
+val compute : Graph.t -> forbidden:Graph.node list list -> t
+(** Build policy routing state for a topology with a set of forbidden
+    path-segments.  Segments must have length >= 2 and consist of
+    adjacent routers of the graph; length-2 segments remove the link.
+    Raises [Invalid_argument] on malformed segments. *)
+
+val next_hop :
+  t -> prev:Graph.node option -> cur:Graph.node -> dst:Graph.node -> Graph.node option
+(** Deterministic next hop given where the packet came from ([None] for
+    locally originated traffic); [None] when the destination is
+    unreachable under the policy or [cur = dst]. *)
+
+val path : t -> src:Graph.node -> dst:Graph.node -> Graph.node list option
+(** Forwarding chain under the policy ([Some [src]] when [src = dst]). *)
+
+val forbidden_transitions : t -> (Graph.node * Graph.node * Graph.node) list
+(** The effective set of banned 3-windows after normalization (for
+    inspection and tests). *)
+
+val is_forbidden_path : t -> Graph.node list -> bool
+(** Whether a chain traverses a banned window or removed link. *)

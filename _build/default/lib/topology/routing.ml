@@ -1,0 +1,69 @@
+type t = {
+  graph : Graph.t;
+  (* dist_to.(d).(v) = least cost from v to d. *)
+  dist_to : int array array;
+}
+
+let compute graph =
+  let n = Graph.size graph in
+  let rev = Dijkstra.transpose graph in
+  let dist_to = Array.init n (fun d -> Dijkstra.distances rev ~src:d) in
+  { graph; dist_to }
+
+let graph t = t.graph
+
+let next_hop t v ~dst =
+  let n = Graph.size t.graph in
+  if v < 0 || v >= n || dst < 0 || dst >= n then invalid_arg "Routing.next_hop: bad node";
+  if v = dst then None
+  else begin
+    let dist = t.dist_to.(dst) in
+    if dist.(v) = Dijkstra.unreachable then None
+    else
+      (* Neighbors are in ascending order, so the first optimal one is the
+         deterministic choice shared by all routers. *)
+      List.find_opt
+        (fun w ->
+          dist.(w) <> Dijkstra.unreachable
+          && (Graph.link_exn t.graph v w).Graph.cost + dist.(w) = dist.(v))
+        (Graph.out_neighbors t.graph v)
+  end
+
+let cost t src dst =
+  let d = t.dist_to.(dst).(src) in
+  if d = Dijkstra.unreachable then None else Some d
+
+let path t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let rec follow v acc =
+      if v = dst then Some (List.rev (v :: acc))
+      else begin
+        match next_hop t v ~dst with
+        | None -> None
+        | Some w -> follow w (v :: acc)
+      end
+    in
+    follow src []
+  end
+
+let path_delay t chain =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> (Graph.link_exn t.graph a b).Graph.delay +. loop rest
+    | [ _ ] | [] -> 0.0
+  in
+  loop chain
+
+let all_routed_paths t =
+  let n = Graph.size t.graph in
+  let acc = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if src <> dst then begin
+        match path t ~src ~dst with
+        | Some p -> acc := p :: !acc
+        | None -> ()
+      end
+    done
+  done;
+  !acc

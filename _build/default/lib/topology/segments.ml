@@ -1,0 +1,71 @@
+type segment = Graph.node list
+
+let windows xs x =
+  if x <= 0 then invalid_arg "Segments.windows: non-positive width";
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n < x then []
+  else List.init (n - x + 1) (fun i -> Array.to_list (Array.sub arr i x))
+
+(* Segments are interned into a hash table keyed by the chain itself to
+   count each distinct segment once even though it occurs on many routed
+   paths. *)
+let distinct segs =
+  let tbl = Hashtbl.create 4096 in
+  List.iter (fun s -> if not (Hashtbl.mem tbl s) then Hashtbl.add tbl s ()) segs;
+  tbl
+
+let pi2_raw_segments rt ~k =
+  if k < 1 then invalid_arg "Segments.pi2_family: k must be >= 1";
+  let x = k + 2 in
+  List.concat_map
+    (fun p ->
+      let len = List.length p in
+      if len >= x then windows p x
+      else if len >= 3 then [ p ] (* whole short path: both ends terminal *)
+      else [])
+    (Routing.all_routed_paths rt)
+
+let pik2_raw_segments rt ~k =
+  if k < 1 then invalid_arg "Segments.pik2_family: k must be >= 1";
+  let paths = Routing.all_routed_paths rt in
+  List.concat_map
+    (fun p ->
+      List.concat_map (fun x -> windows p x)
+        (List.init k (fun i -> i + 3)) (* x = 3 .. k+2 *))
+    paths
+
+let keys tbl = Hashtbl.fold (fun s () acc -> s :: acc) tbl []
+
+let pi2_family rt ~k = keys (distinct (pi2_raw_segments rt ~k))
+let pik2_family rt ~k = keys (distinct (pik2_raw_segments rt ~k))
+
+let group_by_router ~n ~members family =
+  let pr = Array.make n [] in
+  List.iter
+    (fun seg -> List.iter (fun r -> pr.(r) <- seg :: pr.(r)) (members seg))
+    family;
+  pr
+
+let pi2_pr rt ~k =
+  let n = Graph.size (Routing.graph rt) in
+  group_by_router ~n ~members:Fun.id (pi2_family rt ~k)
+
+let ends seg =
+  match seg with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      if first = last then [ first ] else [ first; last ]
+
+let pik2_pr rt ~k =
+  let n = Graph.size (Routing.graph rt) in
+  group_by_router ~n ~members:ends (pik2_family rt ~k)
+
+let pr_stats pr =
+  let counts = Array.map (fun segs -> float_of_int (List.length segs)) pr in
+  if Array.length counts = 0 then (0.0, 0.0, 0.0)
+  else begin
+    let _, max_v = Mrstats.Descriptive.min_max counts in
+    (max_v, Mrstats.Descriptive.mean counts, Mrstats.Descriptive.median counts)
+  end

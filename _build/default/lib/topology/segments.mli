@@ -1,0 +1,40 @@
+(** Path-segment enumeration (§4.1, §5.1, §5.2).
+
+    An x-path-segment is a sequence of x consecutive routers that is a
+    subsequence of a routed path.  Under AdjacentFault(k):
+
+    - Protocol Π2 has each router monitor every (k+2)-segment it belongs
+      to, plus every whole routed path shorter than k+2 (both ends
+      terminal) that contains it;
+    - Protocol Πk+2 has each router monitor every x-segment,
+      3 <= x <= k+2, of which it is an end.
+
+    These functions compute the distinct segment families and the |Pr|
+    statistics of Figures 5.2 and 5.4. *)
+
+type segment = Graph.node list
+(** A path-segment as its router chain (length >= 2). *)
+
+val windows : 'a list -> int -> 'a list list
+(** All contiguous sublists of the given length, left to right. *)
+
+val pi2_family : Routing.t -> k:int -> segment list
+(** The distinct segments monitored under Protocol Π2 with
+    AdjacentFault(k), over all routed paths.  Raises [Invalid_argument]
+    if [k < 1]. *)
+
+val pik2_family : Routing.t -> k:int -> segment list
+(** The distinct segments monitored under Protocol Πk+2 (all x-segments,
+    3 <= x <= k+2, of routed paths). *)
+
+val pi2_pr : Routing.t -> k:int -> segment list array
+(** [pi2_pr rt ~k].(r) is Pr for router r under Π2: the distinct
+    monitored segments containing r. *)
+
+val pik2_pr : Routing.t -> k:int -> segment list array
+(** Pr for router r under Πk+2: the distinct monitored segments having r
+    as one of their two ends. *)
+
+val pr_stats : segment list array -> float * float * float
+(** (max, mean, median) of per-router |Pr| — the three series plotted in
+    Figures 5.2 and 5.4. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Congestion_models Core Herzberg List Perlman Printf Sats Sectrace Topology

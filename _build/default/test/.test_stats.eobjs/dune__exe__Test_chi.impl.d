@@ -1,0 +1,1 @@
+test/test_chi.ml: Adversary Alcotest Chi Chi_red Core Crypto_sim Fatih Float Flow List Net Netsim Packet Pi2_live Printf Qmon Red Replica Response Router Sim Summary Tcp Threshold Topology Validation

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Adversary Alcotest Chi Chi_fleet Consensus Core Crypto_sim Float Flow Hashtbl Int64 List Meter Net Netsim Option Printf QCheck QCheck_alcotest Random Router Topology

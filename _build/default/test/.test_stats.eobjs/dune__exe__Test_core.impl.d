@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Int64 List Printf Spec Summary Threshold Topology Validation Watchers

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto_sim Float Fnv Int64 Keyring List Printf QCheck QCheck_alcotest Sampling Sha256 Siphash String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Array Chi Core Crypto_sim Flow Fun Hashtbl Iface Int64 List Net Netsim Option Packet Ping Printf Qmon Router Sim Stealth Tcp Topology

@@ -1,0 +1,1 @@
+test/test_live_baselines.ml: Adversary Alcotest Array Core Flow Iface List Net Netflow Netsim Packet Perlman_live Router Sim State_size Summary Topology Watchers_live

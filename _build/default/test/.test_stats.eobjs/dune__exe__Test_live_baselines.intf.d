@@ -1,0 +1,1 @@
+test/test_live_baselines.mli:

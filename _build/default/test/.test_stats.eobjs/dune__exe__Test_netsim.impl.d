@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Core Float Flow Iface List Net Netsim Packet Ping Printf Queue_fifo Random Red Router Sim String Tcp Topology Tracer

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Core Crypto_sim Flow Fun Gen Int64 List Meter Net Netsim Packet Prioq QCheck QCheck_alcotest Queue_fifo Random Red Router Setrecon Sim Tcp Topology

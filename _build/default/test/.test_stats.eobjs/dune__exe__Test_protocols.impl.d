@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Core Crypto_sim List Pi2 Pik2 Printf QCheck QCheck_alcotest Rounds Spec Summary Topology Watchers

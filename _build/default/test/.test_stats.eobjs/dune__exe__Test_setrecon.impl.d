@@ -1,0 +1,1 @@
+test/test_setrecon.ml: Alcotest Array Bloom Float Gen Gfp Int Int64 Linalg List Poly Printf QCheck QCheck_alcotest Random Reconcile Set Setrecon

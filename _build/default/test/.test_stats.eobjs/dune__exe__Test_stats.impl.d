@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Erf Float Fun Gen Histogram List Mrstats Printf QCheck QCheck_alcotest Random String Variate Welford Ztest

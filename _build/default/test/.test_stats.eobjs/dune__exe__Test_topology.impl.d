@@ -1,0 +1,1 @@
+test/test_topology.ml: Abilene Alcotest Array Dijkstra Disjoint Fun Generate Graph List Policy Printf QCheck QCheck_alcotest Routing Segments Topology

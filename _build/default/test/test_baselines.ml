@@ -1,0 +1,268 @@
+(* Tests for the Chapter 3 literature baselines (HERZBERG, PERLMAN,
+   SecTrace/AWERBUCH, SATS) and the §6.1.2 congestion models. *)
+
+open Core
+module Gen = Topology.Generate
+
+(* --- Herzberg --- *)
+
+let test_herzberg_delivery () =
+  let o = Herzberg.run Herzberg.End_to_end ~path_len:6 ~drop_at:None () in
+  Alcotest.(check bool) "delivered" true o.Herzberg.delivered;
+  Alcotest.(check bool) "no suspicion" true (o.Herzberg.suspected = None)
+
+let test_herzberg_localizes () =
+  List.iter
+    (fun variant ->
+      let o = Herzberg.run variant ~path_len:8 ~drop_at:(Some 4) () in
+      Alcotest.(check bool) "not delivered" false o.Herzberg.delivered;
+      match o.Herzberg.suspected with
+      | Some (lo, hi) ->
+          Alcotest.(check bool) "fault inside span" true (lo <= 4 && 4 <= hi)
+      | None -> Alcotest.fail "should suspect")
+    [ Herzberg.End_to_end; Herzberg.Hop_by_hop; Herzberg.Checkpointed 3 ]
+
+let test_herzberg_link_precision () =
+  let o = Herzberg.run Herzberg.Hop_by_hop ~path_len:8 ~drop_at:(Some 4) () in
+  Alcotest.(check (option (pair int int))) "exact link" (Some (3, 4)) o.Herzberg.suspected
+
+let test_herzberg_tradeoff () =
+  (* The §3.3 trade-off: hop-by-hop pays O(m^2) messages for optimal
+     time; end-to-end pays O(m) time for O(m) messages; checkpoints sit
+     in between. *)
+  let m = 20 in
+  let e2e = Herzberg.message_complexity Herzberg.End_to_end ~path_len:m in
+  let hbh = Herzberg.message_complexity Herzberg.Hop_by_hop ~path_len:m in
+  let ckp = Herzberg.message_complexity (Herzberg.Checkpointed 4) ~path_len:m in
+  Alcotest.(check bool) "messages ordered" true (e2e <= ckp && ckp < hbh);
+  let t_e2e = Herzberg.worst_detection_time Herzberg.End_to_end ~path_len:m in
+  let t_ckp = Herzberg.worst_detection_time (Herzberg.Checkpointed 4) ~path_len:m in
+  Alcotest.(check bool) "time ordered" true (t_ckp < t_e2e)
+
+let test_herzberg_congestion_ambiguity () =
+  (* A benign congestive loss of the monitored packet produces exactly
+     the same suspicion as an attack at the same hop — the §6.1.1
+     critique of single-packet monitors. *)
+  let attack = Herzberg.run Herzberg.Hop_by_hop ~path_len:8 ~drop_at:(Some 4) () in
+  let benign =
+    Herzberg.run Herzberg.Hop_by_hop ~path_len:8 ~drop_at:None
+      ~congestion_drop_at:(Some 4) ()
+  in
+  Alcotest.(check bool) "indistinguishable" true
+    (attack.Herzberg.suspected = benign.Herzberg.suspected)
+
+let test_herzberg_validation () =
+  Alcotest.(check bool) "bad position rejected" true
+    (try
+       ignore (Herzberg.run Herzberg.End_to_end ~path_len:5 ~drop_at:(Some 0) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Perlman --- *)
+
+let test_robust_flood_reaches_correct () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  (* Router 4 (center) faulty: the ring of correct routers stays
+     connected, so everyone correct is reached. *)
+  let reached = Perlman.robust_flood g ~faulty:(fun r -> r = 4) ~src:0 in
+  Alcotest.(check (list int)) "all correct reached" [ 0; 1; 2; 3; 5; 6; 7; 8 ] reached
+
+let test_robust_flood_partition () =
+  (* On a line, a faulty middle router partitions the correct routers:
+     the far side is unreachable (the good-path condition fails, §2.1.3). *)
+  let g = Gen.line ~n:5 in
+  let reached = Perlman.robust_flood g ~faulty:(fun r -> r = 2) ~src:0 in
+  Alcotest.(check (list int)) "near side only" [ 0; 1 ] reached
+
+let test_robust_route_tolerates_f () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  (* Corner to corner has 2 disjoint paths; f = 1 tolerates one faulty
+     interior router. *)
+  match Perlman.robust_route g ~faulty:(fun r -> r = 1) ~src:0 ~dst:8 ~f:1 with
+  | Some p ->
+      Alcotest.(check bool) "avoids the faulty router" false (List.mem 1 p)
+  | None -> Alcotest.fail "a clean path exists"
+
+let test_robust_route_overwhelmed () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  (* Corner 0's only neighbours are 1 and 3; both faulty beats f = 1. *)
+  Alcotest.(check bool) "both disjoint paths dirty" true
+    (Perlman.robust_route g ~faulty:(fun r -> r = 1 || r = 3) ~src:0 ~dst:8 ~f:1 = None)
+
+let test_perlmand_clean () =
+  let o = Perlman.perlmand ~path_len:6 ~drops_data_at:None ~drops_acks_from:None () in
+  Alcotest.(check bool) "delivered" true o.Perlman.delivered;
+  Alcotest.(check bool) "no suspicion" true (o.Perlman.suspected = None);
+  Alcotest.(check int) "all acks" 5 (List.length o.Perlman.acks_received)
+
+let test_perlmand_collusion_frames_innocents () =
+  (* Fig 3.8: positions a=0 b=1 c=2 d=3 e=4 f=5; e drops the data, b
+     drops acks from beyond c.  The source blames <c, d> — two correct
+     routers. *)
+  let o = Perlman.perlmand ~path_len:6 ~drops_data_at:(Some 4) ~drops_acks_from:(Some 2) () in
+  Alcotest.(check bool) "not delivered" false o.Perlman.delivered;
+  Alcotest.(check (option (pair int int))) "innocent link blamed" (Some (2, 3))
+    o.Perlman.suspected;
+  (* Neither suspected router (2 or 3) is faulty (1 and 4 are): the
+     protocol is inaccurate, which is why Perlman rejected it. *)
+  let faulty = [ 1; 4 ] in
+  (match o.Perlman.suspected with
+  | Some (x, y) ->
+      Alcotest.(check bool) "accuracy violated" false
+        (List.mem x faulty || List.mem y faulty)
+  | None -> Alcotest.fail "expected suspicion")
+
+let test_perlmand_honest_dropper_found () =
+  let o = Perlman.perlmand ~path_len:6 ~drops_data_at:(Some 3) ~drops_acks_from:None () in
+  Alcotest.(check (option (pair int int))) "dropper's link" (Some (2, 3)) o.Perlman.suspected
+
+(* --- SecTrace / Awerbuch --- *)
+
+let test_sectrace_consistent () =
+  let attacker = Some (Sectrace.consistent_attacker ~position:4) in
+  let r = Sectrace.sectrace ~path_len:9 ~attacker in
+  Alcotest.(check (option (pair int int))) "link found" (Some (4, 5)) r.Sectrace.suspected;
+  Alcotest.(check int) "linear rounds" 5 r.Sectrace.rounds
+
+let test_sectrace_clean () =
+  let r = Sectrace.sectrace ~path_len:9 ~attacker:None in
+  Alcotest.(check bool) "silent" true (r.Sectrace.suspected = None);
+  Alcotest.(check int) "walked the path" 8 r.Sectrace.rounds
+
+let test_sectrace_framing () =
+  (* Fig 3.7: the timing attacker at position 2 gets <3, 4> blamed. *)
+  let attacker = Some (Sectrace.timing_attacker ~position:2) in
+  let r = Sectrace.sectrace ~path_len:9 ~attacker in
+  (match r.Sectrace.suspected with
+  | Some (x, y) ->
+      Alcotest.(check bool) "attacker not in blamed pair" false (x = 2 || y = 2)
+  | None -> Alcotest.fail "a failure is observed");
+  Alcotest.(check (option (pair int int))) "downstream pair framed" (Some (3, 4))
+    r.Sectrace.suspected
+
+let test_awerbuch_logarithmic () =
+  let attacker = Some (Sectrace.consistent_attacker ~position:9) in
+  let r = Sectrace.awerbuch ~path_len:33 ~attacker in
+  (match r.Sectrace.suspected with
+  | Some (lo, hi) ->
+      Alcotest.(check int) "precision 2" 1 (hi - lo);
+      Alcotest.(check bool) "contains the attacker boundary" true (lo = 9 || hi = 9 || lo = 8)
+  | None -> Alcotest.fail "should localize");
+  Alcotest.(check bool)
+    (Printf.sprintf "log rounds (%d)" r.Sectrace.rounds)
+    true
+    (r.Sectrace.rounds <= 7)
+
+let test_awerbuch_vs_sectrace_rounds () =
+  let attacker p = Some (Sectrace.consistent_attacker ~position:p) in
+  let st = Sectrace.sectrace ~path_len:65 ~attacker:(attacker 60) in
+  let aw = Sectrace.awerbuch ~path_len:65 ~attacker:(attacker 60) in
+  Alcotest.(check bool)
+    (Printf.sprintf "binary search faster (%d vs %d)" aw.Sectrace.rounds st.Sectrace.rounds)
+    true
+    (aw.Sectrace.rounds < st.Sectrace.rounds)
+
+let test_awerbuch_clean () =
+  let r = Sectrace.awerbuch ~path_len:17 ~attacker:None in
+  Alcotest.(check bool) "silent" true (r.Sectrace.suspected = None);
+  Alcotest.(check int) "one round" 1 r.Sectrace.rounds
+
+(* --- SATS --- *)
+
+let nobody ~position:_ ~fp:_ = false
+
+let test_sats_clean () =
+  let v = Sats.run ~path_len:5 ~packets:500 ~fraction:0.2 ~drops:nobody () in
+  Alcotest.(check bool) "no suspicion" true (v.Sats.suspected = None);
+  Alcotest.(check bool) "sampling happened" true (v.Sats.sampled_per_router > 0)
+
+let test_sats_detects_dropper () =
+  let drops = Sats.evading_dropper ~rate:0.3 ~position:2 in
+  let v = Sats.run ~path_len:5 ~packets:500 ~fraction:0.2 ~drops () in
+  match v.Sats.suspected with
+  | Some (lo, hi) -> Alcotest.(check bool) "span brackets dropper" true (lo < 3 && hi >= 2 && lo <= 2)
+  | None -> Alcotest.fail "dropper must be seen in some secret range"
+
+let test_sats_precision_adjacent () =
+  (* With a hefty sampling fraction the adjacent pair around the dropper
+     is inconsistent, giving precision 2. *)
+  let drops = Sats.evading_dropper ~rate:0.5 ~position:2 in
+  let v = Sats.run ~path_len:5 ~packets:2000 ~fraction:0.5 ~drops () in
+  Alcotest.(check (option (pair int int))) "adjacent pair" (Some (1, 2)) v.Sats.suspected
+
+let test_sats_leak_allows_evasion () =
+  (* When the assignment leaks, the attacker drops only unsampled packets
+     and is never seen. *)
+  let drops = Sats.evading_dropper ~rate:0.5 ~position:2 in
+  let v = Sats.run ~path_len:5 ~packets:500 ~fraction:0.2 ~drops ~ranges_leaked:true () in
+  Alcotest.(check bool) "evaded" true (v.Sats.suspected = None)
+
+(* --- Congestion models --- *)
+
+let test_sqrt_law_shapes () =
+  let b1 = Congestion_models.sqrt_throughput ~rtt:0.1 ~loss:0.01 ~b:1 ~mss:1000 in
+  let b2 = Congestion_models.sqrt_throughput ~rtt:0.1 ~loss:0.04 ~b:1 ~mss:1000 in
+  (* Quadrupled loss halves throughput. *)
+  Alcotest.(check (float 1e-6)) "sqrt scaling" 2.0 (b1 /. b2);
+  let b3 = Congestion_models.sqrt_throughput ~rtt:0.2 ~loss:0.01 ~b:1 ~mss:1000 in
+  Alcotest.(check (float 1e-6)) "rtt scaling" 2.0 (b1 /. b3)
+
+let test_sqrt_law_roundtrip () =
+  let rtt = 0.08 and loss = 0.02 in
+  let thr = Congestion_models.sqrt_throughput ~rtt ~loss ~b:1 ~mss:960 in
+  Alcotest.(check (float 1e-9)) "roundtrip"
+    loss
+    (Congestion_models.implied_loss ~rtt ~throughput:thr ~b:1 ~mss:960)
+
+let test_buffer_model_shapes () =
+  let s16 = Congestion_models.buffer_sigma ~tp:0.05 ~capacity:1.25e6 ~buffer:64000.0 ~flows:16 in
+  let s64 = Congestion_models.buffer_sigma ~tp:0.05 ~capacity:1.25e6 ~buffer:64000.0 ~flows:64 in
+  (* sigma shrinks as 1/sqrt n. *)
+  Alcotest.(check (float 1e-6)) "1/sqrt n" 2.0 (s16 /. s64);
+  let p_small = Congestion_models.overflow_probability ~buffer:64000.0 ~sigma:s64 in
+  let p_big = Congestion_models.overflow_probability ~buffer:64000.0 ~sigma:s16 in
+  Alcotest.(check bool) "more flows, fewer overflows" true (p_small < p_big);
+  Alcotest.(check bool) "probabilities" true (p_small >= 0.0 && p_big <= 1.0)
+
+let test_models_validation () =
+  Alcotest.(check bool) "bad rtt" true
+    (try
+       ignore (Congestion_models.sqrt_throughput ~rtt:0.0 ~loss:0.1 ~b:1 ~mss:1000);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "herzberg",
+        [ Alcotest.test_case "delivery" `Quick test_herzberg_delivery;
+          Alcotest.test_case "localizes" `Quick test_herzberg_localizes;
+          Alcotest.test_case "link precision" `Quick test_herzberg_link_precision;
+          Alcotest.test_case "tradeoff" `Quick test_herzberg_tradeoff;
+          Alcotest.test_case "congestion ambiguity" `Quick test_herzberg_congestion_ambiguity;
+          Alcotest.test_case "validation" `Quick test_herzberg_validation ] );
+      ( "perlman",
+        [ Alcotest.test_case "flood reaches correct" `Quick test_robust_flood_reaches_correct;
+          Alcotest.test_case "flood partition" `Quick test_robust_flood_partition;
+          Alcotest.test_case "robust route" `Quick test_robust_route_tolerates_f;
+          Alcotest.test_case "overwhelmed" `Quick test_robust_route_overwhelmed;
+          Alcotest.test_case "perlmand clean" `Quick test_perlmand_clean;
+          Alcotest.test_case "collusion frames innocents" `Quick
+            test_perlmand_collusion_frames_innocents;
+          Alcotest.test_case "honest dropper" `Quick test_perlmand_honest_dropper_found ] );
+      ( "sectrace",
+        [ Alcotest.test_case "consistent attacker" `Quick test_sectrace_consistent;
+          Alcotest.test_case "clean" `Quick test_sectrace_clean;
+          Alcotest.test_case "framing" `Quick test_sectrace_framing;
+          Alcotest.test_case "awerbuch log rounds" `Quick test_awerbuch_logarithmic;
+          Alcotest.test_case "awerbuch vs sectrace" `Quick test_awerbuch_vs_sectrace_rounds;
+          Alcotest.test_case "awerbuch clean" `Quick test_awerbuch_clean ] );
+      ( "sats",
+        [ Alcotest.test_case "clean" `Quick test_sats_clean;
+          Alcotest.test_case "detects dropper" `Quick test_sats_detects_dropper;
+          Alcotest.test_case "adjacent precision" `Quick test_sats_precision_adjacent;
+          Alcotest.test_case "leak evasion" `Quick test_sats_leak_allows_evasion ] );
+      ( "congestion-models",
+        [ Alcotest.test_case "sqrt shapes" `Quick test_sqrt_law_shapes;
+          Alcotest.test_case "sqrt roundtrip" `Quick test_sqrt_law_roundtrip;
+          Alcotest.test_case "buffer shapes" `Quick test_buffer_model_shapes;
+          Alcotest.test_case "validation" `Quick test_models_validation ] ) ]

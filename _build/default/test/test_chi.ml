@@ -1,0 +1,630 @@
+(* Tests for Protocol χ (drop-tail and RED), the queue monitor, the
+   response engine and the Fatih system — the Appendix C properties at
+   packet level. *)
+
+open Core
+open Netsim
+module G = Topology.Graph
+module Rt = Topology.Routing
+
+(* The Fig 6.4 simple topology: three source routers feed r (=3), whose
+   output queue toward rd (=4) is the validated bottleneck. *)
+let simple_topology ?(bottleneck_bw = 1.25e6) () =
+  let g = G.create ~n:5 in
+  G.add_duplex g ~bw:12.5e6 ~delay:0.001 0 3;
+  G.add_duplex g ~bw:12.5e6 ~delay:0.001 1 3;
+  G.add_duplex g ~bw:12.5e6 ~delay:0.001 2 3;
+  G.add_duplex g ~bw:bottleneck_bw ~delay:0.005 3 4;
+  g
+
+let chi_config =
+  { Chi.default_config with Chi.tau = 1.0; learning_rounds = 4 }
+
+let setup ?(queue = Net.Droptail 64000) ?(seed = 11) () =
+  let g = simple_topology () in
+  let net = Net.create ~seed ~queue ~jitter_bound:200e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  (net, rt)
+
+let run_chi ?(behavior = Router.honest) ?(duration = 40.0) ?(make_traffic = fun _ -> ())
+    () =
+  let net, rt = setup () in
+  let chi = Chi.deploy ~net ~rt ~router:3 ~next:4 ~config:chi_config () in
+  (* Long-lived TCPs from every source create genuine congestion. *)
+  let conns = List.map (fun src -> Tcp.connect net ~src ~dst:4 ()) [ 0; 1; 2 ] in
+  make_traffic net;
+  Router.set_behavior (Net.router net 3) behavior;
+  Net.run ~until:duration net;
+  (chi, conns, net)
+
+(* --- Qmon --- *)
+
+let test_qmon_sees_all_traffic () =
+  let net, rt = setup () in
+  let key = Crypto_sim.Siphash.key_of_string "t" in
+  let qmon =
+    Qmon.attach ~net ~predict:(Qmon.predict_of_routing rt ~router:3) ~key ~router:3
+      ~next:4 ()
+  in
+  let f = Flow.cbr net ~src:0 ~dst:4 ~rate_pps:100.0 ~size:1000 ~start:0.0 ~stop:1.0 in
+  Net.run net;
+  let data = Qmon.drain qmon ~horizon:10.0 in
+  Alcotest.(check int) "all arrivals seen" (Flow.sent f) (List.length data.Qmon.arrivals);
+  Alcotest.(check int) "all departures seen" (Flow.sent f) (List.length data.Qmon.departures);
+  Alcotest.(check int) "no fabrication" 0 (List.length data.Qmon.fabricated)
+
+let test_qmon_ignores_other_directions () =
+  let net, rt = setup () in
+  let key = Crypto_sim.Siphash.key_of_string "t" in
+  let qmon =
+    Qmon.attach ~net ~predict:(Qmon.predict_of_routing rt ~router:3) ~key ~router:3
+      ~next:4 ()
+  in
+  (* Traffic 4 -> 0 transits r in the reverse direction: not Q's. *)
+  ignore (Flow.cbr net ~src:4 ~dst:0 ~rate_pps:50.0 ~size:500 ~start:0.0 ~stop:1.0);
+  Net.run net;
+  let data = Qmon.drain qmon ~horizon:10.0 in
+  Alcotest.(check int) "no arrivals" 0 (List.length data.Qmon.arrivals)
+
+let test_qmon_horizon_buffers () =
+  let net, rt = setup () in
+  let key = Crypto_sim.Siphash.key_of_string "t" in
+  let qmon =
+    Qmon.attach ~net ~predict:(Qmon.predict_of_routing rt ~router:3) ~key ~router:3
+      ~next:4 ()
+  in
+  let f = Flow.cbr net ~src:0 ~dst:4 ~rate_pps:10.0 ~size:500 ~start:0.0 ~stop:2.0 in
+  Net.run net;
+  let early = Qmon.drain qmon ~horizon:1.0 in
+  let late = Qmon.drain qmon ~horizon:10.0 in
+  Alcotest.(check bool) "split" true
+    (List.length early.Qmon.arrivals > 0 && List.length late.Qmon.arrivals > 0);
+  Alcotest.(check int) "nothing lost" (Flow.sent f)
+    (List.length early.Qmon.arrivals + List.length late.Qmon.arrivals)
+
+let test_qmon_detects_fabrication () =
+  let net, rt = setup () in
+  let key = Crypto_sim.Siphash.key_of_string "t" in
+  let qmon =
+    Qmon.attach ~net ~predict:(Qmon.predict_of_routing rt ~router:3) ~key ~router:3
+      ~next:4 ()
+  in
+  let sim = Net.sim net in
+  Sim.schedule sim ~delay:0.5 (fun () ->
+      let bogus = Packet.make ~sim ~src:0 ~dst:4 ~flow:99 ~size:400 Packet.Udp in
+      Router.fabricate (Net.router net 3) ~next:4 bogus);
+  Net.run net;
+  let data = Qmon.drain qmon ~horizon:10.0 in
+  Alcotest.(check int) "fabricated flagged" 1 (List.length data.Qmon.fabricated)
+
+(* --- Protocol χ, drop-tail --- *)
+
+let test_chi_no_attack_no_alarm () =
+  let chi, _, _ = run_chi () in
+  let post = List.filter (fun r -> not r.Chi.learning) (Chi.reports chi) in
+  Alcotest.(check bool) "rounds ran" true (List.length post > 20);
+  (* TCP caused real congestion losses... *)
+  let total_losses = List.fold_left (fun acc r -> acc + List.length r.Chi.losses) 0 post in
+  Alcotest.(check bool) (Printf.sprintf "congestion present (%d)" total_losses) true
+    (total_losses > 10);
+  (* ...yet no round is blamed on malice. *)
+  Alcotest.(check int) "no false alarm" 0 (List.length (Chi.alarms chi))
+
+let test_chi_calibration () =
+  let chi, _, _ = run_chi () in
+  let mu, sigma = Chi.mu_sigma chi in
+  Alcotest.(check bool) (Printf.sprintf "mu %.1f small" mu) true (Float.abs mu < 5000.0);
+  Alcotest.(check bool) (Printf.sprintf "sigma %.1f sane" sigma) true
+    (sigma >= 40.0 && sigma < 20000.0)
+
+let test_chi_attack1_fraction_drops () =
+  (* Attack 1: drop 20% of selected flows. *)
+  let victim_behavior net =
+    ignore net;
+    Adversary.after 10.0 (Adversary.drop_fraction ~seed:5 0.2)
+  in
+  let chi, _, _ = run_chi ~behavior:(victim_behavior ()) () in
+  let alarms = Chi.alarms chi in
+  Alcotest.(check bool)
+    (Printf.sprintf "alarms raised (%d)" (List.length alarms))
+    true
+    (List.length alarms > 3);
+  (* All alarms are after the attack started. *)
+  List.iter
+    (fun r -> Alcotest.(check bool) "post-attack" true (r.Chi.end_time > 10.0))
+    alarms
+
+let test_chi_attack23_queue_conditioned () =
+  (* Attacks 2/3: drop only when the queue is nearly full — crafted to
+     look like congestion; χ still sees the residual headroom. *)
+  let run frac =
+    let chi, _, _ =
+      run_chi ~behavior:(Adversary.after 10.0 (Adversary.drop_when_queue_above frac)) ()
+    in
+    List.length (Chi.alarms chi)
+  in
+  Alcotest.(check bool) "90% full caught" true (run 0.90 > 0);
+  Alcotest.(check bool) "95% full caught" true (run 0.95 > 0)
+
+let test_chi_attack4_syn () =
+  (* Attack 4: a victim's connection attempt is killed by dropping its
+     SYNs; the queue is near-empty at those instants, so the single-loss
+     test fires with high confidence. *)
+  let make_traffic net =
+    ignore (Tcp.connect net ~src:0 ~dst:4 ~total_bytes:5000 ~start:15.0 ())
+  in
+  let chi, _, _ =
+    run_chi ~behavior:(Adversary.after 14.0 Adversary.drop_syn) ~make_traffic ()
+  in
+  let alarms = Chi.alarms chi in
+  Alcotest.(check bool) "tiny attack caught" true (alarms <> []);
+  let max_conf =
+    List.fold_left (fun acc r -> Float.max acc r.Chi.c_single_max) 0.0 alarms
+  in
+  Alcotest.(check bool) (Printf.sprintf "confidence %.3f" max_conf) true (max_conf > 0.99)
+
+let test_chi_fabrication_alarm () =
+  let net, rt = setup () in
+  let chi = Chi.deploy ~net ~rt ~router:3 ~next:4 ~config:chi_config () in
+  ignore (Flow.cbr net ~src:0 ~dst:4 ~rate_pps:50.0 ~size:500 ~start:0.0 ~stop:20.0);
+  let sim = Net.sim net in
+  Sim.schedule sim ~delay:10.0 (fun () ->
+      let bogus = Packet.make ~sim ~src:1 ~dst:4 ~flow:77 ~size:300 Packet.Udp in
+      Router.fabricate (Net.router net 3) ~next:4 bogus);
+  Net.run ~until:20.0 net;
+  Alcotest.(check bool) "fabrication alarmed" true
+    (List.exists (fun r -> r.Chi.fabricated > 0 && r.Chi.alarm) (Chi.reports chi))
+
+let test_chi_static_threshold_comparison () =
+  (* §6.4.3: a static threshold must either false-positive on congestion
+     or miss the queue-conditioned attack; χ does neither. *)
+  let collect behavior =
+    let chi, _, _ = run_chi ~behavior () in
+    List.filter (fun r -> not r.Chi.learning) (Chi.reports chi)
+  in
+  let benign = collect Router.honest in
+  let attacked = collect (Adversary.after 10.0 (Adversary.drop_when_queue_above 0.90)) in
+  let rounds_of reports attack =
+    List.map
+      (fun r ->
+        (r.Chi.arrivals, List.length r.Chi.losses, attack && r.Chi.end_time > 10.0))
+      reports
+  in
+  let rounds = rounds_of benign false @ rounds_of attacked true in
+  (* Pick the best possible static threshold and show it still errs. *)
+  let best_errors =
+    List.fold_left
+      (fun acc rate ->
+        let t = Threshold.create ~loss_rate:rate in
+        let _, fp, fn, _ = Threshold.confusion t ~rounds in
+        min acc (fp + fn))
+      max_int
+      [ 0.0; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "best static threshold still errs (%d)" best_errors)
+    true (best_errors > 0);
+  (* χ on the same data: no false positives, attack rounds caught. *)
+  let chi_benign, _, _ = run_chi () in
+  Alcotest.(check int) "chi clean" 0 (List.length (Chi.alarms chi_benign))
+
+(* --- Protocol χ, RED --- *)
+
+let red_params =
+  { Red.default_params with Red.min_th = 15000.0; max_th = 45000.0; max_p = 0.1 }
+
+let run_chi_red ?(behavior = Router.honest) ?(duration = 40.0) () =
+  let g = simple_topology () in
+  let net = Net.create ~seed:11 ~queue:(Net.Red red_params) ~jitter_bound:200e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let config = { Chi_red.default_config with Chi_red.tau = 1.0 } in
+  let chi = Chi_red.deploy ~net ~rt ~router:3 ~next:4 ~params:red_params ~config () in
+  List.iter (fun src -> ignore (Tcp.connect net ~src ~dst:4 ())) [ 0; 1; 2 ];
+  Router.set_behavior (Net.router net 3) behavior;
+  Net.run ~until:duration net;
+  chi
+
+let test_chi_red_no_attack_no_alarm () =
+  let chi = run_chi_red () in
+  let post = List.filter (fun r -> not r.Chi_red.learning) (Chi_red.reports chi) in
+  let red_drops = List.fold_left (fun acc r -> acc + List.length r.Chi_red.losses) 0 post in
+  Alcotest.(check bool) (Printf.sprintf "red dropped (%d)" red_drops) true (red_drops > 5);
+  Alcotest.(check int) "no false alarm" 0 (List.length (Chi_red.alarms chi))
+
+let test_chi_red_avg_conditioned_attack () =
+  (* §6.5.3 attack 1: drop the victim flows whenever the average queue is
+     high — far more drops than RED's expectation. *)
+  let chi =
+    run_chi_red
+      ~behavior:(Adversary.after 10.0 (Adversary.drop_when_red_avg_above 20000.0)) ()
+  in
+  Alcotest.(check bool) "caught" true (Chi_red.alarms chi <> [])
+
+let test_chi_red_syn_attack_certain () =
+  (* §6.5.3 attack 5: SYN drops while the EWMA is below min_th are
+     impossible for RED — individually certain. *)
+  let g = simple_topology () in
+  let net = Net.create ~seed:11 ~queue:(Net.Red red_params) ~jitter_bound:200e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let config = { Chi_red.default_config with Chi_red.tau = 1.0 } in
+  let chi = Chi_red.deploy ~net ~rt ~router:3 ~next:4 ~params:red_params ~config () in
+  ignore (Flow.cbr net ~src:0 ~dst:4 ~rate_pps:20.0 ~size:500 ~start:0.0 ~stop:40.0);
+  ignore (Tcp.connect net ~src:1 ~dst:4 ~total_bytes:4000 ~start:15.0 ());
+  Router.set_behavior (Net.router net 3) (Adversary.after 14.0 Adversary.drop_syn);
+  Net.run ~until:40.0 net;
+  let certain =
+    List.exists
+      (fun r -> List.exists (fun l -> l.Chi_red.certain) r.Chi_red.losses)
+      (Chi_red.alarms chi)
+  in
+  Alcotest.(check bool) "certain malicious drop" true certain
+
+(* --- Replica (the §2.3 ideal detector and its nondeterminism caveat) --- *)
+
+let replica_run ~jitter_bound ~attack ~rate_pps () =
+  let g = simple_topology () in
+  let net = Net.create ~seed:11 ~queue:(Net.Droptail 64000) ~jitter_bound g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let replica = Replica.deploy ~net ~rt ~router:3 ~next:4 () in
+  let malicious = ref 0 in
+  Net.subscribe_router net (fun ev ->
+      match ev.Net.kind with Router.Malicious_drop _ -> incr malicious | _ -> ());
+  ignore (Flow.cbr net ~src:0 ~dst:4 ~rate_pps ~size:1000 ~start:0.0 ~stop:10.0);
+  ignore (Flow.cbr net ~src:1 ~dst:4 ~rate_pps ~size:1000 ~start:0.003 ~stop:10.0);
+  if attack then
+    Router.set_behavior (Net.router net 3)
+      (Adversary.after 3.0 (Adversary.drop_fraction ~seed:4 0.1));
+  Net.run net;
+  (Replica.finish replica, !malicious)
+
+let test_replica_exact_when_deterministic () =
+  (* With a deterministic forwarding plane and no congestion the replica
+     is the ideal detector: it accuses exactly the maliciously dropped
+     packets. *)
+  let report, malicious =
+    replica_run ~jitter_bound:0.0 ~attack:true ~rate_pps:400.0 ()
+  in
+  Alcotest.(check bool) "attack happened" true (malicious > 100);
+  Alcotest.(check int) "accusations = malicious drops" malicious
+    (List.length report.Replica.accused);
+  Alcotest.(check int) "no congestion to explain" 0 report.Replica.predicted_congestive
+
+let test_replica_quiet_when_benign_deterministic () =
+  let report, _ = replica_run ~jitter_bound:0.0 ~attack:false ~rate_pps:400.0 () in
+  Alcotest.(check (list int64)) "no accusations" [] report.Replica.accused
+
+let test_replica_detects_under_congestion () =
+  (* Under congestion the compromised router's queue itself diverges
+     from the replica's (its drops empty the real queue), so per-packet
+     attribution degrades — but the output discrepancy, which is what
+     §2.3's detector alarms on, remains large. *)
+  let report, malicious =
+    replica_run ~jitter_bound:0.0 ~attack:true ~rate_pps:900.0 ()
+  in
+  Alcotest.(check bool) "attack happened" true (malicious > 500);
+  Alcotest.(check bool) "large discrepancy" true
+    (List.length report.Replica.accused > malicious / 3);
+  Alcotest.(check bool) "congestion also present" true
+    (report.Replica.predicted_congestive > 0)
+
+let test_replica_breaks_under_nondeterminism () =
+  (* §2.3's caveat: jitter the replica cannot observe makes it diverge
+     and frame honest congestion drops. *)
+  let report, _ = replica_run ~jitter_bound:300e-6 ~attack:false ~rate_pps:900.0 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "false accusations appear (%d)" (List.length report.Replica.accused))
+    true
+    (report.Replica.accused <> [])
+
+(* --- Response + Fatih --- *)
+
+let test_response_timers () =
+  let g = Topology.Generate.ring ~n:5 in
+  let net = Net.create g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let resp = Response.create ~net () in
+  let sim = Net.sim net in
+  Sim.schedule sim ~delay:1.0 (fun () -> Response.suspect resp [ 0; 1 ]);
+  Sim.schedule sim ~delay:2.0 (fun () -> Response.suspect resp [ 2; 3 ]);
+  Sim.schedule sim ~delay:7.0 (fun () -> Response.suspect resp [ 3; 4 ]);
+  Net.run ~until:30.0 net;
+  match Response.updates resp with
+  | [ u1; u2 ] ->
+      (* First install: 1.0 + 5 s delay; the suspicion at 2.0 rides along. *)
+      Alcotest.(check (float 1e-6)) "first update" 6.0 u1.Response.time;
+      Alcotest.(check int) "two segments" 2 (List.length u1.Response.forbidden);
+      (* Second: delay says 12, hold says 16. *)
+      Alcotest.(check (float 1e-6)) "hold enforced" 16.0 u2.Response.time;
+      Alcotest.(check int) "three segments" 3 (List.length u2.Response.forbidden)
+  | us -> Alcotest.failf "expected 2 updates, got %d" (List.length us)
+
+let test_fatih_detects_and_reroutes () =
+  (* Miniature Fig 5.7 on a ring: router 2 starts dropping transit
+     traffic; the 3-segments around it are detected within one round and
+     excised after the OSPF timers. *)
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let fatih = Fatih.deploy ~net ~rt () in
+  (* Steady CBR through the ring, several flows crossing router 2. *)
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:60.0))
+    [ (0, 4); (4, 0); (1, 3); (3, 1); (0, 3) ];
+  Router.set_behavior (Net.router net 2) (Adversary.after 20.0 (Adversary.drop_fraction ~seed:7 0.5));
+  Net.run ~until:60.0 net;
+  let detections = Fatih.detections fatih in
+  Alcotest.(check bool) "detected" true (detections <> []);
+  (* Detection happened within one validation round of the attack. *)
+  let first = List.hd detections in
+  Alcotest.(check bool)
+    (Printf.sprintf "timely (%.1fs)" first.Fatih.time)
+    true
+    (first.Fatih.time >= 20.0 && first.Fatih.time <= 30.0);
+  (* Every suspected segment contains the compromised router (accuracy). *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "accurate" true (List.mem 2 d.Fatih.segment))
+    detections;
+  (* A routing update followed. *)
+  Alcotest.(check bool) "rerouted" true (Response.updates (Fatih.response fatih) <> [])
+
+let test_fatih_quiet_without_attack () =
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let fatih = Fatih.deploy ~net ~rt () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:40.0))
+    [ (0, 4); (4, 0); (1, 3) ];
+  Net.run ~until:40.0 net;
+  Alcotest.(check int) "no detections" 0 (List.length (Fatih.detections fatih));
+  Alcotest.(check int) "no updates" 0 (List.length (Response.updates (Fatih.response fatih)))
+
+let test_fatih_excises_failed_link () =
+  (* Fail-stop is a degenerate Byzantine fault: a dead link shows up as
+     100% loss on the segments crossing it and gets excised by the same
+     machinery. *)
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let fatih = Fatih.deploy ~net ~rt () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:60.0))
+    [ (0, 3); (1, 4); (0, 2) ];
+  Sim.schedule (Net.sim net) ~delay:20.0 (fun () -> Net.fail_link net ~src:2 ~dst:3);
+  Net.run ~until:60.0 net;
+  let detections = Fatih.detections fatih in
+  Alcotest.(check bool) "failure detected" true (detections <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "segment crosses the dead link" true
+        (let rec crosses = function
+           | 2 :: 3 :: _ -> true
+           | _ :: rest -> crosses rest
+           | [] -> false
+         in
+         crosses d.Fatih.segment))
+    detections;
+  Alcotest.(check bool) "rerouted" true (Response.updates (Fatih.response fatih) <> [])
+
+let fatih_delay_run ~policy ~thresholds () =
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:0.0 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let config = { Fatih.default_config with Fatih.policy; thresholds } in
+  let fatih = Fatih.deploy ~net ~rt ~config () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:40.0))
+    [ (0, 4); (4, 0); (1, 3) ];
+  (* Router 2 delays 30% of transit packets by 300 ms: nothing is lost,
+     but order and timeliness are violated. *)
+  Router.set_behavior (Net.router net 2)
+    (Adversary.after 10.0 (Adversary.delay_fraction ~seed:5 ~delay:0.3 0.3));
+  Net.run ~until:40.0 net;
+  Fatih.detections fatih
+
+let test_fatih_timeliness_policy_catches_delayer () =
+  let thresholds =
+    { (Validation.lenient ()) with Validation.max_delay = 0.2; max_reordered = 50 }
+  in
+  let detections = fatih_delay_run ~policy:Summary.Timeliness ~thresholds () in
+  Alcotest.(check bool) "delayer detected" true (detections <> []);
+  List.iter
+    (fun (d : Fatih.detection) ->
+      Alcotest.(check bool) "accurate" true (List.mem 2 d.Fatih.segment);
+      Alcotest.(check bool) "delay measured" true (d.Fatih.max_delay > 0.2))
+    detections
+
+let test_fatih_order_policy_catches_reordering () =
+  let thresholds =
+    { (Validation.lenient ()) with Validation.max_reordered = 5 }
+  in
+  let detections = fatih_delay_run ~policy:Summary.Order ~thresholds () in
+  Alcotest.(check bool) "reordering detected" true
+    (List.exists (fun (d : Fatih.detection) -> d.Fatih.reordered > 5) detections)
+
+let test_fatih_content_policy_blind_to_delay () =
+  (* The same attack under the Content policy: every packet eventually
+     arrives, so apart from round-boundary stragglers (absorbed by a 5%
+     loss budget) conservation of content holds and nothing is suspected
+     — the §2.4.1 policy hierarchy at packet level. *)
+  let detections =
+    fatih_delay_run ~policy:Summary.Content
+      ~thresholds:(Validation.lenient ~max_loss_fraction:0.05 ()) ()
+  in
+  Alcotest.(check int) "blind" 0 (List.length detections)
+
+let test_fatih_reconcile_exchange () =
+  (* Appendix A inside the protocol: reconciliation ships orders of
+     magnitude fewer words while the detections are identical. *)
+  let run exchange =
+    let g = Topology.Generate.ring ~n:6 in
+    let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+    let rt = Rt.compute g in
+    Net.use_routing net rt;
+    let config = { Fatih.default_config with Fatih.exchange } in
+    let fatih = Fatih.deploy ~net ~rt ~config () in
+    List.iter
+      (fun (src, dst) ->
+        ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:40.0))
+      [ (0, 4); (4, 0); (1, 3) ];
+    Router.set_behavior (Net.router net 2)
+      (Adversary.after 20.0 (Adversary.drop_fraction ~seed:7 0.02));
+    Net.run ~until:40.0 net;
+    (Fatih.words_exchanged fatih,
+     List.map (fun (d : Fatih.detection) -> d.Fatih.segment) (Fatih.detections fatih))
+  in
+  let full_words, full_detections = run Fatih.Full_sets in
+  let recon_words, recon_detections = run Fatih.Reconcile in
+  Alcotest.(check (list (list int))) "identical detections" full_detections
+    recon_detections;
+  Alcotest.(check bool)
+    (Printf.sprintf "reconcile %d << full %d" recon_words full_words)
+    true
+    (recon_words * 10 < full_words)
+
+let test_fatih_detects_modification () =
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let fatih = Fatih.deploy ~net ~rt () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:40.0))
+    [ (0, 4); (4, 0) ];
+  Router.set_behavior (Net.router net 5)
+    (Adversary.after 10.0 (Adversary.modify_fraction ~seed:9 0.3));
+  Net.run ~until:40.0 net;
+  let detections = Fatih.detections fatih in
+  Alcotest.(check bool) "modification detected" true (detections <> []);
+  List.iter
+    (fun d -> Alcotest.(check bool) "accurate" true (List.mem 5 d.Fatih.segment))
+    detections
+
+
+(* --- Pi2 live (packet-level §5.1) --- *)
+
+let pi2_ring () =
+  let g = Topology.Generate.ring ~n:6 in
+  let net = Net.create ~seed:3 ~jitter_bound:100e-6 g in
+  let rt = Rt.compute g in
+  Net.use_routing net rt;
+  let pi2 = Pi2_live.deploy ~net ~rt () in
+  List.iter
+    (fun (src, dst) ->
+      ignore (Flow.cbr net ~src ~dst ~rate_pps:60.0 ~size:400 ~start:0.0 ~stop:60.0))
+    [ (0, 4); (4, 0); (1, 3); (3, 1); (0, 3) ];
+  (net, pi2)
+
+let test_pi2_live_quiet () =
+  let net, pi2 = pi2_ring () in
+  Net.run ~until:40.0 net;
+  Alcotest.(check int) "no detections" 0 (List.length (Pi2_live.detections pi2))
+
+let test_pi2_live_precision_2 () =
+  let net, pi2 = pi2_ring () in
+  Router.set_behavior (Net.router net 2)
+    (Adversary.after 15.0 (Adversary.drop_fraction ~seed:7 0.5));
+  Net.run ~until:40.0 net;
+  let pairs = Pi2_live.suspected_pairs pi2 in
+  Alcotest.(check bool) "detected" true (pairs <> []);
+  (* Precision 2: every suspected pair contains the compromised router. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d) accurate" a b)
+        true (a = 2 || b = 2))
+    pairs
+
+let test_pi2_live_catches_liar () =
+  (* A protocol-faulty router that under-reports — erases half the
+     fingerprints from the summary it submits to consensus — without
+     touching any traffic.  TV fails on a pair adjacent to it. *)
+  let net, pi2 = pi2_ring () in
+  Pi2_live.set_misreport pi2 ~router:2 (fun ~segment:_ ~pos:_ s ->
+      List.iteri (fun i fp -> if i mod 2 = 0 then Summary.remove s fp)
+        (Summary.fingerprints s);
+      s);
+  Net.run ~until:40.0 net;
+  let pairs = Pi2_live.suspected_pairs pi2 in
+  Alcotest.(check bool) "liar detected" true (pairs <> []);
+  List.iter
+    (fun (a, b) -> Alcotest.(check bool) "accurate" true (a = 2 || b = 2))
+    pairs
+
+(* --- chi victim identification --- *)
+
+let test_chi_identifies_victim_flows () =
+  let net, rt = setup () in
+  let chi = Chi.deploy ~net ~rt ~router:3 ~next:4 ~config:chi_config () in
+  ignore (Tcp.connect net ~src:0 ~dst:4 ());
+  ignore (Tcp.connect net ~src:1 ~dst:4 ());
+  let victim = Tcp.connect net ~src:2 ~dst:4 () in
+  Router.set_behavior (Net.router net 3)
+    (Adversary.after 10.0
+       (Adversary.on_flows [ Tcp.flow_id victim ] (Adversary.drop_fraction ~seed:3 0.3)));
+  Net.run ~until:30.0 net;
+  let named =
+    List.concat_map (fun (r : Chi.report) -> r.Chi.victims) (Chi.alarms chi)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "exactly the victim flow" [ Tcp.flow_id victim ] named
+
+let () =
+  Alcotest.run "chi"
+    [ ( "qmon",
+        [ Alcotest.test_case "sees all" `Quick test_qmon_sees_all_traffic;
+          Alcotest.test_case "direction filter" `Quick test_qmon_ignores_other_directions;
+          Alcotest.test_case "horizon" `Quick test_qmon_horizon_buffers;
+          Alcotest.test_case "fabrication" `Quick test_qmon_detects_fabrication ] );
+      ( "chi",
+        [ Alcotest.test_case "no attack" `Slow test_chi_no_attack_no_alarm;
+          Alcotest.test_case "calibration" `Slow test_chi_calibration;
+          Alcotest.test_case "attack 1: 20% drops" `Slow test_chi_attack1_fraction_drops;
+          Alcotest.test_case "attacks 2/3: queue-conditioned" `Slow
+            test_chi_attack23_queue_conditioned;
+          Alcotest.test_case "attack 4: syn" `Slow test_chi_attack4_syn;
+          Alcotest.test_case "fabrication" `Slow test_chi_fabrication_alarm;
+          Alcotest.test_case "vs static threshold" `Slow test_chi_static_threshold_comparison
+        ] );
+      ( "chi-red",
+        [ Alcotest.test_case "no attack" `Slow test_chi_red_no_attack_no_alarm;
+          Alcotest.test_case "avg-conditioned" `Slow test_chi_red_avg_conditioned_attack;
+          Alcotest.test_case "syn certain" `Slow test_chi_red_syn_attack_certain ] );
+      ( "replica",
+        [ Alcotest.test_case "exact when deterministic" `Quick
+            test_replica_exact_when_deterministic;
+          Alcotest.test_case "quiet benign" `Quick test_replica_quiet_when_benign_deterministic;
+          Alcotest.test_case "congested detection" `Quick test_replica_detects_under_congestion;
+          Alcotest.test_case "nondeterminism caveat" `Quick
+            test_replica_breaks_under_nondeterminism ] );
+      ( "response",
+        [ Alcotest.test_case "timers" `Quick test_response_timers ] );
+      ( "pi2-live",
+        [ Alcotest.test_case "quiet" `Slow test_pi2_live_quiet;
+          Alcotest.test_case "precision 2" `Slow test_pi2_live_precision_2;
+          Alcotest.test_case "liar" `Slow test_pi2_live_catches_liar;
+          Alcotest.test_case "victim flows" `Slow test_chi_identifies_victim_flows ] );
+      ( "fatih",
+        [ Alcotest.test_case "detects and reroutes" `Slow test_fatih_detects_and_reroutes;
+          Alcotest.test_case "quiet" `Slow test_fatih_quiet_without_attack;
+          Alcotest.test_case "fail-stop link" `Slow test_fatih_excises_failed_link;
+          Alcotest.test_case "timeliness policy" `Slow test_fatih_timeliness_policy_catches_delayer;
+          Alcotest.test_case "order policy" `Slow test_fatih_order_policy_catches_reordering;
+          Alcotest.test_case "content blind to delay" `Slow test_fatih_content_policy_blind_to_delay;
+          Alcotest.test_case "reconcile exchange" `Slow test_fatih_reconcile_exchange;
+          Alcotest.test_case "modification" `Slow test_fatih_detects_modification ] ) ]

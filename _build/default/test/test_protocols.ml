@@ -1,0 +1,383 @@
+(* Tests for Protocol Π2 and Protocol Πk+2 over the abstract round
+   engine, including the Appendix B accuracy/completeness properties as
+   randomized property tests. *)
+
+open Core
+module Gen = Topology.Generate
+module Rt = Topology.Routing
+
+
+(* --- Rounds engine --- *)
+
+let test_observe_clean () =
+  let rt = Rt.compute (Gen.line ~n:4) in
+  let segments = Pi2.family rt ~k:1 in
+  let obs =
+    Rounds.observe ~rt ~segments ~adversary:(Rounds.passive []) ~packets_per_path:5
+      ~round:0 ()
+  in
+  Alcotest.(check int) "no drops" 0 (List.length obs.Rounds.dropped_by);
+  List.iter
+    (fun (_, summaries) ->
+      let first = Summary.packets summaries.(0) in
+      Array.iter
+        (fun s -> Alcotest.(check int) "conserved" first (Summary.packets s))
+        summaries)
+    obs.Rounds.truth
+
+let test_observe_dropper () =
+  let rt = Rt.compute (Gen.line ~n:4) in
+  let segments = Pi2.family rt ~k:1 in
+  let adversary = Rounds.dropper [ 1 ] in
+  let obs = Rounds.observe ~rt ~segments ~adversary ~packets_per_path:5 ~round:0 () in
+  (match obs.Rounds.dropped_by with
+  | [ (1, n) ] -> Alcotest.(check bool) "router 1 dropped" true (n > 0)
+  | _ -> Alcotest.fail "expected drops only at router 1");
+  (* The 0-1-2 segment must show the loss between positions 0 and 1. *)
+  let _, summaries = List.find (fun (s, _) -> s = [ 0; 1; 2 ]) obs.Rounds.truth in
+  Alcotest.(check bool) "loss visible" true
+    (Summary.packets summaries.(1) < Summary.packets summaries.(0))
+
+let test_observe_partial_dropper () =
+  let rt = Rt.compute (Gen.line ~n:4) in
+  let segments = Pi2.family rt ~k:1 in
+  let adversary = Rounds.dropper ~fraction:0.5 ~seed:3 [ 1 ] in
+  let obs = Rounds.observe ~rt ~segments ~adversary ~packets_per_path:200 ~round:0 () in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 obs.Rounds.dropped_by in
+  (* Router 1 transits 4 directed paths with 200 packets each. *)
+  Alcotest.(check bool) (Printf.sprintf "about half dropped (%d)" total) true
+    (total > 250 && total < 550)
+
+let test_adjacent_fault_bound () =
+  let rt = Rt.compute (Gen.line ~n:6) in
+  Alcotest.(check int) "no faults" 0 (Rounds.adjacent_fault_bound ~rt ~faulty:[]);
+  Alcotest.(check int) "single" 1 (Rounds.adjacent_fault_bound ~rt ~faulty:[ 2 ]);
+  Alcotest.(check int) "adjacent pair" 2 (Rounds.adjacent_fault_bound ~rt ~faulty:[ 2; 3 ]);
+  Alcotest.(check int) "separated" 1 (Rounds.adjacent_fault_bound ~rt ~faulty:[ 1; 4 ])
+
+(* --- Π2 --- *)
+
+let test_pi2_clean_no_suspicion () =
+  let rt = Rt.compute (Gen.ring ~n:6) in
+  let segs = Pi2.detect_round ~rt ~k:1 ~adversary:(Rounds.passive []) ~round:0 () in
+  Alcotest.(check int) "silent" 0 (List.length segs)
+
+let test_pi2_detects_dropper_with_precision_2 () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let segs = Pi2.detect_round ~rt ~k:1 ~adversary:(Rounds.dropper [ 2 ]) ~round:0 () in
+  Alcotest.(check bool) "something suspected" true (segs <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "precision 2" 2 (List.length s);
+      Alcotest.(check bool) "contains the dropper" true (List.mem 2 s))
+    segs
+
+let test_pi2_detects_modifier () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let segs = Pi2.detect_round ~rt ~k:1 ~adversary:(Rounds.modifier [ 3 ]) ~round:0 () in
+  Alcotest.(check bool) "detected" true (List.exists (List.mem 3) segs)
+
+let test_pi2_hider_still_caught () =
+  (* A dropper that misreports (echoes upstream) shifts the blame pair
+     downstream but is still inside every suspected segment. *)
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let adversary = Rounds.hider (Rounds.dropper [ 2 ]) in
+  let segs = Pi2.detect_round ~rt ~k:1 ~adversary ~round:0 () in
+  Alcotest.(check bool) "still detected" true (segs <> []);
+  List.iter
+    (fun s -> Alcotest.(check bool) "accurate" true (List.mem 2 s))
+    segs
+
+let test_pi2_adjacent_pair_k2 () =
+  let rt = Rt.compute (Gen.line ~n:6) in
+  let adversary = Rounds.hider (Rounds.dropper [ 2; 3 ]) in
+  let segs = Pi2.detect_round ~rt ~k:2 ~adversary ~round:0 () in
+  Alcotest.(check bool) "detected" true (segs <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "accurate (contains 2 or 3)" true
+        (List.mem 2 s || List.mem 3 s))
+    segs
+
+let test_pi2_full_detect_properties () =
+  let g = Gen.line ~n:5 in
+  let rt = Rt.compute g in
+  let adversary = Rounds.dropper [ 2 ] in
+  let suspicions = Pi2.detect ~rt ~k:1 ~adversary ~rounds:2 () in
+  let faulty r = r = 2 in
+  Alcotest.(check bool) "2-accurate" true
+    (Spec.accurate ~faulty ~a:2 suspicions = Ok ());
+  Alcotest.(check bool) "complete" true
+    (Spec.complete ~graph:g ~faulty ~traffic_faulty:[ 2 ]
+       ~correct_routers:(Rounds.correct_routers g ~faulty:[ 2 ])
+       suspicions
+    = Ok ());
+  Alcotest.(check int) "precision" 2 (Spec.precision suspicions)
+
+let test_pi2_state_counters () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let counters = Pi2.state_counters rt ~k:1 in
+  Alcotest.(check int) "middle router" 6 counters.(2);
+  Alcotest.(check int) "edge router" 2 counters.(0)
+
+(* --- Πk+2 --- *)
+
+let test_pik2_clean_no_suspicion () =
+  let rt = Rt.compute (Gen.ring ~n:6) in
+  let segs = Pik2.detect_round ~rt ~k:1 ~adversary:(Rounds.passive []) ~round:0 () in
+  Alcotest.(check int) "silent" 0 (List.length segs)
+
+let test_pik2_detects_dropper () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let segs = Pik2.detect_round ~rt ~k:1 ~adversary:(Rounds.dropper [ 2 ]) ~round:0 () in
+  Alcotest.(check bool) "detected" true (segs <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "length <= 3" true (List.length s <= 3);
+      Alcotest.(check bool) "contains dropper" true (List.mem 2 s))
+    segs
+
+let test_pik2_blocked_exchange_is_suspected () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let adversary =
+    { (Rounds.passive [ 2 ]) with Rounds.blocks_exchange = (fun r -> r = 2) }
+  in
+  let segs = Pik2.detect_round ~rt ~k:1 ~adversary ~round:0 () in
+  Alcotest.(check bool) "timeout detected" true (List.exists (List.mem 2) segs)
+
+let test_pik2_faulty_end_cannot_hide_globally () =
+  (* k = 2, faulty pair {2,3}: segment ⟨1,2,3⟩ has faulty end 3 which
+     echoes to hide, but ⟨1,2,3,4⟩ has correct ends 1,4 and exposes the
+     drops. *)
+  let g = Gen.line ~n:6 in
+  let rt = Rt.compute g in
+  let adversary = Rounds.hider (Rounds.dropper [ 2; 3 ]) in
+  let suspicions = Pik2.detect ~rt ~k:2 ~adversary ~rounds:1 () in
+  let faulty r = r = 2 || r = 3 in
+  Alcotest.(check bool) "caught" true (suspicions <> []);
+  Alcotest.(check bool) "(k+2)-accurate" true
+    (Spec.accurate ~faulty ~a:4 suspicions = Ok ());
+  Alcotest.(check bool) "complete" true
+    (Spec.complete ~graph:g ~faulty ~traffic_faulty:[ 2; 3 ]
+       ~correct_routers:(Rounds.correct_routers g ~faulty:[ 2; 3 ])
+       suspicions
+    = Ok ())
+
+let test_pik2_sampling_still_detects_full_drop () =
+  let rt = Rt.compute (Gen.line ~n:5) in
+  let sampling =
+    Crypto_sim.Sampling.create
+      ~key:(Crypto_sim.Siphash.key_of_string "pik2-test") ~fraction:0.5
+  in
+  let segs =
+    Pik2.detect_round ~rt ~k:1 ~adversary:(Rounds.dropper [ 2 ]) ~sampling
+      ~packets_per_path:100 ~round:0 ()
+  in
+  Alcotest.(check bool) "detected from samples" true (List.exists (List.mem 2) segs)
+
+let test_pik2_state_cheaper_than_pi2 () =
+  (* §5.1.1/§5.2.1: both protocols keep far less state than WATCHERS, and
+     Πk+2's worst-case per-router segment count stays near N while Π2's
+     explodes with k (Figs 5.2 vs 5.4). *)
+  let rt = Rt.compute (Gen.ebone_like ()) in
+  let mean a =
+    float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+  in
+  let maxi a = Array.fold_left max 0 a in
+  let pi2_max = maxi (Pi2.state_counters rt ~k:6) in
+  let pik2_max = maxi (Pik2.state_counters rt ~k:6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pi2 max %d explodes vs pik2 max %d" pi2_max pik2_max)
+    true
+    (pi2_max > 2 * pik2_max);
+  let pi2 = mean (Pi2.state_counters rt ~k:2) in
+  let pik2 = mean (Pik2.state_counters rt ~k:2) in
+  let watchers = mean (Watchers.counters_per_router (Rt.graph rt)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pik2 %.0f and pi2 %.0f << watchers %.0f" pik2 pi2 watchers)
+    true
+    (pik2 < watchers /. 4.0 && pi2 < watchers /. 4.0)
+
+(* --- Appendix B property tests --- *)
+
+(* Random scenario: an ISP-like topology, a faulty set respecting
+   AdjacentFault(k), a dropper (optionally hiding). *)
+let scenario_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 8 16 in
+      let* seed = int_bound 10_000 in
+      let* f1 = int_range 1 (n - 2) in
+      let* hide = bool in
+      return (n, seed, f1, hide))
+
+let run_protocol ~detect (n, seed, f1, hide) =
+  let g = Gen.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+  let rt = Rt.compute g in
+  let base = Rounds.dropper ~seed [ f1 ] in
+  let adversary = if hide then Rounds.hider base else base in
+  let k = max 1 (Rounds.adjacent_fault_bound ~rt ~faulty:[ f1 ]) in
+  let suspicions = detect ~rt ~k ~adversary in
+  (g, rt, k, suspicions)
+
+let prop_pi2_accuracy =
+  QCheck.Test.make ~name:"pi2 accuracy (B.2)" ~count:25 scenario_gen (fun sc ->
+      let _, _, _, suspicions =
+        run_protocol sc ~detect:(fun ~rt ~k ~adversary ->
+            Pi2.detect ~rt ~k ~adversary ~rounds:1 ())
+      in
+      let _, _, f1, _ = sc in
+      Spec.accurate ~faulty:(fun r -> r = f1) ~a:2 suspicions = Ok ())
+
+let prop_pi2_completeness =
+  QCheck.Test.make ~name:"pi2 completeness (B.2)" ~count:25 scenario_gen (fun sc ->
+      let g, rt, _, suspicions =
+        run_protocol sc ~detect:(fun ~rt ~k ~adversary ->
+            Pi2.detect ~rt ~k ~adversary ~rounds:1 ())
+      in
+      let _, _, f1, _ = sc in
+      (* Only meaningful when the faulty router actually transits traffic. *)
+      let transits =
+        List.exists
+          (fun p -> match p with _ :: rest -> List.mem f1 (List.filteri (fun i _ -> i < List.length rest - 1) rest) | [] -> false)
+          (Rt.all_routed_paths rt)
+      in
+      (not transits)
+      || Spec.complete ~graph:g ~faulty:(fun r -> r = f1) ~traffic_faulty:[ f1 ]
+           ~correct_routers:(Rounds.correct_routers g ~faulty:[ f1 ])
+           suspicions
+         = Ok ())
+
+let prop_pik2_accuracy =
+  QCheck.Test.make ~name:"pik2 accuracy (B.3)" ~count:25 scenario_gen (fun sc ->
+      let _, _, k, suspicions =
+        run_protocol sc ~detect:(fun ~rt ~k ~adversary ->
+            Pik2.detect ~rt ~k ~adversary ~rounds:1 ())
+      in
+      let _, _, f1, _ = sc in
+      Spec.accurate ~faulty:(fun r -> r = f1) ~a:(k + 2) suspicions = Ok ())
+
+let prop_pik2_completeness =
+  QCheck.Test.make ~name:"pik2 completeness (B.3)" ~count:25 scenario_gen (fun sc ->
+      let g, rt, _, suspicions =
+        run_protocol sc ~detect:(fun ~rt ~k ~adversary ->
+            Pik2.detect ~rt ~k ~adversary ~rounds:1 ())
+      in
+      let _, _, f1, _ = sc in
+      let transits =
+        List.exists
+          (fun p ->
+            match p with
+            | _ :: rest ->
+                List.mem f1 (List.filteri (fun i _ -> i < List.length rest - 1) rest)
+            | [] -> false)
+          (Rt.all_routed_paths rt)
+      in
+      (not transits)
+      || Spec.complete ~graph:g ~faulty:(fun r -> r = f1) ~traffic_faulty:[ f1 ]
+           ~correct_routers:(Rounds.correct_routers g ~faulty:[ f1 ])
+           suspicions
+         = Ok ())
+
+let prop_pik2_adjacent_pair =
+  (* Adjacent faulty pairs with hiding + exchange blocking: Πk+2 with
+     k = 2 stays accurate and complete (B.3's harder case). *)
+  QCheck.Test.make ~name:"pik2 adjacent colluders (B.3)" ~count:15
+    QCheck.(pair (int_range 10 16) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Gen.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Rt.compute g in
+      (* Pick an adjacent pair that transits traffic. *)
+      let pair =
+        List.find_map
+          (fun p ->
+            match p with
+            | _ :: a :: b :: _ :: _ -> Some (a, b)
+            | _ -> None)
+          (Rt.all_routed_paths rt)
+      in
+      match pair with
+      | None -> true
+      | Some (a, b) ->
+          let faulty = [ a; b ] in
+          let k = max 2 (Rounds.adjacent_fault_bound ~rt ~faulty) in
+          if k > 3 then true (* exotic clustering; out of scope for this property *)
+          else begin
+            let adversary =
+              { (Rounds.hider (Rounds.dropper ~seed faulty)) with
+                Rounds.blocks_exchange = (fun r -> r = a) }
+            in
+            let suspicions = Pik2.detect ~rt ~k ~adversary ~rounds:1 () in
+            let is_faulty r = List.mem r faulty in
+            Spec.accurate ~faulty:is_faulty ~a:(k + 2) suspicions = Ok ()
+            && Spec.complete ~graph:g ~faulty:is_faulty ~traffic_faulty:faulty
+                 ~correct_routers:(Rounds.correct_routers g ~faulty)
+                 suspicions
+               = Ok ()
+          end)
+
+let prop_pi2_protocol_faulty_only =
+  (* A router that lies about its summaries without touching traffic:
+     Π2's suspicions still contain it (accuracy), and no correct pair is
+     ever framed. *)
+  QCheck.Test.make ~name:"pi2 liar-only accuracy" ~count:20
+    QCheck.(pair (int_range 8 14) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Gen.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Rt.compute g in
+      let liar = 1 + (seed mod (n - 2)) in
+      let adversary =
+        { (Rounds.passive [ liar ]) with
+          Rounds.misreport =
+            (fun ~router ~pos ~truth ->
+              if router = liar then begin
+                (* Under-report: erase half the fingerprints. *)
+                let s = Summary.copy truth.(pos) in
+                List.iteri
+                  (fun i fp -> if i mod 2 = 0 then Summary.remove s fp)
+                  (Summary.fingerprints s);
+                s
+              end
+              else truth.(pos)) }
+      in
+      let segs = Pi2.detect_round ~rt ~k:1 ~adversary ~round:0 () in
+      List.for_all (List.mem liar) segs)
+
+let prop_no_false_positives =
+  (* Accuracy in the absence of any fault: neither protocol ever suspects
+     anything. *)
+  QCheck.Test.make ~name:"no faults, no suspicions" ~count:20
+    QCheck.(pair (int_range 8 14) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Gen.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Rt.compute g in
+      Pi2.detect_round ~rt ~k:1 ~adversary:(Rounds.passive []) ~round:0 () = []
+      && Pik2.detect_round ~rt ~k:1 ~adversary:(Rounds.passive []) ~round:0 () = [])
+
+let () =
+  Alcotest.run "protocols"
+    [ ( "rounds",
+        [ Alcotest.test_case "clean observation" `Quick test_observe_clean;
+          Alcotest.test_case "dropper" `Quick test_observe_dropper;
+          Alcotest.test_case "partial dropper" `Quick test_observe_partial_dropper;
+          Alcotest.test_case "adjacent fault bound" `Quick test_adjacent_fault_bound ] );
+      ( "pi2",
+        [ Alcotest.test_case "clean" `Quick test_pi2_clean_no_suspicion;
+          Alcotest.test_case "dropper precision 2" `Quick test_pi2_detects_dropper_with_precision_2;
+          Alcotest.test_case "modifier" `Quick test_pi2_detects_modifier;
+          Alcotest.test_case "hider" `Quick test_pi2_hider_still_caught;
+          Alcotest.test_case "adjacent pair" `Quick test_pi2_adjacent_pair_k2;
+          Alcotest.test_case "spec properties" `Quick test_pi2_full_detect_properties;
+          Alcotest.test_case "state counters" `Quick test_pi2_state_counters ] );
+      ( "pik2",
+        [ Alcotest.test_case "clean" `Quick test_pik2_clean_no_suspicion;
+          Alcotest.test_case "dropper" `Quick test_pik2_detects_dropper;
+          Alcotest.test_case "blocked exchange" `Quick test_pik2_blocked_exchange_is_suspected;
+          Alcotest.test_case "faulty end" `Quick test_pik2_faulty_end_cannot_hide_globally;
+          Alcotest.test_case "sampling" `Quick test_pik2_sampling_still_detects_full_drop;
+          Alcotest.test_case "state comparison" `Quick test_pik2_state_cheaper_than_pi2 ] );
+      ( "appendix-b",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pi2_accuracy; prop_pi2_completeness; prop_pik2_accuracy;
+            prop_pik2_completeness; prop_pik2_adjacent_pair;
+            prop_pi2_protocol_faulty_only; prop_no_false_positives ] ) ]

@@ -1,0 +1,320 @@
+(* Tests for the mrstats substrate: erf/normal, descriptive statistics,
+   Welford accumulation, Z-tests, histograms and variate generation. *)
+
+open Mrstats
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-6) name expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+(* --- erf / normal --- *)
+
+let test_erf_reference () =
+  (* Reference values from standard tables. *)
+  check_float ~eps:1e-6 "erf 0" 0.0 (Erf.erf 0.0);
+  check_float ~eps:1e-6 "erf 1" 0.8427007929 (Erf.erf 1.0);
+  check_float ~eps:1e-6 "erf 2" 0.9953222650 (Erf.erf 2.0);
+  check_float ~eps:1e-6 "erf -1" (-0.8427007929) (Erf.erf (-1.0));
+  check_float ~eps:1e-6 "erfc 0.5" 0.4795001222 (Erf.erfc 0.5)
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> check_float ~eps:1e-7 "erf odd" (-.Erf.erf x) (Erf.erf (-.x)))
+    [ 0.1; 0.7; 1.3; 2.9; 4.2 ]
+
+let test_normal_cdf () =
+  check_float ~eps:1e-6 "cdf 0" 0.5 (Erf.normal_cdf 0.0);
+  check_float ~eps:1e-5 "cdf 1.96" 0.9750021 (Erf.normal_cdf 1.96);
+  check_float ~eps:1e-5 "cdf -1.645" 0.0499849 (Erf.normal_cdf (-1.645));
+  check_float ~eps:1e-6 "cdf mu sigma" 0.5 (Erf.normal_cdf ~mu:42.0 ~sigma:7.0 42.0);
+  check_float ~eps:1e-5 "cdf shifted"
+    (Erf.normal_cdf 1.0)
+    (Erf.normal_cdf ~mu:10.0 ~sigma:2.0 12.0)
+
+let test_normal_pdf () =
+  check_float ~eps:1e-9 "pdf 0" 0.3989422804014327 (Erf.normal_pdf 0.0);
+  check_float ~eps:1e-9 "pdf symmetric" (Erf.normal_pdf 1.3) (Erf.normal_pdf (-1.3))
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun pct ->
+      let x = Erf.normal_quantile pct in
+      check_float ~eps:1e-7 (Printf.sprintf "quantile roundtrip %.4f" pct) pct
+        (Erf.normal_cdf x))
+    [ 0.001; 0.01; 0.05; 0.25; 0.5; 0.75; 0.95; 0.99; 0.999 ]
+
+let test_quantile_known () =
+  check_float ~eps:1e-4 "q 0.975" 1.959964 (Erf.normal_quantile 0.975);
+  check_float ~eps:1e-4 "q 0.5" 0.0 (Erf.normal_quantile 0.5);
+  check_float ~eps:1e-4 "q 0.05" (-1.644854) (Erf.normal_quantile 0.05)
+
+let test_quantile_domain () =
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Erf.normal_quantile: p must lie strictly between 0 and 1")
+    (fun () -> ignore (Erf.normal_quantile 0.0))
+
+(* --- descriptive --- *)
+
+let test_mean_median () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Descriptive.mean xs);
+  check_float "median even" 2.5 (Descriptive.median xs);
+  check_float "median odd" 3.0 (Descriptive.median [| 5.0; 1.0; 3.0 |])
+
+let test_variance () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  (* Known sample: population variance 4, sample variance 32/7. *)
+  check_float ~eps:1e-9 "variance" (32.0 /. 7.0) (Descriptive.variance xs);
+  check_float "variance singleton" 0.0 (Descriptive.variance [| 42.0 |])
+
+let test_percentile () =
+  let xs = Array.init 101 float_of_int in
+  check_float "p0" 0.0 (Descriptive.percentile xs 0.0);
+  check_float "p100" 100.0 (Descriptive.percentile xs 100.0);
+  check_float "p50" 50.0 (Descriptive.percentile xs 50.0);
+  check_float "p25" 25.0 (Descriptive.percentile xs 25.0)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Descriptive.median xs);
+  Alcotest.(check (list (float 0.0))) "unchanged" [ 3.0; 1.0; 2.0 ] (Array.to_list xs)
+
+let test_min_max () =
+  let lo, hi = Descriptive.min_max [| 3.0; -1.0; 7.5; 0.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.5 hi
+
+let test_empty_rejected () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (Descriptive.mean [||]))
+
+let test_moments_normalish () =
+  (* A symmetric sample has ~zero skewness. *)
+  let xs = [| -2.0; -1.0; 0.0; 1.0; 2.0 |] in
+  check_float ~eps:1e-9 "skew symmetric" 0.0 (Descriptive.skewness xs);
+  (* Uniform-ish flat sample has negative excess kurtosis. *)
+  Alcotest.(check bool) "kurtosis flat < 0" true (Descriptive.kurtosis_excess xs < 0.0)
+
+(* --- Welford --- *)
+
+let test_welford_matches_batch () =
+  let xs = [| 1.5; 2.5; 3.5; 10.0; -4.0; 0.25 |] in
+  let w = Welford.create () in
+  Array.iter (Welford.add w) xs;
+  check_float ~eps:1e-9 "count" (float_of_int (Array.length xs))
+    (float_of_int (Welford.count w));
+  check_float ~eps:1e-9 "mean" (Descriptive.mean xs) (Welford.mean w);
+  check_float ~eps:1e-9 "variance" (Descriptive.variance xs) (Welford.variance w)
+
+let test_welford_merge () =
+  let xs = Array.init 50 (fun i -> sin (float_of_int i)) in
+  let ys = Array.init 70 (fun i -> cos (float_of_int i) *. 3.0) in
+  let wa = Welford.create () and wb = Welford.create () in
+  Array.iter (Welford.add wa) xs;
+  Array.iter (Welford.add wb) ys;
+  let merged = Welford.merge wa wb in
+  let all = Array.append xs ys in
+  check_float ~eps:1e-9 "merged mean" (Descriptive.mean all) (Welford.mean merged);
+  check_float ~eps:1e-9 "merged var" (Descriptive.variance all) (Welford.variance merged)
+
+let test_welford_reset () =
+  let w = Welford.create () in
+  Welford.add w 5.0;
+  Welford.reset w;
+  Alcotest.(check int) "count after reset" 0 (Welford.count w);
+  check_float "mean after reset" 0.0 (Welford.mean w)
+
+(* --- Z tests --- *)
+
+let test_one_sided_upper () =
+  (* sample_mean = mu: confidence 0.5. *)
+  check_float ~eps:1e-6 "at mu" 0.5
+    (Ztest.one_sided_upper ~sample_mean:10.0 ~mu:10.0 ~sigma:2.0 ~n:16);
+  (* z = (11-10)/(2/4) = 2 -> Phi(2). *)
+  check_float ~eps:1e-6 "z=2" (Erf.normal_cdf 2.0)
+    (Ztest.one_sided_upper ~sample_mean:11.0 ~mu:10.0 ~sigma:2.0 ~n:16)
+
+let test_combined_loss_confidence_monotone () =
+  (* More headroom in the queue at drop time = higher confidence of malice. *)
+  let conf qpred =
+    Ztest.combined_loss_confidence ~qlimit:64000.0 ~mean_qpred:qpred ~mean_ps:1000.0
+      ~mu:0.0 ~sigma:500.0 ~n:10
+  in
+  Alcotest.(check bool) "half-full > nearly-full" true (conf 30000.0 > conf 62000.0);
+  Alcotest.(check bool) "nearly-full low confidence" true (conf 62990.0 < 0.6);
+  Alcotest.(check bool) "half-full certain" true (conf 30000.0 > 0.999)
+
+let test_poisson_binomial () =
+  (* All-zero drop probabilities: any observed drop is impossible for RED. *)
+  check_float "impossible" 0.0
+    (Ztest.poisson_binomial_upper_tail ~probs:[| 0.0; 0.0; 0.0 |] ~observed:2);
+  (* observed = 0 always has probability 1. *)
+  check_float "trivial" 1.0 (Ztest.poisson_binomial_upper_tail ~probs:[| 0.3 |] ~observed:0);
+  (* Symmetric case: 100 trials at p=0.5, observing >= 50 has prob ~0.5. *)
+  let probs = Array.make 100 0.5 in
+  let tail = Ztest.poisson_binomial_upper_tail ~probs ~observed:50 in
+  Alcotest.(check bool) "median tail" true (tail > 0.4 && tail < 0.6);
+  (* Observing far beyond the mean is vanishingly likely. *)
+  Alcotest.(check bool) "extreme tail" true
+    (Ztest.poisson_binomial_upper_tail ~probs ~observed:90 < 1e-6)
+
+(* --- histogram --- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -3.0; 10.0; 11.0 ];
+  Alcotest.(check int) "count" 7 (Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  let counts = Histogram.bin_counts h in
+  Alcotest.(check int) "bin0" 1 counts.(0);
+  Alcotest.(check int) "bin1" 2 counts.(1);
+  Alcotest.(check int) "bin9" 1 counts.(9);
+  check_float "center" 0.5 (Histogram.bin_center h 0)
+
+let test_histogram_render () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  List.iter (Histogram.add h) [ 0.1; 0.2; 1.1 ];
+  let s = Histogram.render h in
+  Alcotest.(check bool) "has bars" true (String.length s > 0);
+  let s2 = Histogram.render_with_normal h ~mu:1.0 ~sigma:1.0 in
+  Alcotest.(check bool) "normal fit shown" true
+    (String.length s2 > 0
+    && String.length s2 > String.length s)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+(* --- variates --- *)
+
+let rng () = Random.State.make [| 42 |]
+
+let test_uniform_range () =
+  let st = rng () in
+  for _ = 1 to 1000 do
+    let x = Variate.uniform st ~lo:2.0 ~hi:3.0 in
+    if x < 2.0 || x >= 3.0 then Alcotest.fail "uniform out of range"
+  done
+
+let test_exponential_mean () =
+  let st = rng () in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Variate.exponential st ~rate:4.0) in
+  check_float ~eps:0.01 "mean 1/rate" 0.25 (Descriptive.mean xs)
+
+let test_normal_moments () =
+  let st = rng () in
+  let xs = Array.init 20000 (fun _ -> Variate.normal st ~mu:5.0 ~sigma:2.0) in
+  check_float ~eps:0.05 "mean" 5.0 (Descriptive.mean xs);
+  check_float ~eps:0.05 "std" 2.0 (Descriptive.stddev xs)
+
+let test_poisson_mean () =
+  let st = rng () in
+  let xs = Array.init 20000 (fun _ -> float_of_int (Variate.poisson st ~lambda:3.5)) in
+  check_float ~eps:0.05 "mean small lambda" 3.5 (Descriptive.mean xs);
+  let ys = Array.init 5000 (fun _ -> float_of_int (Variate.poisson st ~lambda:100.0)) in
+  check_float ~eps:1.0 "mean large lambda" 100.0 (Descriptive.mean ys)
+
+let test_pareto_tail () =
+  let st = rng () in
+  for _ = 1 to 1000 do
+    if Variate.pareto st ~shape:1.5 ~scale:2.0 < 2.0 then
+      Alcotest.fail "pareto below scale"
+  done
+
+let test_bernoulli_frequency () =
+  let st = rng () in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Variate.bernoulli st ~p:0.3 then incr hits
+  done;
+  check_float ~eps:0.02 "frequency" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_shuffle_permutes () =
+  let st = rng () in
+  let a = Array.init 100 Fun.id in
+  Variate.shuffle st a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+(* property tests *)
+
+let prop_erf_bounded =
+  QCheck.Test.make ~name:"erf bounded by 1" ~count:500
+    QCheck.(float_range (-50.0) 50.0)
+    (fun x ->
+      let y = Erf.erf x in
+      y >= -1.0 && y <= 1.0)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"normal cdf monotone" ~count:500
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range 0.0001 5.0))
+    (fun (x, dx) -> Erf.normal_cdf (x +. dx) >= Erf.normal_cdf x)
+
+let prop_welford_matches =
+  QCheck.Test.make ~name:"welford = batch" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let w = Welford.create () in
+      Array.iter (Welford.add w) arr;
+      feq ~eps:1e-6 (Descriptive.mean arr) (Welford.mean w)
+      && feq ~eps:1e-5 (Descriptive.variance arr) (Welford.variance w))
+
+let prop_median_between =
+  QCheck.Test.make ~name:"median within min..max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let lo, hi = Descriptive.min_max arr in
+      let m = Descriptive.median arr in
+      m >= lo && m <= hi)
+
+let () =
+  Alcotest.run "mrstats"
+    [ ( "erf",
+        [ Alcotest.test_case "reference values" `Quick test_erf_reference;
+          Alcotest.test_case "odd function" `Quick test_erf_odd;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "normal pdf" `Quick test_normal_pdf;
+          Alcotest.test_case "quantile roundtrip" `Quick test_quantile_roundtrip;
+          Alcotest.test_case "quantile known" `Quick test_quantile_known;
+          Alcotest.test_case "quantile domain" `Quick test_quantile_domain ] );
+      ( "descriptive",
+        [ Alcotest.test_case "mean median" `Quick test_mean_median;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "no mutation" `Quick test_percentile_does_not_mutate;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "moments" `Quick test_moments_normalish ] );
+      ( "welford",
+        [ Alcotest.test_case "matches batch" `Quick test_welford_matches_batch;
+          Alcotest.test_case "merge" `Quick test_welford_merge;
+          Alcotest.test_case "reset" `Quick test_welford_reset ] );
+      ( "ztest",
+        [ Alcotest.test_case "one sided upper" `Quick test_one_sided_upper;
+          Alcotest.test_case "combined loss monotone" `Quick
+            test_combined_loss_confidence_monotone;
+          Alcotest.test_case "poisson binomial" `Quick test_poisson_binomial ] );
+      ( "histogram",
+        [ Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+          Alcotest.test_case "invalid" `Quick test_histogram_invalid ] );
+      ( "variate",
+        [ Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+          Alcotest.test_case "pareto tail" `Quick test_pareto_tail;
+          Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_erf_bounded; prop_cdf_monotone; prop_welford_matches; prop_median_between ]
+      ) ]

@@ -1,0 +1,516 @@
+(* Tests for the topology substrate: graphs, deterministic routing,
+   path-segment enumeration, policy (response) routing, generators,
+   Abilene, and disjoint paths. *)
+
+open Topology
+
+let seg = Alcotest.(list int)
+
+(* --- Graph --- *)
+
+let test_graph_basics () =
+  let g = Graph.create ~n:4 in
+  Graph.add_duplex g 0 1;
+  Graph.add_link g ~cost:3 1 2;
+  Alcotest.(check int) "size" 4 (Graph.size g);
+  Alcotest.(check int) "links" 3 (Graph.link_count g);
+  Alcotest.(check int) "duplex" 1 (Graph.duplex_link_count g);
+  Alcotest.(check (list int)) "neighbors" [ 0; 2 ] (Graph.out_neighbors g 1);
+  (match Graph.link g 1 2 with
+  | Some l -> Alcotest.(check int) "cost" 3 l.Graph.cost
+  | None -> Alcotest.fail "link 1->2 must exist");
+  Alcotest.(check bool) "no reverse" true (Graph.link g 2 1 = None)
+
+let test_graph_replace () =
+  let g = Graph.create ~n:2 in
+  Graph.add_link g ~cost:1 0 1;
+  Graph.add_link g ~cost:9 0 1;
+  Alcotest.(check int) "still one link" 1 (Graph.link_count g);
+  Alcotest.(check int) "cost replaced" 9 (Graph.link_exn g 0 1).Graph.cost
+
+let test_graph_validation () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_link: self-loop")
+    (fun () -> Graph.add_link g 0 0);
+  Alcotest.check_raises "bad cost" (Invalid_argument "Graph.add_link: cost must be positive")
+    (fun () -> Graph.add_link g ~cost:0 0 1);
+  Alcotest.check_raises "range" (Invalid_argument "Graph.add_link: node 5 outside [0,2)")
+    (fun () -> Graph.add_link g 5 1)
+
+let test_graph_connectivity () =
+  let g = Generate.line ~n:5 in
+  Alcotest.(check bool) "line connected" true (Graph.is_connected g);
+  Graph.remove_link g 2 3;
+  Alcotest.(check bool) "one direction cut" false (Graph.is_connected g)
+
+let test_graph_copy_independent () =
+  let g = Generate.line ~n:3 in
+  let g2 = Graph.copy g in
+  Graph.remove_link g2 0 1;
+  Alcotest.(check bool) "original keeps link" true (Graph.link g 0 1 <> None);
+  Alcotest.(check bool) "copy lost link" true (Graph.link g2 0 1 = None)
+
+(* --- Dijkstra / Routing --- *)
+
+let test_dijkstra_line () =
+  let g = Generate.line ~n:5 in
+  let d = Dijkstra.distances g ~src:0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |] d
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create ~n:3 in
+  Graph.add_duplex g 0 1;
+  let d = Dijkstra.distances g ~src:0 in
+  Alcotest.(check int) "isolated" Dijkstra.unreachable d.(2)
+
+let test_dijkstra_respects_costs () =
+  (* 0-1-2 with costs 1+1 vs direct 0-2 with cost 5. *)
+  let g = Graph.create ~n:3 in
+  Graph.add_duplex g ~cost:1 0 1;
+  Graph.add_duplex g ~cost:1 1 2;
+  Graph.add_duplex g ~cost:5 0 2;
+  let d = Dijkstra.distances g ~src:0 in
+  Alcotest.(check int) "via middle" 2 d.(2)
+
+let test_routing_path () =
+  let g = Generate.line ~n:4 in
+  let rt = Routing.compute g in
+  (match Routing.path rt ~src:0 ~dst:3 with
+  | Some p -> Alcotest.check seg "path" [ 0; 1; 2; 3 ] p
+  | None -> Alcotest.fail "reachable");
+  Alcotest.(check (option int)) "cost" (Some 3) (Routing.cost rt 0 3);
+  Alcotest.(check bool) "self path" true (Routing.path rt ~src:2 ~dst:2 = Some [ 2 ])
+
+let test_routing_deterministic_tiebreak () =
+  (* Diamond 0-{1,2}-3 with equal costs: the lower-id neighbor wins. *)
+  let g = Graph.create ~n:4 in
+  Graph.add_duplex g 0 1;
+  Graph.add_duplex g 0 2;
+  Graph.add_duplex g 1 3;
+  Graph.add_duplex g 2 3;
+  let rt = Routing.compute g in
+  Alcotest.(check (option int)) "next hop" (Some 1) (Routing.next_hop rt 0 ~dst:3);
+  match Routing.path rt ~src:0 ~dst:3 with
+  | Some p -> Alcotest.check seg "path via 1" [ 0; 1; 3 ] p
+  | None -> Alcotest.fail "reachable"
+
+let test_routing_loop_free_everywhere () =
+  let g = Generate.ispish ~seed:3 ~n:60 ~duplex_links:120 ~max_degree:12 () in
+  let rt = Routing.compute g in
+  List.iter
+    (fun p ->
+      let sorted = List.sort_uniq compare p in
+      if List.length sorted <> List.length p then Alcotest.fail "routed path revisits a node")
+    (Routing.all_routed_paths rt)
+
+let test_all_routed_paths_count () =
+  let g = Generate.line ~n:4 in
+  let rt = Routing.compute g in
+  Alcotest.(check int) "ordered pairs" 12 (List.length (Routing.all_routed_paths rt))
+
+let test_path_delay () =
+  let g = Graph.create ~n:3 in
+  Graph.add_duplex g ~delay:0.004 0 1;
+  Graph.add_duplex g ~delay:0.006 1 2;
+  let rt = Routing.compute g in
+  Alcotest.(check (float 1e-9)) "delay sum" 0.010 (Routing.path_delay rt [ 0; 1; 2 ])
+
+(* --- Segments --- *)
+
+let test_windows () =
+  Alcotest.(check (list (list int))) "w2" [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]
+    (Segments.windows [ 1; 2; 3; 4 ] 2);
+  Alcotest.(check (list (list int))) "w4" [ [ 1; 2; 3; 4 ] ] (Segments.windows [ 1; 2; 3; 4 ] 4);
+  Alcotest.(check (list (list int))) "too wide" [] (Segments.windows [ 1; 2 ] 3)
+
+let test_pi2_family_line () =
+  (* Line of 5, k = 1: 3-segments of routed paths = all consecutive triples
+     in both directions. *)
+  let rt = Routing.compute (Generate.line ~n:5) in
+  let fam = Segments.pi2_family rt ~k:1 in
+  Alcotest.(check int) "count" 6 (List.length fam);
+  Alcotest.(check bool) "contains 0-1-2" true (List.mem [ 0; 1; 2 ] fam);
+  Alcotest.(check bool) "contains 2-1-0" true (List.mem [ 2; 1; 0 ] fam)
+
+let test_pi2_family_short_paths () =
+  (* Line of 3, k = 3 (x = 5 > path length): whole 3-paths are monitored. *)
+  let rt = Routing.compute (Generate.line ~n:3) in
+  let fam = Segments.pi2_family rt ~k:3 in
+  Alcotest.(check int) "both directions" 2 (List.length fam);
+  Alcotest.(check bool) "whole path" true (List.mem [ 0; 1; 2 ] fam)
+
+let test_pik2_family_line () =
+  (* Line of 5, k = 2: x in {3,4}. 3-segments: 6; 4-segments: 4. *)
+  let rt = Routing.compute (Generate.line ~n:5) in
+  let fam = Segments.pik2_family rt ~k:2 in
+  Alcotest.(check int) "count" 10 (List.length fam)
+
+let test_pi2_pr_membership () =
+  let rt = Routing.compute (Generate.line ~n:5) in
+  let pr = Segments.pi2_pr rt ~k:1 in
+  (* Router 2 is inside 0-1-2,1-2-3,2-3-4 and their reverses: 6 segments. *)
+  Alcotest.(check int) "middle router" 6 (List.length pr.(2));
+  (* Router 0 only belongs to 0-1-2 / 2-1-0. *)
+  Alcotest.(check int) "edge router" 2 (List.length pr.(0))
+
+let test_pik2_pr_ends_only () =
+  let rt = Routing.compute (Generate.line ~n:5) in
+  let pr = Segments.pik2_pr rt ~k:1 in
+  (* k = 1: only 3-segments; router 2 is an end of 2-3-4, 4-3-2, 2-1-0, 0-1-2. *)
+  Alcotest.(check int) "router 2 ends" 4 (List.length pr.(2));
+  List.iter
+    (fun s ->
+      match s with
+      | first :: rest ->
+          let last = List.nth rest (List.length rest - 1) in
+          if first <> 2 && last <> 2 then Alcotest.fail "segment without r as end"
+      | [] -> Alcotest.fail "empty segment")
+    pr.(2)
+
+let test_pr_stats () =
+  let rt = Routing.compute (Generate.line ~n:5) in
+  let mx, mean, med = Segments.pr_stats (Segments.pi2_pr rt ~k:1) in
+  Alcotest.(check (float 1e-9)) "max" 6.0 mx;
+  Alcotest.(check bool) "mean <= max" true (mean <= mx);
+  Alcotest.(check bool) "median <= max" true (med <= mx)
+
+let test_pik2_smaller_than_pi2 () =
+  (* The dissertation's headline overhead comparison: per-router state for
+     Πk+2 is far below Π2 on ISP-like graphs. *)
+  let g = Generate.ebone_like () in
+  let rt = Routing.compute g in
+  let _, mean_pi2, _ = Segments.pr_stats (Segments.pi2_pr rt ~k:2) in
+  let _, mean_pik2, _ = Segments.pr_stats (Segments.pik2_pr rt ~k:2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pi2 %.1f > pik2 %.1f" mean_pi2 mean_pik2)
+    true (mean_pi2 > mean_pik2)
+
+(* --- Policy --- *)
+
+let test_policy_no_forbidden_matches_routing () =
+  let g = Generate.grid ~rows:3 ~cols:3 in
+  let rt = Routing.compute g in
+  let pol = Policy.compute g ~forbidden:[] in
+  for s = 0 to 8 do
+    for d = 0 to 8 do
+      if s <> d then begin
+        let a = Routing.path rt ~src:s ~dst:d and b = Policy.path pol ~src:s ~dst:d in
+        match (a, b) with
+        | Some pa, Some pb ->
+            Alcotest.(check int)
+              (Printf.sprintf "same cost %d->%d" s d)
+              (List.length pa) (List.length pb)
+        | _ -> Alcotest.fail "both should be reachable"
+      end
+    done
+  done
+
+let test_policy_link_removal () =
+  let g = Generate.ring ~n:5 in
+  let pol = Policy.compute g ~forbidden:[ [ 0; 1 ] ] in
+  match Policy.path pol ~src:0 ~dst:1 with
+  | Some p ->
+      Alcotest.check seg "goes the long way" [ 0; 4; 3; 2; 1 ] p
+  | None -> Alcotest.fail "still reachable"
+
+let test_policy_forbidden_transition () =
+  (* Grid: ban the transition 0->1->2 along the top row; 0->2 must detour
+     but 1->2 alone stays direct. *)
+  let g = Generate.grid ~rows:2 ~cols:3 in
+  (* ids: 0 1 2 / 3 4 5 *)
+  let pol = Policy.compute g ~forbidden:[ [ 0; 1; 2 ] ] in
+  (match Policy.path pol ~src:0 ~dst:2 with
+  | Some p ->
+      Alcotest.(check bool) "avoids banned window" false (Policy.is_forbidden_path pol p);
+      Alcotest.(check bool) "longer than direct" true (List.length p > 3)
+  | None -> Alcotest.fail "reachable");
+  match Policy.path pol ~src:1 ~dst:2 with
+  | Some p -> Alcotest.check seg "direct hop unaffected" [ 1; 2 ] p
+  | None -> Alcotest.fail "reachable"
+
+let test_policy_long_segment_conservative () =
+  let g = Generate.grid ~rows:3 ~cols:3 in
+  (* A 4-segment bans its two interior transitions. *)
+  let pol = Policy.compute g ~forbidden:[ [ 0; 1; 2; 5 ] ] in
+  Alcotest.(check int) "two banned transitions" 2
+    (List.length (Policy.forbidden_transitions pol))
+
+let test_policy_unreachable_when_cut () =
+  let g = Generate.line ~n:3 in
+  let pol = Policy.compute g ~forbidden:[ [ 0; 1 ]; [ 1; 0 ] ] in
+  Alcotest.(check bool) "cut" true (Policy.path pol ~src:0 ~dst:2 = None)
+
+let test_policy_rejects_bogus_segment () =
+  let g = Generate.line ~n:4 in
+  Alcotest.(check bool) "non-adjacent rejected" true
+    (try
+       ignore (Policy.compute g ~forbidden:[ [ 0; 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_policy_paths_loop_free () =
+  let g = Generate.grid ~rows:3 ~cols:4 in
+  let pol = Policy.compute g ~forbidden:[ [ 0; 1; 2 ]; [ 5; 6 ]; [ 4; 5; 9 ] ] in
+  for s = 0 to 11 do
+    for d = 0 to 11 do
+      if s <> d then begin
+        match Policy.path pol ~src:s ~dst:d with
+        | None -> ()
+        | Some p ->
+            if List.length p > 100 then Alcotest.fail "absurdly long path";
+            Alcotest.(check bool)
+              (Printf.sprintf "clean %d->%d" s d)
+              false (Policy.is_forbidden_path pol p)
+      end
+    done
+  done
+
+(* --- Generate --- *)
+
+let test_generate_line_ring_grid () =
+  Alcotest.(check int) "line links" 8 (Graph.link_count (Generate.line ~n:5));
+  Alcotest.(check int) "ring links" 10 (Graph.link_count (Generate.ring ~n:5));
+  Alcotest.(check int) "grid links" 14 (Graph.link_count (Generate.grid ~rows:2 ~cols:3));
+  Alcotest.(check bool) "grid connected" true (Graph.is_connected (Generate.grid ~rows:4 ~cols:4))
+
+let check_ispish g ~n ~links ~cap =
+  Alcotest.(check int) "nodes" n (Graph.size g);
+  Alcotest.(check int) "duplex links" links (Graph.duplex_link_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  let degs = Graph.degrees g in
+  Array.iter (fun d -> if d > cap then Alcotest.failf "degree %d over cap %d" d cap) degs
+
+let test_generate_sprintlink_shape () =
+  check_ispish (Generate.sprintlink_like ()) ~n:315 ~links:972 ~cap:45
+
+let test_generate_ebone_shape () = check_ispish (Generate.ebone_like ()) ~n:87 ~links:161 ~cap:11
+
+let test_generate_deterministic () =
+  let a = Generate.ispish ~seed:5 ~n:30 ~duplex_links:60 ~max_degree:10 () in
+  let b = Generate.ispish ~seed:5 ~n:30 ~duplex_links:60 ~max_degree:10 () in
+  Alcotest.(check (list (pair int int))) "same links"
+    (List.sort compare (List.map (fun (l : Graph.link) -> (l.Graph.src, l.Graph.dst)) (Graph.links a)))
+    (List.sort compare (List.map (fun (l : Graph.link) -> (l.Graph.src, l.Graph.dst)) (Graph.links b)))
+
+let test_generate_waxman () =
+  let g = Generate.waxman ~seed:3 ~n:40 () in
+  Alcotest.(check int) "nodes" 40 (Graph.size g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Beyond the spanning chain, geometric links exist. *)
+  Alcotest.(check bool) "denser than a chain" true (Graph.duplex_link_count g > 39);
+  (* Deterministic per seed. *)
+  let h = Generate.waxman ~seed:3 ~n:40 () in
+  Alcotest.(check int) "deterministic" (Graph.link_count g) (Graph.link_count h)
+
+let test_generate_infeasible () =
+  Alcotest.(check bool) "too few links rejected" true
+    (try
+       ignore (Generate.ispish ~n:10 ~duplex_links:5 ~max_degree:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Abilene --- *)
+
+let test_abilene_shape () =
+  let g = Abilene.graph () in
+  Alcotest.(check int) "pops" 11 (Graph.size g);
+  Alcotest.(check int) "duplex links" 14 (Graph.duplex_link_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_abilene_primary_path () =
+  let rt = Routing.compute (Abilene.graph ()) in
+  match Routing.path rt ~src:(Abilene.id Abilene.New_york) ~dst:(Abilene.id Abilene.Sunnyvale) with
+  | Some p -> Alcotest.check seg "primary" Abilene.primary_ny_sun p
+  | None -> Alcotest.fail "reachable"
+
+let test_abilene_latencies () =
+  let rt = Routing.compute (Abilene.graph ()) in
+  Alcotest.(check (float 1e-9)) "primary 25ms" 0.025 (Routing.path_delay rt Abilene.primary_ny_sun);
+  Alcotest.(check (float 1e-9)) "detour 28ms" 0.028 (Routing.path_delay rt Abilene.detour_ny_sun)
+
+let test_abilene_detour_after_excision () =
+  (* Excise the three suspected 3-segments around Kansas City (both
+     directions): NY -> Sunnyvale must switch to the southern path. *)
+  let g = Abilene.graph () in
+  let kc = Abilene.id Abilene.Kansas_city in
+  let den = Abilene.id Abilene.Denver
+  and ind = Abilene.id Abilene.Indianapolis
+  and hou = Abilene.id Abilene.Houston in
+  let forbidden =
+    List.concat_map
+      (fun (a, b) -> [ [ a; kc; b ]; [ b; kc; a ] ])
+      [ (den, ind); (den, hou); (hou, ind) ]
+  in
+  let pol = Policy.compute g ~forbidden in
+  match Policy.path pol ~src:(Abilene.id Abilene.New_york) ~dst:(Abilene.id Abilene.Sunnyvale) with
+  | Some p -> Alcotest.check seg "detour" Abilene.detour_ny_sun p
+  | None -> Alcotest.fail "reachable"
+
+let test_abilene_names () =
+  Alcotest.(check string) "Kan" "Kan" (Abilene.name (Abilene.id Abilene.Kansas_city));
+  Alcotest.(check string) "New" "New" (Abilene.name (Abilene.id Abilene.New_york))
+
+(* --- Disjoint --- *)
+
+let test_disjoint_ring () =
+  let g = Generate.ring ~n:6 in
+  let paths = Disjoint.max_disjoint_paths g ~src:0 ~dst:3 in
+  Alcotest.(check int) "two disjoint paths" 2 (List.length paths);
+  (* Intermediate nodes must not repeat across paths. *)
+  let interior p = List.filter (fun v -> v <> 0 && v <> 3) p in
+  let all = List.concat_map interior paths in
+  Alcotest.(check int) "no shared interior" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_disjoint_line () =
+  let g = Generate.line ~n:4 in
+  Alcotest.(check int) "line connectivity 1" 1 (Disjoint.connectivity g ~src:0 ~dst:3)
+
+let test_disjoint_grid () =
+  let g = Generate.grid ~rows:3 ~cols:3 in
+  (* Corner-to-corner connectivity of a 3x3 grid is 2. *)
+  Alcotest.(check int) "grid corners" 2 (Disjoint.connectivity g ~src:0 ~dst:8)
+
+let test_disjoint_unreachable () =
+  let g = Graph.create ~n:3 in
+  Graph.add_duplex g 0 1;
+  Alcotest.(check int) "unreachable" 0 (Disjoint.connectivity g ~src:0 ~dst:2)
+
+let test_disjoint_paths_valid () =
+  let g = Generate.grid ~rows:3 ~cols:3 in
+  List.iter
+    (fun p ->
+      let rec adjacent = function
+        | a :: (b :: _ as rest) ->
+            if Graph.link g a b = None then Alcotest.fail "path uses non-link";
+            adjacent rest
+        | _ -> ()
+      in
+      adjacent p)
+    (Disjoint.max_disjoint_paths g ~src:0 ~dst:8)
+
+(* --- properties --- *)
+
+let topo_gen =
+  QCheck.make
+    QCheck.Gen.(
+      map2
+        (fun n seed -> (6 + n, seed))
+        (int_bound 20) (int_bound 1000))
+
+let prop_routing_paths_consistent =
+  (* Hop-by-hop: the path from any intermediate router to the destination
+     is the corresponding suffix — the predictability property. *)
+  QCheck.Test.make ~name:"suffix consistency" ~count:25 topo_gen (fun (n, seed) ->
+      let g = Generate.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Routing.compute g in
+      List.for_all
+        (fun p ->
+          match p with
+          | _ :: (mid :: _ as suffix) when List.length suffix >= 1 ->
+              let dst = List.nth p (List.length p - 1) in
+              Routing.path rt ~src:mid ~dst = Some suffix
+          | _ -> true)
+        (Routing.all_routed_paths rt))
+
+let prop_segments_are_subpaths =
+  QCheck.Test.make ~name:"pi2 segments lie on routed paths" ~count:15 topo_gen
+    (fun (n, seed) ->
+      let g = Generate.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Routing.compute g in
+      let fam = Segments.pi2_family rt ~k:2 in
+      List.for_all
+        (fun s ->
+          let rec adjacent = function
+            | a :: (b :: _ as rest) -> Graph.link g a b <> None && adjacent rest
+            | _ -> true
+          in
+          List.length s >= 3 && adjacent s)
+        fam)
+
+let prop_policy_avoids_forbidden =
+  QCheck.Test.make ~name:"policy paths never traverse forbidden windows" ~count:15
+    topo_gen (fun (n, seed) ->
+      let g = Generate.ispish ~seed ~n ~duplex_links:(2 * n) ~max_degree:n () in
+      let rt = Routing.compute g in
+      (* Forbid the middle 3-window of the longest routed path. *)
+      let longest =
+        List.fold_left
+          (fun acc p -> if List.length p > List.length acc then p else acc)
+          [] (Routing.all_routed_paths rt)
+      in
+      if List.length longest < 3 then true
+      else begin
+        let window = List.filteri (fun i _ -> i < 3) longest in
+        let pol = Policy.compute g ~forbidden:[ window ] in
+        List.for_all
+          (fun (s : int) ->
+            List.for_all
+              (fun d ->
+                if s = d then true
+                else begin
+                  match Policy.path pol ~src:s ~dst:d with
+                  | None -> true
+                  | Some p -> not (Policy.is_forbidden_path pol p)
+                end)
+              (List.init n Fun.id))
+          (List.init n Fun.id)
+      end)
+
+let () =
+  Alcotest.run "topology"
+    [ ( "graph",
+        [ Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "replace" `Quick test_graph_replace;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
+          Alcotest.test_case "copy" `Quick test_graph_copy_independent ] );
+      ( "routing",
+        [ Alcotest.test_case "dijkstra line" `Quick test_dijkstra_line;
+          Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "dijkstra costs" `Quick test_dijkstra_respects_costs;
+          Alcotest.test_case "path" `Quick test_routing_path;
+          Alcotest.test_case "tie break" `Quick test_routing_deterministic_tiebreak;
+          Alcotest.test_case "loop free" `Quick test_routing_loop_free_everywhere;
+          Alcotest.test_case "all paths count" `Quick test_all_routed_paths_count;
+          Alcotest.test_case "path delay" `Quick test_path_delay ] );
+      ( "segments",
+        [ Alcotest.test_case "windows" `Quick test_windows;
+          Alcotest.test_case "pi2 family line" `Quick test_pi2_family_line;
+          Alcotest.test_case "pi2 short paths" `Quick test_pi2_family_short_paths;
+          Alcotest.test_case "pik2 family line" `Quick test_pik2_family_line;
+          Alcotest.test_case "pi2 pr membership" `Quick test_pi2_pr_membership;
+          Alcotest.test_case "pik2 ends only" `Quick test_pik2_pr_ends_only;
+          Alcotest.test_case "pr stats" `Quick test_pr_stats;
+          Alcotest.test_case "pik2 < pi2 state" `Slow test_pik2_smaller_than_pi2 ] );
+      ( "policy",
+        [ Alcotest.test_case "matches routing" `Quick test_policy_no_forbidden_matches_routing;
+          Alcotest.test_case "link removal" `Quick test_policy_link_removal;
+          Alcotest.test_case "forbidden transition" `Quick test_policy_forbidden_transition;
+          Alcotest.test_case "long segment" `Quick test_policy_long_segment_conservative;
+          Alcotest.test_case "unreachable" `Quick test_policy_unreachable_when_cut;
+          Alcotest.test_case "bogus segment" `Quick test_policy_rejects_bogus_segment;
+          Alcotest.test_case "loop free" `Quick test_policy_paths_loop_free ] );
+      ( "generate",
+        [ Alcotest.test_case "line ring grid" `Quick test_generate_line_ring_grid;
+          Alcotest.test_case "sprintlink shape" `Slow test_generate_sprintlink_shape;
+          Alcotest.test_case "ebone shape" `Quick test_generate_ebone_shape;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "waxman" `Quick test_generate_waxman;
+          Alcotest.test_case "infeasible" `Quick test_generate_infeasible ] );
+      ( "abilene",
+        [ Alcotest.test_case "shape" `Quick test_abilene_shape;
+          Alcotest.test_case "primary path" `Quick test_abilene_primary_path;
+          Alcotest.test_case "latencies" `Quick test_abilene_latencies;
+          Alcotest.test_case "detour" `Quick test_abilene_detour_after_excision;
+          Alcotest.test_case "names" `Quick test_abilene_names ] );
+      ( "disjoint",
+        [ Alcotest.test_case "ring" `Quick test_disjoint_ring;
+          Alcotest.test_case "line" `Quick test_disjoint_line;
+          Alcotest.test_case "grid" `Quick test_disjoint_grid;
+          Alcotest.test_case "unreachable" `Quick test_disjoint_unreachable;
+          Alcotest.test_case "valid paths" `Quick test_disjoint_paths_valid ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_routing_paths_consistent; prop_segments_are_subpaths;
+            prop_policy_avoids_forbidden ] ) ]
