@@ -111,7 +111,7 @@ let all_tests =
     (bench_fingerprints @ bench_tv @ bench_reconcile @ bench_routing
     @ bench_crypto_heavy)
 
-let run_benchmarks () =
+let run_benchmarks registry =
   print_endline "";
   print_endline "Microbenchmarks (Ch. 7 per-packet and per-round costs)";
   print_endline "======================================================";
@@ -124,11 +124,16 @@ let run_benchmarks () =
   List.iter
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Printf.printf "  %-32s %12.1f ns/op\n" name ns
+      | Some [ ns ] ->
+          Printf.printf "  %-32s %12.1f ns/op\n" name ns;
+          Telemetry.Metrics.set
+            (Telemetry.Metrics.gauge registry "bench_ns_per_op"
+               ~help:"microbenchmark cost" ~labels:[ ("name", name) ])
+            ns
       | _ -> Printf.printf "  %-32s (no estimate)\n" name)
     (List.sort compare rows)
 
-let simulator_performance () =
+let simulator_performance registry =
   (* A reference scenario to gauge engine throughput. *)
   print_endline "";
   print_endline "Simulator performance (reference scenario)";
@@ -150,9 +155,30 @@ let simulator_performance () =
   Printf.printf "  %d events in %.2f s wall = %.1fk events/s (30 s simulated)
 " events
     wall
-    (float_of_int events /. wall /. 1000.0)
+    (float_of_int events /. wall /. 1000.0);
+  let set name help v =
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge registry name ~help
+         ~labels:[ ("scenario", "ring8-reference") ])
+      v
+  in
+  set "sim_events_processed" "events in the reference scenario" (float_of_int events);
+  set "sim_wall_seconds" "wall clock for the reference scenario" wall;
+  set "sim_events_per_second" "engine throughput" (float_of_int events /. wall)
+
+(* Machine-readable trajectory: every run rewrites BENCH_telemetry.json
+   with the same numbers the stdout table shows, so per-PR performance
+   diffs are a file diff, not a transcript scrape. *)
+let write_json registry path =
+  Telemetry.Export.write_file path
+    (Telemetry.Export.Assoc
+       [ ("schema", Telemetry.Export.String "mrdetect-bench-v1");
+         ("metrics", Telemetry.Export.json_of_registry registry) ]);
+  Printf.printf "\nbenchmark metrics written to %s\n" path
 
 let () =
+  let registry = Telemetry.Metrics.create () in
   reproduction ();
-  simulator_performance ();
-  run_benchmarks ()
+  simulator_performance registry;
+  run_benchmarks registry;
+  write_json registry "BENCH_telemetry.json"

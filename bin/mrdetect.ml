@@ -61,7 +61,20 @@ let simulate_cmd =
     Arg.(value & opt int 0
          & info [ "trace" ] ~docv:"N" ~doc:"dump the last N events at the attacker")
   in
-  let run topo protocol attack fraction attacker duration seed flows trace =
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"write run metrics (counters, detection latency, profiling) to \
+                   FILE as JSON; a .prom/.txt suffix selects Prometheus text")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"write the typed event journal (link/router/verdict records) to \
+                   FILE as JSONL")
+  in
+  let run topo protocol attack fraction attacker duration seed flows trace metrics
+      journal =
     let fail msg = `Error (false, msg) in
     match Experiments.Simulate.topo_of_string topo with
     | Error e -> fail e
@@ -70,17 +83,19 @@ let simulate_cmd =
         | Error e -> fail e
         | Ok attack -> (
             match protocol with
-            | "chi" | "fatih" ->
+            | "chi" | "fatih" -> (
                 let protocol = if protocol = "chi" then `Chi else `Fatih in
-                Experiments.Simulate.run ~topo ~protocol ~attack ~attacker ~duration ~seed
-                  ~flows ~trace ();
-                `Ok ()
+                try
+                  Experiments.Simulate.run ~topo ~protocol ~attack ~attacker ~duration
+                    ~seed ~flows ~trace ?metrics ?journal ();
+                  `Ok ()
+                with Sys_error msg -> fail ("cannot write output file: " ^ msg))
             | p -> fail (Printf.sprintf "unknown protocol %S (chi|fatih)" p)))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
     Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
-               $ seed $ flows $ trace))
+               $ seed $ flows $ trace $ metrics $ journal))
 
 let subcommand (name, doc, run) =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())

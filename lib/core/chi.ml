@@ -41,6 +41,8 @@ type t = {
   qmon : Qmon.t;
   config : config;
   qlimit : float;
+  router : int;
+  probe : Netsim.Probe.t option;
   error : Mrstats.Welford.t;
   mutable error_samples_rev : float list;
   mutable error_sample_count : int;
@@ -171,10 +173,19 @@ let run_round t ~start_time ~end_time ~learning =
       alarm; learning }
   in
   t.round <- t.round + 1;
-  t.reports_rev <- report :: t.reports_rev
+  t.reports_rev <- report :: t.reports_rev;
+  match t.probe with
+  | Some probe when not learning ->
+      Netsim.Probe.record_verdict probe ~time:end_time ~detector:"chi"
+        ~subject:t.router ~suspects:victims ~confidence:c_single_max ~alarm
+        ~detail:
+          (Printf.sprintf "round=%d losses=%d fabricated=%d" report.round
+             (List.length losses) fabricated)
+        ()
+  | Some _ | None -> ()
 
 let deploy ~net ~rt ~router ~next ?(config = default_config)
-    ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew () =
+    ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew ?probe () =
   let predict =
     match predict with Some p -> p | None -> Qmon.predict_of_routing rt ~router
   in
@@ -185,7 +196,8 @@ let deploy ~net ~rt ~router ~next ?(config = default_config)
     | None -> invalid_arg "Chi.deploy: no such link"
   in
   let t =
-    { qmon; config; qlimit; error = Mrstats.Welford.create ();
+    { qmon; config; qlimit; router; probe;
+      error = Mrstats.Welford.create ();
       error_samples_rev = []; error_sample_count = 0; qpred = 0.0; carry_d = [];
       round = 0; reports_rev = [] }
   in

@@ -70,12 +70,16 @@ val deploy :
   ?key:Crypto_sim.Siphash.key ->
   ?predict:(Netsim.Packet.t -> int option) ->
   ?skew:(reporter:int -> float) ->
+  ?probe:Netsim.Probe.t ->
   unit ->
   t
 (** Install the monitor on queue ⟨router → next⟩ and schedule validation
     rounds every [tau] seconds.  [predict] overrides the neighbours'
     forwarding prediction (defaults to single-shortest-path from [rt];
-    pass {!Qmon.predict_of_ecmp} when the network runs ECMP, §7.4.1). *)
+    pass {!Qmon.predict_of_ecmp} when the network runs ECMP, §7.4.1).
+    With [probe], every post-learning round's verdict (suspect flows,
+    max single-loss confidence, alarm) is journaled as a typed
+    {!Netsim.Probe.verdict}. *)
 
 val reports : t -> report list
 (** All completed round reports, oldest first. *)

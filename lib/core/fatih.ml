@@ -65,7 +65,7 @@ let reset_state policy st =
   st.received <- Summary.create policy
 
 let deploy ~net ~rt ?(config = default_config)
-    ?(key = Crypto_sim.Siphash.key_of_string "fatih") () =
+    ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe () =
   let t =
     { config; response = Response.create ~net ~config:config.response ();
       segs = Hashtbl.create 256; detections_rev = []; last_policy_change = neg_infinity;
@@ -176,6 +176,19 @@ let deploy ~net ~rt ?(config = default_config)
                 reordered = v.Validation.reordered;
                 max_delay = v.Validation.max_delay_seen; sent = sent_n }
               :: t.detections_rev;
+            (match probe with
+            | Some probe ->
+                (* The accused is the segment's interior router: the two
+                   ends are the detecting terminals. *)
+                Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
+                  ?subject:(match seg with [ _; m; _ ] -> Some m | _ -> None)
+                  ~suspects:seg ~alarm:true
+                  ~detail:
+                    (Printf.sprintf "missing=%d/%d fabricated=%d"
+                       (List.length v.Validation.missing) sent_n
+                       (List.length fabricated))
+                  ()
+            | None -> ());
             Response.suspect t.response seg
           end
         end;

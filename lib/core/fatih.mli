@@ -48,11 +48,14 @@ val deploy :
   rt:Topology.Routing.t ->
   ?config:config ->
   ?key:Crypto_sim.Siphash.key ->
+  ?probe:Netsim.Probe.t ->
   unit ->
   t
 (** Start monitoring every 3-segment of the current routed paths.  The
     network must still be using plain routing from [rt] at deploy time;
-    after detections the engine installs policy routing itself. *)
+    after detections the engine installs policy routing itself.  With
+    [probe], each detection is journaled as a typed
+    {!Netsim.Probe.verdict} accusing the segment's interior router. *)
 
 val detections : t -> detection list
 (** All alerts raised, oldest first. *)

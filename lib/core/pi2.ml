@@ -22,7 +22,7 @@ let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?packets_pe
   in
   List.sort_uniq compare suspicions
 
-let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ~rounds () =
+let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?probe ~rounds () =
   let g = Topology.Routing.graph rt in
   let correct = Rounds.correct_routers g ~faulty:adversary.Rounds.faulty in
   List.concat_map
@@ -30,6 +30,17 @@ let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ~rounds () =
       let segs =
         detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ~round ()
       in
+      (match probe with
+      | Some probe ->
+          (* The offline rounds have no simulation clock; the round index
+             stands in for time. *)
+          Netsim.Probe.record_verdict probe ~time:(float_of_int round)
+            ~detector:"pi2"
+            ~suspects:(List.sort_uniq compare (List.concat segs))
+            ~alarm:(segs <> [])
+            ~detail:(Printf.sprintf "round=%d segments=%d" round (List.length segs))
+            ()
+      | None -> ());
       List.concat_map
         (fun seg ->
           List.map (fun by -> { Spec.segment = seg; round; by }) correct)

@@ -34,11 +34,15 @@ val detect :
   adversary:Rounds.adversary ->
   ?thresholds:Validation.thresholds ->
   ?packets_per_path:int ->
+  ?probe:Netsim.Probe.t ->
   rounds:int ->
   unit ->
   Spec.suspicion list
 (** Run several rounds and expand the suspicions to every correct router
-    (for checking the Appendix B properties). *)
+    (for checking the Appendix B properties).  With [probe], each
+    round's verdict is journaled as a typed {!Netsim.Probe.verdict}
+    (these rounds are synchronous and clockless, so the round index
+    stands in for the verdict time). *)
 
 val state_counters : Topology.Routing.t -> k:int -> int array
 (** Per-router counter state under the conservation-of-flow summary: one

@@ -16,7 +16,7 @@ type t = {
   mutable verdicts_rev : verdict list;
 }
 
-let deploy ~net ?(tau = 5.0) ?(threshold = 25) () =
+let deploy ~net ?(tau = 5.0) ?(threshold = 25) ?probe () =
   let n = Topology.Graph.size (Netsim.Net.graph net) in
   let t =
     { threshold; n; flow = Netflow.attach ~net (); last_deficit = Array.make n 0;
@@ -36,9 +36,19 @@ let deploy ~net ?(tau = 5.0) ?(threshold = 25) () =
     let suspected = List.filter_map
         (fun (r, d) -> if d > t.threshold then Some r else None) deficits
     in
+    let now = Netsim.Sim.now sim in
     t.verdicts_rev <-
-      { round = t.round; time = Netsim.Sim.now sim; deficits; suspected }
-      :: t.verdicts_rev;
+      { round = t.round; time = now; deficits; suspected } :: t.verdicts_rev;
+    (match probe with
+    | Some probe ->
+        Netsim.Probe.record_verdict probe ~time:now ~detector:"watchers"
+          ~suspects:suspected
+          ~alarm:(suspected <> [])
+          ~detail:
+            (Printf.sprintf "round=%d routers_with_deficit=%d" t.round
+               (List.length deficits))
+          ()
+    | None -> ());
     t.round <- t.round + 1;
     Netsim.Sim.schedule sim ~delay:tau tick
   in

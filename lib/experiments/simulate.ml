@@ -38,46 +38,159 @@ let behavior_of = function
   | Drop_syn -> Some Core.Adversary.drop_syn
   | Queue_conditioned f -> Some (Core.Adversary.drop_when_queue_above f)
 
-let run ~topo ~protocol ~attack ~attacker ~duration ~seed ~flows ?(trace = 0) () =
+(* --- telemetry export ------------------------------------------------- *)
+
+let scrape_per_router net probe =
+  let reg = Probe.registry probe in
+  let g = Net.graph net in
+  for r = 0 to Topology.Graph.size g - 1 do
+    let router = Net.router net r in
+    let labels = [ ("router", string_of_int r) ] in
+    let set name help v =
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge reg name ~help ~labels)
+        (float_of_int v)
+    in
+    set "router_received_packets" "packets handed to the router"
+      (Router.received_packets router);
+    set "router_forwarded_packets" "packets the router forwarded"
+      (Router.forwarded_packets router);
+    set "router_delivered_packets" "packets delivered locally"
+      (Router.delivered_packets router);
+    let tx_p, tx_b, drops =
+      List.fold_left
+        (fun (p, b, d) i ->
+          (p + Iface.tx_packets i, b + Iface.tx_bytes i, d + Iface.dropped_packets i))
+        (0, 0, 0) (Router.ifaces router)
+    in
+    set "router_tx_packets" "packets serialized onto outgoing links" tx_p;
+    set "router_tx_bytes" "bytes serialized onto outgoing links" tx_b;
+    set "router_iface_dropped_packets" "packets its interfaces discarded" drops
+  done
+
+let summary_json ~scenario ~attack_start net probe profile =
+  let open Telemetry.Export in
+  let sim = Net.sim net in
+  let cons = Probe.conservation probe in
+  let cpu = Sim.cpu_time_in_run sim in
+  let events = Sim.events_processed sim in
+  let detection =
+    [ ("first_alarm_time",
+       match Probe.first_alarm_time probe with Some t -> Float t | None -> Null);
+      ("attack_start", Float attack_start);
+      ("latency_seconds",
+       match Probe.first_alarm_time probe with
+       | Some t when t >= attack_start -> Float (t -. attack_start)
+       | Some _ | None -> Null) ]
+  in
+  Assoc
+    [ ("schema", String "mrdetect-metrics-v1");
+      ("scenario", Assoc scenario);
+      ("conservation",
+       Assoc
+         [ ("injected", Int cons.Probe.total_injected);
+           ("delivered", Int cons.Probe.total_delivered);
+           ("dropped", Int cons.Probe.total_dropped);
+           ("fragmented", Int cons.Probe.total_fragmented);
+           ("in_flight", Int cons.Probe.in_flight) ]);
+      ("detection", Assoc detection);
+      ("engine",
+       Assoc
+         [ ("events_processed", Int events);
+           ("cpu_seconds_in_run", Float cpu);
+           ("events_per_cpu_second",
+            if cpu > 0.0 then Float (float_of_int events /. cpu) else Null);
+           ("sim_seconds", Float (Sim.now sim));
+           ("journal_total", Int (Telemetry.Journal.total (Probe.journal probe)));
+           ("journal_dropped", Int (Telemetry.Journal.dropped (Probe.journal probe)))
+         ]);
+      ("phases", Telemetry.Profile.json profile);
+      ("metrics", json_of_registry (Probe.registry probe)) ]
+
+let write_metrics path doc probe =
+  (* A .prom / .txt suffix selects the Prometheus text exposition format;
+     anything else gets the JSON document. *)
+  if Filename.check_suffix path ".prom" || Filename.check_suffix path ".txt" then begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Telemetry.Export.prometheus_of_registry
+                                     (Probe.registry probe)))
+  end
+  else Telemetry.Export.write_file path doc
+
+let write_journal path probe =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Probe.write_journal probe oc)
+
+(* --- the scenario ----------------------------------------------------- *)
+
+let run ~topo ~protocol ~attack ~attacker ~duration ~seed ~flows ?(trace = 0)
+    ?metrics ?journal () =
   let g = graph_of topo in
   let n = Topology.Graph.size g in
   if attacker < 0 || attacker >= n then
     invalid_arg (Printf.sprintf "Simulate.run: attacker %d outside [0,%d)" attacker n);
   if flows < 1 then invalid_arg "Simulate.run: need at least one flow";
-  let net = Net.create ~seed ~jitter_bound:200e-6 g in
-  let rt = Topology.Routing.compute g in
-  Net.use_routing net rt;
-  let attack_start = duration /. 3.0 in
-  (* Ground truth. *)
-  let malicious = ref 0 and congestion = ref 0 in
-  Net.subscribe_router net (fun ev ->
-      match ev.Net.kind with Router.Malicious_drop _ -> incr malicious | _ -> ());
-  Net.subscribe_iface net (fun ev ->
-      match ev.Net.kind with Iface.Drop_congestion _ -> incr congestion | _ -> ());
-  (* Traffic: CBR between pseudo-random distinct pairs that transit the
-     attacker where possible. *)
-  let rng = Random.State.make [| seed; 0xf10 |] in
-  let pairs = ref [] in
-  let guard = ref 0 in
-  while List.length !pairs < flows && !guard < 1000 do
-    incr guard;
-    let s = Random.State.int rng n and d = Random.State.int rng n in
-    if s <> d && not (List.mem (s, d) !pairs) then pairs := (s, d) :: !pairs
-  done;
-  List.iter
-    (fun (s, d) ->
-      ignore (Flow.cbr net ~src:s ~dst:d ~rate_pps:80.0 ~size:500 ~start:0.0 ~stop:duration))
-    !pairs;
-  Printf.printf "topology: %d routers, %d links; %d flows; attack at %.0f s\n"
-    n (Topology.Graph.link_count g) (List.length !pairs) attack_start;
-  (match behavior_of attack with
-  | Some b ->
-      Router.set_behavior (Net.router net attacker) (Core.Adversary.after attack_start b)
-  | None -> ());
-  let tracer =
-    if trace > 0 then Some (Tracer.attach ~net ~capacity:trace ~routers:[ attacker ] ())
+  (* Fail on an unwritable export path now, not after simulating. *)
+  let check_writable = function
+    | None -> ()
+    | Some path -> close_out (open_out path)
+  in
+  check_writable metrics;
+  check_writable journal;
+  let profile = Telemetry.Profile.create () in
+  let probe =
+    if metrics <> None || journal <> None then
+      Some
+        (Probe.create
+           ~journal_capacity:(if journal = None then 4096 else 262144)
+           ())
     else None
   in
+  let attack_start = duration /. 3.0 in
+  let net, rt, pairs, malicious, congestion, tracer =
+    Telemetry.Profile.time profile "setup" (fun () ->
+        let net = Net.create ~seed ~jitter_bound:200e-6 g in
+        Net.set_probe net probe;
+        let rt = Topology.Routing.compute g in
+        Net.use_routing net rt;
+        (* Ground truth. *)
+        let malicious = ref 0 and congestion = ref 0 in
+        Net.subscribe_router net (fun ev ->
+            match ev.Net.kind with Router.Malicious_drop _ -> incr malicious | _ -> ());
+        Net.subscribe_iface net (fun ev ->
+            match ev.Net.kind with Iface.Drop_congestion _ -> incr congestion | _ -> ());
+        (* Traffic: CBR between pseudo-random distinct pairs that transit
+           the attacker where possible. *)
+        let rng = Random.State.make [| seed; 0xf10 |] in
+        let pairs = ref [] in
+        let guard = ref 0 in
+        while List.length !pairs < flows && !guard < 1000 do
+          incr guard;
+          let s = Random.State.int rng n and d = Random.State.int rng n in
+          if s <> d && not (List.mem (s, d) !pairs) then pairs := (s, d) :: !pairs
+        done;
+        List.iter
+          (fun (s, d) ->
+            ignore
+              (Flow.cbr net ~src:s ~dst:d ~rate_pps:80.0 ~size:500 ~start:0.0
+                 ~stop:duration))
+          !pairs;
+        (match behavior_of attack with
+        | Some b ->
+            Router.set_behavior (Net.router net attacker)
+              (Core.Adversary.after attack_start b)
+        | None -> ());
+        let tracer =
+          if trace > 0 then
+            Some (Tracer.attach ~net ~capacity:trace ~routers:[ attacker ] ())
+          else None
+        in
+        (net, rt, !pairs, malicious, congestion, tracer))
+  in
+  Printf.printf "topology: %d routers, %d links; %d flows; attack at %.0f s\n"
+    n (Topology.Graph.link_count g) (List.length pairs) attack_start;
   let dump_trace () =
     match tracer with
     | Some tr ->
@@ -85,55 +198,94 @@ let run ~topo ~protocol ~attack ~attacker ~duration ~seed ~flows ?(trace = 0) ()
         List.iter (fun line -> Printf.printf "  %s\n" line) (Tracer.events tr)
     | None -> ()
   in
-  match protocol with
-  | `Fatih ->
-      let fatih = Core.Fatih.deploy ~net ~rt () in
-      Net.run ~until:duration net;
-      Printf.printf "ground truth: %d malicious drops, %d congestion drops\n" !malicious
-        !congestion;
-      let ds = Core.Fatih.detections fatih in
-      Printf.printf "fatih: %d detections\n" (List.length ds);
-      List.iter
-        (fun (d : Core.Fatih.detection) ->
-          Printf.printf "  %.1f s  <%s>  %d/%d missing\n" d.Core.Fatih.time
-            (String.concat "," (List.map string_of_int d.Core.Fatih.segment))
-            d.Core.Fatih.missing d.Core.Fatih.sent)
-        ds;
-      List.iter
-        (fun (u : Core.Response.event) ->
-          Printf.printf "  %.1f s  routing update (%d segments excised)\n"
-            u.Core.Response.time
-            (List.length u.Core.Response.forbidden))
-        (Core.Response.updates (Core.Fatih.response fatih));
-      dump_trace ()
-  | `Chi ->
-      (* Monitor the attacker's busiest output queue; TCP through it
-         creates the congestion ambiguity χ resolves. *)
-      let next =
-        match Topology.Graph.out_neighbors g attacker with
-        | n :: _ -> n
-        | [] -> invalid_arg "Simulate.run: attacker has no interface"
+  let simulate () =
+    Telemetry.Profile.time profile "run" (fun () -> Net.run ~until:duration net)
+  in
+  let report =
+    match protocol with
+    | `Fatih ->
+        let fatih =
+          Telemetry.Profile.time profile "setup" (fun () ->
+              Core.Fatih.deploy ~net ~rt ?probe ())
+        in
+        simulate ();
+        fun () ->
+          let ds = Core.Fatih.detections fatih in
+          Printf.printf "fatih: %d detections\n" (List.length ds);
+          List.iter
+            (fun (d : Core.Fatih.detection) ->
+              Printf.printf "  %.1f s  <%s>  %d/%d missing\n" d.Core.Fatih.time
+                (String.concat "," (List.map string_of_int d.Core.Fatih.segment))
+                d.Core.Fatih.missing d.Core.Fatih.sent)
+            ds;
+          List.iter
+            (fun (u : Core.Response.event) ->
+              Printf.printf "  %.1f s  routing update (%d segments excised)\n"
+                u.Core.Response.time
+                (List.length u.Core.Response.forbidden))
+            (Core.Response.updates (Core.Fatih.response fatih))
+    | `Chi ->
+        (* Monitor the attacker's busiest output queue; TCP through it
+           creates the congestion ambiguity χ resolves. *)
+        let next =
+          match Topology.Graph.out_neighbors g attacker with
+          | n :: _ -> n
+          | [] -> invalid_arg "Simulate.run: attacker has no interface"
+        in
+        let chi =
+          Telemetry.Profile.time profile "setup" (fun () ->
+              (* Ensure monitored-queue traffic exists: a TCP through it. *)
+              let upstreams =
+                List.filter (fun v -> v <> next)
+                  (Topology.Graph.out_neighbors g attacker)
+              in
+              (match upstreams with
+              | u :: _ -> ignore (Tcp.connect net ~src:u ~dst:next ())
+              | [] -> ());
+              let config = { Core.Chi.default_config with Core.Chi.tau = 2.0 } in
+              Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config ?probe ())
+        in
+        simulate ();
+        fun () ->
+          Printf.printf "chi on queue <%d -> %d>: %d rounds, %d alarms\n" attacker next
+            (List.length (Core.Chi.reports chi))
+            (List.length (Core.Chi.alarms chi));
+          List.iter
+            (fun (r : Core.Chi.report) ->
+              if r.Core.Chi.alarm then
+                Printf.printf "  %.0f s  %d losses, c_single %.3f\n" r.Core.Chi.end_time
+                  (List.length r.Core.Chi.losses)
+                  r.Core.Chi.c_single_max)
+            (Core.Chi.reports chi)
+  in
+  Telemetry.Profile.time profile "report" (fun () ->
+      Printf.printf "ground truth: %d malicious drops, %d congestion drops\n"
+        !malicious !congestion;
+      report ();
+      dump_trace ());
+  match probe with
+  | None -> ()
+  | Some probe ->
+      scrape_per_router net probe;
+      let scenario =
+        let open Telemetry.Export in
+        [ ("topology",
+           String
+             (match topo with
+             | Line -> "line" | Ring -> "ring" | Grid -> "grid"
+             | Abilene -> "abilene"));
+          ("protocol", String (match protocol with `Chi -> "chi" | `Fatih -> "fatih"));
+          ("attack",
+           String
+             (match attack with
+             | No_attack -> "none" | Drop_all -> "drop-all"
+             | Drop_fraction _ -> "drop-fraction" | Drop_syn -> "syn"
+             | Queue_conditioned _ -> "queue"));
+          ("attacker", Int attacker);
+          ("duration", Float duration);
+          ("seed", Int seed);
+          ("flows", Int flows) ]
       in
-      (* Ensure monitored-queue traffic exists: a TCP through it. *)
-      let upstreams =
-        List.filter (fun v -> v <> next) (Topology.Graph.out_neighbors g attacker)
-      in
-      (match upstreams with
-      | u :: _ -> ignore (Tcp.connect net ~src:u ~dst:next ())
-      | [] -> ());
-      let config = { Core.Chi.default_config with Core.Chi.tau = 2.0 } in
-      let chi = Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config () in
-      Net.run ~until:duration net;
-      Printf.printf "ground truth: %d malicious drops, %d congestion drops\n" !malicious
-        !congestion;
-      Printf.printf "chi on queue <%d -> %d>: %d rounds, %d alarms\n" attacker next
-        (List.length (Core.Chi.reports chi))
-        (List.length (Core.Chi.alarms chi));
-      List.iter
-        (fun (r : Core.Chi.report) ->
-          if r.Core.Chi.alarm then
-            Printf.printf "  %.0f s  %d losses, c_single %.3f\n" r.Core.Chi.end_time
-              (List.length r.Core.Chi.losses)
-              r.Core.Chi.c_single_max)
-        (Core.Chi.reports chi);
-      dump_trace ()
+      let doc = summary_json ~scenario ~attack_start net probe profile in
+      (match metrics with Some path -> write_metrics path doc probe | None -> ());
+      (match journal with Some path -> write_journal path probe | None -> ())

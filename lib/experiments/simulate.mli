@@ -1,6 +1,11 @@
 (** Free-form scenario driver behind `mrdetect simulate`: pick a
     topology, an attack and a detector, run it, and print what the
-    detector concluded next to the ground truth. *)
+    detector concluded next to the ground truth.
+
+    With [metrics] and/or [journal], the run carries a {!Netsim.Probe}:
+    packet counters, per-router gauges, detector verdicts and run
+    profiling come out as a JSON document (or Prometheus text for a
+    [.prom]/[.txt] path), and the typed event journal as JSONL. *)
 
 type topo = Line | Ring | Grid | Abilene
 
@@ -19,9 +24,19 @@ val run :
   seed:int ->
   flows:int ->
   ?trace:int ->
+  ?metrics:string ->
+  ?journal:string ->
   unit ->
   unit
 (** Build the network, start [flows] CBR flows between distinct random
     pairs plus TCP where the detector needs congestion, compromise
     [attacker] at one third of [duration], run, and print a summary.
+
+    [metrics] names a file for the metrics/summary export: JSON by
+    default (schema ["mrdetect-metrics-v1"]: scenario echo, packet
+    conservation, detection latency, engine self-profiling, per-phase
+    wall clock, and the full registry), Prometheus text for a
+    [.prom]/[.txt] suffix.  [journal] names a JSONL file receiving the
+    typed event journal (newest 262144 records).  With neither given, no
+    probe is attached and the forwarding plane runs exactly as before.
     Raises [Invalid_argument] for out-of-range attacker/flows. *)

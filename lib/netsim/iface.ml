@@ -22,6 +22,13 @@ type t = {
   mutable busy : bool;
   mutable up : bool;
   mutable corruption : float;
+  (* Always-on per-interface counters (the dissertation's per-router
+     counter state): plain integer bumps on the hot path, scraped by the
+     telemetry layer at export time. *)
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable delivered_packets : int;
+  mutable dropped_packets : int;
 }
 
 let create ~sim ~link ~kind ~on_event ~deliver =
@@ -30,7 +37,8 @@ let create ~sim ~link ~kind ~on_event ~deliver =
     | Droptail limit_bytes -> Fifo (Queue_fifo.create ~limit_bytes ())
     | Red_queue params -> Red_q (Red.create ~params ~rng:(Sim.rng sim) ())
   in
-  { sim; link; queue; on_event; deliver; busy = false; up = true; corruption = 0.0 }
+  { sim; link; queue; on_event; deliver; busy = false; up = true; corruption = 0.0;
+    tx_packets = 0; tx_bytes = 0; delivered_packets = 0; dropped_packets = 0 }
 
 let owner t = t.link.Topology.Graph.src
 let next_hop t = t.link.Topology.Graph.dst
@@ -63,6 +71,8 @@ let rec kick t =
     | None -> ()
     | Some p ->
         t.busy <- true;
+        t.tx_packets <- t.tx_packets + 1;
+        t.tx_bytes <- t.tx_bytes + p.Packet.size;
         t.on_event t (Transmit_start p);
         let tx = float_of_int p.Packet.size /. t.link.Topology.Graph.bw in
         Sim.schedule t.sim ~delay:tx (fun () ->
@@ -71,8 +81,12 @@ let rec kick t =
         Sim.schedule t.sim ~delay:(tx +. t.link.Topology.Graph.delay) (fun () ->
             if t.corruption > 0.0
                && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
-            then t.on_event t (Drop_corrupted p)
+            then begin
+              t.dropped_packets <- t.dropped_packets + 1;
+              t.on_event t (Drop_corrupted p)
+            end
             else begin
+              t.delivered_packets <- t.delivered_packets + 1;
               t.on_event t (Delivered p);
               t.deliver ~prev:(owner t) p
             end)
@@ -89,7 +103,10 @@ let set_up t up =
   if up then kick t
 
 let enqueue t p =
-  if not t.up then t.on_event t (Drop_link_down p)
+  if not t.up then begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    t.on_event t (Drop_link_down p)
+  end
   else begin
   let verdict =
     match t.queue with
@@ -100,6 +117,15 @@ let enqueue t p =
   | `Enqueued ->
       t.on_event t (Enqueued p);
       kick t
-  | `Forced_drop -> t.on_event t (Drop_congestion p)
-  | `Early_drop -> t.on_event t (Drop_red_early p)
+  | `Forced_drop ->
+      t.dropped_packets <- t.dropped_packets + 1;
+      t.on_event t (Drop_congestion p)
+  | `Early_drop ->
+      t.dropped_packets <- t.dropped_packets + 1;
+      t.on_event t (Drop_red_early p)
   end
+
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let delivered_packets t = t.delivered_packets
+let dropped_packets t = t.dropped_packets

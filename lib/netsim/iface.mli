@@ -67,3 +67,17 @@ val set_corruption : t -> float -> unit
 (** Per-packet probability of in-flight damage (checksum failure at the
     receiver); corrupted packets raise [Drop_corrupted] instead of being
     delivered.  Raises [Invalid_argument] outside [0,1]. *)
+
+val tx_packets : t -> int
+(** Packets whose serialization onto the link started (always-on
+    per-interface counter, scraped by the telemetry layer). *)
+
+val tx_bytes : t -> int
+(** Bytes of those packets. *)
+
+val delivered_packets : t -> int
+(** Packets that reached the far end intact. *)
+
+val dropped_packets : t -> int
+(** Packets this interface discarded (congestion, RED, link-down or
+    in-flight corruption). *)

@@ -26,25 +26,25 @@ let series t =
 
 let total_bytes t = t.total
 
-type queue_series = { mutable samples_rev : (float * int) list }
+type queue_series = { series_journal : (float * int) Telemetry.Journal.t }
 
-let queue_occupancy net ~router ~next ~period =
+let queue_occupancy net ~router ~next ?(capacity = 262144) ~period () =
   if period <= 0.0 then invalid_arg "Meter.queue_occupancy: period must be positive";
   let iface =
     match Net.iface net ~src:router ~dst:next with
     | Some i -> i
     | None -> invalid_arg "Meter.queue_occupancy: no such link"
   in
-  let t = { samples_rev = [] } in
+  let t = { series_journal = Telemetry.Journal.create ~capacity () } in
   let sim = Net.sim net in
   let rec sample () =
-    t.samples_rev <- (Sim.now sim, Iface.occupancy iface) :: t.samples_rev;
+    Telemetry.Journal.record t.series_journal (Sim.now sim, Iface.occupancy iface);
     Sim.schedule sim ~delay:period sample
   in
   Sim.schedule sim ~delay:period sample;
   t
 
-let samples t = List.rev t.samples_rev
+let samples t = Telemetry.Journal.to_list t.series_journal
 
 let occupancy_stats t =
   let xs = Array.of_list (List.map (fun (_, o) -> float_of_int o) (samples t)) in

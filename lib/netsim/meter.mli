@@ -3,7 +3,9 @@
 
     The Chapter 6 figures plot victim-flow throughput collapsing under
     attack next to the detector's confidence; this module collects those
-    series from the event stream without touching the forwarding path. *)
+    series from the event stream without touching the forwarding path.
+    Sampled series are stored in bounded {!Telemetry.Journal} rings, so
+    a long-running measurement cannot grow without bound. *)
 
 type flow_series
 
@@ -21,10 +23,12 @@ val total_bytes : flow_series -> int
 type queue_series
 
 val queue_occupancy :
-  Net.t -> router:int -> next:int -> period:float -> queue_series
+  Net.t -> router:int -> next:int -> ?capacity:int -> period:float -> unit ->
+  queue_series
 (** Sample the output queue every [period] seconds from t = 0 (runs for
-    the lifetime of the simulation).  Raises [Invalid_argument] if the
-    link does not exist. *)
+    the lifetime of the simulation).  The series lives in a bounded
+    {!Telemetry.Journal} keeping the newest [capacity] samples (default
+    262144).  Raises [Invalid_argument] if the link does not exist. *)
 
 val samples : queue_series -> (float * int) list
 (** [(time, bytes)] in time order. *)

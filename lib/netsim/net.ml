@@ -23,6 +23,7 @@ type t = {
   mutable router_listeners : (router_event -> unit) list;
   apps : (Packet.t -> unit) list ref array;
   pins : (int * int, int) Hashtbl.t; (* (flow, router) -> next hop *)
+  mutable probe : Probe.t option;
 }
 
 let sim t = t.sim
@@ -34,8 +35,20 @@ let iface t ~src ~dst = Router.iface_to t.routers.(src) dst
 let subscribe_iface t f = t.iface_listeners <- f :: t.iface_listeners
 let subscribe_router t f = t.router_listeners <- f :: t.router_listeners
 
-let emit_iface t ev = List.iter (fun f -> f ev) t.iface_listeners
-let emit_router t ev = List.iter (fun f -> f ev) t.router_listeners
+let set_probe t probe = t.probe <- probe
+let probe t = t.probe
+
+let emit_iface t (ev : iface_event) =
+  (match t.probe with
+  | Some p -> Probe.on_iface p ~time:ev.time ~router:ev.router ~next:ev.next ev.kind
+  | None -> ());
+  List.iter (fun f -> f ev) t.iface_listeners
+
+let emit_router t (ev : router_event) =
+  (match t.probe with
+  | Some p -> Probe.on_router p ~time:ev.time ~router:ev.router ev.kind
+  | None -> ());
+  List.iter (fun f -> f ev) t.router_listeners
 
 let attach_app t ~node f = t.apps.(node) := f :: !(t.apps.(node))
 
@@ -48,7 +61,8 @@ let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) graph 
       iface_listeners = [];
       router_listeners = [];
       apps = Array.init n (fun _ -> ref []);
-      pins = Hashtbl.create 16 }
+      pins = Hashtbl.create 16;
+      probe = None }
   in
   let jitter () =
     if jitter_bound <= 0.0 then 0.0 else Random.State.float (Sim.rng sim) jitter_bound
@@ -134,6 +148,8 @@ let set_link_corruption t ~src ~dst p =
   | None -> invalid_arg "Net.set_link_corruption: no such link"
 let restore_link t ~src ~dst = set_link t ~src ~dst true
 
-let originate t pkt = Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+let originate t pkt =
+  (match t.probe with Some p -> Probe.on_originate p pkt | None -> ());
+  Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
 
 let run ?until t = Sim.run ?until t.sim

@@ -59,6 +59,13 @@ val subscribe_router : t -> (router_event -> unit) -> unit
 (** Observe router-level events (malicious actions, TTL expiry, local
     deliveries, ...). *)
 
+val set_probe : t -> Probe.t option -> unit
+(** Attach (or detach) the telemetry probe: every iface/router event and
+    every origination is counted and journaled through it.  With no
+    probe attached the per-event overhead is one pointer test. *)
+
+val probe : t -> Probe.t option
+
 val attach_app : t -> node:int -> (Packet.t -> unit) -> unit
 (** Register a local-delivery handler at a node; every handler attached
     to the node sees every packet delivered there. *)

@@ -1,0 +1,279 @@
+type iface_record = { time : float; router : int; next : int; ev : Iface.event }
+type router_record = { time : float; router : int; ev : Router.event }
+
+type verdict = {
+  time : float;
+  detector : string;
+  subject : int option;
+  suspects : int list;
+  confidence : float option;
+  alarm : bool;
+  detail : string;
+}
+
+type event =
+  | Link of iface_record
+  | Node of router_record
+  | Verdict of verdict
+
+type t = {
+  registry : Telemetry.Metrics.t;
+  journal : event Telemetry.Journal.t;
+  (* Conservation counters.  Every packet handed to the network
+     (originate, fabricate, fragment pieces) ends up in exactly one of:
+     delivered, a drop cause, replaced-by-fragments, or still in flight
+     when the run stops. *)
+  injected : Telemetry.Metrics.counter;
+  fabricated : Telemetry.Metrics.counter;
+  fragments_created : Telemetry.Metrics.counter;
+  delivered : Telemetry.Metrics.counter;
+  fragmented_originals : Telemetry.Metrics.counter;
+  drop_congestion : Telemetry.Metrics.counter;
+  drop_red_early : Telemetry.Metrics.counter;
+  drop_link_down : Telemetry.Metrics.counter;
+  drop_corrupted : Telemetry.Metrics.counter;
+  drop_malicious : Telemetry.Metrics.counter;
+  drop_no_route : Telemetry.Metrics.counter;
+  drop_ttl_expired : Telemetry.Metrics.counter;
+  (* Non-conservation observations. *)
+  enqueued : Telemetry.Metrics.counter;
+  forwarded_hops : Telemetry.Metrics.counter;
+  malicious_modify : Telemetry.Metrics.counter;
+  malicious_delay : Telemetry.Metrics.counter;
+  verdicts : Telemetry.Metrics.counter;
+  alarms : Telemetry.Metrics.counter;
+  pkt_size : Telemetry.Metrics.histogram;
+  delivery_latency : Telemetry.Metrics.histogram;
+  malice_by_router : (int, Telemetry.Metrics.counter) Hashtbl.t;
+  mutable first_alarm_time : float option;
+}
+
+let drop_counter reg cause =
+  Telemetry.Metrics.counter reg "pkt_dropped_total"
+    ~help:"packets dropped, by cause" ~labels:[ ("cause", cause) ]
+
+let create ?registry ?(journal_capacity = 65536) () =
+  let reg = match registry with Some r -> r | None -> Telemetry.Metrics.create () in
+  let c name help = Telemetry.Metrics.counter reg name ~help in
+  { registry = reg;
+    journal = Telemetry.Journal.create ~capacity:journal_capacity ();
+    injected = c "pkt_injected_total" "packets originated by applications";
+    fabricated = c "pkt_fabricated_total" "packets injected by a malicious router";
+    fragments_created = c "pkt_fragments_total" "fragment packets created";
+    delivered = c "pkt_delivered_total" "packets delivered to a local application";
+    fragmented_originals =
+      c "pkt_fragmented_total" "packets replaced by their fragments";
+    drop_congestion = drop_counter reg "congestion";
+    drop_red_early = drop_counter reg "red_early";
+    drop_link_down = drop_counter reg "link_down";
+    drop_corrupted = drop_counter reg "corrupted";
+    drop_malicious = drop_counter reg "malicious";
+    drop_no_route = drop_counter reg "no_route";
+    drop_ttl_expired = drop_counter reg "ttl_expired";
+    enqueued = c "pkt_enqueued_total" "packets accepted into an output queue";
+    forwarded_hops = c "pkt_forwarded_hops_total" "per-hop link deliveries";
+    malicious_modify = c "malicious_modify_total" "payload modification events";
+    malicious_delay = c "malicious_delay_total" "malicious delay events";
+    verdicts = c "detector_verdicts_total" "detector round verdicts recorded";
+    alarms = c "detector_alarms_total" "alarming detector verdicts";
+    pkt_size =
+      Telemetry.Metrics.histogram reg "pkt_size_bytes" ~buckets:16 ~min_exp:4
+        ~help:"size of injected packets";
+    delivery_latency =
+      Telemetry.Metrics.histogram reg "delivery_latency_seconds" ~buckets:24
+        ~min_exp:(-14) ~help:"origination-to-delivery latency";
+    malice_by_router = Hashtbl.create 8;
+    first_alarm_time = None }
+
+let registry t = t.registry
+let journal t = t.journal
+
+let malice_counter t router =
+  match Hashtbl.find_opt t.malice_by_router router with
+  | Some c -> c
+  | None ->
+      let c =
+        Telemetry.Metrics.counter t.registry "malice_events_total"
+          ~help:"malicious router actions, by router"
+          ~labels:[ ("router", string_of_int router) ]
+      in
+      Hashtbl.add t.malice_by_router router c;
+      c
+
+let on_originate t (pkt : Packet.t) =
+  Telemetry.Metrics.inc t.injected;
+  Telemetry.Metrics.observe t.pkt_size (float_of_int pkt.Packet.size)
+
+let on_iface t ~time ~router ~next (ev : Iface.event) =
+  (match ev with
+  | Iface.Enqueued _ -> Telemetry.Metrics.inc t.enqueued
+  | Iface.Drop_congestion _ -> Telemetry.Metrics.inc t.drop_congestion
+  | Iface.Drop_red_early _ -> Telemetry.Metrics.inc t.drop_red_early
+  | Iface.Drop_link_down _ -> Telemetry.Metrics.inc t.drop_link_down
+  | Iface.Drop_corrupted _ -> Telemetry.Metrics.inc t.drop_corrupted
+  | Iface.Transmit_start _ -> ()
+  | Iface.Delivered _ -> Telemetry.Metrics.inc t.forwarded_hops);
+  Telemetry.Journal.record t.journal (Link { time; router; next; ev })
+
+let on_router t ~time ~router (ev : Router.event) =
+  (match ev with
+  | Router.Malicious_drop _ ->
+      Telemetry.Metrics.inc t.drop_malicious;
+      Telemetry.Metrics.inc (malice_counter t router)
+  | Router.Malicious_modify _ ->
+      Telemetry.Metrics.inc t.malicious_modify;
+      Telemetry.Metrics.inc (malice_counter t router)
+  | Router.Malicious_delay _ ->
+      Telemetry.Metrics.inc t.malicious_delay;
+      Telemetry.Metrics.inc (malice_counter t router)
+  | Router.Fabricated _ ->
+      Telemetry.Metrics.inc t.fabricated;
+      Telemetry.Metrics.inc (malice_counter t router)
+  | Router.Fragmented { fragments; _ } ->
+      Telemetry.Metrics.inc t.fragmented_originals;
+      Telemetry.Metrics.add t.fragments_created fragments
+  | Router.No_route _ -> Telemetry.Metrics.inc t.drop_no_route
+  | Router.Ttl_expired _ -> Telemetry.Metrics.inc t.drop_ttl_expired
+  | Router.Delivered_local pkt ->
+      Telemetry.Metrics.inc t.delivered;
+      Telemetry.Metrics.observe t.delivery_latency (time -. pkt.Packet.created));
+  Telemetry.Journal.record t.journal (Node { time; router; ev })
+
+let record_verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alarm
+    ?(detail = "") () =
+  Telemetry.Metrics.inc t.verdicts;
+  if alarm then begin
+    Telemetry.Metrics.inc t.alarms;
+    if t.first_alarm_time = None then t.first_alarm_time <- Some time
+  end;
+  Telemetry.Journal.record t.journal
+    (Verdict { time; detector; subject; suspects; confidence; alarm; detail })
+
+let first_alarm_time t = t.first_alarm_time
+
+(* --- conservation --- *)
+
+let v = Telemetry.Metrics.counter_value
+
+type conservation = {
+  total_injected : int;   (* originate + fabricate + fragments *)
+  total_delivered : int;
+  total_dropped : int;    (* all causes *)
+  total_fragmented : int; (* originals replaced by fragments *)
+  in_flight : int;
+}
+
+let conservation t =
+  let total_injected = v t.injected + v t.fabricated + v t.fragments_created in
+  let total_delivered = v t.delivered in
+  let total_dropped =
+    v t.drop_congestion + v t.drop_red_early + v t.drop_link_down
+    + v t.drop_corrupted + v t.drop_malicious + v t.drop_no_route
+    + v t.drop_ttl_expired
+  in
+  let total_fragmented = v t.fragmented_originals in
+  { total_injected; total_delivered; total_dropped; total_fragmented;
+    in_flight = total_injected - total_delivered - total_dropped - total_fragmented }
+
+(* --- formatting: the legacy Tracer line format, derived on demand --- *)
+
+let describe_iface_kind = function
+  | Iface.Enqueued _ -> "enqueue"
+  | Iface.Drop_congestion _ -> "DROP-congestion"
+  | Iface.Drop_red_early _ -> "DROP-red"
+  | Iface.Drop_link_down _ -> "DROP-link-down"
+  | Iface.Drop_corrupted _ -> "DROP-corrupted"
+  | Iface.Transmit_start _ -> "transmit"
+  | Iface.Delivered _ -> "deliver"
+
+let iface_packet = function
+  | Iface.Enqueued p | Iface.Drop_congestion p | Iface.Drop_red_early p
+  | Iface.Drop_link_down p | Iface.Drop_corrupted p | Iface.Transmit_start p
+  | Iface.Delivered p ->
+      p
+
+let describe_router_kind = function
+  | Router.Malicious_drop _ -> "MALICIOUS-drop"
+  | Router.Malicious_modify _ -> "MALICIOUS-modify"
+  | Router.Malicious_delay { delay; _ } ->
+      Printf.sprintf "MALICIOUS-delay(%.3fs)" delay
+  | Router.Fabricated _ -> "MALICIOUS-fabricate"
+  | Router.Fragmented { fragments; _ } -> Printf.sprintf "fragment(x%d)" fragments
+  | Router.No_route _ -> "no-route"
+  | Router.Ttl_expired _ -> "ttl-expired"
+  | Router.Delivered_local _ -> "local-deliver"
+
+let router_packet = function
+  | Router.Malicious_drop { pkt; _ }
+  | Router.Malicious_modify { pkt; _ }
+  | Router.Malicious_delay { pkt; _ }
+  | Router.Fabricated { pkt; _ } ->
+      pkt
+  | Router.Fragmented { original; _ } -> original
+  | Router.No_route pkt | Router.Ttl_expired pkt | Router.Delivered_local pkt -> pkt
+
+let describe = function
+  | Link { time; router; next; ev } ->
+      Printf.sprintf "%.4f r%d->r%d %s %s" time router next (describe_iface_kind ev)
+        (Packet.describe (iface_packet ev))
+  | Node { time; router; ev } ->
+      Printf.sprintf "%.4f r%d %s %s" time router (describe_router_kind ev)
+        (Packet.describe (router_packet ev))
+  | Verdict { time; detector; suspects; alarm; _ } ->
+      Printf.sprintf "%.4f %s %s%s" time detector
+        (if alarm then "ALARM" else "verdict")
+        (match suspects with
+        | [] -> ""
+        | s -> " suspects=" ^ String.concat "," (List.map string_of_int s))
+
+(* --- JSONL export --- *)
+
+let event_time = function
+  | Link { time; _ } | Node { time; _ } | Verdict { time; _ } -> time
+
+let event_packet = function
+  | Link { ev; _ } -> Some (iface_packet ev)
+  | Node { ev; _ } -> Some (router_packet ev)
+  | Verdict _ -> None
+
+let json_of_packet (p : Packet.t) =
+  Telemetry.Export.Assoc
+    [ ("uid", Telemetry.Export.Int p.Packet.uid);
+      ("src", Telemetry.Export.Int p.Packet.src);
+      ("dst", Telemetry.Export.Int p.Packet.dst);
+      ("flow", Telemetry.Export.Int p.Packet.flow);
+      ("size", Telemetry.Export.Int p.Packet.size) ]
+
+let json_of_event ev =
+  let open Telemetry.Export in
+  let base =
+    match ev with
+    | Link { router; next; ev; _ } ->
+        [ ("event", String (describe_iface_kind ev));
+          ("layer", String "link");
+          ("router", Int router);
+          ("next", Int next) ]
+    | Node { router; ev; _ } ->
+        [ ("event", String (describe_router_kind ev));
+          ("layer", String "router");
+          ("router", Int router) ]
+    | Verdict { detector; subject; suspects; confidence; alarm; detail; _ } ->
+        [ ("event", String "verdict");
+          ("layer", String "detector");
+          ("detector", String detector) ]
+        @ (match subject with Some s -> [ ("router", Int s) ] | None -> [])
+        @ [ ("suspects", List (List.map (fun s -> Int s) suspects)) ]
+        @ (match confidence with
+          | Some c -> [ ("confidence", Float c) ]
+          | None -> [])
+        @ [ ("alarm", Bool alarm) ]
+        @ if detail = "" then [] else [ ("detail", String detail) ]
+  in
+  Assoc
+    ((("time", Float (event_time ev)) :: base)
+    @ match event_packet ev with Some p -> [ ("pkt", json_of_packet p) ] | None -> [])
+
+let write_journal t oc =
+  Telemetry.Journal.iter t.journal (fun ev ->
+      Telemetry.Export.to_channel oc (json_of_event ev);
+      output_char oc '\n')

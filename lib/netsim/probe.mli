@@ -1,0 +1,92 @@
+(** The simulator's observability pipeline.
+
+    A probe bundles a {!Telemetry.Metrics} registry (packet counters by
+    outcome, per-router malice counters, size and latency histograms)
+    with a bounded {!Telemetry.Journal} of typed records covering all
+    three layers: link events, router events, and detector verdicts.
+    Attach one to a network with {!Net.set_probe} — the forwarding plane
+    feeds it directly, and detectors add verdicts via
+    {!record_verdict}.  With no probe attached the per-event cost in the
+    forwarding plane is a single pointer test.
+
+    {!Tracer} derives its legacy line format from the same typed records
+    via {!describe}; exporters turn the journal into JSONL with
+    {!write_journal}. *)
+
+type iface_record = { time : float; router : int; next : int; ev : Iface.event }
+type router_record = { time : float; router : int; ev : Router.event }
+
+type verdict = {
+  time : float;
+  detector : string;          (** "chi" | "fatih" | "pi2" | "watchers" | ... *)
+  subject : int option;       (** the router under validation, if any *)
+  suspects : int list;        (** accused routers/flows (detector-specific) *)
+  confidence : float option;
+  alarm : bool;
+  detail : string;
+}
+
+type event =
+  | Link of iface_record
+  | Node of router_record
+  | Verdict of verdict
+
+type t
+
+val create : ?registry:Telemetry.Metrics.t -> ?journal_capacity:int -> unit -> t
+(** A fresh probe; [journal_capacity] bounds the journal (default 65536
+    records).  Pass [registry] to share one registry across several
+    probes (or with application metrics). *)
+
+val registry : t -> Telemetry.Metrics.t
+val journal : t -> event Telemetry.Journal.t
+
+val on_originate : t -> Packet.t -> unit
+val on_iface : t -> time:float -> router:int -> next:int -> Iface.event -> unit
+val on_router : t -> time:float -> router:int -> Router.event -> unit
+(** Forwarding-plane hooks (called by {!Net}): bump the matching
+    counters and journal the typed record. *)
+
+val record_verdict :
+  t ->
+  time:float ->
+  detector:string ->
+  ?subject:int ->
+  ?suspects:int list ->
+  ?confidence:float ->
+  alarm:bool ->
+  ?detail:string ->
+  unit ->
+  unit
+(** Journal a detector verdict; alarming verdicts also advance the
+    alarm counter and pin {!first_alarm_time}. *)
+
+val first_alarm_time : t -> float option
+
+type conservation = {
+  total_injected : int;
+      (** originated + fabricated + fragment pieces created *)
+  total_delivered : int;
+  total_dropped : int;     (** all causes, congestion through malice *)
+  total_fragmented : int;  (** originals replaced by their fragments *)
+  in_flight : int;
+      (** injected − delivered − dropped − fragmented: packets still
+          queued or propagating when the run stopped (multicast
+          duplication is the one path that injects copies outside these
+          counters) *)
+}
+
+val conservation : t -> conservation
+
+val describe : event -> string
+(** The legacy one-line trace rendering ("12.0345 r3->r4 deliver #812
+    ...") derived from the typed record. *)
+
+val iface_packet : Iface.event -> Packet.t
+val router_packet : Router.event -> Packet.t
+(** The packet a record is about (for [Fragmented], the original). *)
+
+val json_of_event : event -> Telemetry.Export.json
+
+val write_journal : t -> out_channel -> unit
+(** Dump the retained journal as JSONL, oldest record first. *)

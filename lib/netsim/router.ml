@@ -38,12 +38,18 @@ type t = {
   mutable behavior : behavior;
   mutable mtu : int option;
   mcast : (int, int list * bool) Hashtbl.t; (* group -> (branches, local) *)
+  (* Always-on per-router counters: plain integer bumps on the hot path,
+     scraped by the telemetry layer at export time. *)
+  mutable received_packets : int;
+  mutable forwarded_packets : int;
+  mutable delivered_packets : int;
 }
 
 let create ~sim ~id ~jitter ~on_event ~local_deliver =
   { sim; id; jitter; on_event; local_deliver; out = Hashtbl.create 4;
     forwarding = (fun ~prev:_ _ -> None); behavior = honest; mtu = None;
-    mcast = Hashtbl.create 2 }
+    mcast = Hashtbl.create 2;
+    received_packets = 0; forwarded_packets = 0; delivered_packets = 0 }
 
 let id t = t.id
 
@@ -105,7 +111,9 @@ let forward_one t ~prev ~next pkt =
           red_avg = Option.map Red.avg (Iface.red_state iface) }
       in
       (match t.behavior ctx pkt with
-      | Forward -> fragment_if_needed t ~next iface pkt
+      | Forward ->
+          t.forwarded_packets <- t.forwarded_packets + 1;
+          fragment_if_needed t ~next iface pkt
       | Drop -> t.on_event t (Malicious_drop { next; pkt })
       | Modify payload ->
           let old_payload = pkt.Packet.payload in
@@ -117,6 +125,7 @@ let forward_one t ~prev ~next pkt =
           Sim.schedule t.sim ~delay:d (fun () -> fragment_if_needed t ~next iface pkt))
 
 let receive t ~prev pkt =
+  t.received_packets <- t.received_packets + 1;
   match Hashtbl.find_opt t.mcast pkt.Packet.dst with
   | Some (branches, local) ->
       (* Multicast: duplicate per branch (same identity, §7.4.3);
@@ -131,6 +140,7 @@ let receive t ~prev pkt =
       if expired then t.on_event t (Ttl_expired pkt)
       else begin
         if local then begin
+          t.delivered_packets <- t.delivered_packets + 1;
           t.on_event t (Delivered_local pkt);
           t.local_deliver pkt
         end;
@@ -138,6 +148,7 @@ let receive t ~prev pkt =
       end
   | None ->
   if pkt.Packet.dst = t.id then begin
+    t.delivered_packets <- t.delivered_packets + 1;
     t.on_event t (Delivered_local pkt);
     t.local_deliver pkt
   end
@@ -164,3 +175,7 @@ let fabricate t ~next pkt =
   | Some iface ->
       t.on_event t (Fabricated { next; pkt });
       Iface.enqueue iface pkt
+
+let received_packets t = t.received_packets
+let forwarded_packets t = t.forwarded_packets
+let delivered_packets t = t.delivered_packets

@@ -4,11 +4,12 @@ type t = {
   rng : Random.State.t;
   mutable processed : int;
   mutable next_id : int;
+  mutable run_cpu : float;
 }
 
 let create ?(seed = 1) () =
   { clock = 0.0; events = Prioq.create (); rng = Random.State.make [| seed; 0x51a7 |];
-    processed = 0; next_id = 0 }
+    processed = 0; next_id = 0; run_cpu = 0.0 }
 
 let now t = t.clock
 let rng t = t.rng
@@ -24,6 +25,7 @@ let schedule t ~delay thunk =
   schedule_at t ~time:(t.clock +. delay) thunk
 
 let run ?until t =
+  let cpu0 = Sys.time () in
   let continue () =
     match Prioq.peek t.events with
     | None -> false
@@ -37,10 +39,12 @@ let run ?until t =
         t.processed <- t.processed + 1;
         thunk ()
   done;
+  t.run_cpu <- t.run_cpu +. (Sys.time () -. cpu0);
   match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
 
 let events_processed t = t.processed
 let pending t = Prioq.length t.events
+let cpu_time_in_run t = t.run_cpu
 
 let fresh_id t =
   let id = t.next_id in

@@ -32,6 +32,11 @@ val events_processed : t -> int
 val pending : t -> int
 (** Number of events currently scheduled. *)
 
+val cpu_time_in_run : t -> float
+(** Processor seconds spent inside {!run} so far — with
+    {!events_processed} this gives the engine's events/sec
+    self-measurement that the telemetry summary reports. *)
+
 val fresh_id : t -> int
 (** Monotonically increasing identifier source (packet uids, flow ids);
     deterministic per simulation instance. *)

@@ -1,72 +1,41 @@
+(* The tracer is a filtered view over the same typed event pipeline the
+   telemetry probe uses: it journals Probe.event records and derives the
+   legacy line format only when asked. *)
+
 type t = {
-  capacity : int;
-  ring : string option array;
-  mutable next : int;
-  mutable total : int;
+  journal : Probe.event Telemetry.Journal.t;
+  routers : int list;
+  flows : int list;
 }
 
-let record t line =
-  t.ring.(t.next) <- Some line;
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
-
-let wants routers flows ~router pkt =
-  (routers = [] || List.mem router routers)
-  && (flows = [] || List.mem pkt.Packet.flow flows)
-
-let describe_iface = function
-  | Iface.Enqueued _ -> "enqueue"
-  | Iface.Drop_congestion _ -> "DROP-congestion"
-  | Iface.Drop_red_early _ -> "DROP-red"
-  | Iface.Drop_link_down _ -> "DROP-link-down"
-  | Iface.Drop_corrupted _ -> "DROP-corrupted"
-  | Iface.Transmit_start _ -> "transmit"
-  | Iface.Delivered _ -> "deliver"
-
-let iface_packet = function
-  | Iface.Enqueued p | Iface.Drop_congestion p | Iface.Drop_red_early p
-  | Iface.Drop_link_down p | Iface.Drop_corrupted p | Iface.Transmit_start p
-  | Iface.Delivered p ->
-      p
+let wants t ~router pkt =
+  (t.routers = [] || List.mem router t.routers)
+  && (t.flows = [] || List.mem pkt.Packet.flow t.flows)
 
 let attach ~net ?(capacity = 1000) ?(routers = []) ?(flows = []) () =
   if capacity <= 0 then invalid_arg "Tracer.attach: capacity must be positive";
-  let t = { capacity; ring = Array.make capacity None; next = 0; total = 0 } in
+  let t = { journal = Telemetry.Journal.create ~capacity (); routers; flows } in
   Net.subscribe_iface net (fun ev ->
-      let pkt = iface_packet ev.Net.kind in
-      if wants routers flows ~router:ev.Net.router pkt then
-        record t
-          (Printf.sprintf "%.4f r%d->r%d %s %s" ev.Net.time ev.Net.router ev.Net.next
-             (describe_iface ev.Net.kind) (Packet.describe pkt)));
+      let pkt = Probe.iface_packet ev.Net.kind in
+      if wants t ~router:ev.Net.router pkt then
+        Telemetry.Journal.record t.journal
+          (Probe.Link
+             { Probe.time = ev.Net.time; router = ev.Net.router; next = ev.Net.next;
+               ev = ev.Net.kind }));
   Net.subscribe_router net (fun ev ->
-      let entry kind pkt =
-        if wants routers flows ~router:ev.Net.router pkt then
-          record t
-            (Printf.sprintf "%.4f r%d %s %s" ev.Net.time ev.Net.router kind
-               (Packet.describe pkt))
-      in
-      match ev.Net.kind with
-      | Router.Malicious_drop { pkt; _ } -> entry "MALICIOUS-drop" pkt
-      | Router.Malicious_modify { pkt; _ } -> entry "MALICIOUS-modify" pkt
-      | Router.Malicious_delay { pkt; delay; _ } ->
-          entry (Printf.sprintf "MALICIOUS-delay(%.3fs)" delay) pkt
-      | Router.Fabricated { pkt; _ } -> entry "MALICIOUS-fabricate" pkt
-      | Router.Fragmented { original; fragments; _ } ->
-          entry (Printf.sprintf "fragment(x%d)" fragments) original
-      | Router.No_route pkt -> entry "no-route" pkt
-      | Router.Ttl_expired pkt -> entry "ttl-expired" pkt
-      | Router.Delivered_local pkt -> entry "local-deliver" pkt);
+      let pkt = Probe.router_packet ev.Net.kind in
+      if wants t ~router:ev.Net.router pkt then
+        Telemetry.Journal.record t.journal
+          (Probe.Node
+             { Probe.time = ev.Net.time; router = ev.Net.router; ev = ev.Net.kind }));
   t
 
-let events t =
-  let out = ref [] in
-  for i = t.capacity - 1 downto 0 do
-    match t.ring.((t.next + i) mod t.capacity) with
-    | Some line -> out := line :: !out
-    | None -> ()
-  done;
-  !out
+let typed_events t = Telemetry.Journal.to_list t.journal
 
-let count t = t.total
+let events t = List.map Probe.describe (typed_events t)
 
-let dump t oc = List.iter (fun line -> Printf.fprintf oc "%s\n" line) (events t)
+let count t = Telemetry.Journal.total t.journal
+
+let dump t oc =
+  Telemetry.Journal.iter t.journal (fun ev ->
+      Printf.fprintf oc "%s\n" (Probe.describe ev))

@@ -1,10 +1,16 @@
 (** A bounded human-readable event trace (tcpdump for the simulator).
 
-    Captures link and router events into a ring buffer with optional
-    filters; dump it when debugging a scenario or teaching a protocol
-    run. *)
+    Captures link and router events into a bounded {!Telemetry.Journal}
+    of typed {!Probe.event} records with optional filters; the
+    human-readable lines are derived on demand.  Dump it when debugging
+    a scenario or teaching a protocol run. *)
 
 type t
+
+val typed_events : t -> Probe.event list
+(** The retained records, oldest first, as typed {!Probe.event} values —
+    the tracer stores these and derives the strings of {!events} on
+    demand. *)
 
 val attach :
   net:Net.t ->

@@ -1,0 +1,331 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+(* --- emission --- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    (* Integral floats print without a trailing dot so the output stays
+       valid JSON; NaN has no JSON spelling at all. *)
+    if Float.is_nan f then "null" else Printf.sprintf "%.0f" f
+  else if f = Float.infinity then "1e999"
+  else if f = Float.neg_infinity then "-1e999"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Assoc kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  emit buf j;
+  Buffer.contents buf
+
+let to_channel oc j = output_string oc (to_string j)
+
+let write_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      to_channel oc j;
+      output_char oc '\n')
+
+(* --- parsing (enough JSON to read our own output back) --- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Non-ASCII code points fold to '?': the exporters only
+                 ever emit ASCII. *)
+              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+              go ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Assoc []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Assoc (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+
+(* --- accessors for consumers of parsed documents --- *)
+
+let member key = function
+  | Assoc kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_int = function Int i -> Some i | Float f -> Some (int_of_float f) | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+
+(* --- registry exporters --- *)
+
+let json_of_sample = function
+  | Metrics.Counter_sample c -> [ ("type", String "counter"); ("value", Int c) ]
+  | Metrics.Gauge_sample g -> [ ("type", String "gauge"); ("value", Float g) ]
+  | Metrics.Histogram_sample { uppers; counts; sum; count } ->
+      [ ("type", String "histogram");
+        ("count", Int count);
+        ("sum", Float sum);
+        ("buckets",
+         List
+           (Array.to_list
+              (Array.mapi
+                 (fun i c -> Assoc [ ("le", Float uppers.(i)); ("count", Int c) ])
+                 counts))) ]
+
+let json_of_registry reg =
+  List
+    (List.map
+       (fun (name, help, labels, sample) ->
+         Assoc
+           ((("name", String name)
+             :: (if help = "" then [] else [ ("help", String help) ]))
+           @ (if labels = [] then []
+              else
+                [ ("labels", Assoc (List.map (fun (k, v) -> (k, String v)) labels)) ])
+           @ json_of_sample sample))
+       (Metrics.snapshot reg))
+
+let prom_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '\\' -> "\\\\" | '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (prom_escape v)) labels)
+      ^ "}"
+
+let prom_float f =
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" f
+
+let prometheus_of_registry reg =
+  let buf = Buffer.create 4096 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (name, help, labels, sample) ->
+      let kind =
+        match sample with
+        | Metrics.Counter_sample _ -> "counter"
+        | Metrics.Gauge_sample _ -> "gauge"
+        | Metrics.Histogram_sample _ -> "histogram"
+      in
+      if not (Hashtbl.mem seen_header name) then begin
+        Hashtbl.add seen_header name ();
+        if help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+      end;
+      match sample with
+      | Metrics.Counter_sample c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (prom_labels labels) c)
+      | Metrics.Gauge_sample g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (prom_labels labels) (prom_float g))
+      | Metrics.Histogram_sample { uppers; counts; sum; count } ->
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cumulative := !cumulative + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (prom_labels (labels @ [ ("le", prom_float uppers.(i)) ]))
+                   !cumulative))
+            counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
+               (prom_float sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) count))
+    (Metrics.snapshot reg);
+  Buffer.contents buf

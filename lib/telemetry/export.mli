@@ -1,0 +1,48 @@
+(** Exporters: a dependency-free JSON value type with an emitter and a
+    matching parser, plus registry renderers (JSON document and
+    Prometheus text exposition format).
+
+    The parser exists so tests (and downstream tooling) can read the
+    exporters' own output back without an external JSON library; it
+    covers the full value grammar but folds non-ASCII [\u] escapes to
+    ['?']. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+val to_string : json -> string
+(** Compact rendering.  NaN renders as [null]; infinities as the
+    out-of-range literal [1e999] (which parses back to [infinity]). *)
+
+val to_channel : out_channel -> json -> unit
+
+val write_file : string -> json -> unit
+(** Serialize to a file, newline-terminated. *)
+
+val of_string : string -> (json, string) result
+
+val member : string -> json -> json option
+(** Field lookup on an [Assoc]; [None] elsewhere. *)
+
+val to_int : json -> int option
+(** Also truncates a [Float]. *)
+
+val to_float : json -> float option
+(** Also widens an [Int]. *)
+
+val to_list_opt : json -> json list option
+val to_string_opt : json -> string option
+
+val json_of_registry : Metrics.t -> json
+(** One entry per series: name, labels, type and value (histograms carry
+    per-bucket counts with upper edges, plus sum and count). *)
+
+val prometheus_of_registry : Metrics.t -> string
+(** Prometheus text format: # HELP / # TYPE headers, label escaping,
+    cumulative [_bucket{le=...}] / [_sum] / [_count] histogram series. *)

@@ -1,0 +1,42 @@
+type 'a t = {
+  capacity : int;
+  ring : 'a option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Journal.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = t.capacity
+
+let record t x =
+  t.ring.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let total t = t.total
+let retained t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let iter t f =
+  (* Oldest first: the slot after [next] holds the oldest survivor once
+     the ring has wrapped. *)
+  for i = 0 to t.capacity - 1 do
+    match t.ring.((t.next + i) mod t.capacity) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun x -> acc := f !acc x);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0

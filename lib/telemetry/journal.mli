@@ -1,0 +1,38 @@
+(** Bounded typed event journal.
+
+    A fixed-capacity ring of structured records: recording is O(1) and
+    the memory footprint is set at creation no matter how many events
+    flow through — under sustained load the journal keeps the newest
+    [capacity] records and counts the rest as dropped.  This is the one
+    storage primitive behind {!Netsim.Probe}, {!Netsim.Tracer} and
+    {!Netsim.Meter}. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 65536 records.  Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val capacity : 'a t -> int
+
+val record : 'a t -> 'a -> unit
+(** Append, evicting the oldest record once full. *)
+
+val total : 'a t -> int
+(** Records ever offered (including evicted ones). *)
+
+val retained : 'a t -> int
+(** Records currently held: [min total capacity]. *)
+
+val dropped : 'a t -> int
+(** Records evicted so far: [max 0 (total - capacity)]. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Visit the retained records, oldest first. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+val to_list : 'a t -> 'a list
+(** The retained records, oldest first. *)
+
+val clear : 'a t -> unit

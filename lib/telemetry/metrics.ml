@@ -1,0 +1,127 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  counts : int array; (* [0]: <= 0; [i]: (2^(i-2+min_exp), 2^(i-1+min_exp)];
+                         last: overflow *)
+  min_exp : int;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of float
+  | Histogram_sample of { uppers : float array; counts : int array;
+                          sum : float; count : int }
+
+type kind = C of counter | G of gauge | H of histogram
+
+type series = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+}
+
+type t = { mutable series_rev : series list }
+
+let create () = { series_rev = [] }
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* Registration is the cold path: a linear scan keeps re-registration of
+   the same (name, labels) series idempotent, which is what makes label
+   families cheap to use from per-entity code. *)
+let find t name labels =
+  List.find_opt (fun s -> s.name = name && s.labels = labels) t.series_rev
+
+let register t ~name ~help ~labels ~fresh ~cast =
+  let labels = normalize_labels labels in
+  match find t name labels with
+  | Some s -> cast s.kind
+  | None ->
+      let kind = fresh () in
+      t.series_rev <- { name; help; labels; kind } :: t.series_rev;
+      cast kind
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels
+    ~fresh:(fun () -> C { c = 0 })
+    ~cast:(function
+      | C c -> c
+      | G _ | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter"))
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels
+    ~fresh:(fun () -> G { g = 0.0 })
+    ~cast:(function
+      | G g -> g
+      | C _ | H _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = 32) ?(min_exp = 0) name =
+  if buckets < 3 then invalid_arg "Metrics.histogram: need at least 3 buckets";
+  register t ~name ~help ~labels
+    ~fresh:(fun () ->
+      H { counts = Array.make buckets 0; min_exp; h_count = 0; h_sum = 0.0 })
+    ~cast:(function
+      | H h -> h
+      | C _ | G _ ->
+          invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+let inc c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let set g v = g.g <- v
+let add_gauge g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+(* Hot path: an exponent extraction, a clamp and two in-place updates —
+   no allocation beyond float temporaries. *)
+let bucket_index h v =
+  if v <= 0.0 then 0
+  else begin
+    let n = Array.length h.counts in
+    (* not (v < infinity) also catches NaN; int_of_float of either is
+       unspecified, so route both to the overflow bin explicitly. *)
+    if not (v < infinity) then n - 1
+    else begin
+      (* ceil, not floor: buckets are upper-inclusive (2^(e-1), 2^e] so
+         they agree with the le= edges the Prometheus exporter emits. *)
+      let e = int_of_float (Float.ceil (Float.log2 v)) in
+      let i = e - h.min_exp + 1 in
+      if i < 1 then 1 else if i >= n then n - 1 else i
+    end
+  end
+
+let observe h v =
+  h.counts.(bucket_index h v) <- h.counts.(bucket_index h v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* Inclusive upper edge of bucket [i]; the overflow bucket has edge
+   +inf. *)
+let bucket_upper h i =
+  let n = Array.length h.counts in
+  if i <= 0 then 0.0
+  else if i >= n - 1 then infinity
+  else Float.pow 2.0 (float_of_int (i - 1 + h.min_exp))
+
+let snapshot_series s =
+  let sample =
+    match s.kind with
+    | C c -> Counter_sample c.c
+    | G g -> Gauge_sample g.g
+    | H h ->
+        Histogram_sample
+          { uppers = Array.init (Array.length h.counts) (bucket_upper h);
+            counts = Array.copy h.counts; sum = h.h_sum; count = h.h_count }
+  in
+  (s.name, s.help, s.labels, sample)
+
+let snapshot t = List.rev_map snapshot_series t.series_rev

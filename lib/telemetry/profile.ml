@@ -1,0 +1,42 @@
+type phase = {
+  name : string;
+  mutable seconds : float;
+  mutable calls : int;
+}
+
+type t = { mutable phases_rev : phase list }
+
+let create () = { phases_rev = [] }
+
+let phase t name =
+  match List.find_opt (fun p -> p.name = name) t.phases_rev with
+  | Some p -> p
+  | None ->
+      let p = { name; seconds = 0.0; calls = 0 } in
+      t.phases_rev <- p :: t.phases_rev;
+      p
+
+let time t name f =
+  let p = phase t name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      p.seconds <- p.seconds +. (Unix.gettimeofday () -. t0);
+      p.calls <- p.calls + 1)
+    f
+
+let phases t =
+  List.rev_map (fun p -> (p.name, p.seconds, p.calls)) t.phases_rev
+
+let total_seconds t =
+  List.fold_left (fun acc p -> acc +. p.seconds) 0.0 t.phases_rev
+
+let json t =
+  Export.List
+    (List.map
+       (fun (name, seconds, calls) ->
+         Export.Assoc
+           [ ("phase", Export.String name);
+             ("wall_seconds", Export.Float seconds);
+             ("calls", Export.Int calls) ])
+       (phases t))

@@ -1,0 +1,250 @@
+(* Tests for the telemetry subsystem: metrics registry (counters,
+   gauges, log-bucketed histograms), bounded journal, JSON
+   emitter/parser round-trips, and an end-to-end golden check that
+   `mrdetect simulate --metrics` output parses back and conserves
+   packets. *)
+
+open Telemetry
+
+(* --- histograms: bucketing edge cases --- *)
+
+let test_histogram_zero_and_negative () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:8 "h" in
+  Alcotest.(check int) "zero lands in bin 0" 0 (Metrics.bucket_index h 0.0);
+  Alcotest.(check int) "negative lands in bin 0" 0 (Metrics.bucket_index h (-3.5));
+  Metrics.observe h 0.0;
+  Metrics.observe h (-1.0);
+  Alcotest.(check int) "count tracks observes" 2 (Metrics.histogram_count h)
+
+let test_histogram_boundaries () =
+  (* With min_exp = 0: bin 1 is (0, 1], bin 2 is (1, 2], bin 3 is (2, 4]. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:8 "h" in
+  Alcotest.(check int) "1.0 in bin 1" 1 (Metrics.bucket_index h 1.0);
+  Alcotest.(check int) "just above 1 in bin 2" 2 (Metrics.bucket_index h 1.0001);
+  Alcotest.(check int) "2.0 in bin 2" 2 (Metrics.bucket_index h 2.0);
+  Alcotest.(check int) "3.0 in bin 3" 3 (Metrics.bucket_index h 3.0);
+  Alcotest.(check int) "4.0 in bin 3" 3 (Metrics.bucket_index h 4.0);
+  Alcotest.(check (float 1e-9)) "bin 3 upper edge" 4.0 (Metrics.bucket_upper h 3)
+
+let test_histogram_overflow () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:4 "h" in
+  (* buckets = 4: bin 0 (<= 0), bin 1 (0,1], bin 2 (1,2], bin 3 overflow. *)
+  Alcotest.(check int) "huge value in overflow bin" 3
+    (Metrics.bucket_index h 1e30);
+  Alcotest.(check int) "infinity in overflow bin" 3
+    (Metrics.bucket_index h infinity);
+  Alcotest.(check bool) "overflow upper edge is +inf" true
+    (Metrics.bucket_upper h 3 = infinity);
+  Metrics.observe h 1e30;
+  Metrics.observe h 0.5;
+  Alcotest.(check int) "count" 2 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e20)) "sum" 1e30 (Metrics.histogram_sum h)
+
+let test_histogram_min_exp () =
+  (* min_exp shifts the whole ladder: with min_exp = -14, bin 1 is
+     (0, 2^-14] — sub-millisecond latencies stay distinguishable. *)
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:24 ~min_exp:(-14) "lat" in
+  Alcotest.(check int) "2^-14 in bin 1" 1 (Metrics.bucket_index h (Float.pow 2.0 (-14.0)));
+  Alcotest.(check int) "2^-13 in bin 2" 2 (Metrics.bucket_index h (Float.pow 2.0 (-13.0)));
+  Alcotest.(check bool) "tiny value above zero not in bin 0" true
+    (Metrics.bucket_index h 1e-9 >= 1)
+
+(* --- counters: label cardinality --- *)
+
+let test_counter_label_identity () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "drops" ~labels:[ ("cause", "congestion") ] in
+  (* Same name + same labels (any order) resolves to the same series. *)
+  let a' = Metrics.counter reg "drops" ~labels:[ ("cause", "congestion") ] in
+  let b = Metrics.counter reg "drops" ~labels:[ ("cause", "malicious") ] in
+  Metrics.inc a;
+  Metrics.add a' 2;
+  Metrics.inc b;
+  Alcotest.(check int) "same labels share the cell" 3 (Metrics.counter_value a);
+  Alcotest.(check int) "distinct labels are distinct series" 1
+    (Metrics.counter_value b);
+  let series =
+    List.filter (fun (name, _, _, _) -> name = "drops") (Metrics.snapshot reg)
+  in
+  Alcotest.(check int) "two series in the family" 2 (List.length series)
+
+let test_counter_label_order_insensitive () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "x" ~labels:[ ("a", "1"); ("b", "2") ] in
+  let b = Metrics.counter reg "x" ~labels:[ ("b", "2"); ("a", "1") ] in
+  Metrics.inc a;
+  Alcotest.(check int) "label order does not split the series" 1
+    (Metrics.counter_value b)
+
+let test_type_conflict_rejected () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "n");
+  Alcotest.check_raises "re-registering as a gauge fails"
+    (Invalid_argument "Metrics.gauge: n is not a gauge") (fun () ->
+      ignore (Metrics.gauge reg "n"))
+
+(* --- journal: bounded memory under sustained load --- *)
+
+let test_journal_bounded_1m () =
+  let j = Journal.create ~capacity:4096 () in
+  let n = 1_000_000 in
+  for i = 1 to n do
+    Journal.record j i
+  done;
+  Alcotest.(check int) "total counts every offer" n (Journal.total j);
+  Alcotest.(check int) "retained is capped at capacity" 4096 (Journal.retained j);
+  Alcotest.(check int) "dropped is the excess" (n - 4096) (Journal.dropped j);
+  (* The ring keeps exactly the newest 4096, oldest first. *)
+  let contents = Journal.to_list j in
+  Alcotest.(check int) "list length" 4096 (List.length contents);
+  Alcotest.(check int) "oldest retained" (n - 4096 + 1) (List.hd contents);
+  Alcotest.(check int) "newest retained" n (List.nth contents 4095)
+
+let test_journal_under_capacity () =
+  let j = Journal.create ~capacity:16 () in
+  List.iter (Journal.record j) [ "a"; "b"; "c" ];
+  Alcotest.(check int) "retained = total when under capacity" 3 (Journal.retained j);
+  Alcotest.(check int) "nothing dropped" 0 (Journal.dropped j);
+  Alcotest.(check (list string)) "order preserved" [ "a"; "b"; "c" ]
+    (Journal.to_list j);
+  Journal.clear j;
+  Alcotest.(check int) "clear resets" 0 (Journal.total j)
+
+(* --- JSON: emitter/parser round-trip --- *)
+
+let test_json_roundtrip () =
+  let open Export in
+  let doc =
+    Assoc
+      [ ("s", String "a \"quoted\"\n\tstring");
+        ("i", Int (-42));
+        ("f", Float 3.25);
+        ("big", Float 1.5e300);
+        ("null", Null);
+        ("flags", List [ Bool true; Bool false ]);
+        ("nested", Assoc [ ("xs", List [ Int 1; Int 2; Int 3 ]) ]) ]
+  in
+  match of_string (to_string doc) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      Alcotest.(check string) "round-trip is stable" (to_string doc)
+        (to_string parsed)
+
+let test_json_special_floats () =
+  let open Export in
+  (match of_string (to_string (Float nan)) with
+  | Ok Null -> ()
+  | _ -> Alcotest.fail "NaN must render as null");
+  match of_string (to_string (Float infinity)) with
+  | Ok (Float f) -> Alcotest.(check bool) "inf survives" true (f = infinity)
+  | _ -> Alcotest.fail "infinity must parse back"
+
+let test_json_accessors () =
+  let open Export in
+  match of_string {|{"a": {"b": [10, 2.5, "x"]}}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+      let b = Option.get (member "a" doc) |> member "b" |> Option.get in
+      let xs = Option.get (to_list_opt b) in
+      Alcotest.(check (option int)) "int" (Some 10) (to_int (List.nth xs 0));
+      Alcotest.(check (option (float 1e-9))) "float widens int" (Some 10.0)
+        (to_float (List.nth xs 0));
+      Alcotest.(check (option int)) "int truncates float" (Some 2)
+        (to_int (List.nth xs 1));
+      Alcotest.(check (option string)) "string" (Some "x")
+        (to_string_opt (List.nth xs 2))
+
+(* --- golden: a simulate run's metrics export parses and conserves --- *)
+
+let field path doc =
+  List.fold_left
+    (fun acc k -> Option.bind acc (Export.member k))
+    (Some doc) path
+
+let req_int path doc =
+  match Option.bind (field path doc) Export.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "missing integer field %s" (String.concat "." path)
+
+let test_simulate_metrics_conserve () =
+  let path = Filename.temp_file "mrdetect_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Quiet scenario output; the export file is what we check. *)
+      let devnull = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+      let stdout_backup = Unix.dup Unix.stdout in
+      flush stdout;
+      Unix.dup2 (Unix.descr_of_out_channel devnull) Unix.stdout;
+      Fun.protect
+        ~finally:(fun () ->
+          flush stdout;
+          Unix.dup2 stdout_backup Unix.stdout;
+          Unix.close stdout_backup;
+          close_out devnull)
+        (fun () ->
+          Experiments.Simulate.run ~topo:Experiments.Simulate.Ring ~protocol:`Chi
+            ~attack:(Experiments.Simulate.Drop_fraction 0.3) ~attacker:2
+            ~duration:12.0 ~seed:7 ~flows:6 ~metrics:path ());
+      let contents =
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Export.of_string contents with
+      | Error e -> Alcotest.failf "metrics file is not valid JSON: %s" e
+      | Ok doc ->
+          Alcotest.(check (option string)) "schema" (Some "mrdetect-metrics-v1")
+            (Option.bind (field [ "schema" ] doc) Export.to_string_opt);
+          let injected = req_int [ "conservation"; "injected" ] doc in
+          let delivered = req_int [ "conservation"; "delivered" ] doc in
+          let dropped = req_int [ "conservation"; "dropped" ] doc in
+          let fragmented = req_int [ "conservation"; "fragmented" ] doc in
+          let in_flight = req_int [ "conservation"; "in_flight" ] doc in
+          Alcotest.(check bool) "some traffic ran" true (injected > 0);
+          Alcotest.(check int) "packets conserve" injected
+            (delivered + dropped + fragmented + in_flight);
+          Alcotest.(check bool) "engine processed events" true
+            (req_int [ "engine"; "events_processed" ] doc > 0);
+          (* The registry view agrees with the conservation block. *)
+          let metrics = Option.get (field [ "metrics" ] doc) in
+          let series = Option.get (Export.to_list_opt metrics) in
+          let sum_counter name =
+            List.fold_left
+              (fun acc s ->
+                match Option.bind (Export.member "name" s) Export.to_string_opt with
+                | Some n when n = name ->
+                    acc + Option.value ~default:0
+                            (Option.bind (Export.member "value" s) Export.to_int)
+                | _ -> acc)
+              0 series
+          in
+          Alcotest.(check int) "dropped counter family sums to the block"
+            dropped (sum_counter "pkt_dropped_total"))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("histogram",
+       [ Alcotest.test_case "zero and negative" `Quick test_histogram_zero_and_negative;
+         Alcotest.test_case "bucket boundaries" `Quick test_histogram_boundaries;
+         Alcotest.test_case "overflow bin" `Quick test_histogram_overflow;
+         Alcotest.test_case "min_exp shift" `Quick test_histogram_min_exp ]);
+      ("counters",
+       [ Alcotest.test_case "label identity" `Quick test_counter_label_identity;
+         Alcotest.test_case "label order" `Quick test_counter_label_order_insensitive;
+         Alcotest.test_case "type conflict" `Quick test_type_conflict_rejected ]);
+      ("journal",
+       [ Alcotest.test_case "bounded under 1M events" `Quick test_journal_bounded_1m;
+         Alcotest.test_case "under capacity" `Quick test_journal_under_capacity ]);
+      ("json",
+       [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+         Alcotest.test_case "special floats" `Quick test_json_special_floats;
+         Alcotest.test_case "accessors" `Quick test_json_accessors ]);
+      ("golden",
+       [ Alcotest.test_case "simulate --metrics conserves" `Quick
+           test_simulate_metrics_conserve ]) ]
