@@ -6,25 +6,60 @@
    Chapter 7 (fingerprint computation, traffic validation, set
    reconciliation). *)
 
+module Exp = Experiments.Exp
+module Registry = Experiments.Registry
+module Pool = Experiments.Pool
+
+(* Evaluate the whole registry serially (timed), then render — the same
+   list mrdetect and the odoc index use, not a private copy. *)
 let reproduction () =
   print_endline "Detecting Malicious Routers - evaluation reproduction";
   print_endline "======================================================";
-  Experiments.Fig_pr.run ();
-  Experiments.Tab_state.run ();
-  Experiments.Fig_fatih.run ();
-  Experiments.Fig_confidence.run ();
-  Experiments.Fig_qerror.run ();
-  Experiments.Fig_droptail.run ();
-  Experiments.Tab_threshold.run ();
-  Experiments.Fig_red.run ();
-  Experiments.Tab_reconcile.run ();
-  Experiments.Tab_baselines.run ();
-  Experiments.Tab_models.run ();
-  Experiments.Ablations.run ();
-  Experiments.Tab_comm.run ();
-  Experiments.Tab_latency.run ();
-  Experiments.Fig_fleet.run ();
-  Experiments.Tab_watchers.run ()
+  let t0 = Unix.gettimeofday () in
+  let results = Registry.eval_all ~jobs:1 () in
+  let serial = Unix.gettimeofday () -. t0 in
+  List.iter Exp.render results;
+  (results, serial)
+
+(* Serial vs parallel wall clock for the experiment suite.  The
+   parallel pass uses the machine's recommended domain count, checks
+   that its merged JSON document is byte-identical to the serial one,
+   and records both timings in BENCH_parallel.json.  On a 1-core host
+   the recommended count is 1, so the "parallel" pass degrades to a
+   second serial run and the speedup is honestly ~1.0. *)
+let parallel_comparison ~serial serial_results =
+  print_endline "";
+  print_endline "Experiment suite: serial vs parallel (Domain pool)";
+  print_endline "==================================================";
+  let jobs = Pool.default_jobs () in
+  let t0 = Unix.gettimeofday () in
+  let parallel_results = Registry.eval_all ~jobs () in
+  let parallel = Unix.gettimeofday () -. t0 in
+  let doc results = Telemetry.Export.to_string (Registry.json_document results) in
+  if doc parallel_results <> doc serial_results then
+    failwith "parallel evaluation diverged from the serial results";
+  let speedup = serial /. parallel in
+  Printf.printf "  serial (1 domain)      %8.2f s\n" serial;
+  Printf.printf "  parallel (%d domain%s)  %8.2f s\n" jobs
+    (if jobs = 1 then " " else "s")
+    parallel;
+  Printf.printf "  speedup                %8.2fx  (results byte-identical)\n" speedup;
+  let registry = Telemetry.Metrics.create () in
+  let set name help v =
+    Telemetry.Metrics.set
+      (Telemetry.Metrics.gauge registry name ~help ~labels:[ ("suite", "registry") ])
+      v
+  in
+  set "experiments_serial_seconds" "wall clock, jobs=1" serial;
+  set "experiments_parallel_seconds" "wall clock, jobs=recommended" parallel;
+  set "experiments_parallel_jobs" "domains used by the parallel pass"
+    (float_of_int jobs);
+  set "experiments_parallel_speedup" "serial / parallel wall clock" speedup;
+  Telemetry.Export.write_file "BENCH_parallel.json"
+    (Telemetry.Export.Assoc
+       [ ("schema", Telemetry.Export.String "mrdetect-bench-parallel-v1");
+         ("metrics", Telemetry.Export.json_of_registry registry) ]);
+  print_endline "\nparallel benchmark metrics written to BENCH_parallel.json"
 
 (* --- microbenchmarks (§7.1 computing fingerprints, Appendix A) --- *)
 
@@ -178,7 +213,8 @@ let write_json registry path =
 
 let () =
   let registry = Telemetry.Metrics.create () in
-  reproduction ();
+  let results, serial = reproduction () in
+  parallel_comparison ~serial results;
   simulator_performance registry;
   run_benchmarks registry;
   write_json registry "BENCH_telemetry.json"

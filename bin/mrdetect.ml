@@ -1,37 +1,77 @@
 (* mrdetect: command-line driver for the reproduction experiments.
 
-   Each subcommand regenerates one table/figure of the dissertation's
-   evaluation (see DESIGN.md for the experiment index); `all` runs the
-   whole set, which is what `dune exec bench/main.exe` also does before
-   its microbenchmarks. *)
+   Every subcommand regenerates one table/figure of the dissertation's
+   evaluation; the set of experiments, their descriptions and their
+   cost classes all come from Experiments.Registry (the same list
+   bench/main.exe and the odoc index use).  `all` runs the whole set —
+   optionally on a pool of domains (--jobs) and merged into one JSON
+   document (--json). *)
 
 open Cmdliner
+module Exp = Experiments.Exp
+module Registry = Experiments.Registry
+module Pool = Experiments.Pool
 
-let experiments =
-  [ ("pr", "Figures 5.2/5.4: per-router |Pr| vs k", Experiments.Fig_pr.run);
-    ("state", "Tables 5.1/7.2: counter state, WATCHERS vs Pi2 vs Pik+2",
-     Experiments.Tab_state.run);
-    ("fatih", "Figure 5.7: Fatih timeline on Abilene", Experiments.Fig_fatih.run);
-    ("confidence", "Figure 6.2: single-loss confidence curve",
-     Experiments.Fig_confidence.run);
-    ("qerror", "Figure 6.3: queue prediction error distribution",
-     Experiments.Fig_qerror.run);
-    ("droptail", "Figures 6.5-6.9: Protocol chi, drop-tail attacks",
-     Experiments.Fig_droptail.run);
-    ("threshold", "Section 6.4.3: chi vs static threshold", Experiments.Tab_threshold.run);
-    ("red", "Figures 6.11-6.16: Protocol chi with RED", Experiments.Fig_red.run);
-    ("reconcile", "Appendix A: set reconciliation vs Bloom", Experiments.Tab_reconcile.run);
-    ("baselines", "Ch. 3 literature baselines: Herzberg/SecTrace/properties",
-     Experiments.Tab_baselines.run);
-    ("models", "Section 6.1.2: analytic congestion models vs measurement",
-     Experiments.Tab_models.run);
-    ("ablations", "Design-choice ablations: jitter, tau, sampling, clock skew",
-     Experiments.Ablations.run);
-    ("comm", "Section 7.2: summary exchange cost by mechanism", Experiments.Tab_comm.run);
-    ("latency", "Detection latency vs attack intensity", Experiments.Tab_latency.run);
-    ("fleet", "Network-wide chi localization trials (Fig 2.3)", Experiments.Fig_fleet.run);
-    ("watchers", "WATCHERS-live vs chi at packet level", Experiments.Tab_watchers.run)
-  ]
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"evaluate experiments on N domains (results and output are \
+                 identical for every N; 0 selects the machine's recommended \
+                 domain count)")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"merge every experiment's structured result into FILE as one \
+                 mrdetect-experiments-v1 JSON document")
+
+let resolve_jobs n = if n = 0 then Pool.default_jobs () else max 1 n
+
+let run_entries ~jobs ~json entries =
+  let results = Registry.eval_all ~jobs:(resolve_jobs jobs) ~entries () in
+  List.iter Exp.render results;
+  match json with
+  | None -> `Ok ()
+  | Some path -> (
+      try
+        Telemetry.Export.write_file path (Registry.json_document results);
+        Printf.printf "\nstructured results written to %s\n" path;
+        `Ok ()
+      with Sys_error msg -> `Error (false, "cannot write JSON file: " ^ msg))
+
+let all_cmd =
+  let run jobs json = run_entries ~jobs ~json Registry.all in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every reproduction experiment")
+    Term.(ret (const run $ jobs_arg $ json_arg))
+
+let quick_cmd =
+  let run jobs json = run_entries ~jobs ~json Registry.quick in
+  Cmd.v
+    (Cmd.info "quick"
+       ~doc:"Run the sub-second experiments (the registry's Quick cost class; \
+             this is what the @quick dune alias executes)")
+    Term.(ret (const run $ jobs_arg $ json_arg))
+
+let ablations_cmd =
+  (* The ablations are themselves five independent sweeps, so --jobs
+     parallelizes inside the experiment rather than across the registry. *)
+  let run jobs json =
+    let result = Experiments.Ablations.eval ~jobs:(resolve_jobs jobs) () in
+    Exp.render result;
+    match json with
+    | None -> `Ok ()
+    | Some path -> (
+        try
+          Telemetry.Export.write_file path (Registry.json_document [ result ]);
+          Printf.printf "\nstructured results written to %s\n" path;
+          `Ok ()
+        with Sys_error msg -> `Error (false, "cannot write JSON file: " ^ msg))
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Design-choice ablations: jitter, tau, sampling, clock skew")
+    Term.(ret (const run $ jobs_arg $ json_arg))
 
 let simulate_cmd =
   let topo =
@@ -73,36 +113,27 @@ let simulate_cmd =
              ~doc:"write the typed event journal (link/router/verdict records) to \
                    FILE as JSONL")
   in
-  let run topo protocol attack fraction attacker duration seed flows trace metrics
-      journal =
-    let fail msg = `Error (false, msg) in
-    match Experiments.Simulate.topo_of_string topo with
-    | Error e -> fail e
-    | Ok topo -> (
-        match Experiments.Simulate.attack_of_string attack ~fraction with
-        | Error e -> fail e
-        | Ok attack -> (
-            match protocol with
-            | "chi" | "fatih" -> (
-                let protocol = if protocol = "chi" then `Chi else `Fatih in
-                try
-                  Experiments.Simulate.run ~topo ~protocol ~attack ~attacker ~duration
-                    ~seed ~flows ~trace ?metrics ?journal ();
-                  `Ok ()
-                with Sys_error msg -> fail ("cannot write output file: " ^ msg))
-            | p -> fail (Printf.sprintf "unknown protocol %S (chi|fatih)" p)))
+  let run topology protocol attack fraction attacker duration seed flows trace
+      metrics journal =
+    match
+      Experiments.Simulate.Config.of_cmdline ~topology ~protocol ~attack ~fraction
+        ~attacker ~duration ~seed ~flows ~trace ~metrics ~journal
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok config -> (
+        try
+          Experiments.Simulate.run config;
+          `Ok ()
+        with Sys_error msg -> `Error (false, "cannot write output file: " ^ msg))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
     Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
                $ seed $ flows $ trace $ metrics $ journal))
 
-let subcommand (name, doc, run) =
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
-
-let all_cmd =
-  let run () = List.iter (fun (_, _, run) -> run ()) experiments in
-  Cmd.v (Cmd.info "all" ~doc:"Run every reproduction experiment") Term.(const run $ const ())
+let subcommand (e : Exp.entry) =
+  let run () = Exp.render (e.eval ()) in
+  Cmd.v (Cmd.info e.id ~doc:e.doc) Term.(const run $ const ())
 
 let () =
   let info =
@@ -110,7 +141,13 @@ let () =
       ~doc:"Reproduction driver for 'Detecting Malicious Routers'"
   in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let registry_cmds =
+    (* ablations has a dedicated command with --jobs. *)
+    List.filter_map
+      (fun (e : Exp.entry) -> if e.id = "ablations" then None else Some (subcommand e))
+      Registry.all
+  in
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          (all_cmd :: simulate_cmd :: List.map subcommand experiments)))
+          (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: registry_cmds)))

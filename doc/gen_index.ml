@@ -1,4 +1,9 @@
-{0 Detecting Malicious Routers}
+(* Generates doc/index.mld.  The experiment index is produced from
+   Experiments.Registry so the documentation can never drift from the
+   list mrdetect and bench/main.exe actually run. *)
+
+let preamble =
+  {|{0 Detecting Malicious Routers}
 
 An OCaml reproduction of Mızrak, Marzullo and Savage's line of work on
 detecting compromised routers by validating their packet-forwarding
@@ -55,8 +60,38 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
    counters and detection latency; JSONL event journal).  With neither
    flag, no probe is attached and the forwarding plane is unchanged.}}
 
+{1 Experiment index}
+
+Every experiment is an [Experiments.Exp.entry] in
+[Experiments.Registry.all] — a typed [eval : unit -> Exp.result] whose
+structured tables back the rendered output, the merged [--json]
+document and the golden tests alike.  This list is generated from that
+registry:
+|}
+
+let postamble =
+  {|
 {1 Reproduction}
 
 Run [dune exec bench/main.exe] (or [mrdetect all]) to regenerate every
-table and figure; DESIGN.md in the repository root maps each to its
-module and EXPERIMENTS.md records paper-vs-measured outcomes.
+table and figure; [mrdetect all --jobs N] evaluates the suite on a pool
+of N domains with byte-identical output, and [--json FILE] merges the
+structured results into one JSON document.  DESIGN.md in the repository
+root maps each experiment to its module and EXPERIMENTS.md records
+paper-vs-measured outcomes.
+|}
+
+let cost = function
+  | Experiments.Exp.Quick -> "quick"
+  | Experiments.Exp.Moderate -> "moderate"
+  | Experiments.Exp.Heavy -> "heavy"
+
+let () =
+  print_string preamble;
+  print_string "\n{ul\n";
+  List.iter
+    (fun (e : Experiments.Exp.entry) ->
+      Printf.printf "{- [mrdetect %s] — %s ({e %s})}\n" e.id e.doc (cost e.cost))
+    Experiments.Registry.all;
+  print_string "}\n";
+  print_string postamble

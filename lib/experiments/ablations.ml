@@ -4,7 +4,12 @@
       quality (how much forwarding-plane noise the statistics absorb);
    2. validation round length τ vs detection latency (state vs latency);
    3. Πk+2 hash-range sampling fraction vs per-round detection
-      probability and summary size (the §5.2.1 overhead knob). *)
+      probability and summary size (the §5.2.1 overhead knob);
+   4. clock skew vs χ sensitivity (§7.3);
+   5. link corruption vs χ false alarms (§4.2.1).
+
+   Each ablation is an independent simulation sweep, so [eval ?jobs]
+   fans the five parts out over a {!Pool} of domains. *)
 
 open Core
 
@@ -17,172 +22,189 @@ let false_alarms_of run =
     (alarms_of run)
 
 let jitter_ablation () =
-  Util.banner "Ablation 1: processing jitter vs chi calibration";
-  Util.row [ "jitter (us)"; "alarms"; "false"; "latency (s)" ];
-  List.iter
-    (fun jitter_bound ->
-      let run =
-        Scenario.run_droptail ~jitter_bound
-          ~attack:(fun victims ->
-            Some (Adversary.on_flows victims (Adversary.drop_when_queue_above 0.90)))
-          ()
-      in
-      let alarms = alarms_of run in
-      let latency =
-        match alarms with
-        | first :: _ -> Printf.sprintf "%.1f" (first.Chi.end_time -. run.Scenario.attack_start)
-        | [] -> "-"
-      in
-      Util.row
-        [ Printf.sprintf "%.0f" (jitter_bound *. 1e6);
-          string_of_int (List.length alarms);
-          string_of_int (List.length (false_alarms_of run));
+  let rows =
+    List.map
+      (fun jitter_bound ->
+        let run =
+          Scenario.run_droptail ~jitter_bound
+            ~attack:(fun victims ->
+              Some (Adversary.on_flows victims (Adversary.drop_when_queue_above 0.90)))
+            ()
+        in
+        let alarms = alarms_of run in
+        let latency =
+          match alarms with
+          | first :: _ ->
+              Exp.float ~decimals:1 (first.Chi.end_time -. run.Scenario.attack_start)
+          | [] -> Exp.text "-"
+        in
+        [ Exp.float ~decimals:0 (jitter_bound *. 1e6);
+          Exp.int (List.length alarms);
+          Exp.int (List.length (false_alarms_of run));
           latency ])
-    [ 0.0; 100e-6; 300e-6; 1e-3; 3e-3 ];
-  Util.kv "finding"
-    "once per-packet jitter approaches the packet serialization time (~800 us here)      the error distribution grows tails the normal fit underestimates and false      alarms appear — chi depends on the paper's small-forwarding-jitter assumption"
-
+      [ 0.0; 100e-6; 300e-6; 1e-3; 3e-3 ]
+  in
+  Exp.section "Ablation 1: processing jitter vs chi calibration"
+    [ Exp.table ~header:[ "jitter (us)"; "alarms"; "false"; "latency (s)" ] rows;
+      Exp.Note
+        ( "finding",
+          "once per-packet jitter approaches the packet serialization time (~800 us here)      the error distribution grows tails the normal fit underestimates and false      alarms appear — chi depends on the paper's small-forwarding-jitter assumption"
+        ) ]
 
 let tau_ablation () =
-  Util.banner "Ablation 2: validation round length tau vs detection latency";
-  Util.row [ "tau (s)"; "alarms"; "false"; "latency (s)" ];
-  List.iter
-    (fun tau ->
-      let run =
-        Scenario.run_droptail ~tau
-          ~attack:(fun victims ->
-            Some (Adversary.on_flows victims (Adversary.drop_fraction ~seed:5 0.2)))
-          ()
-      in
-      let alarms = alarms_of run in
-      let latency =
-        match alarms with
-        | first :: _ -> Printf.sprintf "%.1f" (first.Chi.end_time -. run.Scenario.attack_start)
-        | [] -> "-"
-      in
-      Util.row
-        [ Printf.sprintf "%.1f" tau;
-          string_of_int (List.length alarms);
-          string_of_int (List.length (false_alarms_of run));
+  let rows =
+    List.map
+      (fun tau ->
+        let run =
+          Scenario.run_droptail ~tau
+            ~attack:(fun victims ->
+              Some (Adversary.on_flows victims (Adversary.drop_fraction ~seed:5 0.2)))
+            ()
+        in
+        let alarms = alarms_of run in
+        let latency =
+          match alarms with
+          | first :: _ ->
+              Exp.float ~decimals:1 (first.Chi.end_time -. run.Scenario.attack_start)
+          | [] -> Exp.text "-"
+        in
+        [ Exp.float ~decimals:1 tau;
+          Exp.int (List.length alarms);
+          Exp.int (List.length (false_alarms_of run));
           latency ])
-    [ 0.5; 1.0; 2.0; 5.0 ];
-  Util.kv "finding"
-    "sub-second rounds leave too few samples per round for the combined test      (occasional false alarm) while tau = 5 s only delays detection to the next      boundary — tau ~ 2 s balances latency and robustness"
-
+      [ 0.5; 1.0; 2.0; 5.0 ]
+  in
+  Exp.section "Ablation 2: validation round length tau vs detection latency"
+    [ Exp.table ~header:[ "tau (s)"; "alarms"; "false"; "latency (s)" ] rows;
+      Exp.Note
+        ( "finding",
+          "sub-second rounds leave too few samples per round for the combined test      (occasional false alarm) while tau = 5 s only delays detection to the next      boundary — tau ~ 2 s balances latency and robustness"
+        ) ]
 
 let sampling_ablation () =
-  Util.banner "Ablation 3: Pik+2 sampling fraction vs detection probability";
   let rt = Topology.Routing.compute (Topology.Generate.line ~n:6) in
   let rounds = 20 in
-  Util.row [ "fraction"; "det. rounds"; "of"; "summary state" ];
-  List.iter
-    (fun fraction ->
-      let sampling =
-        if fraction >= 1.0 then None
-        else
-          Some
-            (Crypto_sim.Sampling.create
-               ~key:(Crypto_sim.Siphash.key_of_string "ablation") ~fraction)
-      in
-      let detected = ref 0 in
-      for round = 0 to rounds - 1 do
-        let adversary = Rounds.dropper ~fraction:0.05 ~seed:round [ 2 ] in
-        let segs =
-          Pik2.detect_round ~rt ~k:1 ~adversary ?sampling ~packets_per_path:200 ~round ()
+  let rows =
+    List.map
+      (fun fraction ->
+        let sampling =
+          if fraction >= 1.0 then None
+          else
+            Some
+              (Crypto_sim.Sampling.create
+                 ~key:(Crypto_sim.Siphash.key_of_string "ablation") ~fraction)
         in
-        if List.exists (List.mem 2) segs then incr detected
-      done;
-      Util.row
-        [ Printf.sprintf "%.2f" fraction;
-          string_of_int !detected;
-          string_of_int rounds;
-          Printf.sprintf "%.0f fps/seg" (fraction *. 200.0) ])
-    [ 1.0; 0.5; 0.2; 0.05 ];
-  Util.kv "finding"
-    "a 5% secret hash-range sample still catches a 5% dropper in almost every      round at 1/20th the summary state — the 5.2.1 overhead knob is cheap"
-
+        let detected = ref 0 in
+        for round = 0 to rounds - 1 do
+          let adversary = Rounds.dropper ~fraction:0.05 ~seed:round [ 2 ] in
+          let segs =
+            Pik2.detect_round ~rt ~k:1 ~adversary ?sampling ~packets_per_path:200 ~round ()
+          in
+          if List.exists (List.mem 2) segs then incr detected
+        done;
+        [ Exp.float ~decimals:2 fraction;
+          Exp.int !detected;
+          Exp.int rounds;
+          Exp.floatf "%.0f fps/seg" (fraction *. 200.0) ])
+      [ 1.0; 0.5; 0.2; 0.05 ]
+  in
+  Exp.section "Ablation 3: Pik+2 sampling fraction vs detection probability"
+    [ Exp.table ~header:[ "fraction"; "det. rounds"; "of"; "summary state" ] rows;
+      Exp.Note
+        ( "finding",
+          "a 5% secret hash-range sample still catches a 5% dropper in almost every      round at 1/20th the summary state — the 5.2.1 overhead knob is cheap"
+        ) ]
 
 let skew_ablation () =
   (* §7.3: clock desynchronization gets folded into the calibrated error,
      so it costs sensitivity rather than soundness.  One upstream
      neighbour's clock runs fast by the offset; the attacker drops the
      victims whenever the queue is 90% full. *)
-  Util.banner "Ablation 4: clock skew vs chi sensitivity (queue-conditioned attack)";
-  Util.row [ "skew (ms)"; "sigma (B)"; "alarms"; "false" ];
-  List.iter
-    (fun skew_s ->
-      let g = Scenario.topology () in
-      let net = Netsim.Net.create ~seed:21 ~queue:(Netsim.Net.Droptail 64000)
-          ~jitter_bound:200e-6 g in
-      let rt = Topology.Routing.compute g in
-      Netsim.Net.use_routing net rt;
-      let config = { Chi.default_config with Chi.tau = 2.0; learning_rounds = 4 } in
-      let chi =
-        Chi.deploy ~net ~rt ~router:3 ~next:4 ~config
-          ~skew:(fun ~reporter -> if reporter = 0 then skew_s else 0.0)
-          ()
-      in
-      ignore (Netsim.Tcp.connect net ~src:0 ~dst:4 ());
-      ignore (Netsim.Tcp.connect net ~src:1 ~dst:4 ());
-      let victim = Netsim.Tcp.connect net ~src:2 ~dst:4 () in
-      Netsim.Router.set_behavior (Netsim.Net.router net 3)
-        (Adversary.after 20.0
-           (Adversary.on_flows [ Netsim.Tcp.flow_id victim ]
-              (Adversary.drop_when_queue_above 0.90)));
-      Netsim.Net.run ~until:60.0 net;
-      let alarms = Chi.alarms chi in
-      let false_alarms =
-        List.filter (fun (r : Chi.report) -> r.Chi.end_time <= 20.0) alarms
-      in
-      let _, sigma = Chi.mu_sigma chi in
-      Util.row
-        [ Printf.sprintf "%.1f" (skew_s *. 1000.0);
-          Printf.sprintf "%.0f" sigma;
-          string_of_int (List.length alarms);
-          string_of_int (List.length false_alarms) ])
-    [ 0.0; 0.001; 0.005; 0.020; 0.100 ];
-  Util.kv "finding"
-    "skew inflates the calibrated sigma (241 B clean, tens of kB at 100 ms), which      keeps chi sound (no false alarms) but erodes its power: the near-full-queue      attack needs headroom resolution finer than sigma, so detection degrades as      skew approaches the queue drain time — NTP-grade synchronization (7.3) keeps      the protocol sharp"
+  let rows =
+    List.map
+      (fun skew_s ->
+        let g = Scenario.topology () in
+        let net = Netsim.Net.create ~seed:21 ~queue:(Netsim.Net.Droptail 64000)
+            ~jitter_bound:200e-6 g in
+        let rt = Topology.Routing.compute g in
+        Netsim.Net.use_routing net rt;
+        let config = { Chi.default_config with Chi.tau = 2.0; learning_rounds = 4 } in
+        let chi =
+          Chi.deploy ~net ~rt ~router:3 ~next:4 ~config
+            ~skew:(fun ~reporter -> if reporter = 0 then skew_s else 0.0)
+            ()
+        in
+        ignore (Netsim.Tcp.connect net ~src:0 ~dst:4 ());
+        ignore (Netsim.Tcp.connect net ~src:1 ~dst:4 ());
+        let victim = Netsim.Tcp.connect net ~src:2 ~dst:4 () in
+        Netsim.Router.set_behavior (Netsim.Net.router net 3)
+          (Adversary.after 20.0
+             (Adversary.on_flows [ Netsim.Tcp.flow_id victim ]
+                (Adversary.drop_when_queue_above 0.90)));
+        Netsim.Net.run ~until:60.0 net;
+        let alarms = Chi.alarms chi in
+        let false_alarms =
+          List.filter (fun (r : Chi.report) -> r.Chi.end_time <= 20.0) alarms
+        in
+        let _, sigma = Chi.mu_sigma chi in
+        [ Exp.float ~decimals:1 (skew_s *. 1000.0);
+          Exp.float ~decimals:0 sigma;
+          Exp.int (List.length alarms);
+          Exp.int (List.length false_alarms) ])
+      [ 0.0; 0.001; 0.005; 0.020; 0.100 ]
+  in
+  Exp.section "Ablation 4: clock skew vs chi sensitivity (queue-conditioned attack)"
+    [ Exp.table ~header:[ "skew (ms)"; "sigma (B)"; "alarms"; "false" ] rows;
+      Exp.Note
+        ( "finding",
+          "skew inflates the calibrated sigma (241 B clean, tens of kB at 100 ms), which      keeps chi sound (no false alarms) but erodes its power: the near-full-queue      attack needs headroom resolution finer than sigma, so detection degrades as      skew approaches the queue drain time — NTP-grade synchronization (7.3) keeps      the protocol sharp"
+        ) ]
 
 let corruption_ablation () =
   (* §4.2.1: benign interface errors lose packets on the wire; to chi
      they look like drops with headroom.  Sweep the bit-error floor and
      the min_suspicious dial on an attack-free run. *)
-  Util.banner "Ablation 5: link corruption vs chi false alarms (no attack)";
-  Util.row [ "corrupt p"; "min_susp"; "false alarms"; "corrupted" ];
-  List.iter
-    (fun ber ->
-      List.iter
-        (fun min_suspicious ->
-          let g = Scenario.topology () in
-          let net = Netsim.Net.create ~seed:21 ~queue:(Netsim.Net.Droptail 64000)
-              ~jitter_bound:200e-6 g in
-          let rt = Topology.Routing.compute g in
-          Netsim.Net.use_routing net rt;
-          Netsim.Net.set_link_corruption net ~src:0 ~dst:3 ber;
-          let corrupted = ref 0 in
-          Netsim.Net.subscribe_iface net (fun ev ->
-              match ev.Netsim.Net.kind with
-              | Netsim.Iface.Drop_corrupted _ -> incr corrupted
-              | _ -> ());
-          let config =
-            { Chi.default_config with Chi.tau = 2.0; min_suspicious } in
-          let chi = Chi.deploy ~net ~rt ~router:3 ~next:4 ~config () in
-          List.iter (fun src -> ignore (Netsim.Tcp.connect net ~src ~dst:4 ()))
-            [ 0; 1; 2 ];
-          Netsim.Net.run ~until:60.0 net;
-          Util.row
-            [ Printf.sprintf "%.0e" ber; string_of_int min_suspicious;
-              string_of_int (List.length (Chi.alarms chi));
-              string_of_int !corrupted ])
-        [ 1; 3 ])
-    [ 0.0; 1e-4; 1e-3 ];
-  Util.kv "finding"
-    "a corrupting upstream link makes honest losses look malicious (they vanish      before the queue with headroom); raising min_suspicious buys tolerance at the      price of letting a one-packet-per-round attacker hide — the paper's clean-link      assumption is load-bearing"
+  let rows =
+    List.concat_map
+      (fun ber ->
+        List.map
+          (fun min_suspicious ->
+            let g = Scenario.topology () in
+            let net = Netsim.Net.create ~seed:21 ~queue:(Netsim.Net.Droptail 64000)
+                ~jitter_bound:200e-6 g in
+            let rt = Topology.Routing.compute g in
+            Netsim.Net.use_routing net rt;
+            Netsim.Net.set_link_corruption net ~src:0 ~dst:3 ber;
+            let corrupted = ref 0 in
+            Netsim.Net.subscribe_iface net (fun ev ->
+                match ev.Netsim.Net.kind with
+                | Netsim.Iface.Drop_corrupted _ -> incr corrupted
+                | _ -> ());
+            let config =
+              { Chi.default_config with Chi.tau = 2.0; min_suspicious } in
+            let chi = Chi.deploy ~net ~rt ~router:3 ~next:4 ~config () in
+            List.iter (fun src -> ignore (Netsim.Tcp.connect net ~src ~dst:4 ()))
+              [ 0; 1; 2 ];
+            Netsim.Net.run ~until:60.0 net;
+            [ Exp.floatf "%.0e" ber; Exp.int min_suspicious;
+              Exp.int (List.length (Chi.alarms chi));
+              Exp.int !corrupted ])
+          [ 1; 3 ])
+      [ 0.0; 1e-4; 1e-3 ]
+  in
+  Exp.section "Ablation 5: link corruption vs chi false alarms (no attack)"
+    [ Exp.table ~header:[ "corrupt p"; "min_susp"; "false alarms"; "corrupted" ] rows;
+      Exp.Note
+        ( "finding",
+          "a corrupting upstream link makes honest losses look malicious (they vanish      before the queue with headroom); raising min_suspicious buys tolerance at the      price of letting a one-packet-per-round attacker hide — the paper's clean-link      assumption is load-bearing"
+        ) ]
 
-let run () =
-  jitter_ablation ();
-  tau_ablation ();
-  sampling_ablation ();
-  skew_ablation ();
-  corruption_ablation ()
+let parts =
+  [ jitter_ablation; tau_ablation; sampling_ablation; skew_ablation;
+    corruption_ablation ]
+
+let eval ?(jobs = 1) () =
+  { Exp.id = "ablations"; sections = Pool.map ~jobs (fun part -> part ()) parts }
+
+let render = Exp.render
+let run () = render (eval ())

@@ -1,0 +1,103 @@
+type value = Int of int | Float of float | Text of string
+
+type cell = { show : string; value : value }
+
+let int i = { show = string_of_int i; value = Int i }
+let float ?(decimals = 1) x = { show = Printf.sprintf "%.*f" decimals x; value = Float x }
+let floatf fmt x = { show = Printf.sprintf fmt x; value = Float x }
+let text s = { show = s; value = Text s }
+
+let number c =
+  match c.value with
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Text _ -> None
+
+type table = { header : string list; rows : cell list list }
+
+type item = Table of table | Note of string * string | Raw of string
+
+type section = { title : string; items : item list }
+
+let section title items = { title; items }
+let table ~header rows = Table { header; rows }
+
+type result = { id : string; sections : section list }
+
+(* --- rendering --------------------------------------------------------- *)
+
+let render_item = function
+  | Table t ->
+      Util.row t.header;
+      List.iter (fun cells -> Util.row (List.map (fun c -> c.show) cells)) t.rows
+  | Note (k, v) -> Util.kv k v
+  | Raw s -> print_string s
+
+let render_section s =
+  Util.banner s.title;
+  List.iter render_item s.items
+
+let render r = List.iter render_section r.sections
+
+(* --- JSON export ------------------------------------------------------- *)
+
+let json_of_value = function
+  | Int i -> Telemetry.Export.Int i
+  | Float f -> Telemetry.Export.Float f
+  | Text s -> Telemetry.Export.String s
+
+let json_of_cell c =
+  let open Telemetry.Export in
+  Assoc [ ("show", String c.show); ("value", json_of_value c.value) ]
+
+let json_of_item =
+  let open Telemetry.Export in
+  function
+  | Table t ->
+      Assoc
+        [ ("kind", String "table");
+          ("header", List (List.map (fun h -> String h) t.header));
+          ("rows",
+           List (List.map (fun cells -> List (List.map json_of_cell cells)) t.rows)) ]
+  | Note (k, v) ->
+      Assoc [ ("kind", String "note"); ("key", String k); ("value", String v) ]
+  | Raw s -> Assoc [ ("kind", String "raw"); ("text", String s) ]
+
+let json_of_section s =
+  let open Telemetry.Export in
+  Assoc
+    [ ("title", String s.title); ("items", List (List.map json_of_item s.items)) ]
+
+let json_of_result r =
+  let open Telemetry.Export in
+  Assoc
+    [ ("id", String r.id);
+      ("sections", List (List.map json_of_section r.sections)) ]
+
+(* --- lookups ----------------------------------------------------------- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let find_section r ~prefix =
+  List.find_opt (fun s -> starts_with ~prefix s.title) r.sections
+
+let first_table s =
+  List.find_map (function Table t -> Some t | _ -> None) s.items
+
+let column t name =
+  let rec index i = function
+    | [] -> None
+    | h :: _ when h = name -> Some i
+    | _ :: tl -> index (i + 1) tl
+  in
+  match index 0 t.header with
+  | None -> []
+  | Some i -> List.filter_map (fun cells -> List.nth_opt cells i) t.rows
+
+(* --- registry entries --------------------------------------------------- *)
+
+type cost = Quick | Moderate | Heavy
+
+type entry = { id : string; doc : string; cost : cost; eval : unit -> result }

@@ -1,0 +1,79 @@
+(** The typed experiment API.
+
+    Every experiment module exposes [eval : unit -> Exp.result] — the
+    pure computation, returning the tables, key/value findings and
+    freeform blocks the paper artifact consists of — and renders it
+    with {!render} (the classic [Util] table output).  Because the
+    result is plain data, it can be checked by tests, exported as one
+    {!Telemetry.Export} JSON document, compared across runs, and
+    computed on a worker domain ({!Pool}) with the rendering done
+    serially afterwards.
+
+    A {!cell} carries both the semantic value (for assertions and
+    JSON) and the display string (so rendering reproduces the exact
+    table formatting the figure used). *)
+
+type value = Int of int | Float of float | Text of string
+
+type cell = { show : string;  (** what the table prints *)
+              value : value   (** what tests and JSON consume *) }
+
+val int : int -> cell
+val float : ?decimals:int -> float -> cell
+(** [float x] renders with [%.*f] (default 1 decimal). *)
+
+val floatf : (float -> string, unit, string) format -> float -> cell
+(** Custom display format over a float value, e.g. [floatf "%.2e"]. *)
+
+val text : string -> cell
+
+val number : cell -> float option
+(** The cell's value as a float ([Int] widened, [Text] -> [None]). *)
+
+type table = { header : string list; rows : cell list list }
+
+type item =
+  | Table of table
+  | Note of string * string  (** a [Util.kv] line *)
+  | Raw of string            (** printed verbatim (histograms, preambles) *)
+
+type section = { title : string; items : item list }
+
+val section : string -> item list -> section
+val table : header:string list -> cell list list -> item
+
+type result = { id : string; sections : section list }
+
+(** {1 Rendering} *)
+
+val render : result -> unit
+(** Print every section: banner, then items in order (tables via
+    [Util.row], notes via [Util.kv], raw blocks verbatim). *)
+
+(** {1 JSON export} *)
+
+val json_of_result : result -> Telemetry.Export.json
+
+(** {1 Lookups (for tests and tooling)} *)
+
+val find_section : result -> prefix:string -> section option
+(** First section whose title starts with [prefix]. *)
+
+val first_table : section -> table option
+
+val column : table -> string -> cell list
+(** Cells of the named header column ([] if absent). *)
+
+(** {1 The registry entry} *)
+
+type cost =
+  | Quick     (** sub-second: safe for every [dune runtest] *)
+  | Moderate  (** a few seconds *)
+  | Heavy     (** tens of seconds: long simulations *)
+
+type entry = {
+  id : string;            (** CLI subcommand name *)
+  doc : string;           (** one-line description *)
+  cost : cost;
+  eval : unit -> result;
+}

@@ -6,11 +6,11 @@
    packets). *)
 
 let no_attack () =
-  Scenario.print_droptail_figure ~title:"Figure 6.5: no attack (drop-tail)"
+  Scenario.droptail_section ~title:"Figure 6.5: no attack (drop-tail)"
     (Scenario.run_droptail ~attack:(fun _ -> None) ())
 
 let attack1 () =
-  Scenario.print_droptail_figure
+  Scenario.droptail_section
     ~title:"Figure 6.6: attack 1 - drop 20% of the selected flows"
     (Scenario.run_droptail
        ~attack:(fun victims ->
@@ -18,7 +18,7 @@ let attack1 () =
        ())
 
 let attack2 () =
-  Scenario.print_droptail_figure
+  Scenario.droptail_section
     ~title:"Figure 6.7: attack 2 - drop the selected flows when the queue is 90% full"
     (Scenario.run_droptail
        ~attack:(fun victims ->
@@ -26,7 +26,7 @@ let attack2 () =
        ())
 
 let attack3 () =
-  Scenario.print_droptail_figure
+  Scenario.droptail_section
     ~title:"Figure 6.8: attack 3 - drop the selected flows when the queue is 95% full"
     (Scenario.run_droptail
        ~attack:(fun victims ->
@@ -34,15 +34,15 @@ let attack3 () =
        ())
 
 let attack4 () =
-  Scenario.print_droptail_figure
+  Scenario.droptail_section
     ~title:"Figure 6.9: attack 4 - drop the victim's SYN packets"
     (Scenario.run_droptail ~victim_connections:true
        ~attack:(fun _ -> Some Core.Adversary.drop_syn)
        ())
 
-let run () =
-  no_attack ();
-  attack1 ();
-  attack2 ();
-  attack3 ();
-  attack4 ()
+let eval () =
+  { Exp.id = "droptail";
+    sections = [ no_attack (); attack1 (); attack2 (); attack3 (); attack4 () ] }
+
+let render = Exp.render
+let run () = render (eval ())

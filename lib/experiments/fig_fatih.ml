@@ -80,37 +80,58 @@ let simulate ?(exchange = Core.Fatih.Full_sets) () =
 
 let seg_names seg = String.concat "-" (List.map Ab.name seg)
 
-let run () =
-  Util.banner "Figure 5.7: Fatih in progress (Abilene, Kansas City compromised)";
+let eval () =
   let o = simulate () in
-  Util.kv "attack (drop 20% of transit)"
-    (Printf.sprintf "t = %.0f s at %s" o.attack_time (Ab.name (Ab.id Ab.Kansas_city)));
-  List.iter
-    (fun (d : Core.Fatih.detection) ->
-      let a, b = d.Core.Fatih.detected_by in
-      Util.kv
-        (Printf.sprintf "detection t = %.1f s" d.Core.Fatih.time)
-        (Printf.sprintf "segment %s by %s/%s (%d/%d packets missing)"
-           (seg_names d.Core.Fatih.segment) (Ab.name a) (Ab.name b)
-           d.Core.Fatih.missing d.Core.Fatih.sent))
-    o.detections;
-  List.iter
-    (fun (u : Core.Response.event) ->
-      Util.kv
-        (Printf.sprintf "routing update t = %.1f s" u.Core.Response.time)
-        (Printf.sprintf "%d path-segments excised" (List.length u.Core.Response.forbidden)))
-    o.updates;
-  Util.kv "NY-Sunnyvale RTT before attack" (Printf.sprintf "%.1f ms" (o.rtt_before *. 1000.0));
-  Util.kv "NY-Sunnyvale RTT after reroute" (Printf.sprintf "%.1f ms" (o.rtt_after *. 1000.0));
-  Util.kv "probe packets lost to the attack" (string_of_int o.pings_lost);
-  Util.kv "monitoring overhead"
-    (Printf.sprintf "%d fingerprints computed; %d words of summaries exchanged (%.1f kB/s)"
-       o.fingerprints o.words (float_of_int o.words *. 8.0 /. duration /. 1000.0));
   let reconciled = simulate ~exchange:Core.Fatih.Reconcile () in
-  Util.kv "with Appendix A reconciliation"
-    (Printf.sprintf
-       "%d words exchanged (%.1f kB/s) for the same detections (%d vs %d)"
-       reconciled.words
-       (float_of_int reconciled.words *. 8.0 /. duration /. 1000.0)
-       (List.length reconciled.detections) (List.length o.detections));
-  Util.kv "paper reference" "RTT 50 ms -> 56 ms; detection within tau = 5 s"
+  let items =
+    (Exp.Note
+       ( "attack (drop 20% of transit)",
+         Printf.sprintf "t = %.0f s at %s" o.attack_time
+           (Ab.name (Ab.id Ab.Kansas_city)) )
+     :: List.map
+          (fun (d : Core.Fatih.detection) ->
+            let a, b = d.Core.Fatih.detected_by in
+            Exp.Note
+              ( Printf.sprintf "detection t = %.1f s" d.Core.Fatih.time,
+                Printf.sprintf "segment %s by %s/%s (%d/%d packets missing)"
+                  (seg_names d.Core.Fatih.segment) (Ab.name a) (Ab.name b)
+                  d.Core.Fatih.missing d.Core.Fatih.sent ))
+          o.detections)
+    @ List.map
+        (fun (u : Core.Response.event) ->
+          Exp.Note
+            ( Printf.sprintf "routing update t = %.1f s" u.Core.Response.time,
+              Printf.sprintf "%d path-segments excised"
+                (List.length u.Core.Response.forbidden) ))
+        o.updates
+    @ [ Exp.Note
+          ( "NY-Sunnyvale RTT before attack",
+            Printf.sprintf "%.1f ms" (o.rtt_before *. 1000.0) );
+        Exp.Note
+          ( "NY-Sunnyvale RTT after reroute",
+            Printf.sprintf "%.1f ms" (o.rtt_after *. 1000.0) );
+        Exp.Note ("probe packets lost to the attack", string_of_int o.pings_lost);
+        Exp.Note
+          ( "monitoring overhead",
+            Printf.sprintf
+              "%d fingerprints computed; %d words of summaries exchanged (%.1f kB/s)"
+              o.fingerprints o.words
+              (float_of_int o.words *. 8.0 /. duration /. 1000.0) );
+        Exp.Note
+          ( "with Appendix A reconciliation",
+            Printf.sprintf
+              "%d words exchanged (%.1f kB/s) for the same detections (%d vs %d)"
+              reconciled.words
+              (float_of_int reconciled.words *. 8.0 /. duration /. 1000.0)
+              (List.length reconciled.detections) (List.length o.detections) );
+        Exp.Note ("paper reference", "RTT 50 ms -> 56 ms; detection within tau = 5 s")
+      ]
+  in
+  { Exp.id = "fatih";
+    sections =
+      [ Exp.section
+          "Figure 5.7: Fatih in progress (Abilene, Kansas City compromised)" items ]
+  }
+
+let render = Exp.render
+let run () = render (eval ())

@@ -55,38 +55,48 @@ let trial ~seed ~attacker =
   let suspects = Core.Chi_fleet.suspected_routers fleet in
   let latency =
     match Core.Chi_fleet.suspects fleet with
-    | s :: _ -> Printf.sprintf "%.1f" (s.Core.Chi_fleet.first_alarm -. 15.0)
-    | [] -> "-"
+    | s :: _ -> Exp.float ~decimals:1 (s.Core.Chi_fleet.first_alarm -. 15.0)
+    | [] -> Exp.text "-"
   in
   (suspects, latency, !malicious, List.length chosen)
 
-let run () =
-  Util.banner "Network-wide chi (Fig 2.3 architecture): localization trials";
-  Util.row [ "trial"; "attacker"; "mal drops"; "accused"; "latency (s)"; "verdict" ];
+let eval () =
   let correct = ref 0 and total = ref 0 and leaves = ref 0 in
-  List.iteri
-    (fun i attacker ->
-      incr total;
-      let suspects, latency, malicious, _ = trial ~seed:(100 + i) ~attacker in
-      let verdict =
-        match suspects with
-        | [ r ] when r = attacker ->
-            incr correct;
-            "exact"
-        | [] ->
-            if malicious = 0 then begin
-              incr leaves;
-              "leaf: no transit (fate-sharing, 2.1.4)"
-            end
-            else "MISSED"
-        | _ -> "imprecise"
-      in
-      Util.row
-        [ string_of_int (i + 1); string_of_int attacker; string_of_int malicious;
-          "[" ^ String.concat ";" (List.map string_of_int suspects) ^ "]";
-          latency; verdict ])
-    [ 1; 3; 5; 7; 9; 11 ];
-  Util.kv "summary"
-    (Printf.sprintf
-       "%d/%d transit-carrying attackers localized exactly; %d leaf routers had no         transit to attack (a compromised access router can only hurt its own hosts,         which no routing remedy helps — 2.1.4)"
-       !correct (!total - !leaves) !leaves)
+  let rows =
+    List.mapi
+      (fun i attacker ->
+        incr total;
+        let suspects, latency, malicious, _ = trial ~seed:(100 + i) ~attacker in
+        let verdict =
+          match suspects with
+          | [ r ] when r = attacker ->
+              incr correct;
+              "exact"
+          | [] ->
+              if malicious = 0 then begin
+                incr leaves;
+                "leaf: no transit (fate-sharing, 2.1.4)"
+              end
+              else "MISSED"
+          | _ -> "imprecise"
+        in
+        [ Exp.int (i + 1); Exp.int attacker; Exp.int malicious;
+          Exp.text ("[" ^ String.concat ";" (List.map string_of_int suspects) ^ "]");
+          latency; Exp.text verdict ])
+      [ 1; 3; 5; 7; 9; 11 ]
+  in
+  { Exp.id = "fleet";
+    sections =
+      [ Exp.section "Network-wide chi (Fig 2.3 architecture): localization trials"
+          [ Exp.table
+              ~header:[ "trial"; "attacker"; "mal drops"; "accused"; "latency (s)";
+                        "verdict" ]
+              rows;
+            Exp.Note
+              ( "summary",
+                Printf.sprintf
+                  "%d/%d transit-carrying attackers localized exactly; %d leaf routers had no         transit to attack (a compromised access router can only hurt its own hosts,         which no routing remedy helps — 2.1.4)"
+                  !correct (!total - !leaves) !leaves ) ] ] }
+
+let render = Exp.render
+let run () = render (eval ())

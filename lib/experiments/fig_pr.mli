@@ -18,5 +18,11 @@ val sweep :
   series list
 (** Compute the three Fig 5.2/5.4 curves (default k = 1..8). *)
 
+val eval : unit -> Exp.result
+(** Four sections (Π2/Πk+2 × Sprintlink/EBONE), each one table with
+    columns [k], [max |Pr|], [avg |Pr|], [med |Pr|]. *)
+
+val render : Exp.result -> unit
+
 val run : unit -> unit
-(** Print both figures for both topologies. *)
+(** [render (eval ())]: print both figures for both topologies. *)

@@ -30,19 +30,28 @@ let collect () =
   Net.run ~until:60.0 net;
   Core.Chi.error_samples chi
 
-let run () =
-  Util.banner "Figure 6.3: distribution of the queue prediction error (NS-style run)";
+let eval () =
   let samples = Array.of_list (collect ()) in
   let mu = Mrstats.Descriptive.mean samples in
   let sigma = Mrstats.Descriptive.stddev samples in
-  Util.kv "samples" (string_of_int (Array.length samples));
-  Util.kv "mean (B)" (Printf.sprintf "%.1f" mu);
-  Util.kv "std dev (B)" (Printf.sprintf "%.1f" sigma);
-  Util.kv "skewness" (Printf.sprintf "%.3f" (Mrstats.Descriptive.skewness samples));
-  Util.kv "excess kurtosis"
-    (Printf.sprintf "%.3f" (Mrstats.Descriptive.kurtosis_excess samples));
   let h =
     Mrstats.Histogram.create ~lo:(mu -. (4.0 *. sigma)) ~hi:(mu +. (4.0 *. sigma)) ~bins:17
   in
   Array.iter (Mrstats.Histogram.add h) samples;
-  print_string (Mrstats.Histogram.render_with_normal ~width:40 h ~mu ~sigma)
+  { Exp.id = "qerror";
+    sections =
+      [ Exp.section
+          "Figure 6.3: distribution of the queue prediction error (NS-style run)"
+          [ Exp.Note ("samples", string_of_int (Array.length samples));
+            Exp.Note ("mean (B)", Printf.sprintf "%.1f" mu);
+            Exp.Note ("std dev (B)", Printf.sprintf "%.1f" sigma);
+            Exp.Note
+              ("skewness", Printf.sprintf "%.3f" (Mrstats.Descriptive.skewness samples));
+            Exp.Note
+              ( "excess kurtosis",
+                Printf.sprintf "%.3f" (Mrstats.Descriptive.kurtosis_excess samples) );
+            Exp.Raw (Mrstats.Histogram.render_with_normal ~width:40 h ~mu ~sigma) ] ]
+  }
+
+let render = Exp.render
+let run () = render (eval ())

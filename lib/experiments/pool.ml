@@ -1,0 +1,43 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Identical serial/parallel results require that a task never sees PRNG
+   state leaked from whichever task happened to run before it on the
+   same domain, so each task starts from a state derived only from its
+   own index.  Experiments seed their own Random.State values anyway;
+   this guards the global generator. *)
+let run_task f xs i =
+  Random.set_state (Random.State.make [| 0x6d7264; i |]);
+  f xs.(i)
+
+let map ~jobs f tasks =
+  let xs = Array.of_list tasks in
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (try Ok (run_task f xs i) with e -> Error e)
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (run_task f xs i) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+       results)

@@ -1,0 +1,21 @@
+(** A small OCaml 5 domain pool for embarrassingly parallel experiment
+    evaluation.
+
+    Tasks are pulled from a shared atomic work queue by [jobs] domains
+    (the calling domain participates, so [jobs] is the total
+    parallelism).  Results always come back in input order, and before
+    each task runs the global PRNG of the executing domain is reset to
+    a deterministic per-task state — so [map ~jobs:4] returns exactly
+    the value [map ~jobs:1] does, bit for bit, whatever the
+    interleaving.  With [jobs <= 1] (the serial fallback that
+    single-core hosts get by default) no domain is spawned at all. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: 1 on a single-core machine,
+    which makes the serial path the default there. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] evaluates [f] over [xs] on [min jobs (length xs)]
+    domains and returns the results in the order of [xs].  If any task
+    raises, the first exception (in input order) is re-raised after all
+    domains have drained. *)

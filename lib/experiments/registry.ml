@@ -1,0 +1,51 @@
+open Exp
+
+let all =
+  [ { id = "pr"; doc = "Figures 5.2/5.4: per-router |Pr| vs k"; cost = Heavy;
+      eval = Fig_pr.eval };
+    { id = "state"; doc = "Tables 5.1/7.2: counter state, WATCHERS vs Pi2 vs Pik+2";
+      cost = Moderate; eval = Tab_state.eval };
+    { id = "fatih"; doc = "Figure 5.7: Fatih timeline on Abilene"; cost = Heavy;
+      eval = Fig_fatih.eval };
+    { id = "confidence"; doc = "Figure 6.2: single-loss confidence curve";
+      cost = Quick; eval = Fig_confidence.eval };
+    { id = "qerror"; doc = "Figure 6.3: queue prediction error distribution";
+      cost = Moderate; eval = Fig_qerror.eval };
+    { id = "droptail"; doc = "Figures 6.5-6.9: Protocol chi, drop-tail attacks";
+      cost = Moderate; eval = Fig_droptail.eval };
+    { id = "threshold"; doc = "Section 6.4.3: chi vs static threshold";
+      cost = Moderate; eval = Tab_threshold.eval };
+    { id = "red"; doc = "Figures 6.11-6.16: Protocol chi with RED"; cost = Heavy;
+      eval = Fig_red.eval };
+    { id = "reconcile"; doc = "Appendix A: set reconciliation vs Bloom";
+      cost = Quick; eval = Tab_reconcile.eval };
+    { id = "baselines";
+      doc = "Ch. 3 literature baselines: Herzberg/SecTrace/properties";
+      cost = Quick; eval = Tab_baselines.eval };
+    { id = "models";
+      doc = "Section 6.1.2: analytic congestion models vs measurement";
+      cost = Moderate; eval = Tab_models.eval };
+    { id = "ablations";
+      doc = "Design-choice ablations: jitter, tau, sampling, clock skew";
+      cost = Heavy; eval = (fun () -> Ablations.eval ()) };
+    { id = "comm"; doc = "Section 7.2: summary exchange cost by mechanism";
+      cost = Moderate; eval = Tab_comm.eval };
+    { id = "latency"; doc = "Detection latency vs attack intensity"; cost = Heavy;
+      eval = Tab_latency.eval };
+    { id = "fleet"; doc = "Network-wide chi localization trials (Fig 2.3)";
+      cost = Moderate; eval = Fig_fleet.eval };
+    { id = "watchers"; doc = "WATCHERS-live vs chi at packet level"; cost = Quick;
+      eval = Tab_watchers.eval } ]
+
+let quick = List.filter (fun e -> e.cost = Quick) all
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let eval_all ?(jobs = 1) ?(entries = all) () =
+  Pool.map ~jobs (fun e -> e.eval ()) entries
+
+let json_document results =
+  let open Telemetry.Export in
+  Assoc
+    [ ("schema", String "mrdetect-experiments-v1");
+      ("results", List (List.map Exp.json_of_result results)) ]

@@ -78,9 +78,10 @@ type droptail_run = {
 
 let run_droptail ?(seed = 21) ?(duration = default_duration)
     ?(attack_start = default_attack_start) ?(victim_connections = false)
-    ?(jitter_bound = 200e-6) ?(tau = 2.0) ~attack () =
+    ?(jitter_bound = 200e-6) ?(tau = 2.0) ?probe ~attack () =
   let g = topology () in
   let net = Net.create ~seed ~queue:(Net.Droptail 64000) ~jitter_bound g in
+  Net.set_probe net probe;
   let rt = Topology.Routing.compute g in
   Net.use_routing net rt;
   let config = { Core.Chi.default_config with Core.Chi.tau = tau; learning_rounds = 4 } in
@@ -137,13 +138,9 @@ let run_red ?(seed = 21) ?(duration = red_duration)
   { red_reports = Core.Chi_red.reports chi; red_truth = truth;
     red_attack_start = attack_start }
 
-(* Rendering. *)
+(* Typed figure sections (rendered by Exp.render). *)
 
-let print_droptail_figure ~title (run : droptail_run) =
-  Util.banner title;
-  Util.kv "ground truth"
-    (Printf.sprintf "%d congestion drops, %d malicious drops"
-       run.truth.congestion_drops run.truth.malicious_drops);
+let droptail_section ~title (run : droptail_run) =
   (* Victim goodput per round bin — what the paper's Figs 6.6-6.9 plot
      next to the detector's confidence. *)
   let victim_rate at =
@@ -158,62 +155,86 @@ let print_droptail_figure ~title (run : droptail_run) =
     in
     bytes_per_s /. 1000.0
   in
-  Util.row
-    [ "t (s)"; "arrivals"; "losses"; "congestive"; "c_single"; "c_comb"; "vict kB/s";
-      "alarm" ];
-  List.iter
-    (fun (r : Core.Chi.report) ->
-      if (not r.Core.Chi.learning) && (r.Core.Chi.losses <> [] || r.Core.Chi.alarm) then
-        Util.row
-          [ Printf.sprintf "%.0f" r.Core.Chi.end_time;
-            string_of_int r.Core.Chi.arrivals;
-            string_of_int (List.length r.Core.Chi.losses);
-            string_of_int r.Core.Chi.predicted_congestive;
-            Printf.sprintf "%.3f" r.Core.Chi.c_single_max;
-            (match r.Core.Chi.c_combined with
-            | Some c -> Printf.sprintf "%.3f" c
-            | None -> "-");
-            Printf.sprintf "%.1f" (victim_rate r.Core.Chi.end_time);
-            (if r.Core.Chi.alarm then "ALARM" else "") ])
-    run.reports;
+  let rows =
+    List.filter_map
+      (fun (r : Core.Chi.report) ->
+        if (not r.Core.Chi.learning) && (r.Core.Chi.losses <> [] || r.Core.Chi.alarm)
+        then
+          Some
+            [ Exp.float ~decimals:0 r.Core.Chi.end_time;
+              Exp.int r.Core.Chi.arrivals;
+              Exp.int (List.length r.Core.Chi.losses);
+              Exp.int r.Core.Chi.predicted_congestive;
+              Exp.float ~decimals:3 r.Core.Chi.c_single_max;
+              (match r.Core.Chi.c_combined with
+              | Some c -> Exp.float ~decimals:3 c
+              | None -> Exp.text "-");
+              Exp.float ~decimals:1 (victim_rate r.Core.Chi.end_time);
+              Exp.text (if r.Core.Chi.alarm then "ALARM" else "") ]
+        else None)
+      run.reports
+  in
   let alarms = List.filter (fun r -> r.Core.Chi.alarm) run.reports in
   let false_alarms =
     List.filter (fun (r : Core.Chi.report) -> r.Core.Chi.end_time <= run.attack_start) alarms
   in
-  Util.kv "alarming rounds" (string_of_int (List.length alarms));
-  Util.kv "false alarms (pre-attack)" (string_of_int (List.length false_alarms));
-  match alarms with
-  | first :: _ when run.truth.malicious_drops > 0 ->
-      Util.kv "detection latency"
-        (Printf.sprintf "%.1f s after attack start"
-           (first.Core.Chi.end_time -. run.attack_start))
-  | _ -> ()
+  Exp.section title
+    ([ Exp.Note
+         ( "ground truth",
+           Printf.sprintf "%d congestion drops, %d malicious drops"
+             run.truth.congestion_drops run.truth.malicious_drops );
+       Exp.table
+         ~header:
+           [ "t (s)"; "arrivals"; "losses"; "congestive"; "c_single"; "c_comb";
+             "vict kB/s"; "alarm" ]
+         rows;
+       Exp.Note ("alarming rounds", string_of_int (List.length alarms));
+       Exp.Note ("false alarms (pre-attack)", string_of_int (List.length false_alarms))
+     ]
+    @
+    match alarms with
+    | first :: _ when run.truth.malicious_drops > 0 ->
+        [ Exp.Note
+            ( "detection latency",
+              Printf.sprintf "%.1f s after attack start"
+                (first.Core.Chi.end_time -. run.attack_start) ) ]
+    | _ -> [])
 
-let print_red_figure ~title (run : red_run) =
-  Util.banner title;
-  Util.kv "ground truth"
-    (Printf.sprintf "%d red drops, %d forced drops, %d malicious drops"
-       run.red_truth.red_drops run.red_truth.congestion_drops
-       run.red_truth.malicious_drops);
-  Util.row [ "t (s)"; "arrivals"; "losses"; "E[red]"; "tail/cum"; "alarm" ];
-  List.iter
-    (fun (r : Core.Chi_red.report) ->
-      if (not r.Core.Chi_red.learning)
-         && (r.Core.Chi_red.losses <> [] || r.Core.Chi_red.alarm)
-      then
-        Util.row
-          [ Printf.sprintf "%.0f" r.Core.Chi_red.end_time;
-            string_of_int r.Core.Chi_red.arrivals;
-            string_of_int (List.length r.Core.Chi_red.losses);
-            Printf.sprintf "%.1f" r.Core.Chi_red.expected_red_drops;
-            Printf.sprintf "%.1e" r.Core.Chi_red.tail_probability ^ "/" ^ Printf.sprintf "%.1e" r.Core.Chi_red.cumulative_tail;
-            (if r.Core.Chi_red.alarm then "ALARM" else "") ])
-    run.red_reports;
+let red_section ~title (run : red_run) =
+  let rows =
+    List.filter_map
+      (fun (r : Core.Chi_red.report) ->
+        if (not r.Core.Chi_red.learning)
+           && (r.Core.Chi_red.losses <> [] || r.Core.Chi_red.alarm)
+        then
+          Some
+            [ Exp.float ~decimals:0 r.Core.Chi_red.end_time;
+              Exp.int r.Core.Chi_red.arrivals;
+              Exp.int (List.length r.Core.Chi_red.losses);
+              Exp.float ~decimals:1 r.Core.Chi_red.expected_red_drops;
+              Exp.text
+                (Printf.sprintf "%.1e" r.Core.Chi_red.tail_probability
+                ^ "/"
+                ^ Printf.sprintf "%.1e" r.Core.Chi_red.cumulative_tail);
+              Exp.text (if r.Core.Chi_red.alarm then "ALARM" else "") ]
+        else None)
+      run.red_reports
+  in
   let alarms = List.filter (fun r -> r.Core.Chi_red.alarm) run.red_reports in
   let false_alarms =
     List.filter
       (fun (r : Core.Chi_red.report) -> r.Core.Chi_red.end_time <= run.red_attack_start)
       alarms
   in
-  Util.kv "alarming rounds" (string_of_int (List.length alarms));
-  Util.kv "false alarms (pre-attack)" (string_of_int (List.length false_alarms))
+  Exp.section title
+    [ Exp.Note
+        ( "ground truth",
+          Printf.sprintf "%d red drops, %d forced drops, %d malicious drops"
+            run.red_truth.red_drops run.red_truth.congestion_drops
+            run.red_truth.malicious_drops );
+      Exp.table
+        ~header:[ "t (s)"; "arrivals"; "losses"; "E[red]"; "tail/cum"; "alarm" ]
+        rows;
+      Exp.Note ("alarming rounds", string_of_int (List.length alarms));
+      Exp.Note ("false alarms (pre-attack)", string_of_int (List.length false_alarms))
+    ]

@@ -31,6 +31,68 @@ let graph_of = function
   | Grid -> Topology.Generate.grid ~rows:3 ~cols:4
   | Abilene -> Topology.Abilene.graph ()
 
+(* --- configuration ----------------------------------------------------- *)
+
+module Config = struct
+  type t = {
+    topo : topo;
+    protocol : [ `Chi | `Fatih ];
+    attack : attack;
+    attacker : int;
+    duration : float;
+    seed : int;
+    flows : int;
+    trace : int;
+    metrics : string option;
+    journal : string option;
+  }
+
+  let default =
+    { topo = Ring; protocol = `Fatih; attack = Drop_fraction 0.2; attacker = 2;
+      duration = 60.0; seed = 1; flows = 8; trace = 0; metrics = None;
+      journal = None }
+
+  let validate c =
+    let fraction_of = function
+      | Drop_fraction f | Queue_conditioned f -> Some f
+      | No_attack | Drop_all | Drop_syn -> None
+    in
+    if not (Float.is_finite c.duration) || c.duration <= 0.0 then
+      Error (Printf.sprintf "duration must be positive (got %g s)" c.duration)
+    else if c.flows < 1 then
+      Error (Printf.sprintf "need at least one flow (got %d)" c.flows)
+    else if c.trace < 0 then
+      Error (Printf.sprintf "trace length cannot be negative (got %d)" c.trace)
+    else begin
+      let n = Topology.Graph.size (graph_of c.topo) in
+      if c.attacker < 0 || c.attacker >= n then
+        Error
+          (Printf.sprintf "attacker %d outside this topology's routers [0,%d)"
+             c.attacker n)
+      else begin
+        match fraction_of c.attack with
+        | Some f when not (Float.is_finite f) || f < 0.0 || f > 1.0 ->
+            Error (Printf.sprintf "fraction must lie in [0,1] (got %g)" f)
+        | _ -> Ok c
+      end
+    end
+
+  let protocol_of_string = function
+    | "chi" -> Ok `Chi
+    | "fatih" -> Ok `Fatih
+    | p -> Error (Printf.sprintf "unknown protocol %S (chi|fatih)" p)
+
+  let of_cmdline ~topology ~protocol ~attack ~fraction ~attacker ~duration ~seed
+      ~flows ~trace ~metrics ~journal =
+    let ( let* ) = Result.bind in
+    let* topo = topo_of_string topology in
+    let* protocol = protocol_of_string protocol in
+    let* attack = attack_of_string attack ~fraction in
+    validate
+      { topo; protocol; attack; attacker; duration; seed; flows; trace; metrics;
+        journal }
+end
+
 let behavior_of = function
   | No_attack -> None
   | Drop_all -> Some Core.Adversary.drop_all
@@ -125,13 +187,15 @@ let write_journal path probe =
 
 (* --- the scenario ----------------------------------------------------- *)
 
-let run ~topo ~protocol ~attack ~attacker ~duration ~seed ~flows ?(trace = 0)
-    ?metrics ?journal () =
+let run (config : Config.t) =
+  let { Config.topo; protocol; attack; attacker; duration; seed; flows; trace;
+        metrics; journal } =
+    match Config.validate config with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Simulate.run: " ^ msg)
+  in
   let g = graph_of topo in
   let n = Topology.Graph.size g in
-  if attacker < 0 || attacker >= n then
-    invalid_arg (Printf.sprintf "Simulate.run: attacker %d outside [0,%d)" attacker n);
-  if flows < 1 then invalid_arg "Simulate.run: need at least one flow";
   (* Fail on an unwritable export path now, not after simulating. *)
   let check_writable = function
     | None -> ()

@@ -2,10 +2,11 @@
     topology, an attack and a detector, run it, and print what the
     detector concluded next to the ground truth.
 
-    With [metrics] and/or [journal], the run carries a {!Netsim.Probe}:
-    packet counters, per-router gauges, detector verdicts and run
-    profiling come out as a JSON document (or Prometheus text for a
-    [.prom]/[.txt] path), and the typed event journal as JSONL. *)
+    With [metrics] and/or [journal] set in the configuration, the run
+    carries a {!Netsim.Probe}: packet counters, per-router gauges,
+    detector verdicts and run profiling come out as a JSON document (or
+    Prometheus text for a [.prom]/[.txt] path), and the typed event
+    journal as JSONL. *)
 
 type topo = Line | Ring | Grid | Abilene
 
@@ -15,19 +16,49 @@ type attack = No_attack | Drop_all | Drop_fraction of float | Drop_syn | Queue_c
 
 val attack_of_string : string -> fraction:float -> (attack, string) result
 
-val run :
-  topo:topo ->
-  protocol:[ `Chi | `Fatih ] ->
-  attack:attack ->
-  attacker:int ->
-  duration:float ->
-  seed:int ->
-  flows:int ->
-  ?trace:int ->
-  ?metrics:string ->
-  ?journal:string ->
-  unit ->
-  unit
+(** The full scenario description — one record instead of eleven
+    labeled arguments, validated before anything is simulated. *)
+module Config : sig
+  type t = {
+    topo : topo;
+    protocol : [ `Chi | `Fatih ];
+    attack : attack;
+    attacker : int;          (** compromised router id *)
+    duration : float;        (** seconds simulated *)
+    seed : int;
+    flows : int;             (** CBR flows between random pairs *)
+    trace : int;             (** dump the last N events at the attacker *)
+    metrics : string option; (** metrics/summary export path *)
+    journal : string option; (** JSONL event-journal path *)
+  }
+
+  val default : t
+  (** Ring topology, Fatih, 20% drop fraction at router 2, 60 s, seed 1,
+      8 flows, no trace, no exports. *)
+
+  val validate : t -> (t, string) result
+  (** Reject non-positive duration, fewer than one flow, a negative
+      trace length, an attacker id outside the chosen topology, and a
+      drop/queue fraction outside [0,1] — before any simulation state
+      is built. *)
+
+  val of_cmdline :
+    topology:string ->
+    protocol:string ->
+    attack:string ->
+    fraction:float ->
+    attacker:int ->
+    duration:float ->
+    seed:int ->
+    flows:int ->
+    trace:int ->
+    metrics:string option ->
+    journal:string option ->
+    (t, string) result
+  (** Parse the raw command-line spellings and {!validate} the result. *)
+end
+
+val run : Config.t -> unit
 (** Build the network, start [flows] CBR flows between distinct random
     pairs plus TCP where the detector needs congestion, compromise
     [attacker] at one third of [duration], run, and print a summary.
@@ -39,4 +70,5 @@ val run :
     [.prom]/[.txt] suffix.  [journal] names a JSONL file receiving the
     typed event journal (newest 262144 records).  With neither given, no
     probe is attached and the forwarding plane runs exactly as before.
-    Raises [Invalid_argument] for out-of-range attacker/flows. *)
+    Raises [Invalid_argument] when {!Config.validate} rejects the
+    configuration. *)

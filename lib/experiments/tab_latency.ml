@@ -61,27 +61,38 @@ let fatih_latency ~fraction =
   | d :: _ -> Some (d.Fatih.time -. 20.0)
   | [] -> None
 
-let run () =
-  Util.banner "Detection latency vs attack intensity (s after attack start)";
-  Util.row [ "drop frac"; "mal drops"; "chi"; "thr 2%"; "thr FP(pre)"; "fatih" ];
-  List.iter
-    (fun fraction ->
-      let attack_start, mal, chi_first, (thr_pre, thr_first) = chi_latency ~fraction in
-      let fmt = function
-        | Some (r : Chi.report) -> Printf.sprintf "%.0f" (r.Chi.end_time -. attack_start)
-        | None -> "miss"
-      in
-      let fatih =
-        match fatih_latency ~fraction with
-        | Some l -> Printf.sprintf "%.0f" l
-        | None -> "miss"
-      in
-      Util.row
-        [ Printf.sprintf "%.2f" fraction; string_of_int mal; fmt chi_first;
-          fmt thr_first; string_of_int thr_pre; fatih ])
-    [ 0.01; 0.02; 0.05; 0.10; 0.20; 0.50 ];
-  Util.kv "reading"
-    "chi fires on the first round containing headroom drops at every intensity; \
-     the 2% threshold looks fast only because congestion alone already trips it \
-     (the FP(pre) column counts its pre-attack false alarms on clean rounds); \
-     Fatih needs the per-segment loss to clear its 2% budget within a 5 s round"
+let eval () =
+  let rows =
+    List.map
+      (fun fraction ->
+        let attack_start, mal, chi_first, (thr_pre, thr_first) = chi_latency ~fraction in
+        let fmt = function
+          | Some (r : Chi.report) ->
+              Exp.float ~decimals:0 (r.Chi.end_time -. attack_start)
+          | None -> Exp.text "miss"
+        in
+        let fatih =
+          match fatih_latency ~fraction with
+          | Some l -> Exp.float ~decimals:0 l
+          | None -> Exp.text "miss"
+        in
+        [ Exp.float ~decimals:2 fraction; Exp.int mal; fmt chi_first;
+          fmt thr_first; Exp.int thr_pre; fatih ])
+      [ 0.01; 0.02; 0.05; 0.10; 0.20; 0.50 ]
+  in
+  { Exp.id = "latency";
+    sections =
+      [ Exp.section "Detection latency vs attack intensity (s after attack start)"
+          [ Exp.table
+              ~header:[ "drop frac"; "mal drops"; "chi"; "thr 2%"; "thr FP(pre)"; "fatih" ]
+              rows;
+            Exp.Note
+              ( "reading",
+                "chi fires on the first round containing headroom drops at every intensity; \
+                 the 2% threshold looks fast only because congestion alone already trips it \
+                 (the FP(pre) column counts its pre-attack false alarms on clean rounds); \
+                 Fatih needs the per-segment loss to clear its 2% budget within a 5 s round"
+              ) ] ] }
+
+let render = Exp.render
+let run () = render (eval ())

@@ -5,13 +5,12 @@
    demonstrating the O(|difference|) bound against the Bloom-filter
    alternative's fixed-size-but-approximate answer. *)
 
-let run () =
-  Util.banner "Appendix A: set reconciliation vs Bloom filters";
+let eval () =
   let n = 2000 in
   let rng = Random.State.make [| 77 |] in
-  Util.row [ "|A delta B|"; "evals sent"; "exact?"; "bloom est." ];
-  List.iter
-    (fun diff ->
+  let rows =
+    List.map
+      (fun diff ->
       let shared = Array.init n (fun i -> (i * 211) + 5) in
       let only_a = Array.init diff (fun i -> 1_000_000 + (i * 17)) in
       let only_b = Array.init diff (fun i -> 2_000_000 + (i * 19)) in
@@ -35,11 +34,21 @@ let run () =
         Setrecon.Bloom.symmetric_difference_estimate ~na:(Array.length a)
           ~nb:(Array.length b) fa fb
       in
-      Util.row
-        [ string_of_int (2 * diff); string_of_int evals;
-          (if exact then "yes" else "NO"); Printf.sprintf "%.0f" est ])
-    [ 0; 1; 2; 5; 10; 25; 50; 100 ];
-  Util.kv "bloom filter size" "32768 bits per side, every row";
-  Util.kv "takeaway"
-    "reconciliation transmits O(difference) elements and recovers the exact \
-     fingerprints; Bloom filters only estimate the count"
+      [ Exp.int (2 * diff); Exp.int evals;
+        Exp.text (if exact then "yes" else "NO"); Exp.float ~decimals:0 est ])
+      [ 0; 1; 2; 5; 10; 25; 50; 100 ]
+  in
+  { Exp.id = "reconcile";
+    sections =
+      [ Exp.section "Appendix A: set reconciliation vs Bloom filters"
+          [ Exp.table
+              ~header:[ "|A delta B|"; "evals sent"; "exact?"; "bloom est." ]
+              rows;
+            Exp.Note ("bloom filter size", "32768 bits per side, every row");
+            Exp.Note
+              ( "takeaway",
+                "reconciliation transmits O(difference) elements and recovers the exact \
+                 fingerprints; Bloom filters only estimate the count" ) ] ] }
+
+let render = Exp.render
+let run () = render (eval ())

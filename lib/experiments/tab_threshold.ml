@@ -23,8 +23,7 @@ let benign_rounds run =
       else Some (r.Core.Chi.arrivals, List.length r.Core.Chi.losses, false, r.Core.Chi.alarm))
     run.Scenario.reports
 
-let run () =
-  Util.banner "Section 6.4.3: Protocol chi vs static threshold";
+let eval () =
   let benign = Scenario.run_droptail ~attack:(fun _ -> None) () in
   let attacked =
     Scenario.run_droptail
@@ -34,15 +33,14 @@ let run () =
   in
   let rounds = benign_rounds benign @ attack_rounds attacked in
   let threshold_rows = List.map (fun (s, l, a, _) -> (s, l, a)) rounds in
-  Util.row [ "loss thr"; "TP"; "FP"; "FN"; "TN" ];
-  List.iter
-    (fun rate ->
-      let t = Core.Threshold.create ~loss_rate:rate in
-      let tp, fp, fn, tn = Core.Threshold.confusion t ~rounds:threshold_rows in
-      Util.row
-        [ Printf.sprintf "%.3f" rate; string_of_int tp; string_of_int fp;
-          string_of_int fn; string_of_int tn ])
-    [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1 ];
+  let sweep =
+    List.map
+      (fun rate ->
+        let t = Core.Threshold.create ~loss_rate:rate in
+        let tp, fp, fn, tn = Core.Threshold.confusion t ~rounds:threshold_rows in
+        [ Exp.float ~decimals:3 rate; Exp.int tp; Exp.int fp; Exp.int fn; Exp.int tn ])
+      [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1 ]
+  in
   (* χ's own confusion on the same rounds (an attacked round counts as
      detected if χ alarmed it). *)
   let tp, fp, fn, tn =
@@ -55,9 +53,18 @@ let run () =
         | false, false -> (tp, fp, fn, tn + 1))
       (0, 0, 0, 0) rounds
   in
-  Util.row
-    [ "chi"; string_of_int tp; string_of_int fp; string_of_int fn; string_of_int tn ];
-  Util.kv "note"
-    "attacked rounds without malicious drops (attack armed but queue below its trigger) \
-     count as attack rounds; the threshold sweep shows the FP/FN tradeoff, chi separates \
-     congestion from malice per loss"
+  let chi_row = [ Exp.text "chi"; Exp.int tp; Exp.int fp; Exp.int fn; Exp.int tn ] in
+  { Exp.id = "threshold";
+    sections =
+      [ Exp.section "Section 6.4.3: Protocol chi vs static threshold"
+          [ Exp.table
+              ~header:[ "loss thr"; "TP"; "FP"; "FN"; "TN" ]
+              (sweep @ [ chi_row ]);
+            Exp.Note
+              ( "note",
+                "attacked rounds without malicious drops (attack armed but queue below its trigger) \
+                 count as attack rounds; the threshold sweep shows the FP/FN tradeoff, chi separates \
+                 congestion from malice per loss" ) ] ] }
+
+let render = Exp.render
+let run () = render (eval ())

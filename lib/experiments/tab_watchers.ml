@@ -47,19 +47,25 @@ let run_one ~attack ~congested =
     malicious = !malicious;
     congestion = !congestion }
 
-let show label r =
-  Util.row
-    [ label;
-      Printf.sprintf "%d/%d" r.malicious r.congestion;
-      "[" ^ String.concat ";" (List.map string_of_int r.watchers_suspects) ^ "]";
-      string_of_int r.chi_alarms ]
+let row_of label r =
+  [ Exp.text label;
+    Exp.text (Printf.sprintf "%d/%d" r.malicious r.congestion);
+    Exp.text ("[" ^ String.concat ";" (List.map string_of_int r.watchers_suspects) ^ "]");
+    Exp.int r.chi_alarms ]
 
-let run () =
-  Util.banner "WATCHERS-live vs chi (packet level)";
-  Util.row [ "scenario"; "mal/cong"; "watchers"; "chi alarms" ];
-  show "benign+congested" (run_one ~attack:None ~congested:true);
-  show "50% dropper" (run_one ~attack:(Some 0.5) ~congested:false);
-  show "2% trickle" (run_one ~attack:(Some 0.02) ~congested:false);
-  Util.kv "reading"
-    "WATCHERS' flow threshold accuses an honest router under congestion and stays \
-     blind to the trickle; chi's queue replay separates both cases"
+let eval () =
+  { Exp.id = "watchers";
+    sections =
+      [ Exp.section "WATCHERS-live vs chi (packet level)"
+          [ Exp.table
+              ~header:[ "scenario"; "mal/cong"; "watchers"; "chi alarms" ]
+              [ row_of "benign+congested" (run_one ~attack:None ~congested:true);
+                row_of "50% dropper" (run_one ~attack:(Some 0.5) ~congested:false);
+                row_of "2% trickle" (run_one ~attack:(Some 0.02) ~congested:false) ];
+            Exp.Note
+              ( "reading",
+                "WATCHERS' flow threshold accuses an honest router under congestion and stays \
+                 blind to the trickle; chi's queue replay separates both cases" ) ] ] }
+
+let render = Exp.render
+let run () = render (eval ())

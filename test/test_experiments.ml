@@ -1,0 +1,196 @@
+(* Golden tests for the typed experiment layer: the registry itself,
+   the Domain pool's determinism (jobs=1 vs jobs=4 must agree bit for
+   bit), structural invariants on cheap experiments' eval output
+   (Fig 5.2 monotonicity, Table 5.1 counter bounds), packet
+   conservation in the Fig 6.4 bottleneck scenario, and the merged
+   mrdetect-experiments-v1 JSON document. *)
+
+module Exp = Experiments.Exp
+module Pool = Experiments.Pool
+module Registry = Experiments.Registry
+
+(* --- registry sanity --- *)
+
+let test_registry_ids () =
+  let ids = List.map (fun (e : Exp.entry) -> e.id) Registry.all in
+  Alcotest.(check int) "sixteen experiments" 16 (List.length ids);
+  Alcotest.(check bool) "ids are unique" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  List.iter
+    (fun (e : Exp.entry) ->
+      Alcotest.(check bool) (e.id ^ " has doc") true (String.length e.doc > 0);
+      match Registry.find e.id with
+      | Some found -> Alcotest.(check string) "find returns it" e.id found.id
+      | None -> Alcotest.failf "find %S returned nothing" e.id)
+    Registry.all
+
+let test_registry_quick () =
+  Alcotest.(check bool) "quick subset is non-empty" true (Registry.quick <> []);
+  List.iter
+    (fun (e : Exp.entry) ->
+      Alcotest.(check bool) (e.id ^ " is Quick") true (e.cost = Exp.Quick))
+    Registry.quick
+
+(* --- pool semantics --- *)
+
+let test_pool_order_and_parallelism () =
+  let xs = List.init 23 Fun.id in
+  let f x = (x * x) + 1 in
+  let serial = Pool.map ~jobs:1 f xs in
+  Alcotest.(check (list int)) "serial maps in order" (List.map f xs) serial;
+  Alcotest.(check (list int)) "jobs=4 returns the same list" serial
+    (Pool.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "more jobs than tasks" [ 2; 5 ]
+    (Pool.map ~jobs:16 f [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 f [])
+
+let test_pool_exception () =
+  let boom x = if x = 2 then failwith "boom" else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d re-raises the task's exception" jobs)
+        (Failure "boom")
+        (fun () -> ignore (Pool.map ~jobs boom [ 0; 1; 2; 3 ])))
+    [ 1; 4 ]
+
+let test_pool_rng_isolation () =
+  (* The per-task PRNG reset means a task's draw from the global
+     generator depends only on its index — whatever ran before it. *)
+  let draw _ = Random.int 1_000_000 in
+  let a = Pool.map ~jobs:1 draw [ (); (); () ] in
+  let b = Pool.map ~jobs:3 draw [ (); (); () ] in
+  Alcotest.(check (list int)) "global draws identical across jobs" a b
+
+(* --- Fig 5.2: |Pr| monotone in k --- *)
+
+let test_pr_monotone () =
+  List.iter
+    (fun protocol ->
+      let series =
+        Experiments.Fig_pr.sweep ~protocol ~topology:`Ebone ~ks:[ 1; 2; 4 ] ()
+      in
+      let maxes = List.map (fun s -> s.Experiments.Fig_pr.max_pr) series in
+      let rec non_decreasing = function
+        | a :: (b :: _ as tl) -> a <= b && non_decreasing tl
+        | _ -> true
+      in
+      Alcotest.(check bool) "max |Pr| non-decreasing in k" true
+        (non_decreasing maxes);
+      List.iter
+        (fun s ->
+          let open Experiments.Fig_pr in
+          Alcotest.(check bool) "mean <= max" true (s.mean_pr <= s.max_pr);
+          Alcotest.(check bool) "median <= max" true (s.median_pr <= s.max_pr);
+          Alcotest.(check bool) "positive" true (s.max_pr > 0.0))
+        series)
+    [ `Pi2; `Pik2 ]
+
+(* --- Table 5.1: counter-state invariants on the eval output --- *)
+
+let number_exn c =
+  match Exp.number c with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a numeric cell"
+
+let test_state_counters () =
+  let result = Experiments.Tab_state.eval () in
+  Alcotest.(check string) "id" "state" result.Exp.id;
+  let section =
+    match Exp.find_section result ~prefix:"Table 5.1/7.2" with
+    | Some s -> s
+    | None -> Alcotest.fail "missing counter-state section"
+  in
+  let table =
+    match Exp.first_table section with
+    | Some t -> t
+    | None -> Alcotest.fail "counter section has no table"
+  in
+  let avgs = List.map number_exn (Exp.column table "avg") in
+  let maxes = List.map number_exn (Exp.column table "max") in
+  Alcotest.(check int) "WATCHERS + (Pi2, Pik+2) x k in {2,7}" 5
+    (List.length avgs);
+  List.iter2
+    (fun avg mx ->
+      Alcotest.(check bool) "0 < avg" true (avg > 0.0);
+      Alcotest.(check bool) "avg <= max" true (avg <= mx))
+    avgs maxes;
+  (* The dissertation's headline: WATCHERS keeps orders of magnitude
+     more counters than either path-segment protocol (T5.1). *)
+  match maxes with
+  | watchers :: rest ->
+      List.iter
+        (fun m -> Alcotest.(check bool) "WATCHERS max dominates" true (watchers > m))
+        rest
+  | [] -> Alcotest.fail "no rows"
+
+(* --- Fig 6.4 scenario: packet conservation under attack --- *)
+
+let test_droptail_conservation () =
+  let probe = Netsim.Probe.create () in
+  let run =
+    Experiments.Scenario.run_droptail ~duration:30.0 ~probe
+      ~attack:(fun victims ->
+        Some
+          (Core.Adversary.on_flows victims (Core.Adversary.drop_fraction ~seed:5 0.2)))
+      ()
+  in
+  let c = Netsim.Probe.conservation probe in
+  Alcotest.(check bool) "packets injected" true (c.Netsim.Probe.total_injected > 0);
+  Alcotest.(check bool) "packets delivered" true (c.Netsim.Probe.total_delivered > 0);
+  Alcotest.(check bool) "attack caused drops" true (run.Experiments.Scenario.truth.Experiments.Scenario.malicious_drops > 0);
+  Alcotest.(check bool) "dropped counter saw them" true
+    (c.Netsim.Probe.total_dropped >= run.Experiments.Scenario.truth.Experiments.Scenario.malicious_drops);
+  Alcotest.(check bool) "no packet unaccounted for" true
+    (c.Netsim.Probe.in_flight >= 0);
+  Alcotest.(check int) "conservation identity" c.Netsim.Probe.total_injected
+    (c.Netsim.Probe.total_delivered + c.Netsim.Probe.total_dropped
+    + c.Netsim.Probe.total_fragmented + c.Netsim.Probe.in_flight)
+
+(* --- jobs=1 vs jobs=4: identical results and identical JSON --- *)
+
+let test_parallel_determinism () =
+  let serial = Registry.eval_all ~jobs:1 ~entries:Registry.quick () in
+  let parallel = Registry.eval_all ~jobs:4 ~entries:Registry.quick () in
+  Alcotest.(check bool) "Exp.result values are structurally equal" true
+    (serial = parallel);
+  let doc results = Telemetry.Export.to_string (Registry.json_document results) in
+  Alcotest.(check string) "merged JSON documents byte-identical" (doc serial)
+    (doc parallel)
+
+let test_json_document_roundtrip () =
+  let results = Registry.eval_all ~jobs:1 ~entries:Registry.quick () in
+  let s = Telemetry.Export.to_string (Registry.json_document results) in
+  match Telemetry.Export.of_string s with
+  | Error e -> Alcotest.failf "document does not parse back: %s" e
+  | Ok (Telemetry.Export.Assoc fields) ->
+      (match List.assoc_opt "schema" fields with
+      | Some (Telemetry.Export.String "mrdetect-experiments-v1") -> ()
+      | _ -> Alcotest.fail "missing or wrong schema field");
+      (match List.assoc_opt "results" fields with
+      | Some (Telemetry.Export.List l) ->
+          Alcotest.(check int) "one JSON result per experiment"
+            (List.length results) (List.length l)
+      | _ -> Alcotest.fail "missing results array")
+  | Ok _ -> Alcotest.fail "document is not an object"
+
+let () =
+  Alcotest.run "experiments"
+    [ ( "registry",
+        [ Alcotest.test_case "ids and find" `Quick test_registry_ids;
+          Alcotest.test_case "quick subset" `Quick test_registry_quick ] );
+      ( "pool",
+        [ Alcotest.test_case "order and parallelism" `Quick
+            test_pool_order_and_parallelism;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "rng isolation" `Quick test_pool_rng_isolation ] );
+      ( "invariants",
+        [ Alcotest.test_case "fig 5.2 |Pr| monotone in k" `Quick test_pr_monotone;
+          Alcotest.test_case "table 5.1 counter state" `Quick test_state_counters;
+          Alcotest.test_case "fig 6.4 packet conservation" `Slow
+            test_droptail_conservation ] );
+      ( "parallel",
+        [ Alcotest.test_case "jobs=4 equals jobs=1" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "json document roundtrip" `Quick
+            test_json_document_roundtrip ] ) ]

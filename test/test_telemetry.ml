@@ -187,9 +187,17 @@ let test_simulate_metrics_conserve () =
           Unix.close stdout_backup;
           close_out devnull)
         (fun () ->
-          Experiments.Simulate.run ~topo:Experiments.Simulate.Ring ~protocol:`Chi
-            ~attack:(Experiments.Simulate.Drop_fraction 0.3) ~attacker:2
-            ~duration:12.0 ~seed:7 ~flows:6 ~metrics:path ());
+          Experiments.Simulate.run
+            { Experiments.Simulate.Config.default with
+              topo = Experiments.Simulate.Ring;
+              protocol = `Chi;
+              attack = Experiments.Simulate.Drop_fraction 0.3;
+              attacker = 2;
+              duration = 12.0;
+              seed = 7;
+              flows = 6;
+              metrics = Some path
+            });
       let contents =
         let ic = open_in path in
         Fun.protect
