@@ -6,7 +6,9 @@ let step acc byte =
 
 let hash_string s =
   let acc = ref offset_basis in
-  String.iter (fun c -> acc := step !acc (Char.code c)) s;
+  for i = 0 to String.length s - 1 do
+    acc := step !acc (Char.code (String.unsafe_get s i))
+  done;
   !acc
 
 let hash_int64 x =

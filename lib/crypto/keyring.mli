@@ -25,7 +25,8 @@ val size : t -> int
 val pairwise : t -> int -> int -> Siphash.key
 (** Symmetric key shared by two routers; order-independent
     ([pairwise t a b = pairwise t b a]). Raises [Invalid_argument] on
-    out-of-range ids. *)
+    out-of-range ids.  Derived keys are cached, so repeated lookups on
+    the packet path cost a hash-table probe, not key expansion. *)
 
 val monitoring_key : t -> Siphash.key
 (** A network-wide key for fingerprint computation where the dissertation
@@ -41,6 +42,19 @@ val sign_words : t -> signer:int -> int64 list -> signature
 (** Like {!sign} but over a word list (packet summaries). *)
 
 val verify_words : t -> signer:int -> int64 list -> signature -> bool
+
+val mac : t -> int -> int -> string -> string
+(** [mac t a b msg] is the 32-byte HMAC-SHA-256 tag over [msg] under the
+    pairwise key of routers [a] and [b] (order-independent).  The
+    ipad/opad midstates are expanded once per pair and cached, so the
+    per-packet cost is one compression pass over the payload. *)
+
+val mac64 : t -> int -> int -> string -> int64
+(** First 8 bytes of {!mac} as a big-endian int64 — the truncated
+    per-packet MAC form, computed without allocating the full tag. *)
+
+val verify_mac : t -> int -> int -> string -> string -> bool
+(** Check a {!mac} tag. *)
 
 val forge_attempt : signature
 (** A constant bogus tag, handy for tests exercising the reject path. *)

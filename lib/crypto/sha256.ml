@@ -1,125 +1,1105 @@
-(* FIPS 180-4 SHA-256 over int32 words. *)
+(* FIPS 180-4 SHA-256 on native 63-bit ints.
 
-let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
-     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
-     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
-     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
-     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
-     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
-     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
-     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
-     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+   The hot path of every traffic-validation protocol is "hash a packet",
+   so this module is written for throughput: 32-bit words live in native
+   [int]s (no boxed [Int32] arithmetic, which allocates on every add and
+   rotate), block words are loaded eight bytes at a time with [Bytes.get_int64_be], and the
+   streaming [init]/[update]/[final] interface hashes a message in place
+   — the only copy ever made is the tail of the message into the 64-byte
+   block buffer.  HMAC precomputes the ipad/opad midstates per key
+   ({!hmac_key}) so a cached per-packet MAC costs one compression pass
+   over the payload plus the fixed finalization blocks. *)
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
-let shr x n = Int32.shift_right_logical x n
-let ( +% ) = Int32.add
-let ( ^% ) = Int32.logxor
-let ( &% ) = Int32.logand
+let mask32 = 0xffff_ffff
 
-let pad message =
-  let len = String.length message in
-  let bitlen = Int64.of_int (8 * len) in
-  let padlen =
-    let rem = (len + 1 + 8) mod 64 in
-    if rem = 0 then 1 + 8 else 1 + 8 + (64 - rem)
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+     0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
+(* One compression pass over the 64 bytes at [b.(off .. off+63)],
+   updating [h] in place.  Fully unrolled straight-line code generated
+   by gen_sha256_compress.py — see that file for the rationale; in
+   short, every let-bound Int64 here stays in an untagged register
+   (the compiler's local unboxing), so this is plain 64-bit machine
+   arithmetic with none of the tagged-[int] shift/mask overhead. *)
+let compress h b off =
+  let m = Int64.of_int (Sys.opaque_identity mask32) in
+  let v0 = Bytes.get_int64_be b (off + 0) in
+  let w0 = Int64.shift_right_logical v0 32 in
+  let w1 = Int64.logand v0 m in
+  let v1 = Bytes.get_int64_be b (off + 8) in
+  let w2 = Int64.shift_right_logical v1 32 in
+  let w3 = Int64.logand v1 m in
+  let v2 = Bytes.get_int64_be b (off + 16) in
+  let w4 = Int64.shift_right_logical v2 32 in
+  let w5 = Int64.logand v2 m in
+  let v3 = Bytes.get_int64_be b (off + 24) in
+  let w6 = Int64.shift_right_logical v3 32 in
+  let w7 = Int64.logand v3 m in
+  let v4 = Bytes.get_int64_be b (off + 32) in
+  let w8 = Int64.shift_right_logical v4 32 in
+  let w9 = Int64.logand v4 m in
+  let v5 = Bytes.get_int64_be b (off + 40) in
+  let w10 = Int64.shift_right_logical v5 32 in
+  let w11 = Int64.logand v5 m in
+  let v6 = Bytes.get_int64_be b (off + 48) in
+  let w12 = Int64.shift_right_logical v6 32 in
+  let w13 = Int64.logand v6 m in
+  let v7 = Bytes.get_int64_be b (off + 56) in
+  let w14 = Int64.shift_right_logical v7 32 in
+  let w15 = Int64.logand v7 m in
+  (* Message-schedule words w16..w63 are emitted interleaved, each
+     just before the round that first consumes it; each word's
+     dual-lane form d_i is built once and shared by both sigmas that
+     read it.  64 rounds with rotated naming: at round t the working
+     state is a = A.(t-1) .. d = A.(t-4), e = E.(t-1) .. h = E.(t-4). *)
+  let sa = Int64.of_int (Array.unsafe_get h 0) in
+  let sb = Int64.of_int (Array.unsafe_get h 1) in
+  let sc = Int64.of_int (Array.unsafe_get h 2) in
+  let sd = Int64.of_int (Array.unsafe_get h 3) in
+  let se = Int64.of_int (Array.unsafe_get h 4) in
+  let sf = Int64.of_int (Array.unsafe_get h 5) in
+  let sg = Int64.of_int (Array.unsafe_get h 6) in
+  let sh = Int64.of_int (Array.unsafe_get h 7) in
+  (* round 0 *)
+  let ed0 = Int64.logor se (Int64.shift_left se 32) in
+  let ad0 = Int64.logor sa (Int64.shift_left sa 32) in
+  let t1_0 =
+    Int64.add (Int64.add (Int64.add (Int64.add sh (Int64.logxor sg (Int64.logand se (Int64.logxor sf sg)))) 0x428a2f98L) w0) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed0 6) (Int64.shift_right_logical ed0 11)) (Int64.shift_right_logical ed0 25))
   in
-  let b = Bytes.make (len + padlen) '\000' in
-  Bytes.blit_string message 0 b 0 len;
-  Bytes.set b len '\x80';
-  for i = 0 to 7 do
-    Bytes.set b
-      (Bytes.length b - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xffL)))
-  done;
-  Bytes.unsafe_to_string b
+  let t2_0 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad0 (Int64.shift_right_logical ad0 11)) (Int64.shift_right_logical ad0 20)) 2) (Int64.logxor (Int64.logand sa (Int64.logxor sb sc)) (Int64.logand sb sc)) in
+  let er0 = Int64.add sd t1_0 in
+  let e0 = Int64.logand er0 m in
+  let ar0 = Int64.add t1_0 t2_0 in
+  let a0 = Int64.logand ar0 m in
+  (* round 1 *)
+  let ed1 = Int64.logor e0 (Int64.shift_left er0 32) in
+  let ad1 = Int64.logor a0 (Int64.shift_left ar0 32) in
+  let t1_1 =
+    Int64.add (Int64.add (Int64.add (Int64.add sg (Int64.logxor sf (Int64.logand e0 (Int64.logxor se sf)))) 0x71374491L) w1) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed1 6) (Int64.shift_right_logical ed1 11)) (Int64.shift_right_logical ed1 25))
+  in
+  let t2_1 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad1 (Int64.shift_right_logical ad1 11)) (Int64.shift_right_logical ad1 20)) 2) (Int64.logxor (Int64.logand a0 (Int64.logxor sa sb)) (Int64.logand sa sb)) in
+  let er1 = Int64.add sc t1_1 in
+  let e1 = Int64.logand er1 m in
+  let ar1 = Int64.add t1_1 t2_1 in
+  let a1 = Int64.logand ar1 m in
+  (* round 2 *)
+  let ed2 = Int64.logor e1 (Int64.shift_left er1 32) in
+  let ad2 = Int64.logor a1 (Int64.shift_left ar1 32) in
+  let t1_2 =
+    Int64.add (Int64.add (Int64.add (Int64.add sf (Int64.logxor se (Int64.logand e1 (Int64.logxor e0 se)))) 0xb5c0fbcfL) w2) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed2 6) (Int64.shift_right_logical ed2 11)) (Int64.shift_right_logical ed2 25))
+  in
+  let t2_2 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad2 (Int64.shift_right_logical ad2 11)) (Int64.shift_right_logical ad2 20)) 2) (Int64.logxor (Int64.logand a1 (Int64.logxor a0 sa)) (Int64.logand a0 sa)) in
+  let er2 = Int64.add sb t1_2 in
+  let e2 = Int64.logand er2 m in
+  let ar2 = Int64.add t1_2 t2_2 in
+  let a2 = Int64.logand ar2 m in
+  (* round 3 *)
+  let ed3 = Int64.logor e2 (Int64.shift_left er2 32) in
+  let ad3 = Int64.logor a2 (Int64.shift_left ar2 32) in
+  let t1_3 =
+    Int64.add (Int64.add (Int64.add (Int64.add se (Int64.logxor e0 (Int64.logand e2 (Int64.logxor e1 e0)))) 0xe9b5dba5L) w3) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed3 6) (Int64.shift_right_logical ed3 11)) (Int64.shift_right_logical ed3 25))
+  in
+  let t2_3 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad3 (Int64.shift_right_logical ad3 11)) (Int64.shift_right_logical ad3 20)) 2) (Int64.logxor (Int64.logand a2 (Int64.logxor a1 a0)) (Int64.logand a1 a0)) in
+  let er3 = Int64.add sa t1_3 in
+  let e3 = Int64.logand er3 m in
+  let ar3 = Int64.add t1_3 t2_3 in
+  let a3 = Int64.logand ar3 m in
+  (* round 4 *)
+  let ed4 = Int64.logor e3 (Int64.shift_left er3 32) in
+  let ad4 = Int64.logor a3 (Int64.shift_left ar3 32) in
+  let t1_4 =
+    Int64.add (Int64.add (Int64.add (Int64.add e0 (Int64.logxor e1 (Int64.logand e3 (Int64.logxor e2 e1)))) 0x3956c25bL) w4) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed4 6) (Int64.shift_right_logical ed4 11)) (Int64.shift_right_logical ed4 25))
+  in
+  let t2_4 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad4 (Int64.shift_right_logical ad4 11)) (Int64.shift_right_logical ad4 20)) 2) (Int64.logxor (Int64.logand a3 (Int64.logxor a2 a1)) (Int64.logand a2 a1)) in
+  let er4 = Int64.add a0 t1_4 in
+  let e4 = Int64.logand er4 m in
+  let ar4 = Int64.add t1_4 t2_4 in
+  let a4 = Int64.logand ar4 m in
+  (* round 5 *)
+  let ed5 = Int64.logor e4 (Int64.shift_left er4 32) in
+  let ad5 = Int64.logor a4 (Int64.shift_left ar4 32) in
+  let t1_5 =
+    Int64.add (Int64.add (Int64.add (Int64.add e1 (Int64.logxor e2 (Int64.logand e4 (Int64.logxor e3 e2)))) 0x59f111f1L) w5) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed5 6) (Int64.shift_right_logical ed5 11)) (Int64.shift_right_logical ed5 25))
+  in
+  let t2_5 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad5 (Int64.shift_right_logical ad5 11)) (Int64.shift_right_logical ad5 20)) 2) (Int64.logxor (Int64.logand a4 (Int64.logxor a3 a2)) (Int64.logand a3 a2)) in
+  let er5 = Int64.add a1 t1_5 in
+  let e5 = Int64.logand er5 m in
+  let ar5 = Int64.add t1_5 t2_5 in
+  let a5 = Int64.logand ar5 m in
+  (* round 6 *)
+  let ed6 = Int64.logor e5 (Int64.shift_left er5 32) in
+  let ad6 = Int64.logor a5 (Int64.shift_left ar5 32) in
+  let t1_6 =
+    Int64.add (Int64.add (Int64.add (Int64.add e2 (Int64.logxor e3 (Int64.logand e5 (Int64.logxor e4 e3)))) 0x923f82a4L) w6) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed6 6) (Int64.shift_right_logical ed6 11)) (Int64.shift_right_logical ed6 25))
+  in
+  let t2_6 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad6 (Int64.shift_right_logical ad6 11)) (Int64.shift_right_logical ad6 20)) 2) (Int64.logxor (Int64.logand a5 (Int64.logxor a4 a3)) (Int64.logand a4 a3)) in
+  let er6 = Int64.add a2 t1_6 in
+  let e6 = Int64.logand er6 m in
+  let ar6 = Int64.add t1_6 t2_6 in
+  let a6 = Int64.logand ar6 m in
+  (* round 7 *)
+  let ed7 = Int64.logor e6 (Int64.shift_left er6 32) in
+  let ad7 = Int64.logor a6 (Int64.shift_left ar6 32) in
+  let t1_7 =
+    Int64.add (Int64.add (Int64.add (Int64.add e3 (Int64.logxor e4 (Int64.logand e6 (Int64.logxor e5 e4)))) 0xab1c5ed5L) w7) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed7 6) (Int64.shift_right_logical ed7 11)) (Int64.shift_right_logical ed7 25))
+  in
+  let t2_7 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad7 (Int64.shift_right_logical ad7 11)) (Int64.shift_right_logical ad7 20)) 2) (Int64.logxor (Int64.logand a6 (Int64.logxor a5 a4)) (Int64.logand a5 a4)) in
+  let er7 = Int64.add a3 t1_7 in
+  let e7 = Int64.logand er7 m in
+  let ar7 = Int64.add t1_7 t2_7 in
+  let a7 = Int64.logand ar7 m in
+  (* round 8 *)
+  let ed8 = Int64.logor e7 (Int64.shift_left er7 32) in
+  let ad8 = Int64.logor a7 (Int64.shift_left ar7 32) in
+  let t1_8 =
+    Int64.add (Int64.add (Int64.add (Int64.add e4 (Int64.logxor e5 (Int64.logand e7 (Int64.logxor e6 e5)))) 0xd807aa98L) w8) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed8 6) (Int64.shift_right_logical ed8 11)) (Int64.shift_right_logical ed8 25))
+  in
+  let t2_8 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad8 (Int64.shift_right_logical ad8 11)) (Int64.shift_right_logical ad8 20)) 2) (Int64.logxor (Int64.logand a7 (Int64.logxor a6 a5)) (Int64.logand a6 a5)) in
+  let er8 = Int64.add a4 t1_8 in
+  let e8 = Int64.logand er8 m in
+  let ar8 = Int64.add t1_8 t2_8 in
+  let a8 = Int64.logand ar8 m in
+  (* round 9 *)
+  let ed9 = Int64.logor e8 (Int64.shift_left er8 32) in
+  let ad9 = Int64.logor a8 (Int64.shift_left ar8 32) in
+  let t1_9 =
+    Int64.add (Int64.add (Int64.add (Int64.add e5 (Int64.logxor e6 (Int64.logand e8 (Int64.logxor e7 e6)))) 0x12835b01L) w9) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed9 6) (Int64.shift_right_logical ed9 11)) (Int64.shift_right_logical ed9 25))
+  in
+  let t2_9 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad9 (Int64.shift_right_logical ad9 11)) (Int64.shift_right_logical ad9 20)) 2) (Int64.logxor (Int64.logand a8 (Int64.logxor a7 a6)) (Int64.logand a7 a6)) in
+  let er9 = Int64.add a5 t1_9 in
+  let e9 = Int64.logand er9 m in
+  let ar9 = Int64.add t1_9 t2_9 in
+  let a9 = Int64.logand ar9 m in
+  (* round 10 *)
+  let ed10 = Int64.logor e9 (Int64.shift_left er9 32) in
+  let ad10 = Int64.logor a9 (Int64.shift_left ar9 32) in
+  let t1_10 =
+    Int64.add (Int64.add (Int64.add (Int64.add e6 (Int64.logxor e7 (Int64.logand e9 (Int64.logxor e8 e7)))) 0x243185beL) w10) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed10 6) (Int64.shift_right_logical ed10 11)) (Int64.shift_right_logical ed10 25))
+  in
+  let t2_10 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad10 (Int64.shift_right_logical ad10 11)) (Int64.shift_right_logical ad10 20)) 2) (Int64.logxor (Int64.logand a9 (Int64.logxor a8 a7)) (Int64.logand a8 a7)) in
+  let er10 = Int64.add a6 t1_10 in
+  let e10 = Int64.logand er10 m in
+  let ar10 = Int64.add t1_10 t2_10 in
+  let a10 = Int64.logand ar10 m in
+  (* round 11 *)
+  let ed11 = Int64.logor e10 (Int64.shift_left er10 32) in
+  let ad11 = Int64.logor a10 (Int64.shift_left ar10 32) in
+  let t1_11 =
+    Int64.add (Int64.add (Int64.add (Int64.add e7 (Int64.logxor e8 (Int64.logand e10 (Int64.logxor e9 e8)))) 0x550c7dc3L) w11) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed11 6) (Int64.shift_right_logical ed11 11)) (Int64.shift_right_logical ed11 25))
+  in
+  let t2_11 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad11 (Int64.shift_right_logical ad11 11)) (Int64.shift_right_logical ad11 20)) 2) (Int64.logxor (Int64.logand a10 (Int64.logxor a9 a8)) (Int64.logand a9 a8)) in
+  let er11 = Int64.add a7 t1_11 in
+  let e11 = Int64.logand er11 m in
+  let ar11 = Int64.add t1_11 t2_11 in
+  let a11 = Int64.logand ar11 m in
+  (* round 12 *)
+  let ed12 = Int64.logor e11 (Int64.shift_left er11 32) in
+  let ad12 = Int64.logor a11 (Int64.shift_left ar11 32) in
+  let t1_12 =
+    Int64.add (Int64.add (Int64.add (Int64.add e8 (Int64.logxor e9 (Int64.logand e11 (Int64.logxor e10 e9)))) 0x72be5d74L) w12) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed12 6) (Int64.shift_right_logical ed12 11)) (Int64.shift_right_logical ed12 25))
+  in
+  let t2_12 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad12 (Int64.shift_right_logical ad12 11)) (Int64.shift_right_logical ad12 20)) 2) (Int64.logxor (Int64.logand a11 (Int64.logxor a10 a9)) (Int64.logand a10 a9)) in
+  let er12 = Int64.add a8 t1_12 in
+  let e12 = Int64.logand er12 m in
+  let ar12 = Int64.add t1_12 t2_12 in
+  let a12 = Int64.logand ar12 m in
+  (* round 13 *)
+  let ed13 = Int64.logor e12 (Int64.shift_left er12 32) in
+  let ad13 = Int64.logor a12 (Int64.shift_left ar12 32) in
+  let t1_13 =
+    Int64.add (Int64.add (Int64.add (Int64.add e9 (Int64.logxor e10 (Int64.logand e12 (Int64.logxor e11 e10)))) 0x80deb1feL) w13) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed13 6) (Int64.shift_right_logical ed13 11)) (Int64.shift_right_logical ed13 25))
+  in
+  let t2_13 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad13 (Int64.shift_right_logical ad13 11)) (Int64.shift_right_logical ad13 20)) 2) (Int64.logxor (Int64.logand a12 (Int64.logxor a11 a10)) (Int64.logand a11 a10)) in
+  let er13 = Int64.add a9 t1_13 in
+  let e13 = Int64.logand er13 m in
+  let ar13 = Int64.add t1_13 t2_13 in
+  let a13 = Int64.logand ar13 m in
+  (* round 14 *)
+  let ed14 = Int64.logor e13 (Int64.shift_left er13 32) in
+  let ad14 = Int64.logor a13 (Int64.shift_left ar13 32) in
+  let t1_14 =
+    Int64.add (Int64.add (Int64.add (Int64.add e10 (Int64.logxor e11 (Int64.logand e13 (Int64.logxor e12 e11)))) 0x9bdc06a7L) w14) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed14 6) (Int64.shift_right_logical ed14 11)) (Int64.shift_right_logical ed14 25))
+  in
+  let t2_14 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad14 (Int64.shift_right_logical ad14 11)) (Int64.shift_right_logical ad14 20)) 2) (Int64.logxor (Int64.logand a13 (Int64.logxor a12 a11)) (Int64.logand a12 a11)) in
+  let er14 = Int64.add a10 t1_14 in
+  let e14 = Int64.logand er14 m in
+  let ar14 = Int64.add t1_14 t2_14 in
+  let a14 = Int64.logand ar14 m in
+  (* round 15 *)
+  let ed15 = Int64.logor e14 (Int64.shift_left er14 32) in
+  let ad15 = Int64.logor a14 (Int64.shift_left ar14 32) in
+  let t1_15 =
+    Int64.add (Int64.add (Int64.add (Int64.add e11 (Int64.logxor e12 (Int64.logand e14 (Int64.logxor e13 e12)))) 0xc19bf174L) w15) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed15 6) (Int64.shift_right_logical ed15 11)) (Int64.shift_right_logical ed15 25))
+  in
+  let t2_15 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad15 (Int64.shift_right_logical ad15 11)) (Int64.shift_right_logical ad15 20)) 2) (Int64.logxor (Int64.logand a14 (Int64.logxor a13 a12)) (Int64.logand a13 a12)) in
+  let er15 = Int64.add a11 t1_15 in
+  let e15 = Int64.logand er15 m in
+  let ar15 = Int64.add t1_15 t2_15 in
+  let a15 = Int64.logand ar15 m in
+  let d1 = Int64.logor w1 (Int64.shift_left w1 32) in
+  let d14 = Int64.logor w14 (Int64.shift_left w14 32) in
+  let w16 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w0 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d1 (Int64.shift_right_logical d1 11)) 7) (Int64.shift_right_logical w1 3))) w9) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d14 (Int64.shift_right_logical d14 2)) 17) (Int64.shift_right_logical w14 10))) m
+  in
+  (* round 16 *)
+  let ed16 = Int64.logor e15 (Int64.shift_left er15 32) in
+  let ad16 = Int64.logor a15 (Int64.shift_left ar15 32) in
+  let t1_16 =
+    Int64.add (Int64.add (Int64.add (Int64.add e12 (Int64.logxor e13 (Int64.logand e15 (Int64.logxor e14 e13)))) 0xe49b69c1L) w16) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed16 6) (Int64.shift_right_logical ed16 11)) (Int64.shift_right_logical ed16 25))
+  in
+  let t2_16 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad16 (Int64.shift_right_logical ad16 11)) (Int64.shift_right_logical ad16 20)) 2) (Int64.logxor (Int64.logand a15 (Int64.logxor a14 a13)) (Int64.logand a14 a13)) in
+  let er16 = Int64.add a12 t1_16 in
+  let e16 = Int64.logand er16 m in
+  let ar16 = Int64.add t1_16 t2_16 in
+  let a16 = Int64.logand ar16 m in
+  let d2 = Int64.logor w2 (Int64.shift_left w2 32) in
+  let d15 = Int64.logor w15 (Int64.shift_left w15 32) in
+  let w17 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w1 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d2 (Int64.shift_right_logical d2 11)) 7) (Int64.shift_right_logical w2 3))) w10) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d15 (Int64.shift_right_logical d15 2)) 17) (Int64.shift_right_logical w15 10))) m
+  in
+  (* round 17 *)
+  let ed17 = Int64.logor e16 (Int64.shift_left er16 32) in
+  let ad17 = Int64.logor a16 (Int64.shift_left ar16 32) in
+  let t1_17 =
+    Int64.add (Int64.add (Int64.add (Int64.add e13 (Int64.logxor e14 (Int64.logand e16 (Int64.logxor e15 e14)))) 0xefbe4786L) w17) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed17 6) (Int64.shift_right_logical ed17 11)) (Int64.shift_right_logical ed17 25))
+  in
+  let t2_17 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad17 (Int64.shift_right_logical ad17 11)) (Int64.shift_right_logical ad17 20)) 2) (Int64.logxor (Int64.logand a16 (Int64.logxor a15 a14)) (Int64.logand a15 a14)) in
+  let er17 = Int64.add a13 t1_17 in
+  let e17 = Int64.logand er17 m in
+  let ar17 = Int64.add t1_17 t2_17 in
+  let a17 = Int64.logand ar17 m in
+  let d3 = Int64.logor w3 (Int64.shift_left w3 32) in
+  let d16 = Int64.logor w16 (Int64.shift_left w16 32) in
+  let w18 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w2 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d3 (Int64.shift_right_logical d3 11)) 7) (Int64.shift_right_logical w3 3))) w11) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d16 (Int64.shift_right_logical d16 2)) 17) (Int64.shift_right_logical w16 10))) m
+  in
+  (* round 18 *)
+  let ed18 = Int64.logor e17 (Int64.shift_left er17 32) in
+  let ad18 = Int64.logor a17 (Int64.shift_left ar17 32) in
+  let t1_18 =
+    Int64.add (Int64.add (Int64.add (Int64.add e14 (Int64.logxor e15 (Int64.logand e17 (Int64.logxor e16 e15)))) 0x0fc19dc6L) w18) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed18 6) (Int64.shift_right_logical ed18 11)) (Int64.shift_right_logical ed18 25))
+  in
+  let t2_18 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad18 (Int64.shift_right_logical ad18 11)) (Int64.shift_right_logical ad18 20)) 2) (Int64.logxor (Int64.logand a17 (Int64.logxor a16 a15)) (Int64.logand a16 a15)) in
+  let er18 = Int64.add a14 t1_18 in
+  let e18 = Int64.logand er18 m in
+  let ar18 = Int64.add t1_18 t2_18 in
+  let a18 = Int64.logand ar18 m in
+  let d4 = Int64.logor w4 (Int64.shift_left w4 32) in
+  let d17 = Int64.logor w17 (Int64.shift_left w17 32) in
+  let w19 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w3 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d4 (Int64.shift_right_logical d4 11)) 7) (Int64.shift_right_logical w4 3))) w12) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d17 (Int64.shift_right_logical d17 2)) 17) (Int64.shift_right_logical w17 10))) m
+  in
+  (* round 19 *)
+  let ed19 = Int64.logor e18 (Int64.shift_left er18 32) in
+  let ad19 = Int64.logor a18 (Int64.shift_left ar18 32) in
+  let t1_19 =
+    Int64.add (Int64.add (Int64.add (Int64.add e15 (Int64.logxor e16 (Int64.logand e18 (Int64.logxor e17 e16)))) 0x240ca1ccL) w19) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed19 6) (Int64.shift_right_logical ed19 11)) (Int64.shift_right_logical ed19 25))
+  in
+  let t2_19 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad19 (Int64.shift_right_logical ad19 11)) (Int64.shift_right_logical ad19 20)) 2) (Int64.logxor (Int64.logand a18 (Int64.logxor a17 a16)) (Int64.logand a17 a16)) in
+  let er19 = Int64.add a15 t1_19 in
+  let e19 = Int64.logand er19 m in
+  let ar19 = Int64.add t1_19 t2_19 in
+  let a19 = Int64.logand ar19 m in
+  let d5 = Int64.logor w5 (Int64.shift_left w5 32) in
+  let d18 = Int64.logor w18 (Int64.shift_left w18 32) in
+  let w20 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w4 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d5 (Int64.shift_right_logical d5 11)) 7) (Int64.shift_right_logical w5 3))) w13) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d18 (Int64.shift_right_logical d18 2)) 17) (Int64.shift_right_logical w18 10))) m
+  in
+  (* round 20 *)
+  let ed20 = Int64.logor e19 (Int64.shift_left er19 32) in
+  let ad20 = Int64.logor a19 (Int64.shift_left ar19 32) in
+  let t1_20 =
+    Int64.add (Int64.add (Int64.add (Int64.add e16 (Int64.logxor e17 (Int64.logand e19 (Int64.logxor e18 e17)))) 0x2de92c6fL) w20) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed20 6) (Int64.shift_right_logical ed20 11)) (Int64.shift_right_logical ed20 25))
+  in
+  let t2_20 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad20 (Int64.shift_right_logical ad20 11)) (Int64.shift_right_logical ad20 20)) 2) (Int64.logxor (Int64.logand a19 (Int64.logxor a18 a17)) (Int64.logand a18 a17)) in
+  let er20 = Int64.add a16 t1_20 in
+  let e20 = Int64.logand er20 m in
+  let ar20 = Int64.add t1_20 t2_20 in
+  let a20 = Int64.logand ar20 m in
+  let d6 = Int64.logor w6 (Int64.shift_left w6 32) in
+  let d19 = Int64.logor w19 (Int64.shift_left w19 32) in
+  let w21 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w5 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d6 (Int64.shift_right_logical d6 11)) 7) (Int64.shift_right_logical w6 3))) w14) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d19 (Int64.shift_right_logical d19 2)) 17) (Int64.shift_right_logical w19 10))) m
+  in
+  (* round 21 *)
+  let ed21 = Int64.logor e20 (Int64.shift_left er20 32) in
+  let ad21 = Int64.logor a20 (Int64.shift_left ar20 32) in
+  let t1_21 =
+    Int64.add (Int64.add (Int64.add (Int64.add e17 (Int64.logxor e18 (Int64.logand e20 (Int64.logxor e19 e18)))) 0x4a7484aaL) w21) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed21 6) (Int64.shift_right_logical ed21 11)) (Int64.shift_right_logical ed21 25))
+  in
+  let t2_21 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad21 (Int64.shift_right_logical ad21 11)) (Int64.shift_right_logical ad21 20)) 2) (Int64.logxor (Int64.logand a20 (Int64.logxor a19 a18)) (Int64.logand a19 a18)) in
+  let er21 = Int64.add a17 t1_21 in
+  let e21 = Int64.logand er21 m in
+  let ar21 = Int64.add t1_21 t2_21 in
+  let a21 = Int64.logand ar21 m in
+  let d7 = Int64.logor w7 (Int64.shift_left w7 32) in
+  let d20 = Int64.logor w20 (Int64.shift_left w20 32) in
+  let w22 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w6 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d7 (Int64.shift_right_logical d7 11)) 7) (Int64.shift_right_logical w7 3))) w15) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d20 (Int64.shift_right_logical d20 2)) 17) (Int64.shift_right_logical w20 10))) m
+  in
+  (* round 22 *)
+  let ed22 = Int64.logor e21 (Int64.shift_left er21 32) in
+  let ad22 = Int64.logor a21 (Int64.shift_left ar21 32) in
+  let t1_22 =
+    Int64.add (Int64.add (Int64.add (Int64.add e18 (Int64.logxor e19 (Int64.logand e21 (Int64.logxor e20 e19)))) 0x5cb0a9dcL) w22) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed22 6) (Int64.shift_right_logical ed22 11)) (Int64.shift_right_logical ed22 25))
+  in
+  let t2_22 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad22 (Int64.shift_right_logical ad22 11)) (Int64.shift_right_logical ad22 20)) 2) (Int64.logxor (Int64.logand a21 (Int64.logxor a20 a19)) (Int64.logand a20 a19)) in
+  let er22 = Int64.add a18 t1_22 in
+  let e22 = Int64.logand er22 m in
+  let ar22 = Int64.add t1_22 t2_22 in
+  let a22 = Int64.logand ar22 m in
+  let d8 = Int64.logor w8 (Int64.shift_left w8 32) in
+  let d21 = Int64.logor w21 (Int64.shift_left w21 32) in
+  let w23 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w7 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d8 (Int64.shift_right_logical d8 11)) 7) (Int64.shift_right_logical w8 3))) w16) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d21 (Int64.shift_right_logical d21 2)) 17) (Int64.shift_right_logical w21 10))) m
+  in
+  (* round 23 *)
+  let ed23 = Int64.logor e22 (Int64.shift_left er22 32) in
+  let ad23 = Int64.logor a22 (Int64.shift_left ar22 32) in
+  let t1_23 =
+    Int64.add (Int64.add (Int64.add (Int64.add e19 (Int64.logxor e20 (Int64.logand e22 (Int64.logxor e21 e20)))) 0x76f988daL) w23) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed23 6) (Int64.shift_right_logical ed23 11)) (Int64.shift_right_logical ed23 25))
+  in
+  let t2_23 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad23 (Int64.shift_right_logical ad23 11)) (Int64.shift_right_logical ad23 20)) 2) (Int64.logxor (Int64.logand a22 (Int64.logxor a21 a20)) (Int64.logand a21 a20)) in
+  let er23 = Int64.add a19 t1_23 in
+  let e23 = Int64.logand er23 m in
+  let ar23 = Int64.add t1_23 t2_23 in
+  let a23 = Int64.logand ar23 m in
+  let d9 = Int64.logor w9 (Int64.shift_left w9 32) in
+  let d22 = Int64.logor w22 (Int64.shift_left w22 32) in
+  let w24 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w8 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d9 (Int64.shift_right_logical d9 11)) 7) (Int64.shift_right_logical w9 3))) w17) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d22 (Int64.shift_right_logical d22 2)) 17) (Int64.shift_right_logical w22 10))) m
+  in
+  (* round 24 *)
+  let ed24 = Int64.logor e23 (Int64.shift_left er23 32) in
+  let ad24 = Int64.logor a23 (Int64.shift_left ar23 32) in
+  let t1_24 =
+    Int64.add (Int64.add (Int64.add (Int64.add e20 (Int64.logxor e21 (Int64.logand e23 (Int64.logxor e22 e21)))) 0x983e5152L) w24) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed24 6) (Int64.shift_right_logical ed24 11)) (Int64.shift_right_logical ed24 25))
+  in
+  let t2_24 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad24 (Int64.shift_right_logical ad24 11)) (Int64.shift_right_logical ad24 20)) 2) (Int64.logxor (Int64.logand a23 (Int64.logxor a22 a21)) (Int64.logand a22 a21)) in
+  let er24 = Int64.add a20 t1_24 in
+  let e24 = Int64.logand er24 m in
+  let ar24 = Int64.add t1_24 t2_24 in
+  let a24 = Int64.logand ar24 m in
+  let d10 = Int64.logor w10 (Int64.shift_left w10 32) in
+  let d23 = Int64.logor w23 (Int64.shift_left w23 32) in
+  let w25 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w9 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d10 (Int64.shift_right_logical d10 11)) 7) (Int64.shift_right_logical w10 3))) w18) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d23 (Int64.shift_right_logical d23 2)) 17) (Int64.shift_right_logical w23 10))) m
+  in
+  (* round 25 *)
+  let ed25 = Int64.logor e24 (Int64.shift_left er24 32) in
+  let ad25 = Int64.logor a24 (Int64.shift_left ar24 32) in
+  let t1_25 =
+    Int64.add (Int64.add (Int64.add (Int64.add e21 (Int64.logxor e22 (Int64.logand e24 (Int64.logxor e23 e22)))) 0xa831c66dL) w25) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed25 6) (Int64.shift_right_logical ed25 11)) (Int64.shift_right_logical ed25 25))
+  in
+  let t2_25 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad25 (Int64.shift_right_logical ad25 11)) (Int64.shift_right_logical ad25 20)) 2) (Int64.logxor (Int64.logand a24 (Int64.logxor a23 a22)) (Int64.logand a23 a22)) in
+  let er25 = Int64.add a21 t1_25 in
+  let e25 = Int64.logand er25 m in
+  let ar25 = Int64.add t1_25 t2_25 in
+  let a25 = Int64.logand ar25 m in
+  let d11 = Int64.logor w11 (Int64.shift_left w11 32) in
+  let d24 = Int64.logor w24 (Int64.shift_left w24 32) in
+  let w26 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w10 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d11 (Int64.shift_right_logical d11 11)) 7) (Int64.shift_right_logical w11 3))) w19) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d24 (Int64.shift_right_logical d24 2)) 17) (Int64.shift_right_logical w24 10))) m
+  in
+  (* round 26 *)
+  let ed26 = Int64.logor e25 (Int64.shift_left er25 32) in
+  let ad26 = Int64.logor a25 (Int64.shift_left ar25 32) in
+  let t1_26 =
+    Int64.add (Int64.add (Int64.add (Int64.add e22 (Int64.logxor e23 (Int64.logand e25 (Int64.logxor e24 e23)))) 0xb00327c8L) w26) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed26 6) (Int64.shift_right_logical ed26 11)) (Int64.shift_right_logical ed26 25))
+  in
+  let t2_26 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad26 (Int64.shift_right_logical ad26 11)) (Int64.shift_right_logical ad26 20)) 2) (Int64.logxor (Int64.logand a25 (Int64.logxor a24 a23)) (Int64.logand a24 a23)) in
+  let er26 = Int64.add a22 t1_26 in
+  let e26 = Int64.logand er26 m in
+  let ar26 = Int64.add t1_26 t2_26 in
+  let a26 = Int64.logand ar26 m in
+  let d12 = Int64.logor w12 (Int64.shift_left w12 32) in
+  let d25 = Int64.logor w25 (Int64.shift_left w25 32) in
+  let w27 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w11 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d12 (Int64.shift_right_logical d12 11)) 7) (Int64.shift_right_logical w12 3))) w20) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d25 (Int64.shift_right_logical d25 2)) 17) (Int64.shift_right_logical w25 10))) m
+  in
+  (* round 27 *)
+  let ed27 = Int64.logor e26 (Int64.shift_left er26 32) in
+  let ad27 = Int64.logor a26 (Int64.shift_left ar26 32) in
+  let t1_27 =
+    Int64.add (Int64.add (Int64.add (Int64.add e23 (Int64.logxor e24 (Int64.logand e26 (Int64.logxor e25 e24)))) 0xbf597fc7L) w27) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed27 6) (Int64.shift_right_logical ed27 11)) (Int64.shift_right_logical ed27 25))
+  in
+  let t2_27 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad27 (Int64.shift_right_logical ad27 11)) (Int64.shift_right_logical ad27 20)) 2) (Int64.logxor (Int64.logand a26 (Int64.logxor a25 a24)) (Int64.logand a25 a24)) in
+  let er27 = Int64.add a23 t1_27 in
+  let e27 = Int64.logand er27 m in
+  let ar27 = Int64.add t1_27 t2_27 in
+  let a27 = Int64.logand ar27 m in
+  let d13 = Int64.logor w13 (Int64.shift_left w13 32) in
+  let d26 = Int64.logor w26 (Int64.shift_left w26 32) in
+  let w28 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w12 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d13 (Int64.shift_right_logical d13 11)) 7) (Int64.shift_right_logical w13 3))) w21) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d26 (Int64.shift_right_logical d26 2)) 17) (Int64.shift_right_logical w26 10))) m
+  in
+  (* round 28 *)
+  let ed28 = Int64.logor e27 (Int64.shift_left er27 32) in
+  let ad28 = Int64.logor a27 (Int64.shift_left ar27 32) in
+  let t1_28 =
+    Int64.add (Int64.add (Int64.add (Int64.add e24 (Int64.logxor e25 (Int64.logand e27 (Int64.logxor e26 e25)))) 0xc6e00bf3L) w28) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed28 6) (Int64.shift_right_logical ed28 11)) (Int64.shift_right_logical ed28 25))
+  in
+  let t2_28 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad28 (Int64.shift_right_logical ad28 11)) (Int64.shift_right_logical ad28 20)) 2) (Int64.logxor (Int64.logand a27 (Int64.logxor a26 a25)) (Int64.logand a26 a25)) in
+  let er28 = Int64.add a24 t1_28 in
+  let e28 = Int64.logand er28 m in
+  let ar28 = Int64.add t1_28 t2_28 in
+  let a28 = Int64.logand ar28 m in
+  let d27 = Int64.logor w27 (Int64.shift_left w27 32) in
+  let w29 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w13 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d14 (Int64.shift_right_logical d14 11)) 7) (Int64.shift_right_logical w14 3))) w22) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d27 (Int64.shift_right_logical d27 2)) 17) (Int64.shift_right_logical w27 10))) m
+  in
+  (* round 29 *)
+  let ed29 = Int64.logor e28 (Int64.shift_left er28 32) in
+  let ad29 = Int64.logor a28 (Int64.shift_left ar28 32) in
+  let t1_29 =
+    Int64.add (Int64.add (Int64.add (Int64.add e25 (Int64.logxor e26 (Int64.logand e28 (Int64.logxor e27 e26)))) 0xd5a79147L) w29) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed29 6) (Int64.shift_right_logical ed29 11)) (Int64.shift_right_logical ed29 25))
+  in
+  let t2_29 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad29 (Int64.shift_right_logical ad29 11)) (Int64.shift_right_logical ad29 20)) 2) (Int64.logxor (Int64.logand a28 (Int64.logxor a27 a26)) (Int64.logand a27 a26)) in
+  let er29 = Int64.add a25 t1_29 in
+  let e29 = Int64.logand er29 m in
+  let ar29 = Int64.add t1_29 t2_29 in
+  let a29 = Int64.logand ar29 m in
+  let d28 = Int64.logor w28 (Int64.shift_left w28 32) in
+  let w30 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w14 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d15 (Int64.shift_right_logical d15 11)) 7) (Int64.shift_right_logical w15 3))) w23) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d28 (Int64.shift_right_logical d28 2)) 17) (Int64.shift_right_logical w28 10))) m
+  in
+  (* round 30 *)
+  let ed30 = Int64.logor e29 (Int64.shift_left er29 32) in
+  let ad30 = Int64.logor a29 (Int64.shift_left ar29 32) in
+  let t1_30 =
+    Int64.add (Int64.add (Int64.add (Int64.add e26 (Int64.logxor e27 (Int64.logand e29 (Int64.logxor e28 e27)))) 0x06ca6351L) w30) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed30 6) (Int64.shift_right_logical ed30 11)) (Int64.shift_right_logical ed30 25))
+  in
+  let t2_30 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad30 (Int64.shift_right_logical ad30 11)) (Int64.shift_right_logical ad30 20)) 2) (Int64.logxor (Int64.logand a29 (Int64.logxor a28 a27)) (Int64.logand a28 a27)) in
+  let er30 = Int64.add a26 t1_30 in
+  let e30 = Int64.logand er30 m in
+  let ar30 = Int64.add t1_30 t2_30 in
+  let a30 = Int64.logand ar30 m in
+  let d29 = Int64.logor w29 (Int64.shift_left w29 32) in
+  let w31 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w15 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d16 (Int64.shift_right_logical d16 11)) 7) (Int64.shift_right_logical w16 3))) w24) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d29 (Int64.shift_right_logical d29 2)) 17) (Int64.shift_right_logical w29 10))) m
+  in
+  (* round 31 *)
+  let ed31 = Int64.logor e30 (Int64.shift_left er30 32) in
+  let ad31 = Int64.logor a30 (Int64.shift_left ar30 32) in
+  let t1_31 =
+    Int64.add (Int64.add (Int64.add (Int64.add e27 (Int64.logxor e28 (Int64.logand e30 (Int64.logxor e29 e28)))) 0x14292967L) w31) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed31 6) (Int64.shift_right_logical ed31 11)) (Int64.shift_right_logical ed31 25))
+  in
+  let t2_31 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad31 (Int64.shift_right_logical ad31 11)) (Int64.shift_right_logical ad31 20)) 2) (Int64.logxor (Int64.logand a30 (Int64.logxor a29 a28)) (Int64.logand a29 a28)) in
+  let er31 = Int64.add a27 t1_31 in
+  let e31 = Int64.logand er31 m in
+  let ar31 = Int64.add t1_31 t2_31 in
+  let a31 = Int64.logand ar31 m in
+  let d30 = Int64.logor w30 (Int64.shift_left w30 32) in
+  let w32 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w16 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d17 (Int64.shift_right_logical d17 11)) 7) (Int64.shift_right_logical w17 3))) w25) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d30 (Int64.shift_right_logical d30 2)) 17) (Int64.shift_right_logical w30 10))) m
+  in
+  (* round 32 *)
+  let ed32 = Int64.logor e31 (Int64.shift_left er31 32) in
+  let ad32 = Int64.logor a31 (Int64.shift_left ar31 32) in
+  let t1_32 =
+    Int64.add (Int64.add (Int64.add (Int64.add e28 (Int64.logxor e29 (Int64.logand e31 (Int64.logxor e30 e29)))) 0x27b70a85L) w32) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed32 6) (Int64.shift_right_logical ed32 11)) (Int64.shift_right_logical ed32 25))
+  in
+  let t2_32 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad32 (Int64.shift_right_logical ad32 11)) (Int64.shift_right_logical ad32 20)) 2) (Int64.logxor (Int64.logand a31 (Int64.logxor a30 a29)) (Int64.logand a30 a29)) in
+  let er32 = Int64.add a28 t1_32 in
+  let e32 = Int64.logand er32 m in
+  let ar32 = Int64.add t1_32 t2_32 in
+  let a32 = Int64.logand ar32 m in
+  let d31 = Int64.logor w31 (Int64.shift_left w31 32) in
+  let w33 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w17 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d18 (Int64.shift_right_logical d18 11)) 7) (Int64.shift_right_logical w18 3))) w26) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d31 (Int64.shift_right_logical d31 2)) 17) (Int64.shift_right_logical w31 10))) m
+  in
+  (* round 33 *)
+  let ed33 = Int64.logor e32 (Int64.shift_left er32 32) in
+  let ad33 = Int64.logor a32 (Int64.shift_left ar32 32) in
+  let t1_33 =
+    Int64.add (Int64.add (Int64.add (Int64.add e29 (Int64.logxor e30 (Int64.logand e32 (Int64.logxor e31 e30)))) 0x2e1b2138L) w33) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed33 6) (Int64.shift_right_logical ed33 11)) (Int64.shift_right_logical ed33 25))
+  in
+  let t2_33 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad33 (Int64.shift_right_logical ad33 11)) (Int64.shift_right_logical ad33 20)) 2) (Int64.logxor (Int64.logand a32 (Int64.logxor a31 a30)) (Int64.logand a31 a30)) in
+  let er33 = Int64.add a29 t1_33 in
+  let e33 = Int64.logand er33 m in
+  let ar33 = Int64.add t1_33 t2_33 in
+  let a33 = Int64.logand ar33 m in
+  let d32 = Int64.logor w32 (Int64.shift_left w32 32) in
+  let w34 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w18 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d19 (Int64.shift_right_logical d19 11)) 7) (Int64.shift_right_logical w19 3))) w27) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d32 (Int64.shift_right_logical d32 2)) 17) (Int64.shift_right_logical w32 10))) m
+  in
+  (* round 34 *)
+  let ed34 = Int64.logor e33 (Int64.shift_left er33 32) in
+  let ad34 = Int64.logor a33 (Int64.shift_left ar33 32) in
+  let t1_34 =
+    Int64.add (Int64.add (Int64.add (Int64.add e30 (Int64.logxor e31 (Int64.logand e33 (Int64.logxor e32 e31)))) 0x4d2c6dfcL) w34) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed34 6) (Int64.shift_right_logical ed34 11)) (Int64.shift_right_logical ed34 25))
+  in
+  let t2_34 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad34 (Int64.shift_right_logical ad34 11)) (Int64.shift_right_logical ad34 20)) 2) (Int64.logxor (Int64.logand a33 (Int64.logxor a32 a31)) (Int64.logand a32 a31)) in
+  let er34 = Int64.add a30 t1_34 in
+  let e34 = Int64.logand er34 m in
+  let ar34 = Int64.add t1_34 t2_34 in
+  let a34 = Int64.logand ar34 m in
+  let d33 = Int64.logor w33 (Int64.shift_left w33 32) in
+  let w35 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w19 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d20 (Int64.shift_right_logical d20 11)) 7) (Int64.shift_right_logical w20 3))) w28) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d33 (Int64.shift_right_logical d33 2)) 17) (Int64.shift_right_logical w33 10))) m
+  in
+  (* round 35 *)
+  let ed35 = Int64.logor e34 (Int64.shift_left er34 32) in
+  let ad35 = Int64.logor a34 (Int64.shift_left ar34 32) in
+  let t1_35 =
+    Int64.add (Int64.add (Int64.add (Int64.add e31 (Int64.logxor e32 (Int64.logand e34 (Int64.logxor e33 e32)))) 0x53380d13L) w35) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed35 6) (Int64.shift_right_logical ed35 11)) (Int64.shift_right_logical ed35 25))
+  in
+  let t2_35 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad35 (Int64.shift_right_logical ad35 11)) (Int64.shift_right_logical ad35 20)) 2) (Int64.logxor (Int64.logand a34 (Int64.logxor a33 a32)) (Int64.logand a33 a32)) in
+  let er35 = Int64.add a31 t1_35 in
+  let e35 = Int64.logand er35 m in
+  let ar35 = Int64.add t1_35 t2_35 in
+  let a35 = Int64.logand ar35 m in
+  let d34 = Int64.logor w34 (Int64.shift_left w34 32) in
+  let w36 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w20 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d21 (Int64.shift_right_logical d21 11)) 7) (Int64.shift_right_logical w21 3))) w29) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d34 (Int64.shift_right_logical d34 2)) 17) (Int64.shift_right_logical w34 10))) m
+  in
+  (* round 36 *)
+  let ed36 = Int64.logor e35 (Int64.shift_left er35 32) in
+  let ad36 = Int64.logor a35 (Int64.shift_left ar35 32) in
+  let t1_36 =
+    Int64.add (Int64.add (Int64.add (Int64.add e32 (Int64.logxor e33 (Int64.logand e35 (Int64.logxor e34 e33)))) 0x650a7354L) w36) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed36 6) (Int64.shift_right_logical ed36 11)) (Int64.shift_right_logical ed36 25))
+  in
+  let t2_36 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad36 (Int64.shift_right_logical ad36 11)) (Int64.shift_right_logical ad36 20)) 2) (Int64.logxor (Int64.logand a35 (Int64.logxor a34 a33)) (Int64.logand a34 a33)) in
+  let er36 = Int64.add a32 t1_36 in
+  let e36 = Int64.logand er36 m in
+  let ar36 = Int64.add t1_36 t2_36 in
+  let a36 = Int64.logand ar36 m in
+  let d35 = Int64.logor w35 (Int64.shift_left w35 32) in
+  let w37 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w21 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d22 (Int64.shift_right_logical d22 11)) 7) (Int64.shift_right_logical w22 3))) w30) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d35 (Int64.shift_right_logical d35 2)) 17) (Int64.shift_right_logical w35 10))) m
+  in
+  (* round 37 *)
+  let ed37 = Int64.logor e36 (Int64.shift_left er36 32) in
+  let ad37 = Int64.logor a36 (Int64.shift_left ar36 32) in
+  let t1_37 =
+    Int64.add (Int64.add (Int64.add (Int64.add e33 (Int64.logxor e34 (Int64.logand e36 (Int64.logxor e35 e34)))) 0x766a0abbL) w37) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed37 6) (Int64.shift_right_logical ed37 11)) (Int64.shift_right_logical ed37 25))
+  in
+  let t2_37 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad37 (Int64.shift_right_logical ad37 11)) (Int64.shift_right_logical ad37 20)) 2) (Int64.logxor (Int64.logand a36 (Int64.logxor a35 a34)) (Int64.logand a35 a34)) in
+  let er37 = Int64.add a33 t1_37 in
+  let e37 = Int64.logand er37 m in
+  let ar37 = Int64.add t1_37 t2_37 in
+  let a37 = Int64.logand ar37 m in
+  let d36 = Int64.logor w36 (Int64.shift_left w36 32) in
+  let w38 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w22 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d23 (Int64.shift_right_logical d23 11)) 7) (Int64.shift_right_logical w23 3))) w31) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d36 (Int64.shift_right_logical d36 2)) 17) (Int64.shift_right_logical w36 10))) m
+  in
+  (* round 38 *)
+  let ed38 = Int64.logor e37 (Int64.shift_left er37 32) in
+  let ad38 = Int64.logor a37 (Int64.shift_left ar37 32) in
+  let t1_38 =
+    Int64.add (Int64.add (Int64.add (Int64.add e34 (Int64.logxor e35 (Int64.logand e37 (Int64.logxor e36 e35)))) 0x81c2c92eL) w38) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed38 6) (Int64.shift_right_logical ed38 11)) (Int64.shift_right_logical ed38 25))
+  in
+  let t2_38 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad38 (Int64.shift_right_logical ad38 11)) (Int64.shift_right_logical ad38 20)) 2) (Int64.logxor (Int64.logand a37 (Int64.logxor a36 a35)) (Int64.logand a36 a35)) in
+  let er38 = Int64.add a34 t1_38 in
+  let e38 = Int64.logand er38 m in
+  let ar38 = Int64.add t1_38 t2_38 in
+  let a38 = Int64.logand ar38 m in
+  let d37 = Int64.logor w37 (Int64.shift_left w37 32) in
+  let w39 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w23 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d24 (Int64.shift_right_logical d24 11)) 7) (Int64.shift_right_logical w24 3))) w32) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d37 (Int64.shift_right_logical d37 2)) 17) (Int64.shift_right_logical w37 10))) m
+  in
+  (* round 39 *)
+  let ed39 = Int64.logor e38 (Int64.shift_left er38 32) in
+  let ad39 = Int64.logor a38 (Int64.shift_left ar38 32) in
+  let t1_39 =
+    Int64.add (Int64.add (Int64.add (Int64.add e35 (Int64.logxor e36 (Int64.logand e38 (Int64.logxor e37 e36)))) 0x92722c85L) w39) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed39 6) (Int64.shift_right_logical ed39 11)) (Int64.shift_right_logical ed39 25))
+  in
+  let t2_39 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad39 (Int64.shift_right_logical ad39 11)) (Int64.shift_right_logical ad39 20)) 2) (Int64.logxor (Int64.logand a38 (Int64.logxor a37 a36)) (Int64.logand a37 a36)) in
+  let er39 = Int64.add a35 t1_39 in
+  let e39 = Int64.logand er39 m in
+  let ar39 = Int64.add t1_39 t2_39 in
+  let a39 = Int64.logand ar39 m in
+  let d38 = Int64.logor w38 (Int64.shift_left w38 32) in
+  let w40 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w24 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d25 (Int64.shift_right_logical d25 11)) 7) (Int64.shift_right_logical w25 3))) w33) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d38 (Int64.shift_right_logical d38 2)) 17) (Int64.shift_right_logical w38 10))) m
+  in
+  (* round 40 *)
+  let ed40 = Int64.logor e39 (Int64.shift_left er39 32) in
+  let ad40 = Int64.logor a39 (Int64.shift_left ar39 32) in
+  let t1_40 =
+    Int64.add (Int64.add (Int64.add (Int64.add e36 (Int64.logxor e37 (Int64.logand e39 (Int64.logxor e38 e37)))) 0xa2bfe8a1L) w40) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed40 6) (Int64.shift_right_logical ed40 11)) (Int64.shift_right_logical ed40 25))
+  in
+  let t2_40 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad40 (Int64.shift_right_logical ad40 11)) (Int64.shift_right_logical ad40 20)) 2) (Int64.logxor (Int64.logand a39 (Int64.logxor a38 a37)) (Int64.logand a38 a37)) in
+  let er40 = Int64.add a36 t1_40 in
+  let e40 = Int64.logand er40 m in
+  let ar40 = Int64.add t1_40 t2_40 in
+  let a40 = Int64.logand ar40 m in
+  let d39 = Int64.logor w39 (Int64.shift_left w39 32) in
+  let w41 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w25 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d26 (Int64.shift_right_logical d26 11)) 7) (Int64.shift_right_logical w26 3))) w34) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d39 (Int64.shift_right_logical d39 2)) 17) (Int64.shift_right_logical w39 10))) m
+  in
+  (* round 41 *)
+  let ed41 = Int64.logor e40 (Int64.shift_left er40 32) in
+  let ad41 = Int64.logor a40 (Int64.shift_left ar40 32) in
+  let t1_41 =
+    Int64.add (Int64.add (Int64.add (Int64.add e37 (Int64.logxor e38 (Int64.logand e40 (Int64.logxor e39 e38)))) 0xa81a664bL) w41) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed41 6) (Int64.shift_right_logical ed41 11)) (Int64.shift_right_logical ed41 25))
+  in
+  let t2_41 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad41 (Int64.shift_right_logical ad41 11)) (Int64.shift_right_logical ad41 20)) 2) (Int64.logxor (Int64.logand a40 (Int64.logxor a39 a38)) (Int64.logand a39 a38)) in
+  let er41 = Int64.add a37 t1_41 in
+  let e41 = Int64.logand er41 m in
+  let ar41 = Int64.add t1_41 t2_41 in
+  let a41 = Int64.logand ar41 m in
+  let d40 = Int64.logor w40 (Int64.shift_left w40 32) in
+  let w42 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w26 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d27 (Int64.shift_right_logical d27 11)) 7) (Int64.shift_right_logical w27 3))) w35) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d40 (Int64.shift_right_logical d40 2)) 17) (Int64.shift_right_logical w40 10))) m
+  in
+  (* round 42 *)
+  let ed42 = Int64.logor e41 (Int64.shift_left er41 32) in
+  let ad42 = Int64.logor a41 (Int64.shift_left ar41 32) in
+  let t1_42 =
+    Int64.add (Int64.add (Int64.add (Int64.add e38 (Int64.logxor e39 (Int64.logand e41 (Int64.logxor e40 e39)))) 0xc24b8b70L) w42) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed42 6) (Int64.shift_right_logical ed42 11)) (Int64.shift_right_logical ed42 25))
+  in
+  let t2_42 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad42 (Int64.shift_right_logical ad42 11)) (Int64.shift_right_logical ad42 20)) 2) (Int64.logxor (Int64.logand a41 (Int64.logxor a40 a39)) (Int64.logand a40 a39)) in
+  let er42 = Int64.add a38 t1_42 in
+  let e42 = Int64.logand er42 m in
+  let ar42 = Int64.add t1_42 t2_42 in
+  let a42 = Int64.logand ar42 m in
+  let d41 = Int64.logor w41 (Int64.shift_left w41 32) in
+  let w43 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w27 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d28 (Int64.shift_right_logical d28 11)) 7) (Int64.shift_right_logical w28 3))) w36) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d41 (Int64.shift_right_logical d41 2)) 17) (Int64.shift_right_logical w41 10))) m
+  in
+  (* round 43 *)
+  let ed43 = Int64.logor e42 (Int64.shift_left er42 32) in
+  let ad43 = Int64.logor a42 (Int64.shift_left ar42 32) in
+  let t1_43 =
+    Int64.add (Int64.add (Int64.add (Int64.add e39 (Int64.logxor e40 (Int64.logand e42 (Int64.logxor e41 e40)))) 0xc76c51a3L) w43) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed43 6) (Int64.shift_right_logical ed43 11)) (Int64.shift_right_logical ed43 25))
+  in
+  let t2_43 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad43 (Int64.shift_right_logical ad43 11)) (Int64.shift_right_logical ad43 20)) 2) (Int64.logxor (Int64.logand a42 (Int64.logxor a41 a40)) (Int64.logand a41 a40)) in
+  let er43 = Int64.add a39 t1_43 in
+  let e43 = Int64.logand er43 m in
+  let ar43 = Int64.add t1_43 t2_43 in
+  let a43 = Int64.logand ar43 m in
+  let d42 = Int64.logor w42 (Int64.shift_left w42 32) in
+  let w44 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w28 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d29 (Int64.shift_right_logical d29 11)) 7) (Int64.shift_right_logical w29 3))) w37) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d42 (Int64.shift_right_logical d42 2)) 17) (Int64.shift_right_logical w42 10))) m
+  in
+  (* round 44 *)
+  let ed44 = Int64.logor e43 (Int64.shift_left er43 32) in
+  let ad44 = Int64.logor a43 (Int64.shift_left ar43 32) in
+  let t1_44 =
+    Int64.add (Int64.add (Int64.add (Int64.add e40 (Int64.logxor e41 (Int64.logand e43 (Int64.logxor e42 e41)))) 0xd192e819L) w44) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed44 6) (Int64.shift_right_logical ed44 11)) (Int64.shift_right_logical ed44 25))
+  in
+  let t2_44 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad44 (Int64.shift_right_logical ad44 11)) (Int64.shift_right_logical ad44 20)) 2) (Int64.logxor (Int64.logand a43 (Int64.logxor a42 a41)) (Int64.logand a42 a41)) in
+  let er44 = Int64.add a40 t1_44 in
+  let e44 = Int64.logand er44 m in
+  let ar44 = Int64.add t1_44 t2_44 in
+  let a44 = Int64.logand ar44 m in
+  let d43 = Int64.logor w43 (Int64.shift_left w43 32) in
+  let w45 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w29 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d30 (Int64.shift_right_logical d30 11)) 7) (Int64.shift_right_logical w30 3))) w38) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d43 (Int64.shift_right_logical d43 2)) 17) (Int64.shift_right_logical w43 10))) m
+  in
+  (* round 45 *)
+  let ed45 = Int64.logor e44 (Int64.shift_left er44 32) in
+  let ad45 = Int64.logor a44 (Int64.shift_left ar44 32) in
+  let t1_45 =
+    Int64.add (Int64.add (Int64.add (Int64.add e41 (Int64.logxor e42 (Int64.logand e44 (Int64.logxor e43 e42)))) 0xd6990624L) w45) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed45 6) (Int64.shift_right_logical ed45 11)) (Int64.shift_right_logical ed45 25))
+  in
+  let t2_45 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad45 (Int64.shift_right_logical ad45 11)) (Int64.shift_right_logical ad45 20)) 2) (Int64.logxor (Int64.logand a44 (Int64.logxor a43 a42)) (Int64.logand a43 a42)) in
+  let er45 = Int64.add a41 t1_45 in
+  let e45 = Int64.logand er45 m in
+  let ar45 = Int64.add t1_45 t2_45 in
+  let a45 = Int64.logand ar45 m in
+  let d44 = Int64.logor w44 (Int64.shift_left w44 32) in
+  let w46 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w30 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d31 (Int64.shift_right_logical d31 11)) 7) (Int64.shift_right_logical w31 3))) w39) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d44 (Int64.shift_right_logical d44 2)) 17) (Int64.shift_right_logical w44 10))) m
+  in
+  (* round 46 *)
+  let ed46 = Int64.logor e45 (Int64.shift_left er45 32) in
+  let ad46 = Int64.logor a45 (Int64.shift_left ar45 32) in
+  let t1_46 =
+    Int64.add (Int64.add (Int64.add (Int64.add e42 (Int64.logxor e43 (Int64.logand e45 (Int64.logxor e44 e43)))) 0xf40e3585L) w46) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed46 6) (Int64.shift_right_logical ed46 11)) (Int64.shift_right_logical ed46 25))
+  in
+  let t2_46 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad46 (Int64.shift_right_logical ad46 11)) (Int64.shift_right_logical ad46 20)) 2) (Int64.logxor (Int64.logand a45 (Int64.logxor a44 a43)) (Int64.logand a44 a43)) in
+  let er46 = Int64.add a42 t1_46 in
+  let e46 = Int64.logand er46 m in
+  let ar46 = Int64.add t1_46 t2_46 in
+  let a46 = Int64.logand ar46 m in
+  let d45 = Int64.logor w45 (Int64.shift_left w45 32) in
+  let w47 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w31 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d32 (Int64.shift_right_logical d32 11)) 7) (Int64.shift_right_logical w32 3))) w40) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d45 (Int64.shift_right_logical d45 2)) 17) (Int64.shift_right_logical w45 10))) m
+  in
+  (* round 47 *)
+  let ed47 = Int64.logor e46 (Int64.shift_left er46 32) in
+  let ad47 = Int64.logor a46 (Int64.shift_left ar46 32) in
+  let t1_47 =
+    Int64.add (Int64.add (Int64.add (Int64.add e43 (Int64.logxor e44 (Int64.logand e46 (Int64.logxor e45 e44)))) 0x106aa070L) w47) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed47 6) (Int64.shift_right_logical ed47 11)) (Int64.shift_right_logical ed47 25))
+  in
+  let t2_47 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad47 (Int64.shift_right_logical ad47 11)) (Int64.shift_right_logical ad47 20)) 2) (Int64.logxor (Int64.logand a46 (Int64.logxor a45 a44)) (Int64.logand a45 a44)) in
+  let er47 = Int64.add a43 t1_47 in
+  let e47 = Int64.logand er47 m in
+  let ar47 = Int64.add t1_47 t2_47 in
+  let a47 = Int64.logand ar47 m in
+  let d46 = Int64.logor w46 (Int64.shift_left w46 32) in
+  let w48 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w32 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d33 (Int64.shift_right_logical d33 11)) 7) (Int64.shift_right_logical w33 3))) w41) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d46 (Int64.shift_right_logical d46 2)) 17) (Int64.shift_right_logical w46 10))) m
+  in
+  (* round 48 *)
+  let ed48 = Int64.logor e47 (Int64.shift_left er47 32) in
+  let ad48 = Int64.logor a47 (Int64.shift_left ar47 32) in
+  let t1_48 =
+    Int64.add (Int64.add (Int64.add (Int64.add e44 (Int64.logxor e45 (Int64.logand e47 (Int64.logxor e46 e45)))) 0x19a4c116L) w48) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed48 6) (Int64.shift_right_logical ed48 11)) (Int64.shift_right_logical ed48 25))
+  in
+  let t2_48 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad48 (Int64.shift_right_logical ad48 11)) (Int64.shift_right_logical ad48 20)) 2) (Int64.logxor (Int64.logand a47 (Int64.logxor a46 a45)) (Int64.logand a46 a45)) in
+  let er48 = Int64.add a44 t1_48 in
+  let e48 = Int64.logand er48 m in
+  let ar48 = Int64.add t1_48 t2_48 in
+  let a48 = Int64.logand ar48 m in
+  let d47 = Int64.logor w47 (Int64.shift_left w47 32) in
+  let w49 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w33 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d34 (Int64.shift_right_logical d34 11)) 7) (Int64.shift_right_logical w34 3))) w42) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d47 (Int64.shift_right_logical d47 2)) 17) (Int64.shift_right_logical w47 10))) m
+  in
+  (* round 49 *)
+  let ed49 = Int64.logor e48 (Int64.shift_left er48 32) in
+  let ad49 = Int64.logor a48 (Int64.shift_left ar48 32) in
+  let t1_49 =
+    Int64.add (Int64.add (Int64.add (Int64.add e45 (Int64.logxor e46 (Int64.logand e48 (Int64.logxor e47 e46)))) 0x1e376c08L) w49) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed49 6) (Int64.shift_right_logical ed49 11)) (Int64.shift_right_logical ed49 25))
+  in
+  let t2_49 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad49 (Int64.shift_right_logical ad49 11)) (Int64.shift_right_logical ad49 20)) 2) (Int64.logxor (Int64.logand a48 (Int64.logxor a47 a46)) (Int64.logand a47 a46)) in
+  let er49 = Int64.add a45 t1_49 in
+  let e49 = Int64.logand er49 m in
+  let ar49 = Int64.add t1_49 t2_49 in
+  let a49 = Int64.logand ar49 m in
+  let d48 = Int64.logor w48 (Int64.shift_left w48 32) in
+  let w50 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w34 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d35 (Int64.shift_right_logical d35 11)) 7) (Int64.shift_right_logical w35 3))) w43) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d48 (Int64.shift_right_logical d48 2)) 17) (Int64.shift_right_logical w48 10))) m
+  in
+  (* round 50 *)
+  let ed50 = Int64.logor e49 (Int64.shift_left er49 32) in
+  let ad50 = Int64.logor a49 (Int64.shift_left ar49 32) in
+  let t1_50 =
+    Int64.add (Int64.add (Int64.add (Int64.add e46 (Int64.logxor e47 (Int64.logand e49 (Int64.logxor e48 e47)))) 0x2748774cL) w50) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed50 6) (Int64.shift_right_logical ed50 11)) (Int64.shift_right_logical ed50 25))
+  in
+  let t2_50 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad50 (Int64.shift_right_logical ad50 11)) (Int64.shift_right_logical ad50 20)) 2) (Int64.logxor (Int64.logand a49 (Int64.logxor a48 a47)) (Int64.logand a48 a47)) in
+  let er50 = Int64.add a46 t1_50 in
+  let e50 = Int64.logand er50 m in
+  let ar50 = Int64.add t1_50 t2_50 in
+  let a50 = Int64.logand ar50 m in
+  let d49 = Int64.logor w49 (Int64.shift_left w49 32) in
+  let w51 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w35 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d36 (Int64.shift_right_logical d36 11)) 7) (Int64.shift_right_logical w36 3))) w44) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d49 (Int64.shift_right_logical d49 2)) 17) (Int64.shift_right_logical w49 10))) m
+  in
+  (* round 51 *)
+  let ed51 = Int64.logor e50 (Int64.shift_left er50 32) in
+  let ad51 = Int64.logor a50 (Int64.shift_left ar50 32) in
+  let t1_51 =
+    Int64.add (Int64.add (Int64.add (Int64.add e47 (Int64.logxor e48 (Int64.logand e50 (Int64.logxor e49 e48)))) 0x34b0bcb5L) w51) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed51 6) (Int64.shift_right_logical ed51 11)) (Int64.shift_right_logical ed51 25))
+  in
+  let t2_51 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad51 (Int64.shift_right_logical ad51 11)) (Int64.shift_right_logical ad51 20)) 2) (Int64.logxor (Int64.logand a50 (Int64.logxor a49 a48)) (Int64.logand a49 a48)) in
+  let er51 = Int64.add a47 t1_51 in
+  let e51 = Int64.logand er51 m in
+  let ar51 = Int64.add t1_51 t2_51 in
+  let a51 = Int64.logand ar51 m in
+  let d50 = Int64.logor w50 (Int64.shift_left w50 32) in
+  let w52 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w36 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d37 (Int64.shift_right_logical d37 11)) 7) (Int64.shift_right_logical w37 3))) w45) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d50 (Int64.shift_right_logical d50 2)) 17) (Int64.shift_right_logical w50 10))) m
+  in
+  (* round 52 *)
+  let ed52 = Int64.logor e51 (Int64.shift_left er51 32) in
+  let ad52 = Int64.logor a51 (Int64.shift_left ar51 32) in
+  let t1_52 =
+    Int64.add (Int64.add (Int64.add (Int64.add e48 (Int64.logxor e49 (Int64.logand e51 (Int64.logxor e50 e49)))) 0x391c0cb3L) w52) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed52 6) (Int64.shift_right_logical ed52 11)) (Int64.shift_right_logical ed52 25))
+  in
+  let t2_52 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad52 (Int64.shift_right_logical ad52 11)) (Int64.shift_right_logical ad52 20)) 2) (Int64.logxor (Int64.logand a51 (Int64.logxor a50 a49)) (Int64.logand a50 a49)) in
+  let er52 = Int64.add a48 t1_52 in
+  let e52 = Int64.logand er52 m in
+  let ar52 = Int64.add t1_52 t2_52 in
+  let a52 = Int64.logand ar52 m in
+  let d51 = Int64.logor w51 (Int64.shift_left w51 32) in
+  let w53 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w37 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d38 (Int64.shift_right_logical d38 11)) 7) (Int64.shift_right_logical w38 3))) w46) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d51 (Int64.shift_right_logical d51 2)) 17) (Int64.shift_right_logical w51 10))) m
+  in
+  (* round 53 *)
+  let ed53 = Int64.logor e52 (Int64.shift_left er52 32) in
+  let ad53 = Int64.logor a52 (Int64.shift_left ar52 32) in
+  let t1_53 =
+    Int64.add (Int64.add (Int64.add (Int64.add e49 (Int64.logxor e50 (Int64.logand e52 (Int64.logxor e51 e50)))) 0x4ed8aa4aL) w53) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed53 6) (Int64.shift_right_logical ed53 11)) (Int64.shift_right_logical ed53 25))
+  in
+  let t2_53 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad53 (Int64.shift_right_logical ad53 11)) (Int64.shift_right_logical ad53 20)) 2) (Int64.logxor (Int64.logand a52 (Int64.logxor a51 a50)) (Int64.logand a51 a50)) in
+  let er53 = Int64.add a49 t1_53 in
+  let e53 = Int64.logand er53 m in
+  let ar53 = Int64.add t1_53 t2_53 in
+  let a53 = Int64.logand ar53 m in
+  let d52 = Int64.logor w52 (Int64.shift_left w52 32) in
+  let w54 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w38 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d39 (Int64.shift_right_logical d39 11)) 7) (Int64.shift_right_logical w39 3))) w47) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d52 (Int64.shift_right_logical d52 2)) 17) (Int64.shift_right_logical w52 10))) m
+  in
+  (* round 54 *)
+  let ed54 = Int64.logor e53 (Int64.shift_left er53 32) in
+  let ad54 = Int64.logor a53 (Int64.shift_left ar53 32) in
+  let t1_54 =
+    Int64.add (Int64.add (Int64.add (Int64.add e50 (Int64.logxor e51 (Int64.logand e53 (Int64.logxor e52 e51)))) 0x5b9cca4fL) w54) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed54 6) (Int64.shift_right_logical ed54 11)) (Int64.shift_right_logical ed54 25))
+  in
+  let t2_54 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad54 (Int64.shift_right_logical ad54 11)) (Int64.shift_right_logical ad54 20)) 2) (Int64.logxor (Int64.logand a53 (Int64.logxor a52 a51)) (Int64.logand a52 a51)) in
+  let er54 = Int64.add a50 t1_54 in
+  let e54 = Int64.logand er54 m in
+  let ar54 = Int64.add t1_54 t2_54 in
+  let a54 = Int64.logand ar54 m in
+  let d53 = Int64.logor w53 (Int64.shift_left w53 32) in
+  let w55 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w39 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d40 (Int64.shift_right_logical d40 11)) 7) (Int64.shift_right_logical w40 3))) w48) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d53 (Int64.shift_right_logical d53 2)) 17) (Int64.shift_right_logical w53 10))) m
+  in
+  (* round 55 *)
+  let ed55 = Int64.logor e54 (Int64.shift_left er54 32) in
+  let ad55 = Int64.logor a54 (Int64.shift_left ar54 32) in
+  let t1_55 =
+    Int64.add (Int64.add (Int64.add (Int64.add e51 (Int64.logxor e52 (Int64.logand e54 (Int64.logxor e53 e52)))) 0x682e6ff3L) w55) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed55 6) (Int64.shift_right_logical ed55 11)) (Int64.shift_right_logical ed55 25))
+  in
+  let t2_55 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad55 (Int64.shift_right_logical ad55 11)) (Int64.shift_right_logical ad55 20)) 2) (Int64.logxor (Int64.logand a54 (Int64.logxor a53 a52)) (Int64.logand a53 a52)) in
+  let er55 = Int64.add a51 t1_55 in
+  let e55 = Int64.logand er55 m in
+  let ar55 = Int64.add t1_55 t2_55 in
+  let a55 = Int64.logand ar55 m in
+  let d54 = Int64.logor w54 (Int64.shift_left w54 32) in
+  let w56 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w40 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d41 (Int64.shift_right_logical d41 11)) 7) (Int64.shift_right_logical w41 3))) w49) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d54 (Int64.shift_right_logical d54 2)) 17) (Int64.shift_right_logical w54 10))) m
+  in
+  (* round 56 *)
+  let ed56 = Int64.logor e55 (Int64.shift_left er55 32) in
+  let ad56 = Int64.logor a55 (Int64.shift_left ar55 32) in
+  let t1_56 =
+    Int64.add (Int64.add (Int64.add (Int64.add e52 (Int64.logxor e53 (Int64.logand e55 (Int64.logxor e54 e53)))) 0x748f82eeL) w56) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed56 6) (Int64.shift_right_logical ed56 11)) (Int64.shift_right_logical ed56 25))
+  in
+  let t2_56 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad56 (Int64.shift_right_logical ad56 11)) (Int64.shift_right_logical ad56 20)) 2) (Int64.logxor (Int64.logand a55 (Int64.logxor a54 a53)) (Int64.logand a54 a53)) in
+  let er56 = Int64.add a52 t1_56 in
+  let e56 = Int64.logand er56 m in
+  let ar56 = Int64.add t1_56 t2_56 in
+  let a56 = Int64.logand ar56 m in
+  let d55 = Int64.logor w55 (Int64.shift_left w55 32) in
+  let w57 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w41 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d42 (Int64.shift_right_logical d42 11)) 7) (Int64.shift_right_logical w42 3))) w50) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d55 (Int64.shift_right_logical d55 2)) 17) (Int64.shift_right_logical w55 10))) m
+  in
+  (* round 57 *)
+  let ed57 = Int64.logor e56 (Int64.shift_left er56 32) in
+  let ad57 = Int64.logor a56 (Int64.shift_left ar56 32) in
+  let t1_57 =
+    Int64.add (Int64.add (Int64.add (Int64.add e53 (Int64.logxor e54 (Int64.logand e56 (Int64.logxor e55 e54)))) 0x78a5636fL) w57) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed57 6) (Int64.shift_right_logical ed57 11)) (Int64.shift_right_logical ed57 25))
+  in
+  let t2_57 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad57 (Int64.shift_right_logical ad57 11)) (Int64.shift_right_logical ad57 20)) 2) (Int64.logxor (Int64.logand a56 (Int64.logxor a55 a54)) (Int64.logand a55 a54)) in
+  let er57 = Int64.add a53 t1_57 in
+  let e57 = Int64.logand er57 m in
+  let ar57 = Int64.add t1_57 t2_57 in
+  let a57 = Int64.logand ar57 m in
+  let d56 = Int64.logor w56 (Int64.shift_left w56 32) in
+  let w58 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w42 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d43 (Int64.shift_right_logical d43 11)) 7) (Int64.shift_right_logical w43 3))) w51) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d56 (Int64.shift_right_logical d56 2)) 17) (Int64.shift_right_logical w56 10))) m
+  in
+  (* round 58 *)
+  let ed58 = Int64.logor e57 (Int64.shift_left er57 32) in
+  let ad58 = Int64.logor a57 (Int64.shift_left ar57 32) in
+  let t1_58 =
+    Int64.add (Int64.add (Int64.add (Int64.add e54 (Int64.logxor e55 (Int64.logand e57 (Int64.logxor e56 e55)))) 0x84c87814L) w58) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed58 6) (Int64.shift_right_logical ed58 11)) (Int64.shift_right_logical ed58 25))
+  in
+  let t2_58 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad58 (Int64.shift_right_logical ad58 11)) (Int64.shift_right_logical ad58 20)) 2) (Int64.logxor (Int64.logand a57 (Int64.logxor a56 a55)) (Int64.logand a56 a55)) in
+  let er58 = Int64.add a54 t1_58 in
+  let e58 = Int64.logand er58 m in
+  let ar58 = Int64.add t1_58 t2_58 in
+  let a58 = Int64.logand ar58 m in
+  let d57 = Int64.logor w57 (Int64.shift_left w57 32) in
+  let w59 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w43 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d44 (Int64.shift_right_logical d44 11)) 7) (Int64.shift_right_logical w44 3))) w52) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d57 (Int64.shift_right_logical d57 2)) 17) (Int64.shift_right_logical w57 10))) m
+  in
+  (* round 59 *)
+  let ed59 = Int64.logor e58 (Int64.shift_left er58 32) in
+  let ad59 = Int64.logor a58 (Int64.shift_left ar58 32) in
+  let t1_59 =
+    Int64.add (Int64.add (Int64.add (Int64.add e55 (Int64.logxor e56 (Int64.logand e58 (Int64.logxor e57 e56)))) 0x8cc70208L) w59) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed59 6) (Int64.shift_right_logical ed59 11)) (Int64.shift_right_logical ed59 25))
+  in
+  let t2_59 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad59 (Int64.shift_right_logical ad59 11)) (Int64.shift_right_logical ad59 20)) 2) (Int64.logxor (Int64.logand a58 (Int64.logxor a57 a56)) (Int64.logand a57 a56)) in
+  let er59 = Int64.add a55 t1_59 in
+  let e59 = Int64.logand er59 m in
+  let ar59 = Int64.add t1_59 t2_59 in
+  let a59 = Int64.logand ar59 m in
+  let d58 = Int64.logor w58 (Int64.shift_left w58 32) in
+  let w60 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w44 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d45 (Int64.shift_right_logical d45 11)) 7) (Int64.shift_right_logical w45 3))) w53) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d58 (Int64.shift_right_logical d58 2)) 17) (Int64.shift_right_logical w58 10))) m
+  in
+  (* round 60 *)
+  let ed60 = Int64.logor e59 (Int64.shift_left er59 32) in
+  let ad60 = Int64.logor a59 (Int64.shift_left ar59 32) in
+  let t1_60 =
+    Int64.add (Int64.add (Int64.add (Int64.add e56 (Int64.logxor e57 (Int64.logand e59 (Int64.logxor e58 e57)))) 0x90befffaL) w60) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed60 6) (Int64.shift_right_logical ed60 11)) (Int64.shift_right_logical ed60 25))
+  in
+  let t2_60 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad60 (Int64.shift_right_logical ad60 11)) (Int64.shift_right_logical ad60 20)) 2) (Int64.logxor (Int64.logand a59 (Int64.logxor a58 a57)) (Int64.logand a58 a57)) in
+  let er60 = Int64.add a56 t1_60 in
+  let e60 = Int64.logand er60 m in
+  let ar60 = Int64.add t1_60 t2_60 in
+  let a60 = Int64.logand ar60 m in
+  let d59 = Int64.logor w59 (Int64.shift_left w59 32) in
+  let w61 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w45 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d46 (Int64.shift_right_logical d46 11)) 7) (Int64.shift_right_logical w46 3))) w54) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d59 (Int64.shift_right_logical d59 2)) 17) (Int64.shift_right_logical w59 10))) m
+  in
+  (* round 61 *)
+  let ed61 = Int64.logor e60 (Int64.shift_left er60 32) in
+  let ad61 = Int64.logor a60 (Int64.shift_left ar60 32) in
+  let t1_61 =
+    Int64.add (Int64.add (Int64.add (Int64.add e57 (Int64.logxor e58 (Int64.logand e60 (Int64.logxor e59 e58)))) 0xa4506cebL) w61) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed61 6) (Int64.shift_right_logical ed61 11)) (Int64.shift_right_logical ed61 25))
+  in
+  let t2_61 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad61 (Int64.shift_right_logical ad61 11)) (Int64.shift_right_logical ad61 20)) 2) (Int64.logxor (Int64.logand a60 (Int64.logxor a59 a58)) (Int64.logand a59 a58)) in
+  let er61 = Int64.add a57 t1_61 in
+  let e61 = Int64.logand er61 m in
+  let ar61 = Int64.add t1_61 t2_61 in
+  let a61 = Int64.logand ar61 m in
+  let d60 = Int64.logor w60 (Int64.shift_left w60 32) in
+  let w62 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w46 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d47 (Int64.shift_right_logical d47 11)) 7) (Int64.shift_right_logical w47 3))) w55) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d60 (Int64.shift_right_logical d60 2)) 17) (Int64.shift_right_logical w60 10))) m
+  in
+  (* round 62 *)
+  let ed62 = Int64.logor e61 (Int64.shift_left er61 32) in
+  let ad62 = Int64.logor a61 (Int64.shift_left ar61 32) in
+  let t1_62 =
+    Int64.add (Int64.add (Int64.add (Int64.add e58 (Int64.logxor e59 (Int64.logand e61 (Int64.logxor e60 e59)))) 0xbef9a3f7L) w62) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed62 6) (Int64.shift_right_logical ed62 11)) (Int64.shift_right_logical ed62 25))
+  in
+  let t2_62 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad62 (Int64.shift_right_logical ad62 11)) (Int64.shift_right_logical ad62 20)) 2) (Int64.logxor (Int64.logand a61 (Int64.logxor a60 a59)) (Int64.logand a60 a59)) in
+  let er62 = Int64.add a58 t1_62 in
+  let e62 = Int64.logand er62 m in
+  let ar62 = Int64.add t1_62 t2_62 in
+  let a62 = Int64.logand ar62 m in
+  let d61 = Int64.logor w61 (Int64.shift_left w61 32) in
+  let w63 =
+    Int64.logand (Int64.add (Int64.add (Int64.add w47 (Int64.logxor (Int64.shift_right_logical (Int64.logxor d48 (Int64.shift_right_logical d48 11)) 7) (Int64.shift_right_logical w48 3))) w56) (Int64.logxor (Int64.shift_right_logical (Int64.logxor d61 (Int64.shift_right_logical d61 2)) 17) (Int64.shift_right_logical w61 10))) m
+  in
+  (* round 63 *)
+  let ed63 = Int64.logor e62 (Int64.shift_left er62 32) in
+  let ad63 = Int64.logor a62 (Int64.shift_left ar62 32) in
+  let t1_63 =
+    Int64.add (Int64.add (Int64.add (Int64.add e59 (Int64.logxor e60 (Int64.logand e62 (Int64.logxor e61 e60)))) 0xc67178f2L) w63) (Int64.logxor (Int64.logxor (Int64.shift_right_logical ed63 6) (Int64.shift_right_logical ed63 11)) (Int64.shift_right_logical ed63 25))
+  in
+  let t2_63 = Int64.add (Int64.shift_right_logical (Int64.logxor (Int64.logxor ad63 (Int64.shift_right_logical ad63 11)) (Int64.shift_right_logical ad63 20)) 2) (Int64.logxor (Int64.logand a62 (Int64.logxor a61 a60)) (Int64.logand a61 a60)) in
+  let er63 = Int64.add a59 t1_63 in
+  let e63 = Int64.logand er63 m in
+  let ar63 = Int64.add t1_63 t2_63 in
+  let a63 = Int64.logand ar63 m in
+  Array.unsafe_set h 0 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 0)) a63) m));
+  Array.unsafe_set h 1 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 1)) a62) m));
+  Array.unsafe_set h 2 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 2)) a61) m));
+  Array.unsafe_set h 3 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 3)) a60) m));
+  Array.unsafe_set h 4 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 4)) e63) m));
+  Array.unsafe_set h 5 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 5)) e62) m));
+  Array.unsafe_set h 6 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 6)) e61) m));
+  Array.unsafe_set h 7 (Int64.to_int (Int64.logand (Int64.add (Int64.of_int (Array.unsafe_get h 7)) e60) m))
 
-let digest message =
-  let data = pad message in
-  let h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |] in
-  let w = Array.make 64 0l in
-  let blocks = String.length data / 64 in
-  for block = 0 to blocks - 1 do
-    let base = block * 64 in
-    for t = 0 to 15 do
-      let byte i = Int32.of_int (Char.code data.[base + (4 * t) + i]) in
-      w.(t) <-
-        Int32.logor
-          (Int32.shift_left (byte 0) 24)
-          (Int32.logor
-             (Int32.shift_left (byte 1) 16)
-             (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
-    done;
-    for t = 16 to 63 do
-      let s0 = rotr w.(t - 15) 7 ^% rotr w.(t - 15) 18 ^% shr w.(t - 15) 3 in
-      let s1 = rotr w.(t - 2) 17 ^% rotr w.(t - 2) 19 ^% shr w.(t - 2) 10 in
-      w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
-    done;
-    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-    for t = 0 to 63 do
-      let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
-      let ch = (!e &% !f) ^% (Int32.lognot !e &% !g) in
-      let temp1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
-      let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
-      let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
-      let temp2 = s0 +% maj in
-      hh := !g;
-      g := !f;
-      f := !e;
-      e := !d +% temp1;
-      d := !c;
-      c := !b;
-      b := !a;
-      a := temp1 +% temp2
-    done;
-    h.(0) <- h.(0) +% !a;
-    h.(1) <- h.(1) +% !b;
-    h.(2) <- h.(2) +% !c;
-    h.(3) <- h.(3) +% !d;
-    h.(4) <- h.(4) +% !e;
-    h.(5) <- h.(5) +% !f;
-    h.(6) <- h.(6) +% !g;
-    h.(7) <- h.(7) +% !hh
+type ctx = {
+  h : int array;        (* 8 chaining words, each in [0, 2^32) *)
+  buf : Bytes.t;        (* 64-byte partial-block buffer *)
+  mutable buf_len : int;
+  mutable total : int;  (* message bytes absorbed so far *)
+}
+
+let init () =
+  { h = Array.copy iv; buf = Bytes.create 64; buf_len = 0; total = 0 }
+
+(* Resume from an HMAC midstate: one ipad/opad block already absorbed. *)
+let of_midstate h =
+  { h = Array.copy h; buf = Bytes.create 64; buf_len = 0; total = 64 }
+
+let update ?(off = 0) ?len ctx s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Sha256.update: out-of-range substring";
+  ctx.total <- ctx.total + len;
+  (* Read-only view; never written through. *)
+  let b = Bytes.unsafe_of_string s in
+  let pos = ref off and rem = ref len in
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) !rem in
+    Bytes.blit b !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    rem := !rem - take;
+    if ctx.buf_len = 64 then begin
+      compress ctx.h ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !rem >= 64 do
+    compress ctx.h b !pos;
+    pos := !pos + 64;
+    rem := !rem - 64
   done;
+  if !rem > 0 then begin
+    Bytes.blit b !pos ctx.buf 0 !rem;
+    ctx.buf_len <- !rem
+  end
+
+(* Apply the 10*...len padding and the final compression(s) in the block
+   buffer; afterwards [ctx.h] holds the digest words. *)
+let finish ctx =
+  Bytes.set ctx.buf ctx.buf_len '\x80';
+  let l = ctx.buf_len + 1 in
+  if l > 56 then begin
+    Bytes.fill ctx.buf l (64 - l) '\000';
+    compress ctx.h ctx.buf 0;
+    Bytes.fill ctx.buf 0 56 '\000'
+  end
+  else Bytes.fill ctx.buf l (56 - l) '\000';
+  Bytes.set_int64_be ctx.buf 56 (Int64.of_int (8 * ctx.total));
+  compress ctx.h ctx.buf 0;
+  ctx.buf_len <- 0
+
+let final ctx =
+  finish ctx;
   let out = Bytes.create 32 in
-  Array.iteri
-    (fun i word ->
-      for j = 0 to 3 do
-        Bytes.set out
-          ((4 * i) + j)
-          (Char.chr
-             (Int32.to_int (Int32.logand (Int32.shift_right_logical word (8 * (3 - j))) 0xffl)))
-      done)
-    h;
+  for i = 0 to 7 do
+    Bytes.set_int32_be out (4 * i) (Int32.of_int ctx.h.(i))
+  done;
   Bytes.unsafe_to_string out
 
+let final64 ctx =
+  finish ctx;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int ctx.h.(0)) 32)
+    (Int64.of_int ctx.h.(1))
+
+let digest message =
+  let ctx = init () in
+  update ctx message;
+  final ctx
+
 let to_hex s =
-  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
-                      (List.init (String.length s) (String.get s)))
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s)))
 
 let digest_hex message = to_hex (digest message)
 
+let digest64 message =
+  let ctx = init () in
+  update ctx message;
+  final64 ctx
+
 let block_size = 64
 
-let hmac ~key message =
+(* --- HMAC (RFC 2104) --- *)
+
+type hmac_key = { inner : int array; outer : int array }
+
+let hmac_key ~key =
   let key = if String.length key > block_size then digest key else key in
-  let key = key ^ String.make (block_size - String.length key) '\000' in
-  let xor_with pad = String.map (fun _ -> ' ') key |> fun _ ->
-    String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
+  let midstate pad =
+    let block = Bytes.make block_size (Char.chr pad) in
+    String.iteri (fun i c -> Bytes.set block i (Char.chr (Char.code c lxor pad))) key;
+    let h = Array.copy iv in
+    compress h block 0;
+    h
   in
-  let ipad = xor_with 0x36 and opad = xor_with 0x5c in
-  digest (opad ^ digest (ipad ^ message))
+  { inner = midstate 0x36; outer = midstate 0x5c }
 
+let hmac_with hk message =
+  let ctx = of_midstate hk.inner in
+  update ctx message;
+  let inner = final ctx in
+  let ctx = of_midstate hk.outer in
+  update ctx inner;
+  final ctx
+
+let hmac64 hk message =
+  let ctx = of_midstate hk.inner in
+  update ctx message;
+  let inner = final ctx in
+  let ctx = of_midstate hk.outer in
+  update ctx inner;
+  final64 ctx
+
+let hmac ~key message = hmac_with (hmac_key ~key) message
 let hmac_hex ~key message = to_hex (hmac ~key message)
-
-let digest64 message =
-  let d = digest message in
-  let acc = ref 0L in
-  for i = 0 to 7 do
-    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code d.[i]))
-  done;
-  !acc

@@ -1,0 +1,19 @@
+(** The pre-rewrite Int32 SHA-256, kept as a correctness oracle for the
+    optimized {!Sha256} and as the in-process "before" measurement for
+    the BENCH_hotpath.json before/after comparison.  Same digest and
+    HMAC semantics as {!Sha256}, an order of magnitude fewer tricks. *)
+
+val digest : string -> string
+(** 32-byte binary digest. *)
+
+val digest_hex : string -> string
+
+val digest64 : string -> int64
+(** First 8 digest bytes as a big-endian [int64]. *)
+
+val hmac : key:string -> string -> string
+(** RFC 2104 HMAC-SHA-256, expanding [key] on every call. *)
+
+val hmac_hex : key:string -> string -> string
+
+val block_size : int

@@ -48,7 +48,9 @@ let finalize st =
   Int64.logxor (Int64.logxor st.v0 st.v1) (Int64.logxor st.v2 st.v3)
 
 let word_le s off len =
-  (* Little-endian load of up to 8 bytes starting at [off]. *)
+  (* Little-endian load of up to 7 tail bytes starting at [off]; full
+     words go through [String.get_int64_le] (one load, no per-byte
+     Int64 traffic). *)
   let w = ref 0L in
   for i = len - 1 downto 0 do
     w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int (Char.code s.[off + i]))
@@ -60,7 +62,7 @@ let hash key s =
   let len = String.length s in
   let full = len / 8 in
   for i = 0 to full - 1 do
-    compress st (word_le s (8 * i) 8)
+    compress st (String.get_int64_le s (8 * i))
   done;
   let rem = len - (8 * full) in
   let last =

@@ -26,14 +26,13 @@ let schedule t ~delay thunk =
 
 let run ?until t =
   let cpu0 = Sys.time () in
-  let continue () =
-    match Prioq.peek t.events with
-    | None -> false
-    | Some (time, _) -> ( match until with None -> true | Some u -> time <= u)
-  in
-  while continue () do
-    match Prioq.pop t.events with
-    | None -> ()
+  (* Single heap traversal per event: pop_if_before replaces the former
+     peek-then-pop pair. *)
+  let limit = match until with None -> Float.infinity | Some u -> u in
+  let continue = ref true in
+  while !continue do
+    match Prioq.pop_if_before t.events ~until:limit with
+    | None -> continue := false
     | Some (time, thunk) ->
         t.clock <- time;
         t.processed <- t.processed + 1;

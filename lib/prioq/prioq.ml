@@ -1,72 +1,118 @@
-type 'a entry = { priority : float; seq : int; value : 'a }
+(* Flat binary min-heap: parallel arrays instead of one boxed
+   {priority; seq; value} record per element.  [prio] is an unboxed
+   float array, so a push allocates nothing (beyond amortized growth)
+   and sift-up/down touch cache-friendly flat storage.  Ties break by
+   insertion sequence number for deterministic FIFO order. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { prio = [||]; seq = [||]; vals = [||]; size = 0; next_seq = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
+let capacity t = Array.length t.prio
 
-let less a b =
-  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
-
-let grow t entry =
-  let cap = Array.length t.data in
+let grow t value =
+  let cap = Array.length t.prio in
   if t.size = cap then begin
-    let ncap = max 16 (cap * 2) in
-    let data = Array.make ncap entry in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+    let ncap = max 16 (2 * cap) in
+    let prio = Array.make ncap 0.0 in
+    let seq = Array.make ncap 0 in
+    let vals = Array.make ncap value in
+    Array.blit t.prio 0 prio 0 t.size;
+    Array.blit t.seq 0 seq 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.prio <- prio;
+    t.seq <- seq;
+    t.vals <- vals
   end
 
 let push t ~priority value =
-  let entry = { priority; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.size) <- entry;
+  grow t value;
+  let sq = t.next_seq in
+  t.next_seq <- sq + 1;
+  let prio = t.prio and seq = t.seq and vals = t.vals in
+  (* Hole-based sift-up: shift parents down, write the new element once. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  (* Sift up. *)
-  let i = ref (t.size - 1) in
-  while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.data.(parent) in
-    t.data.(parent) <- t.data.(!i);
-    t.data.(!i) <- tmp;
-    i := parent
-  done
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pp = Array.unsafe_get prio p in
+    if priority < pp || (priority = pp && sq < Array.unsafe_get seq p) then begin
+      Array.unsafe_set prio !i pp;
+      Array.unsafe_set seq !i (Array.unsafe_get seq p);
+      Array.unsafe_set vals !i (Array.unsafe_get vals p);
+      i := p
+    end
+    else continue := false
+  done;
+  Array.unsafe_set prio !i priority;
+  Array.unsafe_set seq !i sq;
+  Array.unsafe_set vals !i value
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.vals.(0))
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-        if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.data.(!smallest) in
-          t.data.(!smallest) <- t.data.(!i);
-          t.data.(!i) <- tmp;
-          i := !smallest
+(* Sift the element (p, sq, v) down from the root of the first [t.size]
+   slots, writing it into its final slot. *)
+let sift_down t p sq v =
+  let prio = t.prio and seq = t.seq and vals = t.vals in
+  let size = t.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < size then begin
+          let pl = Array.unsafe_get prio l and pr = Array.unsafe_get prio r in
+          if pr < pl || (pr = pl && Array.unsafe_get seq r < Array.unsafe_get seq l)
+          then r
+          else l
         end
-      done
-    end;
-    Some (top.priority, top.value)
-  end
+        else l
+      in
+      let pc = Array.unsafe_get prio c in
+      if pc < p || (pc = p && Array.unsafe_get seq c < sq) then begin
+        Array.unsafe_set prio !i pc;
+        Array.unsafe_set seq !i (Array.unsafe_get seq c);
+        Array.unsafe_set vals !i (Array.unsafe_get vals c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  Array.unsafe_set prio !i p;
+  Array.unsafe_set seq !i sq;
+  Array.unsafe_set vals !i v
+
+let pop_root t =
+  (* pre: t.size > 0 *)
+  let top_p = t.prio.(0) and top_v = t.vals.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let p = t.prio.(n) and sq = t.seq.(n) and v = t.vals.(n) in
+    sift_down t p sq v;
+    (* Drop the stale reference in the vacated slot (slot 0 is live). *)
+    t.vals.(n) <- t.vals.(0)
+  end;
+  (top_p, top_v)
+
+let pop t = if t.size = 0 then None else Some (pop_root t)
+
+let pop_if_before t ~until =
+  if t.size = 0 || t.prio.(0) > until then None else Some (pop_root t)
 
 let clear t =
-  t.size <- 0;
-  t.data <- [||]
+  (* Keep capacity so a cleared heap can be refilled without re-growth;
+     overwrite the value slots so cleared elements become collectable. *)
+  if Array.length t.vals > 0 then Array.fill t.vals 0 (Array.length t.vals) t.vals.(0);
+  t.size <- 0

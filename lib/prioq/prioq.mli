@@ -2,7 +2,11 @@
 
     Shared by the Dijkstra implementations (priority = path cost) and the
     discrete-event simulator (priority = event time).  Ties are broken by
-    insertion order, which makes every consumer deterministic. *)
+    insertion order, which makes every consumer deterministic.
+
+    Storage is flat parallel arrays (an unboxed float array for
+    priorities, an int array for tie-break sequence numbers and a value
+    array), so pushing an element performs no per-element allocation. *)
 
 type 'a t
 
@@ -12,6 +16,10 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
+val capacity : 'a t -> int
+(** Current backing-array capacity ([>= length]); exposed so tests can
+    check that {!clear} does not shed it. *)
+
 val push : 'a t -> priority:float -> 'a -> unit
 (** Insert an element. *)
 
@@ -19,7 +27,15 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element; [None] when empty.
     Equal priorities come out in insertion order (FIFO). *)
 
+val pop_if_before : 'a t -> until:float -> (float * 'a) option
+(** [pop_if_before t ~until] pops the minimum element only when its
+    priority is [<= until]; a single traversal replacing the
+    peek-then-pop pattern on the event-loop hot path.  [~until:infinity]
+    behaves like {!pop}. *)
+
 val peek : 'a t -> (float * 'a) option
 (** The minimum without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, keeping the backing capacity for reuse (at most one
+    previously stored value remains referenced until overwritten). *)

@@ -199,8 +199,17 @@ let test_sha256_vectors () =
   Alcotest.(check string) "448-bit"
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
     (Sha256.digest_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
-  (* Multi-block message (one million 'a' would be slow; use 200). *)
-  Alcotest.(check int) "hex length" 64 (String.length (Sha256.digest_hex (String.make 200 'a')))
+  (* Two-block (896-bit) NIST vector. *)
+  Alcotest.(check string) "896-bit"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.digest_hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  (* One million 'a' — the classic long-message vector; ~6 ms with the
+     unrolled kernel, cheap enough to keep in the quick suite. *)
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
 
 let test_sha256_padding_boundaries () =
   (* Lengths around the 55/56/64-byte padding boundaries must all work
@@ -212,19 +221,74 @@ let test_sha256_padding_boundaries () =
     (List.length (List.sort_uniq compare digests))
 
 let test_hmac_sha256_vectors () =
-  (* RFC 4231 test case 1. *)
-  Alcotest.(check string) "rfc4231 tc1"
-    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-    (Sha256.hmac_hex ~key:(String.make 20 '\x0b') "Hi There");
-  (* RFC 4231 test case 2. *)
-  Alcotest.(check string) "rfc4231 tc2"
-    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
-    (Sha256.hmac_hex ~key:"Jefe" "what do ya want for nothing?");
-  (* Long key (> block size) exercises the key-hash path. *)
-  Alcotest.(check string) "rfc4231 tc6"
-    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
-    (Sha256.hmac_hex ~key:(String.make 131 '\xaa')
-       "Test Using Larger Than Block-Size Key - Hash Key First")
+  (* The full RFC 4231 HMAC-SHA-256 vector set.  tc6/tc7 use a 131-byte
+     key and so exercise the hash-the-key path of [hmac_key]. *)
+  let check name ~key data expected =
+    Alcotest.(check string) name expected (Sha256.hmac_hex ~key data)
+  in
+  check "rfc4231 tc1" ~key:(String.make 20 '\x0b') "Hi There"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7";
+  check "rfc4231 tc2" ~key:"Jefe" "what do ya want for nothing?"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843";
+  check "rfc4231 tc3" ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe";
+  check "rfc4231 tc4"
+    ~key:(String.init 25 (fun i -> Char.chr (i + 1)))
+    (String.make 50 '\xcd')
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b";
+  (* tc5 is defined on the 128-bit truncation of the tag. *)
+  Alcotest.(check string) "rfc4231 tc5 (truncated-128)"
+    "a3b6167473100ee06e0c796c2955552b"
+    (String.sub (Sha256.hmac_hex ~key:(String.make 20 '\x0c') "Test With Truncation") 0 32);
+  check "rfc4231 tc6" ~key:(String.make 131 '\xaa')
+    "Test Using Larger Than Block-Size Key - Hash Key First"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54";
+  check "rfc4231 tc7" ~key:(String.make 131 '\xaa')
+    "This is a test using a larger than block-size key and a larger than \
+     block-size data. The key needs to be hashed before being used by the \
+     HMAC algorithm."
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+
+let test_streaming_matches_one_shot () =
+  (* Absorbing the message in arbitrary chunk sizes must agree with the
+     one-shot digest, for lengths across several block boundaries. *)
+  let rng = Random.State.make [| 0x5eed |] in
+  List.iter
+    (fun n ->
+      let msg = String.init n (fun i -> Char.chr ((i * 131) land 0xff)) in
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min (n - !pos) (1 + Random.State.int rng 97) in
+        Sha256.update ~off:!pos ~len ctx msg;
+        pos := !pos + len
+      done;
+      Alcotest.(check string)
+        (Printf.sprintf "streaming len %d" n)
+        (Sha256.digest msg) (Sha256.final ctx))
+    [ 0; 1; 55; 56; 63; 64; 65; 127; 128; 129; 1500; 4096 ]
+
+let test_hmac_key_caching () =
+  (* hmac_with under a precomputed key is the same function as the
+     one-shot hmac, and hmac64 is its 8-byte big-endian prefix. *)
+  let keys = [ ""; "k"; String.make 64 'K'; String.make 131 '\xaa' ] in
+  let msgs = [ ""; "x"; String.init 1500 (fun i -> Char.chr ((i * 7) land 0xff)) ] in
+  List.iter
+    (fun key ->
+      let hk = Sha256.hmac_key ~key in
+      List.iter
+        (fun msg ->
+          let tag = Sha256.hmac ~key msg in
+          Alcotest.(check string) "cached key agrees" tag (Sha256.hmac_with hk msg);
+          let prefix = ref 0L in
+          for i = 0 to 7 do
+            prefix :=
+              Int64.logor (Int64.shift_left !prefix 8)
+                (Int64.of_int (Char.code tag.[i]))
+          done;
+          Alcotest.(check int64) "hmac64 prefix" !prefix (Sha256.hmac64 hk msg))
+        msgs)
+    keys
 
 let test_digest64 () =
   (* First 8 bytes of SHA-256("abc") big-endian. *)
@@ -234,6 +298,17 @@ let test_digest64 () =
 let prop_sha256_deterministic =
   QCheck.Test.make ~name:"sha256 deterministic, length 32" ~count:200 QCheck.string
     (fun s -> Sha256.digest s = Sha256.digest s && String.length (Sha256.digest s) = 32)
+
+let prop_sha256_matches_reference =
+  (* Differential test of the unrolled kernel against the boring Int32
+     reference implementation kept in [Sha256_ref]. *)
+  QCheck.Test.make ~name:"sha256 matches reference impl" ~count:300 QCheck.string
+    (fun s -> Sha256.digest s = Sha256_ref.digest s)
+
+let prop_hmac_matches_reference =
+  QCheck.Test.make ~name:"hmac matches reference impl" ~count:200
+    QCheck.(pair string string)
+    (fun (key, msg) -> Sha256.hmac ~key msg = Sha256_ref.hmac ~key msg)
 
 let prop_hmac_key_sensitive =
   QCheck.Test.make ~name:"hmac distinguishes keys" ~count:200
@@ -268,9 +343,13 @@ let () =
       ( "sha256",
         [ Alcotest.test_case "digest vectors" `Quick test_sha256_vectors;
           Alcotest.test_case "padding boundaries" `Quick test_sha256_padding_boundaries;
-          Alcotest.test_case "hmac vectors" `Quick test_hmac_sha256_vectors;
+          Alcotest.test_case "hmac vectors (rfc4231)" `Quick test_hmac_sha256_vectors;
+          Alcotest.test_case "streaming = one-shot" `Quick test_streaming_matches_one_shot;
+          Alcotest.test_case "hmac key caching" `Quick test_hmac_key_caching;
           Alcotest.test_case "digest64" `Quick test_digest64 ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_siphash_deterministic; prop_siphash_no_trivial_collision;
-            prop_sign_roundtrip; prop_sha256_deterministic; prop_hmac_key_sensitive ] ) ]
+            prop_sign_roundtrip; prop_sha256_deterministic;
+            prop_sha256_matches_reference; prop_hmac_matches_reference;
+            prop_hmac_key_sensitive ] ) ]

@@ -37,6 +37,82 @@ let prop_prioq_fifo_ties =
       in
       drain 0)
 
+let prop_prioq_matches_sorted_reference =
+  (* The drained (priority, value) sequence must equal a stable sort of
+     the input by priority — full order, not just local monotonicity. *)
+  QCheck.Test.make ~name:"pop sequence = stable sort of input" ~count:200
+    QCheck.(list (float_range 0.0 100.0))
+    (fun priorities ->
+      let q = Prioq.create () in
+      List.iteri (fun i p -> Prioq.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Prioq.pop q with None -> List.rev acc | Some pv -> drain (pv :: acc)
+      in
+      let expected =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> Float.compare p1 p2)
+          (List.mapi (fun i p -> (p, i)) priorities)
+      in
+      drain [] = expected)
+
+let prop_prioq_fifo_ties_interleaved =
+  (* FIFO stability must survive interleaving with other priorities, not
+     just an all-ties heap. *)
+  QCheck.Test.make ~name:"ties stay FIFO when interleaved" ~count:200
+    QCheck.(list (int_bound 3))
+    (fun buckets ->
+      let q = Prioq.create () in
+      List.iteri (fun i b -> Prioq.push q ~priority:(float_of_int b) i) buckets;
+      let rec drain acc =
+        match Prioq.pop q with None -> List.rev acc | Some pv -> drain (pv :: acc)
+      in
+      let drained = drain [] in
+      List.for_all
+        (fun bucket ->
+          let ids =
+            List.filter_map
+              (fun (p, i) -> if p = float_of_int bucket then Some i else None)
+              drained
+          in
+          List.sort compare ids = ids)
+        [ 0; 1; 2; 3 ])
+
+let prop_prioq_pop_if_before =
+  (* pop_if_before returns exactly the elements at or before the cutoff,
+     in order, and leaves the rest intact. *)
+  QCheck.Test.make ~name:"pop_if_before splits at the cutoff" ~count:200
+    QCheck.(pair (float_range 0.0 100.0) (list (float_range 0.0 100.0)))
+    (fun (cutoff, priorities) ->
+      let q = Prioq.create () in
+      List.iteri (fun i p -> Prioq.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Prioq.pop_if_before q ~until:cutoff with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      List.for_all (fun p -> p <= cutoff) popped
+      && List.length popped = List.length (List.filter (fun p -> p <= cutoff) priorities)
+      && Prioq.length q = List.length priorities - List.length popped
+      && match Prioq.peek q with None -> true | Some (p, _) -> p > cutoff)
+
+let prop_prioq_clear_keeps_capacity =
+  QCheck.Test.make ~name:"clear empties but keeps capacity" ~count:100
+    QCheck.(int_range 1 500)
+    (fun n ->
+      let q = Prioq.create () in
+      for i = 0 to n - 1 do
+        Prioq.push q ~priority:(float_of_int (i * 7 mod 13)) i
+      done;
+      let cap = Prioq.capacity q in
+      Prioq.clear q;
+      Prioq.is_empty q && Prioq.capacity q = cap
+      && begin
+           (* The heap stays usable after clear. *)
+           Prioq.push q ~priority:1.0 42;
+           Prioq.pop q = Some (1.0, 42)
+         end)
+
 let prop_prioq_length =
   QCheck.Test.make ~name:"length tracks pushes and pops" ~count:100
     QCheck.(list (float_range 0.0 10.0))
@@ -49,6 +125,28 @@ let prop_prioq_length =
            ignore (Prioq.pop q);
            Prioq.length q = max 0 (n - 1)
          end)
+
+(* --- Keyring MACs --- *)
+
+let prop_keyring_mac_roundtrip =
+  (* mac is order-independent in the router pair, verifies, rejects
+     tampering, and mac64 is the big-endian 8-byte prefix of mac. *)
+  QCheck.Test.make ~name:"keyring mac/mac64/verify_mac" ~count:100
+    QCheck.(triple (int_bound 5) (int_bound 5) string)
+    (fun (a, b, msg) ->
+      let ring = Crypto_sim.Keyring.create ~n:6 () in
+      let tag = Crypto_sim.Keyring.mac ring a b msg in
+      let prefix = ref 0L in
+      for i = 0 to 7 do
+        prefix :=
+          Int64.logor (Int64.shift_left !prefix 8) (Int64.of_int (Char.code tag.[i]))
+      done;
+      String.length tag = 32
+      && tag = Crypto_sim.Keyring.mac ring b a msg
+      && Crypto_sim.Keyring.verify_mac ring a b msg tag
+      && Crypto_sim.Keyring.mac64 ring a b msg = !prefix
+      && (not (Crypto_sim.Keyring.verify_mac ring a b (msg ^ "!") tag))
+      && (a = b || not (Crypto_sim.Keyring.verify_mac ring a ((b + 1) mod 6) msg tag)))
 
 (* --- Sim --- *)
 
@@ -264,7 +362,11 @@ let prop_meter_totals =
 let () =
   Alcotest.run "properties"
     [ ( "prioq",
-        List.map to_alco [ prop_prioq_sorted; prop_prioq_fifo_ties; prop_prioq_length ] );
+        List.map to_alco
+          [ prop_prioq_sorted; prop_prioq_fifo_ties; prop_prioq_length;
+            prop_prioq_matches_sorted_reference; prop_prioq_fifo_ties_interleaved;
+            prop_prioq_pop_if_before; prop_prioq_clear_keeps_capacity ] );
+      ("keyring-mac", List.map to_alco [ prop_keyring_mac_roundtrip ]);
       ("sim", List.map to_alco [ prop_sim_time_monotone ]);
       ("queues", List.map to_alco [ prop_fifo_occupancy_invariant; prop_red_physical_limit ]);
       ("tv", List.map to_alco [ prop_tv_reflexive; prop_tv_missing_fabricated_swap ]);
