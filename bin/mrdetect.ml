@@ -113,11 +113,26 @@ let simulate_cmd =
              ~doc:"write the typed event journal (link/router/verdict records) to \
                    FILE as JSONL")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"write a Chrome trace-event JSON file (per-hop packet spans, \
+                   detector round spans, verdict provenance); load it in \
+                   Perfetto or query it with $(b,mrdetect trace explain)")
+  in
+  let trace_sample =
+    Arg.(value & opt float 1.0
+         & info [ "trace-sample" ] ~docv:"RATE"
+             ~doc:"fraction of injected packets to trace, in [0,1] \
+                   (deterministic per seed; verdicts and round spans are \
+                   always recorded)")
+  in
   let run topology protocol attack fraction attacker duration seed flows trace
-      metrics journal =
+      metrics journal trace_out trace_sample =
     match
       Experiments.Simulate.Config.of_cmdline ~topology ~protocol ~attack ~fraction
-        ~attacker ~duration ~seed ~flows ~trace ~metrics ~journal
+        ~attacker ~duration ~seed ~flows ~trace ~metrics ~journal ~trace_out
+        ~trace_sample
     with
     | Error msg -> `Error (false, msg)
     | Ok config -> (
@@ -129,7 +144,44 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
     Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
-               $ seed $ flows $ trace $ metrics $ journal))
+               $ seed $ flows $ trace $ metrics $ journal $ trace_out
+               $ trace_sample))
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"a trace file written by --trace-out")
+  in
+  let explain file =
+    match
+      let ( let* ) = Result.bind in
+      let* text =
+        try
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+        with Sys_error msg -> Error msg
+      in
+      let* doc = Telemetry.Export.of_string (String.trim text) in
+      Telemetry.Trace_export.explain doc
+    with
+    | Ok report ->
+        print_string report;
+        `Ok ()
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+  in
+  let explain_cmd =
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:"Print every verdict's evidence chain (why was each router \
+               blamed?) from a recorded trace")
+      Term.(ret (const explain $ file))
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect Chrome trace-event files written by \
+                            $(b,simulate --trace-out)")
+    [ explain_cmd ]
 
 let subcommand (e : Exp.entry) =
   let run () = Exp.render (e.eval ()) in
@@ -150,4 +202,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: registry_cmds)))
+          (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: trace_cmd
+           :: registry_cmds)))

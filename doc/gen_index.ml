@@ -53,12 +53,18 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
 {- [Telemetry] — {!Telemetry.Metrics} (labeled counters, gauges,
    log-bucketed histograms), {!Telemetry.Journal} (bounded typed event
    ring), {!Telemetry.Export} (JSON and Prometheus text),
-   {!Telemetry.Profile} (wall-clock phase timing).  {!Netsim.Probe}
-   wires these into the simulator's event stream and the detectors'
-   verdicts; [mrdetect simulate --metrics FILE --journal FILE] exposes
-   them on the command line (JSON summary with packet-conservation
-   counters and detection latency; JSONL event journal).  With neither
-   flag, no probe is attached and the forwarding plane is unchanged.}}
+   {!Telemetry.Profile} (wall-clock phase timing), {!Telemetry.Span}
+   (causal packet traces, detector round spans, verdict provenance and
+   the flight recorder) with {!Telemetry.Trace_export} (Chrome
+   trace-event JSON for Perfetto, plus the evidence-chain renderer
+   behind [mrdetect trace explain]).  {!Netsim.Probe} wires these into
+   the simulator's event stream and the detectors' verdicts;
+   [mrdetect simulate --metrics FILE --journal FILE --trace-out FILE]
+   exposes them on the command line (JSON summary with
+   packet-conservation counters and detection latency; JSONL event
+   journal; Chrome trace).  With none of the flags, no probe is
+   attached and the forwarding plane is unchanged.  The README's
+   "Observability" section is the walkthrough.}}
 
 {1 Experiment index}
 

@@ -175,14 +175,47 @@ let run_round t ~start_time ~end_time ~learning =
   t.round <- t.round + 1;
   t.reports_rev <- report :: t.reports_rev;
   match t.probe with
-  | Some probe when not learning ->
-      Netsim.Probe.record_verdict probe ~time:end_time ~detector:"chi"
-        ~subject:t.router ~suspects:victims ~confidence:c_single_max ~alarm
-        ~detail:
-          (Printf.sprintf "round=%d losses=%d fabricated=%d" report.round
-             (List.length losses) fabricated)
-        ()
-  | Some _ | None -> ()
+  | None -> ()
+  | Some probe ->
+      let track = Printf.sprintf "chi r%d" t.router in
+      let round_span =
+        Netsim.Probe.trace_span probe ~track
+          ~name:(Printf.sprintf "chi round %d" report.round)
+          ~cat:"round" ~start:start_time ~finish:end_time ~routers:[ t.router ]
+          ~args:
+            [ ("arrivals", Telemetry.Export.Int report.arrivals);
+              ("departures", Telemetry.Export.Int report.departures);
+              ("losses", Telemetry.Export.Int (List.length losses));
+              ("fabricated", Telemetry.Export.Int fabricated);
+              ("learning", Telemetry.Export.Bool learning) ]
+          ()
+      in
+      if not learning then begin
+        (* Evidence: the individually-suspicious losses this verdict
+           rests on, plus the round span itself. *)
+        let loss_evidence =
+          List.filter_map
+            (fun l ->
+              if l.confidence >= t.config.th_single then
+                Netsim.Probe.trace_instant probe ~track ~name:"suspicious-loss"
+                  ~cat:"evidence" ~time:l.time ~routers:[ t.router ]
+                  ~args:
+                    [ ("flow", Telemetry.Export.Int l.flow);
+                      ("size", Telemetry.Export.Int l.size);
+                      ("qpred", Telemetry.Export.Float l.qpred);
+                      ("confidence", Telemetry.Export.Float l.confidence) ]
+                  ()
+              else None)
+            losses
+        in
+        Netsim.Probe.record_verdict probe ~time:end_time ~detector:"chi"
+          ~subject:t.router ~suspects:victims ~confidence:c_single_max ~alarm
+          ~detail:
+            (Printf.sprintf "round=%d losses=%d fabricated=%d" report.round
+               (List.length losses) fabricated)
+          ~evidence:(Option.to_list round_span @ loss_evidence)
+          ()
+      end
 
 let deploy ~net ~rt ~router ~next ?(config = default_config)
     ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew ?probe () =

@@ -48,6 +48,7 @@ type t = {
      exchanged across all monitored segments. *)
   mutable fingerprints_observed : int;
   mutable words_exchanged : int;
+  mutable round : int;
 }
 
 let detections t = List.rev t.detections_rev
@@ -67,9 +68,9 @@ let reset_state policy st =
 let deploy ~net ~rt ?(config = default_config)
     ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe () =
   let t =
-    { config; response = Response.create ~net ~config:config.response ();
+    { config; response = Response.create ~net ~config:config.response ?probe ();
       segs = Hashtbl.create 256; detections_rev = []; last_policy_change = neg_infinity;
-      fingerprints_observed = 0; words_exchanged = 0 }
+      fingerprints_observed = 0; words_exchanged = 0; round = 0 }
   in
   List.iter
     (fun seg ->
@@ -112,10 +113,12 @@ let deploy ~net ~rt ?(config = default_config)
           | Some p ->
               let len = Array.length p in
               let fp = Netsim.Packet.fingerprint key pkt in
+              let observed = ref 0 in
               let observe state_of seg =
                 match Hashtbl.find_opt t.segs seg with
                 | Some st ->
                     t.fingerprints_observed <- t.fingerprints_observed + 1;
+                    incr observed;
                     Summary.observe (state_of st) ~fp ~size:pkt.Netsim.Packet.size
                       ~time:ev.Netsim.Net.time
                 | None -> ()
@@ -130,16 +133,47 @@ let deploy ~net ~rt ?(config = default_config)
                      records what came out. *)
                   if i >= 1 then observe (fun st -> st.received) [ p.(i - 1); u; v ]
                 end
-              done)
+              done;
+              (* One MAC-compute instant per traced hop, however many
+                 segment summaries the fingerprint landed in. *)
+              if !observed > 0 && pkt.Netsim.Packet.trace <> 0 then
+                Option.iter
+                  (fun probe ->
+                    ignore
+                      (Netsim.Probe.trace_instant probe ~track:"fatih"
+                         ~name:"fingerprint" ~cat:"mac" ~time:ev.Netsim.Net.time
+                         ~routers:[ u; v ]
+                         ~args:
+                           [ ("pkt", Telemetry.Export.Int pkt.Netsim.Packet.uid);
+                             ("summaries", Telemetry.Export.Int !observed) ]
+                         ()))
+                  probe)
       | _ -> ());
   let sim = Netsim.Net.sim net in
   let rec tick () =
     let now = Netsim.Sim.now sim in
+    let judged = ref 0 in
+    let detected = ref 0 in
     Hashtbl.iter
       (fun seg st ->
         if now -. config.tau > t.last_policy_change +. 1e-9
            && Summary.packets st.sent >= config.min_packets
         then begin
+          incr judged;
+          (* The terminal routers ship this round's summaries for
+             comparison — the dispatch is part of a verdict's evidence. *)
+          let dispatch =
+            match probe with
+            | None -> None
+            | Some probe ->
+                Netsim.Probe.trace_instant probe ~track:"fatih"
+                  ~name:"summary-dispatch" ~cat:"summary" ~time:now ~routers:seg
+                  ~args:
+                    [ ("sent", Telemetry.Export.Int (Summary.packets st.sent));
+                      ("received",
+                       Telemetry.Export.Int (Summary.packets st.received)) ]
+                  ()
+          in
           let v =
             Validation.tv ~thresholds:config.thresholds ~sent:st.sent
               ~received:st.received ()
@@ -166,6 +200,7 @@ let deploy ~net ~rt ?(config = default_config)
             v.Validation.max_delay_seen > config.thresholds.Validation.max_delay
           in
           if loss_bad || fab_bad || order_bad || delay_bad then begin
+            incr detected;
             let ends =
               match seg with [ a; _; b ] -> (a, b) | _ -> assert false
             in
@@ -178,6 +213,22 @@ let deploy ~net ~rt ?(config = default_config)
               :: t.detections_rev;
             (match probe with
             | Some probe ->
+                let mismatch =
+                  Netsim.Probe.trace_instant probe ~track:"fatih"
+                    ~name:"summary-mismatch" ~cat:"evidence" ~time:now
+                    ~routers:seg
+                    ~args:
+                      [ ("missing", Telemetry.Export.Int
+                           (List.length v.Validation.missing));
+                        ("fabricated", Telemetry.Export.Int
+                           (List.length fabricated));
+                        ("reordered", Telemetry.Export.Int
+                           v.Validation.reordered);
+                        ("max_delay", Telemetry.Export.Float
+                           v.Validation.max_delay_seen);
+                        ("sent", Telemetry.Export.Int sent_n) ]
+                    ()
+                in
                 (* The accused is the segment's interior router: the two
                    ends are the detecting terminals. *)
                 Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
@@ -187,6 +238,7 @@ let deploy ~net ~rt ?(config = default_config)
                     (Printf.sprintf "missing=%d/%d fabricated=%d"
                        (List.length v.Validation.missing) sent_n
                        (List.length fabricated))
+                  ~evidence:(Option.to_list dispatch @ Option.to_list mismatch)
                   ()
             | None -> ());
             Response.suspect t.response seg
@@ -222,6 +274,21 @@ let deploy ~net ~rt ?(config = default_config)
             end);
         reset_state config.policy st)
       t.segs;
+    (match probe with
+    | Some probe ->
+        ignore
+          (Netsim.Probe.trace_span probe ~track:"fatih"
+             ~name:(Printf.sprintf "fatih round %d" t.round)
+             ~cat:"round"
+             ~start:(Float.max 0.0 (now -. config.tau))
+             ~finish:now
+             ~args:
+               [ ("segments", Telemetry.Export.Int (Hashtbl.length t.segs));
+                 ("judged", Telemetry.Export.Int !judged);
+                 ("detections", Telemetry.Export.Int !detected) ]
+             ())
+    | None -> ());
+    t.round <- t.round + 1;
     Netsim.Sim.schedule sim ~delay:config.tau tick
   in
   Netsim.Sim.schedule sim ~delay:config.tau tick;

@@ -34,11 +34,33 @@ let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?probe ~rounds () =
       | Some probe ->
           (* The offline rounds have no simulation clock; the round index
              stands in for time. *)
-          Netsim.Probe.record_verdict probe ~time:(float_of_int round)
-            ~detector:"pi2"
+          let time = float_of_int round in
+          let round_span =
+            Netsim.Probe.trace_span probe ~track:"pi2"
+              ~name:(Printf.sprintf "pi2 round %d" round)
+              ~cat:"round" ~start:time ~finish:(time +. 1.0)
+              ~args:
+                [ ("segments_suspected",
+                   Telemetry.Export.Int (List.length segs)) ]
+              ()
+          in
+          let evidence =
+            List.filter_map
+              (fun seg ->
+                Netsim.Probe.trace_instant probe ~track:"pi2" ~name:"tv-fail"
+                  ~cat:"evidence" ~time ~routers:seg
+                  ~args:
+                    [ ("segment",
+                       Telemetry.Export.List
+                         (List.map (fun r -> Telemetry.Export.Int r) seg)) ]
+                  ())
+              segs
+          in
+          Netsim.Probe.record_verdict probe ~time ~detector:"pi2"
             ~suspects:(List.sort_uniq compare (List.concat segs))
             ~alarm:(segs <> [])
             ~detail:(Printf.sprintf "round=%d segments=%d" round (List.length segs))
+            ~evidence:(Option.to_list round_span @ evidence)
             ()
       | None -> ());
       List.concat_map

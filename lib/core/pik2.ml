@@ -45,7 +45,7 @@ let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?sampling
   in
   List.sort_uniq compare suspicions
 
-let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ~rounds () =
+let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?probe ~rounds () =
   let g = Topology.Routing.graph rt in
   let correct = Rounds.correct_routers g ~faulty:adversary.Rounds.faulty in
   List.concat_map
@@ -53,6 +53,39 @@ let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ~rounds () =
       let segs =
         detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ~round ()
       in
+      (match probe with
+      | Some probe ->
+          (* Clockless synchronous rounds, as in {!Pi2.detect}: the round
+             index stands in for time. *)
+          let time = float_of_int round in
+          let round_span =
+            Netsim.Probe.trace_span probe ~track:"pik2"
+              ~name:(Printf.sprintf "pik2 round %d" round)
+              ~cat:"round" ~start:time ~finish:(time +. 1.0)
+              ~args:
+                [ ("segments_suspected",
+                   Telemetry.Export.Int (List.length segs)) ]
+              ()
+          in
+          let evidence =
+            List.filter_map
+              (fun seg ->
+                Netsim.Probe.trace_instant probe ~track:"pik2"
+                  ~name:"exchange-fail" ~cat:"evidence" ~time ~routers:seg
+                  ~args:
+                    [ ("segment",
+                       Telemetry.Export.List
+                         (List.map (fun r -> Telemetry.Export.Int r) seg)) ]
+                  ())
+              segs
+          in
+          Netsim.Probe.record_verdict probe ~time ~detector:"pik2"
+            ~suspects:(List.sort_uniq compare (List.concat segs))
+            ~alarm:(segs <> [])
+            ~detail:(Printf.sprintf "round=%d segments=%d" round (List.length segs))
+            ~evidence:(Option.to_list round_span @ evidence)
+            ()
+      | None -> ());
       List.concat_map
         (fun seg ->
           List.map (fun by -> { Spec.segment = seg; round; by }) correct)

@@ -31,10 +31,13 @@ val detect :
   adversary:Rounds.adversary ->
   ?thresholds:Validation.thresholds ->
   ?packets_per_path:int ->
+  ?probe:Netsim.Probe.t ->
   rounds:int ->
   unit ->
   Spec.suspicion list
-(** Multi-round run expanded per correct router, as in {!Pi2.detect}. *)
+(** Multi-round run expanded per correct router, as in {!Pi2.detect}.
+    With [probe], each round records a verdict (and, when tracing, a
+    round span plus per-segment exchange-failure evidence). *)
 
 val state_counters : Topology.Routing.t -> k:int -> int array
 (** Per-router counters under conservation of flow: two per monitored

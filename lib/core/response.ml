@@ -10,6 +10,7 @@ type event = {
 type t = {
   net : Netsim.Net.t;
   config : config;
+  probe : Netsim.Probe.t option;
   mutable suspected : Topology.Graph.node list list;
   mutable pending : bool;           (* a recomputation is scheduled *)
   mutable last_update : float;      (* time of the latest installation *)
@@ -17,9 +18,9 @@ type t = {
   mutable on_update : Topology.Policy.t -> unit;
 }
 
-let create ~net ?(config = default_config) () =
-  { net; config; suspected = []; pending = false; last_update = neg_infinity;
-    updates_rev = []; on_update = (fun _ -> ()) }
+let create ~net ?(config = default_config) ?probe () =
+  { net; config; probe; suspected = []; pending = false;
+    last_update = neg_infinity; updates_rev = []; on_update = (fun _ -> ()) }
 
 let install t =
   t.pending <- false;
@@ -28,6 +29,17 @@ let install t =
   let pol = Topology.Policy.compute (Netsim.Net.graph t.net) ~forbidden:t.suspected in
   Netsim.Net.use_policy t.net pol;
   t.updates_rev <- { time = now; forbidden = t.suspected } :: t.updates_rev;
+  (match t.probe with
+  | Some probe ->
+      ignore
+        (Netsim.Probe.trace_instant probe ~track:"response" ~name:"routing-update"
+           ~cat:"response" ~time:now
+           ~routers:(List.sort_uniq compare (List.concat t.suspected))
+           ~args:
+             [ ("segments_excised",
+                Telemetry.Export.Int (List.length t.suspected)) ]
+           ())
+  | None -> ());
   t.on_update pol
 
 let schedule t =

@@ -23,7 +23,9 @@ type event = {
 
 type t
 
-val create : net:Netsim.Net.t -> ?config:config -> unit -> t
+val create : net:Netsim.Net.t -> ?config:config -> ?probe:Netsim.Probe.t -> unit -> t
+(** Pass [probe] to record a "routing-update" trace instant (listing the
+    excised segments' routers) at each installation. *)
 
 val suspect : t -> Topology.Graph.node list -> unit
 (** Feed a suspected path-segment (idempotent); schedules a routing

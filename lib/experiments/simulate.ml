@@ -45,12 +45,14 @@ module Config = struct
     trace : int;
     metrics : string option;
     journal : string option;
+    trace_out : string option;
+    trace_sample : float;
   }
 
   let default =
     { topo = Ring; protocol = `Fatih; attack = Drop_fraction 0.2; attacker = 2;
       duration = 60.0; seed = 1; flows = 8; trace = 0; metrics = None;
-      journal = None }
+      journal = None; trace_out = None; trace_sample = 1.0 }
 
   let validate c =
     let fraction_of = function
@@ -63,6 +65,11 @@ module Config = struct
       Error (Printf.sprintf "need at least one flow (got %d)" c.flows)
     else if c.trace < 0 then
       Error (Printf.sprintf "trace length cannot be negative (got %d)" c.trace)
+    else if not (Float.is_finite c.trace_sample)
+            || c.trace_sample < 0.0 || c.trace_sample > 1.0 then
+      Error
+        (Printf.sprintf "trace sample rate must lie in [0,1] (got %g)"
+           c.trace_sample)
     else begin
       let n = Topology.Graph.size (graph_of c.topo) in
       if c.attacker < 0 || c.attacker >= n then
@@ -83,14 +90,14 @@ module Config = struct
     | p -> Error (Printf.sprintf "unknown protocol %S (chi|fatih)" p)
 
   let of_cmdline ~topology ~protocol ~attack ~fraction ~attacker ~duration ~seed
-      ~flows ~trace ~metrics ~journal =
+      ~flows ~trace ~metrics ~journal ~trace_out ~trace_sample =
     let ( let* ) = Result.bind in
     let* topo = topo_of_string topology in
     let* protocol = protocol_of_string protocol in
     let* attack = attack_of_string attack ~fraction in
     validate
       { topo; protocol; attack; attacker; duration; seed; flows; trace; metrics;
-        journal }
+        journal; trace_out; trace_sample }
 end
 
 let behavior_of = function
@@ -189,7 +196,7 @@ let write_journal path probe =
 
 let run (config : Config.t) =
   let { Config.topo; protocol; attack; attacker; duration; seed; flows; trace;
-        metrics; journal } =
+        metrics; journal; trace_out; trace_sample } =
     match Config.validate config with
     | Ok c -> c
     | Error msg -> invalid_arg ("Simulate.run: " ^ msg)
@@ -203,14 +210,25 @@ let run (config : Config.t) =
   in
   check_writable metrics;
   check_writable journal;
+  check_writable trace_out;
   let profile = Telemetry.Profile.create () in
+  let span_tracer =
+    match trace_out with
+    | None -> None
+    | Some _ -> Some (Telemetry.Span.create ~sample:trace_sample ~seed ())
+  in
   let probe =
-    if metrics <> None || journal <> None then
+    if metrics <> None || journal <> None || Option.is_some span_tracer then
       Some
         (Probe.create
            ~journal_capacity:(if journal = None then 4096 else 262144)
-           ())
+           ?tracer:span_tracer ())
     else None
+  in
+  let write_trace () =
+    match (trace_out, span_tracer) with
+    | Some path, Some sp -> Telemetry.Trace_export.write path sp
+    | _ -> ()
   in
   let attack_start = duration /. 3.0 in
   let net, rt, pairs, malicious, congestion, tracer =
@@ -263,7 +281,12 @@ let run (config : Config.t) =
     | None -> ()
   in
   let simulate () =
-    Telemetry.Profile.time profile "run" (fun () -> Net.run ~until:duration net)
+    try Telemetry.Profile.time profile "run" (fun () -> Net.run ~until:duration net)
+    with e ->
+      (* Flight recorder: a crash mid-run still leaves the pinned spans
+         and recent window on disk before the exception propagates. *)
+      write_trace ();
+      raise e
   in
   let report =
     match protocol with
@@ -352,4 +375,15 @@ let run (config : Config.t) =
       in
       let doc = summary_json ~scenario ~attack_start net probe profile in
       (match metrics with Some path -> write_metrics path doc probe | None -> ());
-      (match journal with Some path -> write_journal path probe | None -> ())
+      (match journal with Some path -> write_journal path probe | None -> ());
+      (match (trace_out, span_tracer) with
+      | Some path, Some sp ->
+          write_trace ();
+          Printf.printf
+            "trace: %s (%d/%d packets sampled, %d events recorded, %d pinned)\n"
+            path
+            (Telemetry.Span.traces_sampled sp)
+            (Telemetry.Span.traces_started sp)
+            (Telemetry.Span.recorded sp)
+            (Telemetry.Span.pinned sp)
+      | _ -> ())

@@ -6,7 +6,10 @@
     carries a {!Netsim.Probe}: packet counters, per-router gauges,
     detector verdicts and run profiling come out as a JSON document (or
     Prometheus text for a [.prom]/[.txt] path), and the typed event
-    journal as JSONL. *)
+    journal as JSONL.  With [trace_out] set, the probe additionally
+    bridges into a {!Telemetry.Span} collector and the run ends by
+    writing a Chrome trace-event file (load it in Perfetto, or query it
+    with [mrdetect trace explain]). *)
 
 type topo = Line | Ring | Grid | Abilene
 
@@ -30,17 +33,19 @@ module Config : sig
     trace : int;             (** dump the last N events at the attacker *)
     metrics : string option; (** metrics/summary export path *)
     journal : string option; (** JSONL event-journal path *)
+    trace_out : string option; (** Chrome trace-event export path *)
+    trace_sample : float;    (** fraction of packets traced, in [0,1] *)
   }
 
   val default : t
   (** Ring topology, Fatih, 20% drop fraction at router 2, 60 s, seed 1,
-      8 flows, no trace, no exports. *)
+      8 flows, no trace, no exports, trace sampling at 1.0. *)
 
   val validate : t -> (t, string) result
   (** Reject non-positive duration, fewer than one flow, a negative
-      trace length, an attacker id outside the chosen topology, and a
-      drop/queue fraction outside [0,1] — before any simulation state
-      is built. *)
+      trace length, a sample rate outside [0,1], an attacker id outside
+      the chosen topology, and a drop/queue fraction outside [0,1] —
+      before any simulation state is built. *)
 
   val of_cmdline :
     topology:string ->
@@ -54,6 +59,8 @@ module Config : sig
     trace:int ->
     metrics:string option ->
     journal:string option ->
+    trace_out:string option ->
+    trace_sample:float ->
     (t, string) result
   (** Parse the raw command-line spellings and {!validate} the result. *)
 end

@@ -16,6 +16,7 @@ type t = {
   mutable ttl : int;
   mutable payload : int64;
   created : float;
+  mutable trace : int;
 }
 
 let make ~sim ~src ~dst ~flow ~size ?(ttl = 64) proto =
@@ -25,7 +26,8 @@ let make ~sim ~src ~dst ~flow ~size ?(ttl = 64) proto =
      distinguishes one application's packet from another's, which
      stealth probing (§3.8) depends on. *)
   { uid; src; dst; flow; size; proto; ttl;
-    payload = Crypto_sim.Fnv.hash_int64 (Int64.of_int uid); created = Sim.now sim }
+    payload = Crypto_sim.Fnv.hash_int64 (Int64.of_int uid); created = Sim.now sim;
+    trace = 0 }
 
 let clone t = { t with uid = t.uid }
 

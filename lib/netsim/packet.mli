@@ -28,6 +28,9 @@ type t = {
   mutable payload : int64;  (** stand-in for payload bytes; a modification
                                 attack overwrites it *)
   created : float;     (** origination time *)
+  mutable trace : int; (** telemetry trace id (0 = unsampled); pure
+                           observability metadata, excluded from
+                           fingerprints like the TTL *)
 }
 
 val make :

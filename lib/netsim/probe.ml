@@ -46,13 +46,35 @@ type t = {
   delivery_latency : Telemetry.Metrics.histogram;
   malice_by_router : (int, Telemetry.Metrics.counter) Hashtbl.t;
   mutable first_alarm_time : float option;
+  (* Span bridge (optional).  Traced packets open per-hop spans keyed by
+     (uid, router, next) — multicast clones share a uid but traverse
+     distinct (router, next) edges, so the keys stay unique per branch. *)
+  tracer : Telemetry.Span.t option;
+  pending_queue : (int * int * int, float) Hashtbl.t;
+  pending_tx : (int * int * int, float) Hashtbl.t;
+  named_tracks : (int, unit) Hashtbl.t;
 }
+
+let iface_packet = function
+  | Iface.Enqueued p | Iface.Drop_congestion p | Iface.Drop_red_early p
+  | Iface.Drop_link_down p | Iface.Drop_corrupted p | Iface.Transmit_start p
+  | Iface.Delivered p ->
+      p
+
+let router_packet = function
+  | Router.Malicious_drop { pkt; _ }
+  | Router.Malicious_modify { pkt; _ }
+  | Router.Malicious_delay { pkt; _ }
+  | Router.Fabricated { pkt; _ } ->
+      pkt
+  | Router.Fragmented { original; _ } -> original
+  | Router.No_route pkt | Router.Ttl_expired pkt | Router.Delivered_local pkt -> pkt
 
 let drop_counter reg cause =
   Telemetry.Metrics.counter reg "pkt_dropped_total"
     ~help:"packets dropped, by cause" ~labels:[ ("cause", cause) ]
 
-let create ?registry ?(journal_capacity = 65536) () =
+let create ?registry ?(journal_capacity = 65536) ?tracer () =
   let reg = match registry with Some r -> r | None -> Telemetry.Metrics.create () in
   let c name help = Telemetry.Metrics.counter reg name ~help in
   { registry = reg;
@@ -83,10 +105,24 @@ let create ?registry ?(journal_capacity = 65536) () =
       Telemetry.Metrics.histogram reg "delivery_latency_seconds" ~buckets:24
         ~min_exp:(-14) ~help:"origination-to-delivery latency";
     malice_by_router = Hashtbl.create 8;
-    first_alarm_time = None }
+    first_alarm_time = None;
+    tracer;
+    pending_queue = Hashtbl.create 256;
+    pending_tx = Hashtbl.create 256;
+    named_tracks = Hashtbl.create 16 }
 
 let registry t = t.registry
 let journal t = t.journal
+let tracer t = t.tracer
+
+(* Name the (netsim, router) track on first use. *)
+let net_track t sp router =
+  if not (Hashtbl.mem t.named_tracks router) then begin
+    Hashtbl.add t.named_tracks router ();
+    Telemetry.Span.set_thread sp ~pid:Telemetry.Span.network_pid ~tid:router
+      (Printf.sprintf "r%d" router)
+  end;
+  router
 
 let malice_counter t router =
   match Hashtbl.find_opt t.malice_by_router router with
@@ -102,7 +138,74 @@ let malice_counter t router =
 
 let on_originate t (pkt : Packet.t) =
   Telemetry.Metrics.inc t.injected;
-  Telemetry.Metrics.observe t.pkt_size (float_of_int pkt.Packet.size)
+  Telemetry.Metrics.observe t.pkt_size (float_of_int pkt.Packet.size);
+  match t.tracer with
+  | None -> ()
+  | Some sp -> (
+      match Telemetry.Span.new_trace sp with
+      | None -> ()
+      | Some trace ->
+          pkt.Packet.trace <- trace;
+          let tid = net_track t sp pkt.Packet.src in
+          ignore
+            (Telemetry.Span.instant sp ~trace ~name:"originate" ~cat:"packet"
+               ~pid:Telemetry.Span.network_pid ~tid ~time:pkt.Packet.created
+               ~routers:[ pkt.Packet.src ]
+               ~args:
+                 [ ("pkt", Telemetry.Export.Int pkt.Packet.uid);
+                   ("dst", Telemetry.Export.Int pkt.Packet.dst);
+                   ("flow", Telemetry.Export.Int pkt.Packet.flow);
+                   ("size", Telemetry.Export.Int pkt.Packet.size) ]
+               ()))
+
+(* Per-hop spans for a traced packet: enqueue->transmit ("queue") then
+   transmit->deliver ("transmit"); drops become instants and clear any
+   pending window so the tables never leak. *)
+let trace_iface t sp ~time ~router ~next (ev : Iface.event) =
+  let pkt = iface_packet ev in
+  let trace = pkt.Packet.trace in
+  if trace <> 0 then begin
+    let key = (pkt.Packet.uid, router, next) in
+    let pid = Telemetry.Span.network_pid in
+    let tid = net_track t sp router in
+    let routers = [ router; next ] in
+    let pkt_args =
+      [ ("pkt", Telemetry.Export.Int pkt.Packet.uid);
+        ("next", Telemetry.Export.Int next) ]
+    in
+    let drop cause =
+      Hashtbl.remove t.pending_queue key;
+      Hashtbl.remove t.pending_tx key;
+      ignore
+        (Telemetry.Span.instant sp ~trace ~name:("drop " ^ cause) ~cat:"drop"
+           ~pid ~tid ~time ~routers
+           ~args:(("cause", Telemetry.Export.String cause) :: pkt_args)
+           ())
+    in
+    match ev with
+    | Iface.Enqueued _ -> Hashtbl.replace t.pending_queue key time
+    | Iface.Transmit_start _ ->
+        (match Hashtbl.find_opt t.pending_queue key with
+        | Some start ->
+            Hashtbl.remove t.pending_queue key;
+            ignore
+              (Telemetry.Span.span sp ~trace ~name:"queue" ~cat:"hop" ~pid ~tid
+                 ~start ~finish:time ~routers ~args:pkt_args ())
+        | None -> ());
+        Hashtbl.replace t.pending_tx key time
+    | Iface.Delivered _ -> (
+        match Hashtbl.find_opt t.pending_tx key with
+        | Some start ->
+            Hashtbl.remove t.pending_tx key;
+            ignore
+              (Telemetry.Span.span sp ~trace ~name:"transmit" ~cat:"hop" ~pid ~tid
+                 ~start ~finish:time ~routers ~args:pkt_args ())
+        | None -> ())
+    | Iface.Drop_congestion _ -> drop "congestion"
+    | Iface.Drop_red_early _ -> drop "red_early"
+    | Iface.Drop_link_down _ -> drop "link_down"
+    | Iface.Drop_corrupted _ -> drop "corrupted"
+  end
 
 let on_iface t ~time ~router ~next (ev : Iface.event) =
   (match ev with
@@ -113,7 +216,44 @@ let on_iface t ~time ~router ~next (ev : Iface.event) =
   | Iface.Drop_corrupted _ -> Telemetry.Metrics.inc t.drop_corrupted
   | Iface.Transmit_start _ -> ()
   | Iface.Delivered _ -> Telemetry.Metrics.inc t.forwarded_hops);
-  Telemetry.Journal.record t.journal (Link { time; router; next; ev })
+  Telemetry.Journal.record t.journal (Link { time; router; next; ev });
+  match t.tracer with
+  | Some sp -> trace_iface t sp ~time ~router ~next ev
+  | None -> ()
+
+let trace_router t sp ~time ~router (ev : Router.event) =
+  let pkt = router_packet ev in
+  let trace = pkt.Packet.trace in
+  if trace <> 0 then begin
+    let pid = Telemetry.Span.network_pid in
+    let tid = net_track t sp router in
+    let name, cat =
+      match ev with
+      | Router.Malicious_drop _ -> ("malicious drop", "malice")
+      | Router.Malicious_modify _ -> ("malicious modify", "malice")
+      | Router.Malicious_delay _ -> ("malicious delay", "malice")
+      | Router.Fabricated _ -> ("fabricate", "malice")
+      | Router.Fragmented _ -> ("fragment", "hop")
+      | Router.No_route _ -> ("drop no_route", "drop")
+      | Router.Ttl_expired _ -> ("drop ttl_expired", "drop")
+      | Router.Delivered_local _ -> ("deliver", "packet")
+    in
+    let args =
+      ("pkt", Telemetry.Export.Int pkt.Packet.uid)
+      ::
+      (match ev with
+      | Router.Delivered_local _ ->
+          [ ("latency", Telemetry.Export.Float (time -. pkt.Packet.created)) ]
+      | Router.Malicious_delay { delay; _ } ->
+          [ ("delay", Telemetry.Export.Float delay) ]
+      | Router.Fragmented { fragments; _ } ->
+          [ ("fragments", Telemetry.Export.Int fragments) ]
+      | _ -> [])
+    in
+    ignore
+      (Telemetry.Span.instant sp ~trace ~name ~cat ~pid ~tid ~time
+         ~routers:[ router ] ~args ())
+  end
 
 let on_router t ~time ~router (ev : Router.event) =
   (match ev with
@@ -137,19 +277,50 @@ let on_router t ~time ~router (ev : Router.event) =
   | Router.Delivered_local pkt ->
       Telemetry.Metrics.inc t.delivered;
       Telemetry.Metrics.observe t.delivery_latency (time -. pkt.Packet.created));
-  Telemetry.Journal.record t.journal (Node { time; router; ev })
+  Telemetry.Journal.record t.journal (Node { time; router; ev });
+  match t.tracer with
+  | Some sp -> trace_router t sp ~time ~router ev
+  | None -> ()
 
 let record_verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alarm
-    ?(detail = "") () =
+    ?(detail = "") ?(evidence = []) () =
   Telemetry.Metrics.inc t.verdicts;
   if alarm then begin
     Telemetry.Metrics.inc t.alarms;
     if t.first_alarm_time = None then t.first_alarm_time <- Some time
   end;
   Telemetry.Journal.record t.journal
-    (Verdict { time; detector; subject; suspects; confidence; alarm; detail })
+    (Verdict { time; detector; subject; suspects; confidence; alarm; detail });
+  match t.tracer with
+  | None -> ()
+  | Some sp ->
+      ignore
+        (Telemetry.Span.verdict sp ~time ~detector ?subject ~suspects ?confidence
+           ~alarm ~detail ~evidence ())
 
 let first_alarm_time t = t.first_alarm_time
+
+(* Detector-side span helpers: record on the "detectors" process, one
+   track per [track] name.  No-ops (returning [None]) without a tracer,
+   so protocol code can call them unconditionally. *)
+
+let trace_span t ~track ~name ?cat ~start ~finish ?routers ?args () =
+  match t.tracer with
+  | None -> None
+  | Some sp ->
+      let pid = Telemetry.Span.detector_pid in
+      let tid = Telemetry.Span.thread sp ~pid track in
+      Some
+        (Telemetry.Span.span sp ~name ?cat ~pid ~tid ~start ~finish ?routers ?args
+           ())
+
+let trace_instant t ~track ~name ?cat ~time ?routers ?args () =
+  match t.tracer with
+  | None -> None
+  | Some sp ->
+      let pid = Telemetry.Span.detector_pid in
+      let tid = Telemetry.Span.thread sp ~pid track in
+      Some (Telemetry.Span.instant sp ~name ?cat ~pid ~tid ~time ?routers ?args ())
 
 (* --- conservation --- *)
 
@@ -186,12 +357,6 @@ let describe_iface_kind = function
   | Iface.Transmit_start _ -> "transmit"
   | Iface.Delivered _ -> "deliver"
 
-let iface_packet = function
-  | Iface.Enqueued p | Iface.Drop_congestion p | Iface.Drop_red_early p
-  | Iface.Drop_link_down p | Iface.Drop_corrupted p | Iface.Transmit_start p
-  | Iface.Delivered p ->
-      p
-
 let describe_router_kind = function
   | Router.Malicious_drop _ -> "MALICIOUS-drop"
   | Router.Malicious_modify _ -> "MALICIOUS-modify"
@@ -202,15 +367,6 @@ let describe_router_kind = function
   | Router.No_route _ -> "no-route"
   | Router.Ttl_expired _ -> "ttl-expired"
   | Router.Delivered_local _ -> "local-deliver"
-
-let router_packet = function
-  | Router.Malicious_drop { pkt; _ }
-  | Router.Malicious_modify { pkt; _ }
-  | Router.Malicious_delay { pkt; _ }
-  | Router.Fabricated { pkt; _ } ->
-      pkt
-  | Router.Fragmented { original; _ } -> original
-  | Router.No_route pkt | Router.Ttl_expired pkt | Router.Delivered_local pkt -> pkt
 
 let describe = function
   | Link { time; router; next; ev } ->

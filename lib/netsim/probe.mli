@@ -11,7 +11,16 @@
 
     {!Tracer} derives its legacy line format from the same typed records
     via {!describe}; exporters turn the journal into JSONL with
-    {!write_journal}. *)
+    {!write_journal}.
+
+    A probe can additionally bridge into a {!Telemetry.Span} collector
+    (pass [tracer] at creation): {!on_originate} then assigns each
+    sampled packet a trace id carried in [Packet.trace], per-hop link
+    events open queue/transmit spans and drop instants on the packet's
+    trace, router events become instants, and {!record_verdict} writes a
+    provenance record pinning the flight-recorder window for the
+    implicated routers.  Detectors add their own round spans and
+    evidence instants via {!trace_span} / {!trace_instant}. *)
 
 type iface_record = { time : float; router : int; next : int; ev : Iface.event }
 type router_record = { time : float; router : int; ev : Router.event }
@@ -33,19 +42,33 @@ type event =
 
 type t
 
-val create : ?registry:Telemetry.Metrics.t -> ?journal_capacity:int -> unit -> t
+val create :
+  ?registry:Telemetry.Metrics.t ->
+  ?journal_capacity:int ->
+  ?tracer:Telemetry.Span.t ->
+  unit ->
+  t
 (** A fresh probe; [journal_capacity] bounds the journal (default 65536
     records).  Pass [registry] to share one registry across several
-    probes (or with application metrics). *)
+    probes (or with application metrics); pass [tracer] to record causal
+    spans alongside the journal. *)
 
 val registry : t -> Telemetry.Metrics.t
 val journal : t -> event Telemetry.Journal.t
 
+val tracer : t -> Telemetry.Span.t option
+(** The span collector attached at creation, if any. *)
+
 val on_originate : t -> Packet.t -> unit
+(** Count an application origination.  With a tracer attached this also
+    draws the sampling coin and, when sampled, stamps [Packet.trace]
+    and records an "originate" instant. *)
+
 val on_iface : t -> time:float -> router:int -> next:int -> Iface.event -> unit
 val on_router : t -> time:float -> router:int -> Router.event -> unit
 (** Forwarding-plane hooks (called by {!Net}): bump the matching
-    counters and journal the typed record. *)
+    counters, journal the typed record and (for traced packets) record
+    hop spans / instants. *)
 
 val record_verdict :
   t ->
@@ -56,10 +79,41 @@ val record_verdict :
   ?confidence:float ->
   alarm:bool ->
   ?detail:string ->
+  ?evidence:Telemetry.Span.id list ->
   unit ->
   unit
 (** Journal a detector verdict; alarming verdicts also advance the
-    alarm counter and pin {!first_alarm_time}. *)
+    alarm counter and pin {!first_alarm_time}.  With a tracer attached
+    the verdict becomes a provenance record whose [evidence] ids (from
+    {!trace_span} / {!trace_instant}) justify the accusation, and the
+    flight-recorder window for the implicated routers is pinned. *)
+
+val trace_span :
+  t ->
+  track:string ->
+  name:string ->
+  ?cat:string ->
+  start:float ->
+  finish:float ->
+  ?routers:int list ->
+  ?args:(string * Telemetry.Export.json) list ->
+  unit ->
+  Telemetry.Span.id option
+(** Record a detector-side span on the named track (e.g. a protocol
+    round).  [None] — and no work — without a tracer. *)
+
+val trace_instant :
+  t ->
+  track:string ->
+  name:string ->
+  ?cat:string ->
+  time:float ->
+  ?routers:int list ->
+  ?args:(string * Telemetry.Export.json) list ->
+  unit ->
+  Telemetry.Span.id option
+(** Record a detector-side point event (e.g. a suspicious loss used as
+    verdict evidence).  [None] without a tracer. *)
 
 val first_alarm_time : t -> float option
 

@@ -96,6 +96,9 @@ let fragment_if_needed t ~next iface pkt =
           Packet.make ~sim:t.sim ~src:pkt.Packet.src ~dst:pkt.Packet.dst
             ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl pkt.Packet.proto
         in
+        (* Fragments stay on the original packet's trace: causally the
+           same injection, even though their uids are fresh. *)
+        frag.Packet.trace <- pkt.Packet.trace;
         enqueue_after_jitter t iface frag
       done
   | Some _ | None -> enqueue_after_jitter t iface pkt

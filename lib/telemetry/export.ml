@@ -130,11 +130,30 @@ let of_string s =
           | 'f' -> Buffer.add_char buf '\012'; go ()
           | 'u' ->
               if !pos + 4 > n then fail "truncated \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
               pos := !pos + 4;
-              (* Non-ASCII code points fold to '?': the exporters only
-                 ever emit ASCII. *)
-              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+              (* Decode BMP code points to UTF-8.  Surrogate halves
+                 (D800-DFFF) encode astral-plane characters as pairs;
+                 we do not reassemble those — each half folds to '?',
+                 which is lossy but keeps the parser single-pass (the
+                 exporters only ever emit \u for control characters, so
+                 this path never fires on our own output). *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else if code >= 0xD800 && code <= 0xDFFF then
+                Buffer.add_char buf '?'
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
               go ()
           | _ -> fail "bad escape")
       | c ->
@@ -280,7 +299,9 @@ let prom_labels = function
   | labels ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (prom_escape v)) labels)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             labels)
       ^ "}"
 
 let prom_float f =

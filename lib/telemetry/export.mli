@@ -4,8 +4,9 @@
 
     The parser exists so tests (and downstream tooling) can read the
     exporters' own output back without an external JSON library; it
-    covers the full value grammar but folds non-ASCII [\u] escapes to
-    ['?']. *)
+    covers the full value grammar and decodes BMP [\u] escapes to
+    UTF-8.  Surrogate pairs (astral-plane characters) are not
+    reassembled — each half folds to ['?']. *)
 
 type json =
   | Null

@@ -3,15 +3,39 @@ type 'a t = {
   ring : 'a option array;
   mutable next : int;
   mutable total : int;
+  (* Single-writer guard: the domain id that owns the ring (-1 =
+     unclaimed).  The ring indices are plain mutable fields, so
+     concurrent [record] from two domains would corrupt them silently;
+     instead the first recording domain claims the journal and any other
+     writer fails loudly.  Per-domain journals merged at collection are
+     the supported multi-domain pattern (see the @trace stress test). *)
+  owner : int Atomic.t;
 }
+
+let unclaimed = -1
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Journal.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+  { capacity; ring = Array.make capacity None; next = 0; total = 0;
+    owner = Atomic.make unclaimed }
 
 let capacity t = t.capacity
 
+let check_owner t =
+  let self = (Domain.self () :> int) in
+  let owner = Atomic.get t.owner in
+  if
+    owner <> self
+    && not (owner = unclaimed && Atomic.compare_and_set t.owner unclaimed self)
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Journal.record: journal owned by domain %d, write from domain %d \
+          (use one journal per domain and merge at collection)"
+         (Atomic.get t.owner) self)
+
 let record t x =
+  check_owner t;
   t.ring.(t.next) <- Some x;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
@@ -39,4 +63,5 @@ let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.total <- 0
+  t.total <- 0;
+  Atomic.set t.owner unclaimed

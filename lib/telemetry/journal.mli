@@ -4,8 +4,18 @@
     the memory footprint is set at creation no matter how many events
     flow through — under sustained load the journal keeps the newest
     [capacity] records and counts the rest as dropped.  This is the one
-    storage primitive behind {!Netsim.Probe}, {!Netsim.Tracer} and
-    {!Netsim.Meter}. *)
+    storage primitive behind {!Netsim.Probe}, {!Netsim.Tracer},
+    {!Netsim.Meter} and {!Span}.
+
+    {b Single-writer}: the ring indices are plain mutable fields, so a
+    journal belongs to one domain — the first domain to {!record} after
+    creation (or after {!clear}) claims it, and a [record] from any
+    other domain raises [Invalid_argument] instead of silently racing
+    the indices.  Under a domain pool (e.g. [mrdetect all --jobs N])
+    create one journal per domain and merge their {!to_list} views at
+    collection time.  Reads ({!iter}, {!fold}, {!to_list}) are not
+    guarded: perform them on the owning domain, or after the owner is
+    done. *)
 
 type 'a t
 
@@ -16,7 +26,9 @@ val create : ?capacity:int -> unit -> 'a t
 val capacity : 'a t -> int
 
 val record : 'a t -> 'a -> unit
-(** Append, evicting the oldest record once full. *)
+(** Append, evicting the oldest record once full.  Raises
+    [Invalid_argument] when called from a domain other than the
+    journal's owner (the first domain that recorded). *)
 
 val total : 'a t -> int
 (** Records ever offered (including evicted ones). *)
@@ -36,3 +48,5 @@ val to_list : 'a t -> 'a list
 (** The retained records, oldest first. *)
 
 val clear : 'a t -> unit
+(** Drop every record, reset the counters and release domain
+    ownership (the next {!record} claims it afresh). *)

@@ -158,6 +158,126 @@ let test_json_accessors () =
       Alcotest.(check (option string)) "string" (Some "x")
         (to_string_opt (List.nth xs 2))
 
+(* --- \u escape decoding --- *)
+
+let parse_string_exn s =
+  match Export.of_string s with
+  | Ok (Export.String v) -> v
+  | Ok _ -> Alcotest.failf "%s did not parse to a string" s
+  | Error e -> Alcotest.failf "%s failed to parse: %s" s e
+
+let test_unicode_escapes () =
+  Alcotest.(check string) "ASCII escape" "A" (parse_string_exn {|"A"|});
+  (* 2-byte UTF-8: U+00E9 LATIN SMALL LETTER E WITH ACUTE. *)
+  Alcotest.(check string) "latin-1 supplement" "\xc3\xa9"
+    (parse_string_exn {|"\u00e9"|});
+  (* 3-byte UTF-8: U+20AC EURO SIGN. *)
+  Alcotest.(check string) "BMP three-byte" "\xe2\x82\xac"
+    (parse_string_exn {|"\u20ac"|});
+  (* Surrogate halves (here U+1F600 as a pair) are not reassembled:
+     each folds to '?'. *)
+  Alcotest.(check string) "surrogate pair folds" "??"
+    (parse_string_exn {|"\ud83d\ude00"|});
+  (* Control characters round-trip through the emitter's \u form. *)
+  let s = "ctl\x01\x1f" in
+  Alcotest.(check string) "control chars round-trip" s
+    (parse_string_exn (Export.to_string (Export.String s)));
+  match Export.of_string {|"\uZZZZ"|} with
+  | Ok _ -> Alcotest.fail "malformed \\u escape accepted"
+  | Error _ -> ()
+
+(* --- Prometheus text exposition: escaping and le edges --- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains text needle =
+  if not (contains text needle) then
+    Alcotest.failf "missing %S in:\n%s" needle text
+
+let test_prom_label_escaping () =
+  let reg = Metrics.create () in
+  (* backslash, double quote and newline — the three characters the
+     exposition format requires escaping in label values. *)
+  Metrics.inc (Metrics.counter reg "esc" ~labels:[ ("path", "a\\b\"c\nd") ]);
+  let text = Export.prometheus_of_registry reg in
+  check_contains text "esc{path=\"a\\\\b\\\"c\\nd\"} 1";
+  (* No double escaping: the rendered line has exactly one backslash
+     pair for the input backslash. *)
+  if contains text "\\\\\\\\" then
+    Alcotest.failf "label value double-escaped:\n%s" text
+
+let test_prom_histogram_le_edges () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:4 "lat" ~labels:[ ("queue", "q0") ] in
+  Metrics.observe h 0.5;
+  Metrics.observe h 1.5;
+  Metrics.observe h 1e30;
+  let text = Export.prometheus_of_registry reg in
+  (* Finite bucket edges render as plain numbers, the overflow bin as
+     +Inf, and the counts are cumulative. *)
+  check_contains text "lat_bucket{queue=\"q0\",le=\"0\"} 0";
+  check_contains text "lat_bucket{queue=\"q0\",le=\"1\"} 1";
+  check_contains text "lat_bucket{queue=\"q0\",le=\"2\"} 2";
+  check_contains text "lat_bucket{queue=\"q0\",le=\"+Inf\"} 3";
+  check_contains text "lat_count{queue=\"q0\"} 3";
+  check_contains text "# TYPE lat histogram"
+
+(* --- journal: single-writer guard under domains --- *)
+
+let test_journal_cross_domain_rejected () =
+  let j = Journal.create ~capacity:16 () in
+  Journal.record j 1;
+  let raised =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Journal.record j 2 with
+           | () -> false
+           | exception Invalid_argument _ -> true))
+  in
+  Alcotest.(check bool) "cross-domain record raises" true raised;
+  Alcotest.(check int) "owner's records intact" 1 (Journal.total j);
+  (* clear releases ownership: another domain may claim the journal. *)
+  Journal.clear j;
+  let claimed =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Journal.record j 3 with
+           | () -> true
+           | exception Invalid_argument _ -> false))
+  in
+  Alcotest.(check bool) "clear releases ownership" true claimed
+
+let test_journal_per_domain_merge () =
+  (* The supported multi-domain pattern: one journal per domain, merged
+     at collection time.  Two domains hammer their own journals. *)
+  let js = Array.init 2 (fun _ -> Journal.create ~capacity:4096 ()) in
+  let doms =
+    Array.mapi
+      (fun i j ->
+        Domain.spawn (fun () ->
+            for k = 0 to 9_999 do
+              Journal.record j ((i * 10_000) + k)
+            done))
+      js
+  in
+  Array.iter Domain.join doms;
+  let merged = List.concat_map Journal.to_list (Array.to_list js) in
+  Alcotest.(check int) "both rings full after the merge"
+    (2 * 4096) (List.length merged);
+  Array.iteri
+    (fun i j ->
+      Alcotest.(check int) "nothing lost beyond ring eviction" 10_000
+        (Journal.total j);
+      match Journal.to_list j with
+      | newest_surviving :: _ ->
+          Alcotest.(check int) "oldest survivor is total - capacity"
+            ((i * 10_000) + 10_000 - 4096) newest_surviving
+      | [] -> Alcotest.fail "empty journal after stress")
+    js
+
 (* --- golden: a simulate run's metrics export parses and conserves --- *)
 
 let field path doc =
@@ -248,11 +368,20 @@ let () =
          Alcotest.test_case "type conflict" `Quick test_type_conflict_rejected ]);
       ("journal",
        [ Alcotest.test_case "bounded under 1M events" `Quick test_journal_bounded_1m;
-         Alcotest.test_case "under capacity" `Quick test_journal_under_capacity ]);
+         Alcotest.test_case "under capacity" `Quick test_journal_under_capacity;
+         Alcotest.test_case "cross-domain write rejected" `Quick
+           test_journal_cross_domain_rejected;
+         Alcotest.test_case "per-domain journals merge" `Quick
+           test_journal_per_domain_merge ]);
       ("json",
        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
          Alcotest.test_case "special floats" `Quick test_json_special_floats;
-         Alcotest.test_case "accessors" `Quick test_json_accessors ]);
+         Alcotest.test_case "accessors" `Quick test_json_accessors;
+         Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes ]);
+      ("prometheus",
+       [ Alcotest.test_case "label escaping" `Quick test_prom_label_escaping;
+         Alcotest.test_case "histogram le edges" `Quick
+           test_prom_histogram_le_edges ]);
       ("golden",
        [ Alcotest.test_case "simulate --metrics conserves" `Quick
            test_simulate_metrics_conserve ]) ]
