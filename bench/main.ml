@@ -328,6 +328,103 @@ let tracing_overhead ~smoke registry =
        prefer --trace-sample below 1.0 for long runs\n"
       full_overhead
 
+(* Throughput cost of fault injection on the same reference scenario:
+   the probe alone, the probe plus a small fixed schedule (one flap, one
+   crash/restart), and the probe plus a default-budget chaos plan.  The
+   injector's per-event cost is zero — faults are ordinary scheduled
+   events — so what this measures is the simulation actually getting
+   harder: rerouting around downed links, retransmits, journal traffic.
+   Writes BENCH_faults.json (skipped on --smoke). *)
+let fault_overhead ~smoke registry =
+  print_endline "";
+  print_endline "Fault-injection overhead (ring8 reference scenario)";
+  print_endline "===================================================";
+  let horizon = if smoke then 0.5 else 20.0 in
+  let g = Topology.Generate.ring ~n:8 in
+  let run_mode schedule =
+    let probe = Netsim.Probe.create ~journal_capacity:4096 () in
+    let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 g in
+    Netsim.Net.set_probe net (Some probe);
+    Netsim.Net.use_routing net (Topology.Routing.compute g);
+    (match schedule with
+    | Some s -> ignore (Faults.Injector.apply ~probe ~net s)
+    | None -> ());
+    List.iter
+      (fun (s, d) ->
+        ignore
+          (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500 ~start:0.0
+             ~stop:horizon))
+      [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+    ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
+    let t0 = Unix.gettimeofday () in
+    Netsim.Net.run ~until:horizon net;
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int (Netsim.Sim.events_processed (Netsim.Net.sim net)) /. wall
+  in
+  let fixed =
+    let open Faults.Schedule in
+    { seed = 1;
+      actions =
+        [ Link_down { src = 1; dst = 2; at = 0.2 *. horizon };
+          Link_up { src = 1; dst = 2; at = 0.5 *. horizon };
+          Crash { router = 6; at = 0.4 *. horizon };
+          Restart { router = 6; at = 0.7 *. horizon } ] }
+  in
+  let chaos =
+    Faults.Chaos.generate ~seed:11 ~graph:g ~duration:horizon
+      ~budget:Faults.Chaos.default_budget ()
+  in
+  let mode name schedule =
+    let reps = if smoke then 1 else 3 in
+    let best = ref 0.0 in
+    for _ = 1 to reps do
+      let eps = run_mode schedule in
+      if eps > !best then best := eps
+    done;
+    (name, !best)
+  in
+  let rows =
+    [ mode "off" None; mode "schedule" (Some fixed); mode "chaos" (Some chaos) ]
+  in
+  let baseline = List.assoc "off" rows in
+  let overhead eps =
+    if baseline > 0.0 then (1.0 -. (eps /. baseline)) *. 100.0 else 0.0
+  in
+  List.iter
+    (fun (name, eps) ->
+      Printf.printf "  %-12s %10.0f events/s  %+6.1f%% vs off\n" name eps
+        (overhead eps);
+      let set g help v =
+        Telemetry.Metrics.set
+          (Telemetry.Metrics.gauge registry g ~help
+             ~labels:[ ("scenario", "ring8-reference"); ("mode", name) ])
+          v
+      in
+      set "fault_events_per_second" "engine throughput by fault mode" eps;
+      set "fault_overhead_percent" "throughput cost vs faults off" (overhead eps))
+    rows;
+  if not smoke then begin
+    let open Telemetry.Export in
+    write_file "BENCH_faults.json"
+      (Assoc
+         [ ("schema", String "mrdetect-bench-faults-v1");
+           ( "method",
+             String
+               "best events/s of 3 runs per mode on the ring8 reference \
+                scenario; 'schedule' is one link flap plus one crash/restart, \
+                'chaos' a default-budget generated plan" );
+           ( "modes",
+             List
+               (List.map
+                  (fun (name, eps) ->
+                    Assoc
+                      [ ("mode", String name);
+                        ("events_per_second", Float eps);
+                        ("overhead_percent", Float (overhead eps)) ])
+                  rows) ) ]);
+    print_endline "\nfault-injection overhead written to BENCH_faults.json"
+  end
+
 (* --- hot-path before/after regression harness (BENCH_hotpath.json) --- *)
 
 (* ns-per-op recorded by the previous PR's bench run (the values in
@@ -474,6 +571,7 @@ let () =
        simulation horizon, no reproduction pass and no JSON rewrites. *)
     let eps = simulator_performance ~smoke registry in
     tracing_overhead ~smoke registry;
+    fault_overhead ~smoke registry;
     run_benchmarks ~smoke registry;
     hotpath ~smoke ~sim_events_per_second:eps
   end
@@ -482,6 +580,7 @@ let () =
     parallel_comparison ~serial results;
     let eps = simulator_performance ~smoke registry in
     tracing_overhead ~smoke registry;
+    fault_overhead ~smoke registry;
     run_benchmarks ~smoke registry;
     hotpath ~smoke ~sim_events_per_second:eps;
     write_json registry "BENCH_telemetry.json"

@@ -127,25 +127,64 @@ let simulate_cmd =
                    (deterministic per seed; verdicts and round spans are \
                    always recorded)")
   in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"FILE"
+             ~doc:"inject the benign fault plan in FILE (link flaps, crashes, \
+                   lossy control channels, clock skew; see the Robustness \
+                   section of the README for the schedule syntax) and score \
+                   every verdict against ground truth")
+  in
   let run topology protocol attack fraction attacker duration seed flows trace
-      metrics journal trace_out trace_sample =
+      metrics journal trace_out trace_sample faults =
     match
       Experiments.Simulate.Config.of_cmdline ~topology ~protocol ~attack ~fraction
         ~attacker ~duration ~seed ~flows ~trace ~metrics ~journal ~trace_out
-        ~trace_sample
+        ~trace_sample ~faults
     with
     | Error msg -> `Error (false, msg)
     | Ok config -> (
         try
           Experiments.Simulate.run config;
           `Ok ()
-        with Sys_error msg -> `Error (false, "cannot write output file: " ^ msg))
+        with
+        | Sys_error msg -> `Error (false, "cannot write output file: " ^ msg)
+        | Invalid_argument msg -> `Error (false, msg))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
     Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
                $ seed $ flows $ trace $ metrics $ journal $ trace_out
-               $ trace_sample))
+               $ trace_sample $ faults))
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"rng seed") in
+  let trials =
+    Arg.(value & opt int 6
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"seeded chaos trials to run (benign/attacked alternating)")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"short deterministic run (10 s, at most 2 trials) for CI; \
+                   this is what the @chaos-smoke dune alias executes")
+  in
+  let run seed trials jobs smoke json =
+    try
+      Experiments.Fig_robustness.chaos_run ~seed ~trials
+        ~jobs:(resolve_jobs jobs) ~smoke ?json ();
+      `Ok ()
+    with
+    | Sys_error msg -> `Error (false, "cannot write output file: " ^ msg)
+    | Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Sweep seeded random benign faults (within a budget) over the \
+             ring8 scenario and score fatih against the ground-truth oracle; \
+             output is byte-identical for a given --seed across --jobs values")
+    Term.(ret (const run $ seed $ trials $ jobs_arg $ smoke $ json_arg))
 
 let trace_cmd =
   let file =
@@ -202,5 +241,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: trace_cmd
-           :: registry_cmds)))
+          (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: chaos_cmd
+           :: trace_cmd :: registry_cmds)))

@@ -64,7 +64,20 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
    packet-conservation counters and detection latency; JSONL event
    journal; Chrome trace).  With none of the flags, no probe is
    attached and the forwarding plane is unchanged.  The README's
-   "Observability" section is the walkthrough.}}
+   "Observability" section is the walkthrough.}
+{- [Faults] — deterministic fault injection and the robustness oracle:
+   {!Faults.Schedule} (declarative seed-deterministic fault plans with
+   a textual s-expression form), {!Faults.Injector} (applies a plan to
+   a live run through the probe hooks), {!Faults.Chaos} (seeded random
+   schedules under a budget) and {!Faults.Oracle} (scores a run's
+   verdict stream against ground truth: precision, recall,
+   false-accusation rate, detection latency — the
+   [mrdetect-robustness-v1] JSON document).  {!Core.Ctrl} is the lossy
+   control-plane channel the summary exchanges ride; its retry budget
+   is what lets a round degrade instead of accuse.
+   [mrdetect simulate --faults FILE] and [mrdetect chaos --seed S]
+   expose the machinery on the command line.  The README's
+   "Robustness" section is the walkthrough.}}
 
 {1 Experiment index}
 

@@ -1,0 +1,110 @@
+type link_faults = {
+  loss : float;
+  duplicate : float;
+  reorder : float;
+  reorder_delay : float;
+}
+
+let clean = { loss = 0.0; duplicate = 0.0; reorder = 0.0; reorder_delay = 0.0 }
+
+type retry = { max_attempts : int; base_timeout : float; backoff : float }
+
+let default_retry = { max_attempts = 4; base_timeout = 0.25; backoff = 2.0 }
+
+type outcome =
+  | Delivered of { attempts : int; duplicated : bool; extra_delay : float }
+  | Timed_out of { attempts : int; waited : float }
+
+type stats = {
+  sends : int;
+  attempts : int;
+  losses : int;
+  duplicates : int;
+  reorders : int;
+  timeouts : int;
+}
+
+type t = {
+  key : Crypto_sim.Siphash.key;
+  default : link_faults;
+  per_link : (int * int, link_faults) Hashtbl.t;
+  mutable sends : int;
+  mutable attempts : int;
+  mutable losses : int;
+  mutable duplicates : int;
+  mutable reorders : int;
+  mutable timeouts : int;
+}
+
+let check_faults f =
+  let prob name p =
+    if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Ctrl: %s probability %g outside [0,1]" name p)
+  in
+  prob "loss" f.loss;
+  prob "duplicate" f.duplicate;
+  prob "reorder" f.reorder;
+  if not (Float.is_finite f.reorder_delay) || f.reorder_delay < 0.0 then
+    invalid_arg "Ctrl: negative reorder delay"
+
+let create ?(seed = 1) ?(default = clean) ?(links = []) () =
+  check_faults default;
+  let per_link = Hashtbl.create (max 4 (List.length links)) in
+  List.iter
+    (fun (lk, f) ->
+      check_faults f;
+      Hashtbl.replace per_link lk f)
+    links;
+  { key = Crypto_sim.Siphash.key_of_ints (Int64.of_int seed) 0xc791L;
+    default; per_link;
+    sends = 0; attempts = 0; losses = 0; duplicates = 0; reorders = 0; timeouts = 0 }
+
+let reliable () = create ()
+
+let faults_for t ~src ~dst =
+  match Hashtbl.find_opt t.per_link (src, dst) with
+  | Some f -> f
+  | None -> t.default
+
+(* One coin per (src, dst, tag, attempt, purpose): replay-deterministic
+   and independent of call order, exactly like Adversary.coin. *)
+let coin t ~src ~dst ~tag ~attempt ~purpose =
+  let h =
+    Crypto_sim.Siphash.hash_int64s t.key
+      [ Int64.of_int src; Int64.of_int dst; Int64.of_int tag;
+        Int64.of_int attempt; Int64.of_int purpose ]
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9.007199254740992e15
+
+let send t ?(retry = default_retry) ~src ~dst ~tag () =
+  if retry.max_attempts < 1 then invalid_arg "Ctrl.send: max_attempts must be >= 1";
+  if not (retry.base_timeout > 0.0) then
+    invalid_arg "Ctrl.send: base_timeout must be positive";
+  if not (retry.backoff >= 1.0) then invalid_arg "Ctrl.send: backoff below 1";
+  t.sends <- t.sends + 1;
+  let f = faults_for t ~src ~dst in
+  let rec go attempt waited timeout =
+    t.attempts <- t.attempts + 1;
+    if coin t ~src ~dst ~tag ~attempt ~purpose:0 < f.loss then begin
+      t.losses <- t.losses + 1;
+      if attempt >= retry.max_attempts then begin
+        t.timeouts <- t.timeouts + 1;
+        Timed_out { attempts = attempt; waited = waited +. timeout }
+      end
+      else go (attempt + 1) (waited +. timeout) (timeout *. retry.backoff)
+    end
+    else begin
+      let duplicated = coin t ~src ~dst ~tag ~attempt ~purpose:1 < f.duplicate in
+      if duplicated then t.duplicates <- t.duplicates + 1;
+      let reordered = coin t ~src ~dst ~tag ~attempt ~purpose:2 < f.reorder in
+      if reordered then t.reorders <- t.reorders + 1;
+      Delivered
+        { attempts = attempt; duplicated;
+          extra_delay = waited +. (if reordered then f.reorder_delay else 0.0) }
+    end
+  in
+  go 1 0.0 retry.base_timeout
+
+let stats t =
+  { sends = t.sends; attempts = t.attempts; losses = t.losses;
+    duplicates = t.duplicates; reorders = t.reorders; timeouts = t.timeouts }

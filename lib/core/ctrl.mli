@@ -1,0 +1,80 @@
+(** A lossy control-plane channel with bounded retry.
+
+    The detection protocols exchange summaries, consensus messages and
+    verdicts over the same unreliable network they monitor (Amir et
+    al.'s authenticated adversarial routing makes the same point: a
+    detector that assumes a clean control plane wedges on the first
+    lost message).  This module models that channel at the round
+    abstraction level: a send either arrives, possibly duplicated or
+    reordered, or is lost, and the sender retries with exponential
+    backoff up to a bound.
+
+    Outcomes are {e replay-deterministic}: each (src, dst, tag,
+    attempt) tuple is hashed with a seeded SipHash coin, so the same
+    schedule of sends produces the same outcomes whatever order the
+    calls interleave in — the property the chaos sweeps and the
+    jobs-determinism guarantee rest on. *)
+
+type link_faults = {
+  loss : float;           (** per-attempt loss probability, in [0,1] *)
+  duplicate : float;      (** probability a delivered message is duplicated *)
+  reorder : float;        (** probability a delivered message is held back *)
+  reorder_delay : float;  (** how long a reordered message is held, seconds *)
+}
+
+val clean : link_faults
+(** No loss, no duplication, no reordering. *)
+
+type retry = {
+  max_attempts : int;   (** total transmissions, >= 1 *)
+  base_timeout : float; (** seconds before the first retransmission, > 0 *)
+  backoff : float;      (** multiplier per further attempt, >= 1 *)
+}
+
+val default_retry : retry
+(** 4 attempts, 0.25 s base timeout, doubling. *)
+
+type outcome =
+  | Delivered of {
+      attempts : int;      (** transmissions used, 1 = first try *)
+      duplicated : bool;
+      extra_delay : float; (** backoff waits plus any reordering hold *)
+    }
+  | Timed_out of { attempts : int; waited : float }
+      (** every attempt was lost; the round must degrade, not wedge *)
+
+type stats = {
+  sends : int;       (** messages offered to the channel *)
+  attempts : int;    (** transmissions including retries *)
+  losses : int;      (** transmissions lost in flight *)
+  duplicates : int;
+  reorders : int;
+  timeouts : int;    (** sends that exhausted their attempts *)
+}
+
+type t
+
+val reliable : unit -> t
+(** A channel that delivers every message on the first attempt. *)
+
+val create :
+  ?seed:int ->
+  ?default:link_faults ->
+  ?links:((int * int) * link_faults) list ->
+  unit ->
+  t
+(** A channel with [default] faults on every (src, dst) pair except
+    those overridden in [links].  Raises [Invalid_argument] on a
+    probability outside [0,1] or a negative reorder delay. *)
+
+val faults_for : t -> src:int -> dst:int -> link_faults
+
+val send : t -> ?retry:retry -> src:int -> dst:int -> tag:int -> unit -> outcome
+(** Attempt to move one control message from [src] to [dst].  [tag]
+    must be unique per logical message (round number folded with the
+    segment identity) — it keys the deterministic coins.  Raises
+    [Invalid_argument] on a non-positive [max_attempts] or
+    [base_timeout], or a [backoff] below 1. *)
+
+val stats : t -> stats
+(** Cumulative channel statistics since creation. *)

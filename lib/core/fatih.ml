@@ -32,6 +32,10 @@ type seg_state = {
      this round is benign if it was announced last round (it was simply
      in flight across the round boundary). *)
   mutable prev_sent : Summary.t;
+  (* A segment edge dropped packets with its link down this round: the
+     failure is locally observable (link-state flood), so the terminals
+     excuse the round instead of accusing the interior router. *)
+  mutable excused : bool;
 }
 
 type t = {
@@ -49,6 +53,11 @@ type t = {
   mutable fingerprints_observed : int;
   mutable words_exchanged : int;
   mutable round : int;
+  (* Graceful degradation bookkeeping: segment-rounds skipped because
+     the summary exchange timed out (state carried to the next round)
+     and segment-rounds excused for an observable benign link failure. *)
+  mutable rounds_degraded : int;
+  mutable rounds_excused : int;
 }
 
 let detections t = List.rev t.detections_rev
@@ -58,19 +67,22 @@ let monitored_segments t = Hashtbl.fold (fun seg _ acc -> seg :: acc) t.segs []
 let fresh_state policy =
   { sent = Summary.create policy;
     received = Summary.create policy;
-    prev_sent = Summary.create policy }
+    prev_sent = Summary.create policy;
+    excused = false }
 
 let reset_state policy st =
   st.prev_sent <- st.sent;
   st.sent <- Summary.create policy;
-  st.received <- Summary.create policy
+  st.received <- Summary.create policy;
+  st.excused <- false
 
 let deploy ~net ~rt ?(config = default_config)
-    ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe () =
+    ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe ?ctrl ?retry () =
   let t =
     { config; response = Response.create ~net ~config:config.response ?probe ();
       segs = Hashtbl.create 256; detections_rev = []; last_policy_change = neg_infinity;
-      fingerprints_observed = 0; words_exchanged = 0; round = 0 }
+      fingerprints_observed = 0; words_exchanged = 0; round = 0;
+      rounds_degraded = 0; rounds_excused = 0 }
   in
   List.iter
     (fun seg ->
@@ -102,8 +114,24 @@ let deploy ~net ~rt ?(config = default_config)
         (fun _ st ->
           st.sent <- Summary.create config.policy;
           st.received <- Summary.create config.policy;
-          st.prev_sent <- Summary.create config.policy)
+          st.prev_sent <- Summary.create config.policy;
+          st.excused <- false)
         t.segs);
+  (* Which monitored segments a directed link belongs to, for excusing
+     rounds on observable link failures. *)
+  let edge_index = Hashtbl.create 256 in
+  let index_edge e seg =
+    Hashtbl.replace edge_index e
+      (seg :: Option.value (Hashtbl.find_opt edge_index e) ~default:[])
+  in
+  Hashtbl.iter
+    (fun seg _ ->
+      match seg with
+      | [ a; b; c ] ->
+          index_edge (a, b) seg;
+          index_edge (b, c) seg
+      | _ -> ())
+    t.segs;
   Netsim.Net.subscribe_iface net (fun ev ->
       match ev.Netsim.Net.kind with
       | Netsim.Iface.Delivered pkt -> (
@@ -148,6 +176,18 @@ let deploy ~net ~rt ?(config = default_config)
                              ("summaries", Telemetry.Export.Int !observed) ]
                          ()))
                   probe)
+      | Netsim.Iface.Drop_link_down _ -> (
+          match
+            Hashtbl.find_opt edge_index (ev.Netsim.Net.router, ev.Netsim.Net.next)
+          with
+          | Some segs ->
+              List.iter
+                (fun seg ->
+                  match Hashtbl.find_opt t.segs seg with
+                  | Some st -> st.excused <- true
+                  | None -> ())
+                segs
+          | None -> ())
       | _ -> ());
   let sim = Netsim.Net.sim net in
   let rec tick () =
@@ -156,10 +196,83 @@ let deploy ~net ~rt ?(config = default_config)
     let detected = ref 0 in
     Hashtbl.iter
       (fun seg st ->
-        if now -. config.tau > t.last_policy_change +. 1e-9
-           && Summary.packets st.sent >= config.min_packets
-        then begin
+        let eligible =
+          now -. config.tau > t.last_policy_change +. 1e-9
+          && Summary.packets st.sent >= config.min_packets
+        in
+        (* A segment edge still down at judgment time is an announced
+           fail-stop: the round is judged normally so the dead segment
+           is detected and excised from routing, but the verdict is not
+           an accusation — the link-state flood already told everyone. *)
+        let link_failed =
+          match seg with
+          | [ a; m; b ] ->
+              let down ~src ~dst =
+                match Netsim.Net.iface net ~src ~dst with
+                | Some i -> not (Netsim.Iface.is_up i)
+                | None -> false
+              in
+              down ~src:a ~dst:m || down ~src:m ~dst:b
+          | _ -> false
+        in
+        let excused = st.excused && not link_failed in
+        (* An observable benign link failure on a segment edge — already
+           healed by judgment time — excuses the whole round: the
+           terminals learn of the flap from the link-state flood, so the
+           missing packets are not evidence against the interior
+           router. *)
+        if eligible && excused then begin
+          t.rounds_excused <- t.rounds_excused + 1;
+          match probe with
+          | Some probe ->
+              ignore
+                (Netsim.Probe.trace_instant probe ~track:"fatih"
+                   ~name:"benign-excuse" ~cat:"degraded" ~time:now ~routers:seg
+                   ())
+          | None -> ()
+        end;
+        (* The summary exchange rides the lossy control plane: an
+           exhausted retry budget degrades the round — the summaries
+           carry over and the comparison happens next round over the
+           union — rather than wedging the round or accusing anyone. *)
+        let exchange =
+          if (not eligible) || excused then `Skip
+          else
+            match ctrl with
+            | None -> `Ok 1
+            | Some ch -> (
+                let a, b =
+                  match seg with [ a; _; b ] -> (a, b) | _ -> assert false
+                in
+                let tag =
+                  List.fold_left (fun acc r -> (acc * 8191) + r + 1) t.round seg
+                in
+                match Ctrl.send ch ?retry ~src:a ~dst:b ~tag () with
+                | Ctrl.Delivered { attempts; _ } -> `Ok attempts
+                | Ctrl.Timed_out { attempts; waited } ->
+                    `Degraded (attempts, waited))
+        in
+        (match exchange with
+        | `Skip -> ()
+        | `Degraded (attempts, waited) -> (
+            t.rounds_degraded <- t.rounds_degraded + 1;
+            match probe with
+            | Some probe ->
+                ignore
+                  (Netsim.Probe.trace_instant probe ~track:"fatih"
+                     ~name:"exchange-timeout" ~cat:"degraded" ~time:now
+                     ~routers:seg
+                     ~args:
+                       [ ("attempts", Telemetry.Export.Int attempts);
+                         ("waited", Telemetry.Export.Float waited) ]
+                     ())
+            | None -> ())
+        | `Ok attempts ->
           incr judged;
+          (* Retransmissions ship the summary again. *)
+          if attempts > 1 then
+            t.words_exchanged <-
+              t.words_exchanged + ((attempts - 1) * Summary.state_words st.sent);
           (* The terminal routers ship this round's summaries for
              comparison — the dispatch is part of a verdict's evidence. *)
           let dispatch =
@@ -233,17 +346,17 @@ let deploy ~net ~rt ?(config = default_config)
                    ends are the detecting terminals. *)
                 Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
                   ?subject:(match seg with [ _; m; _ ] -> Some m | _ -> None)
-                  ~suspects:seg ~alarm:true
+                  ~suspects:seg ~alarm:(not link_failed)
                   ~detail:
-                    (Printf.sprintf "missing=%d/%d fabricated=%d"
+                    (Printf.sprintf "missing=%d/%d fabricated=%d%s"
                        (List.length v.Validation.missing) sent_n
-                       (List.length fabricated))
+                       (List.length fabricated)
+                       (if link_failed then " link-failure" else ""))
                   ~evidence:(Option.to_list dispatch @ Option.to_list mismatch)
                   ()
             | None -> ());
             Response.suspect t.response seg
-          end
-        end;
+          end);
         (match config.exchange with
         | Full_sets ->
             t.words_exchanged <-
@@ -272,7 +385,9 @@ let deploy ~net ~rt ?(config = default_config)
                     t.words_exchanged + Summary.state_words st.sent
                     + Summary.state_words st.received
             end);
-        reset_state config.policy st)
+        match exchange with
+        | `Degraded _ -> () (* carry state: compare the union next round *)
+        | `Skip | `Ok _ -> reset_state config.policy st)
       t.segs;
     (match probe with
     | Some probe ->
@@ -296,3 +411,5 @@ let deploy ~net ~rt ?(config = default_config)
 
 let fingerprints_observed t = t.fingerprints_observed
 let words_exchanged t = t.words_exchanged
+let rounds_degraded t = t.rounds_degraded
+let rounds_excused t = t.rounds_excused

@@ -49,13 +49,23 @@ val deploy :
   ?config:config ->
   ?key:Crypto_sim.Siphash.key ->
   ?probe:Netsim.Probe.t ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   unit ->
   t
 (** Start monitoring every 3-segment of the current routed paths.  The
     network must still be using plain routing from [rt] at deploy time;
     after detections the engine installs policy routing itself.  With
     [probe], each detection is journaled as a typed
-    {!Netsim.Probe.verdict} accusing the segment's interior router. *)
+    {!Netsim.Probe.verdict} accusing the segment's interior router.
+
+    With [ctrl], every per-segment summary exchange rides that lossy
+    control-plane channel under [retry] (default {!Ctrl.default_retry}):
+    a timed-out exchange {e degrades} the round — the summaries carry
+    over and are compared next round — instead of wedging it or
+    producing an accusation.  Rounds in which a segment edge visibly
+    dropped packets with its link down are likewise excused rather than
+    judged. *)
 
 val detections : t -> detection list
 (** All alerts raised, oldest first. *)
@@ -72,4 +82,13 @@ val fingerprints_observed : t -> int
 val words_exchanged : t -> int
 (** Total 64-bit words of summary state shipped between segment ends
     over all validation rounds (full-set exchange; see `mrdetect comm`
-    for the reconciliation alternative). *)
+    for the reconciliation alternative).  Retransmissions over a lossy
+    [ctrl] channel count each attempt. *)
+
+val rounds_degraded : t -> int
+(** Segment-rounds whose summary exchange exhausted its retry budget
+    and carried state over instead of judging. *)
+
+val rounds_excused : t -> int
+(** Segment-rounds skipped because a segment edge observably failed
+    (benign link-down losses are not evidence of malice). *)

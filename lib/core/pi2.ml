@@ -13,22 +13,43 @@ let pairwise_suspicions ~adversary ~thresholds (seg, truth) =
   done;
   !out
 
+(* The consensus exchange between the segment's terminals rides the
+   lossy control plane: a timed-out exchange skips the segment this
+   round (benign degradation, no accusation) instead of wedging. *)
+let exchange_ok ctrl retry ~round seg =
+  match ctrl with
+  | None -> true
+  | Some ch -> (
+      let nodes = Array.of_list seg in
+      let a = nodes.(0) and b = nodes.(Array.length nodes - 1) in
+      let tag = List.fold_left (fun acc r -> (acc * 8191) + r + 1) round seg in
+      match Ctrl.send ch ?retry ~src:a ~dst:b ~tag () with
+      | Ctrl.Delivered _ -> true
+      | Ctrl.Timed_out _ -> false)
+
 let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?packets_per_path
-    ~round () =
+    ?ctrl ?retry ~round () =
   let segments = family rt ~k in
   let obs = Rounds.observe ~rt ~segments ~adversary ?packets_per_path ~round () in
   let suspicions =
-    List.concat_map (pairwise_suspicions ~adversary ~thresholds) obs.Rounds.truth
+    List.concat_map
+      (fun ((seg, _) as truth) ->
+        if exchange_ok ctrl retry ~round seg then
+          pairwise_suspicions ~adversary ~thresholds truth
+        else [])
+      obs.Rounds.truth
   in
   List.sort_uniq compare suspicions
 
-let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?probe ~rounds () =
+let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?ctrl ?retry ?probe
+    ~rounds () =
   let g = Topology.Routing.graph rt in
   let correct = Rounds.correct_routers g ~faulty:adversary.Rounds.faulty in
   List.concat_map
     (fun round ->
       let segs =
-        detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ~round ()
+        detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ?ctrl ?retry
+          ~round ()
       in
       (match probe with
       | Some probe ->

@@ -19,6 +19,8 @@ val detect_round :
   adversary:Rounds.adversary ->
   ?thresholds:Validation.thresholds ->
   ?packets_per_path:int ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   round:int ->
   unit ->
   Topology.Graph.node list list
@@ -26,7 +28,10 @@ val detect_round :
     misreported) summaries, evaluate TV pairwise under consensus, and
     return the suspected 2-path-segments.  Every correct router ends the
     round holding exactly this set (the consensus + reliable broadcast of
-    Fig 5.1). *)
+    Fig 5.1).  With [ctrl], each segment's terminal exchange rides that
+    lossy control-plane channel under [retry]: an exhausted retry budget
+    skips the segment this round — benign degradation, never an
+    accusation. *)
 
 val detect :
   rt:Topology.Routing.t ->
@@ -34,6 +39,8 @@ val detect :
   adversary:Rounds.adversary ->
   ?thresholds:Validation.thresholds ->
   ?packets_per_path:int ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   ?probe:Netsim.Probe.t ->
   rounds:int ->
   unit ->

@@ -14,7 +14,7 @@ let filter_summary sampling s =
       out
 
 let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?sampling
-    ?packets_per_path ~round () =
+    ?packets_per_path ?ctrl ?retry ~round () =
   let segments = family rt ~k in
   let obs = Rounds.observe ~rt ~segments ~adversary ?packets_per_path ~round () in
   let is_faulty r = List.mem r adversary.Rounds.faulty in
@@ -31,6 +31,22 @@ let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?sampling
              detectable failure (Fig 5.3's timeout µ). *)
           let blocked = Array.exists adversary.Rounds.blocks_exchange nodes in
           if blocked then Some seg
+          else if
+            (* Benign control-plane loss that exhausts the retry budget
+               skips the segment this round — the ends cannot tell loss
+               from silence after one window, so they degrade rather
+               than accuse (the persistent adversarial block above is
+               what repeated authenticated timeouts punish). *)
+            match ctrl with
+            | None -> false
+            | Some ch -> (
+                let tag =
+                  List.fold_left (fun acc r -> (acc * 8191) + r + 1) round seg
+                in
+                match Ctrl.send ch ?retry ~src:a ~dst:b ~tag () with
+                | Ctrl.Delivered _ -> false
+                | Ctrl.Timed_out _ -> true)
+          then None
           else begin
             let report pos r =
               filter_summary sampling (adversary.Rounds.misreport ~router:r ~pos ~truth)
@@ -45,13 +61,15 @@ let detect_round ~rt ~k ~adversary ?(thresholds = Validation.strict) ?sampling
   in
   List.sort_uniq compare suspicions
 
-let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?probe ~rounds () =
+let detect ~rt ~k ~adversary ?thresholds ?packets_per_path ?ctrl ?retry ?probe
+    ~rounds () =
   let g = Topology.Routing.graph rt in
   let correct = Rounds.correct_routers g ~faulty:adversary.Rounds.faulty in
   List.concat_map
     (fun round ->
       let segs =
-        detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ~round ()
+        detect_round ~rt ~k ~adversary ?thresholds ?packets_per_path ?ctrl ?retry
+          ~round ()
       in
       (match probe with
       | Some probe ->

@@ -17,13 +17,19 @@ val detect_round :
   ?thresholds:Validation.thresholds ->
   ?sampling:Crypto_sim.Sampling.t ->
   ?packets_per_path:int ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   round:int ->
   unit ->
   Topology.Graph.node list list
 (** One synchronous round; returns the suspected segments (each of length
     <= k+2).  [sampling] restricts validation to a keyed hash-range
     subsample — the §5.2.1 overhead reduction, sound because
-    intermediate routers cannot tell which packets are sampled. *)
+    intermediate routers cannot tell which packets are sampled.  With
+    [ctrl], the end-to-end summary exchange rides that lossy channel
+    under [retry]: a benignly timed-out exchange skips the segment
+    (degradation, not accusation), while an adversarial
+    [blocks_exchange] is still suspected. *)
 
 val detect :
   rt:Topology.Routing.t ->
@@ -31,6 +37,8 @@ val detect :
   adversary:Rounds.adversary ->
   ?thresholds:Validation.thresholds ->
   ?packets_per_path:int ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   ?probe:Netsim.Probe.t ->
   rounds:int ->
   unit ->

@@ -7,12 +7,18 @@ type t = {
   mutable pending_s : entry list;          (* newest first *)
   mutable pending_d : entry list;          (* newest first *)
   s_fps : (int64, unit) Hashtbl.t;         (* every announced arrival fp *)
+  (* Arrivals the monitored interface itself discarded because the link
+     was down: the failure is locally observable (the neighbours see the
+     link-state flood), so these are excused, never "unexplainable". *)
+  benign_fps : (int64, unit) Hashtbl.t;
+  mutable benign_excused : int;
   occ_samples : (int64, int) Hashtbl.t;    (* calibration *)
   mutable calibrating : bool;
 }
 
 let router t = t.router
 let next t = t.next
+let benign_excused t = t.benign_excused
 let set_predict t p = t.predict <- p
 let set_calibrating t v = t.calibrating <- v
 
@@ -32,6 +38,7 @@ let attach ~net ~predict ~key ?(skew = fun ~reporter:_ -> 0.0) ~router ~next () 
   | None -> invalid_arg "Qmon.attach: no such link");
   let t =
     { router; next; predict; pending_s = []; pending_d = []; s_fps = Hashtbl.create 256;
+      benign_fps = Hashtbl.create 16; benign_excused = 0;
       occ_samples = Hashtbl.create 64; calibrating = false }
   in
   let monitored_iface = Netsim.Net.iface net ~src:router ~dst:next in
@@ -71,6 +78,9 @@ let attach ~net ~predict ~key ?(skew = fun ~reporter:_ -> 0.0) ~router ~next () 
             { fp; size = pkt.Netsim.Packet.size; flow = pkt.Netsim.Packet.flow;
               time = ev.Netsim.Net.time }
             :: t.pending_s
+      | Netsim.Iface.Drop_link_down pkt
+        when ev.Netsim.Net.router = router && ev.Netsim.Net.next = next ->
+          Hashtbl.replace t.benign_fps (Netsim.Packet.fingerprint key pkt) ()
       | Netsim.Iface.Enqueued pkt
         when t.calibrating && ev.Netsim.Net.router = router && ev.Netsim.Net.next = next
         -> (
@@ -93,7 +103,18 @@ type round_data = {
 let by_time a b = compare (a.time, a.fp) (b.time, b.fp)
 
 let drain t ~horizon =
-  let ready_s, rest_s = List.partition (fun e -> e.time <= horizon) t.pending_s in
+  let ready_all, rest_s = List.partition (fun e -> e.time <= horizon) t.pending_s in
+  (* Excuse announced arrivals the monitored interface discarded while
+     its link was down — those packets never entered Q. *)
+  let benign, ready_s =
+    List.partition (fun e -> Hashtbl.mem t.benign_fps e.fp) ready_all
+  in
+  List.iter
+    (fun e ->
+      Hashtbl.remove t.benign_fps e.fp;
+      Hashtbl.remove t.s_fps e.fp;
+      t.benign_excused <- t.benign_excused + 1)
+    benign;
   let ready_fps = Hashtbl.create (List.length ready_s * 2) in
   List.iter (fun e -> Hashtbl.replace ready_fps e.fp ()) ready_s;
   let matched_d, other_d =

@@ -66,6 +66,12 @@ val set_predict : t -> (Netsim.Packet.t -> int option) -> unit
 val set_calibrating : t -> bool -> unit
 (** Toggle collection of true-occupancy samples. *)
 
+val benign_excused : t -> int
+(** Announced arrivals excused because the monitored interface dropped
+    them with the link down — a locally observable benign failure the
+    neighbours learn from the link-state flood, so χ must not read the
+    disappearance as malice. *)
+
 type round_data = {
   arrivals : entry list;        (** S, time-ordered, up to the horizon *)
   departures : entry list;      (** D, time-ordered (complete for S) *)

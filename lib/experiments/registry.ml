@@ -35,7 +35,13 @@ let all =
     { id = "fleet"; doc = "Network-wide chi localization trials (Fig 2.3)";
       cost = Moderate; eval = Fig_fleet.eval };
     { id = "watchers"; doc = "WATCHERS-live vs chi at packet level"; cost = Quick;
-      eval = Tab_watchers.eval } ]
+      eval = Tab_watchers.eval };
+    { id = "robustness";
+      doc = "False-accusation rate vs benign control-plane loss (fatih)";
+      cost = Moderate; eval = Fig_robustness.eval_robustness };
+    { id = "churn";
+      doc = "Detection latency and accuracy vs benign churn (fatih)";
+      cost = Moderate; eval = Fig_robustness.eval_churn } ]
 
 let quick = List.filter (fun e -> e.cost = Quick) all
 

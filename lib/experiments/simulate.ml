@@ -47,12 +47,13 @@ module Config = struct
     journal : string option;
     trace_out : string option;
     trace_sample : float;
+    faults : string option;
   }
 
   let default =
     { topo = Ring; protocol = `Fatih; attack = Drop_fraction 0.2; attacker = 2;
       duration = 60.0; seed = 1; flows = 8; trace = 0; metrics = None;
-      journal = None; trace_out = None; trace_sample = 1.0 }
+      journal = None; trace_out = None; trace_sample = 1.0; faults = None }
 
   let validate c =
     let fraction_of = function
@@ -90,14 +91,14 @@ module Config = struct
     | p -> Error (Printf.sprintf "unknown protocol %S (chi|fatih)" p)
 
   let of_cmdline ~topology ~protocol ~attack ~fraction ~attacker ~duration ~seed
-      ~flows ~trace ~metrics ~journal ~trace_out ~trace_sample =
+      ~flows ~trace ~metrics ~journal ~trace_out ~trace_sample ~faults =
     let ( let* ) = Result.bind in
     let* topo = topo_of_string topology in
     let* protocol = protocol_of_string protocol in
     let* attack = attack_of_string attack ~fraction in
     validate
       { topo; protocol; attack; attacker; duration; seed; flows; trace; metrics;
-        journal; trace_out; trace_sample }
+        journal; trace_out; trace_sample; faults }
 end
 
 let behavior_of = function
@@ -196,13 +197,22 @@ let write_journal path probe =
 
 let run (config : Config.t) =
   let { Config.topo; protocol; attack; attacker; duration; seed; flows; trace;
-        metrics; journal; trace_out; trace_sample } =
+        metrics; journal; trace_out; trace_sample; faults } =
     match Config.validate config with
     | Ok c -> c
     | Error msg -> invalid_arg ("Simulate.run: " ^ msg)
   in
   let g = graph_of topo in
   let n = Topology.Graph.size g in
+  (* Load and check the benign fault plan before simulating anything. *)
+  let fault_schedule =
+    Option.map
+      (fun path ->
+        let s = Faults.Schedule.load path in
+        Faults.Schedule.validate_exn ~graph:g s;
+        s)
+      faults
+  in
   (* Fail on an unwritable export path now, not after simulating. *)
   let check_writable = function
     | None -> ()
@@ -218,7 +228,11 @@ let run (config : Config.t) =
     | Some _ -> Some (Telemetry.Span.create ~sample:trace_sample ~seed ())
   in
   let probe =
-    if metrics <> None || journal <> None || Option.is_some span_tracer then
+    (* Fault injection always carries a probe: the oracle needs the
+       journaled fault records and verdicts to score the run. *)
+    if metrics <> None || journal <> None || Option.is_some span_tracer
+       || fault_schedule <> None
+    then
       Some
         (Probe.create
            ~journal_capacity:(if journal = None then 4096 else 262144)
@@ -271,6 +285,21 @@ let run (config : Config.t) =
         in
         (net, rt, !pairs, malicious, congestion, tracer))
   in
+  let injector =
+    Option.map
+      (fun s ->
+        Telemetry.Profile.time profile "setup" (fun () ->
+            Faults.Injector.apply ?probe ~net s))
+      fault_schedule
+  in
+  let fault_ctrl = Option.map Faults.Injector.ctrl fault_schedule in
+  let fault_skew =
+    Option.map
+      (fun s ->
+        let f = Faults.Injector.skew_fn s in
+        fun ~reporter -> f reporter)
+      fault_schedule
+  in
   Printf.printf "topology: %d routers, %d links; %d flows; attack at %.0f s\n"
     n (Topology.Graph.link_count g) (List.length pairs) attack_start;
   let dump_trace () =
@@ -293,12 +322,19 @@ let run (config : Config.t) =
     | `Fatih ->
         let fatih =
           Telemetry.Profile.time profile "setup" (fun () ->
-              Core.Fatih.deploy ~net ~rt ?probe ())
+              Core.Fatih.deploy ~net ~rt ?probe ?ctrl:fault_ctrl ())
         in
         simulate ();
         fun () ->
           let ds = Core.Fatih.detections fatih in
           Printf.printf "fatih: %d detections\n" (List.length ds);
+          if Core.Fatih.rounds_degraded fatih > 0 || Core.Fatih.rounds_excused fatih > 0
+          then
+            Printf.printf
+              "fatih: %d segment-rounds degraded (exchange timeout), %d excused \
+               (benign link failure)\n"
+              (Core.Fatih.rounds_degraded fatih)
+              (Core.Fatih.rounds_excused fatih);
           List.iter
             (fun (d : Core.Fatih.detection) ->
               Printf.printf "  %.1f s  <%s>  %d/%d missing\n" d.Core.Fatih.time
@@ -330,7 +366,8 @@ let run (config : Config.t) =
               | u :: _ -> ignore (Tcp.connect net ~src:u ~dst:next ())
               | [] -> ());
               let config = { Core.Chi.default_config with Core.Chi.tau = 2.0 } in
-              Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config ?probe ())
+              Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config ?probe
+                ?skew:fault_skew ())
         in
         simulate ();
         fun () ->
@@ -349,6 +386,22 @@ let run (config : Config.t) =
       Printf.printf "ground truth: %d malicious drops, %d congestion drops\n"
         !malicious !congestion;
       report ();
+      (match (injector, probe) with
+      | Some inj, Some probe ->
+          Printf.printf "faults: %d injected from plan\n"
+            (Faults.Injector.injected inj);
+          let malicious = if attack <> No_attack then [ attacker ] else [] in
+          let o = Faults.Oracle.of_probe ~malicious ~attack_start probe in
+          Printf.printf
+            "oracle: %d verdicts, %d false alarms, FAR %.3f, precision %.3f, \
+             recall %.3f%s\n"
+            o.Faults.Oracle.verdicts o.Faults.Oracle.false_alarms
+            o.Faults.Oracle.false_accusation_rate o.Faults.Oracle.precision
+            o.Faults.Oracle.recall
+            (match o.Faults.Oracle.detection_latency with
+            | Some l -> Printf.sprintf ", latency %.1f s" l
+            | None -> "")
+      | _ -> ());
       dump_trace ());
   match probe with
   | None -> ()
@@ -371,7 +424,9 @@ let run (config : Config.t) =
           ("attacker", Int attacker);
           ("duration", Float duration);
           ("seed", Int seed);
-          ("flows", Int flows) ]
+          ("flows", Int flows);
+          ("faults",
+           match faults with Some path -> String path | None -> Null) ]
       in
       let doc = summary_json ~scenario ~attack_start net probe profile in
       (match metrics with Some path -> write_metrics path doc probe | None -> ());

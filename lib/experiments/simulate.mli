@@ -35,11 +35,12 @@ module Config : sig
     journal : string option; (** JSONL event-journal path *)
     trace_out : string option; (** Chrome trace-event export path *)
     trace_sample : float;    (** fraction of packets traced, in [0,1] *)
+    faults : string option;  (** benign fault-plan file ({!Faults.Schedule}) *)
   }
 
   val default : t
   (** Ring topology, Fatih, 20% drop fraction at router 2, 60 s, seed 1,
-      8 flows, no trace, no exports, trace sampling at 1.0. *)
+      8 flows, no trace, no exports, trace sampling at 1.0, no faults. *)
 
   val validate : t -> (t, string) result
   (** Reject non-positive duration, fewer than one flow, a negative
@@ -61,6 +62,7 @@ module Config : sig
     journal:string option ->
     trace_out:string option ->
     trace_sample:float ->
+    faults:string option ->
     (t, string) result
   (** Parse the raw command-line spellings and {!validate} the result. *)
 end
@@ -77,5 +79,12 @@ val run : Config.t -> unit
     [.prom]/[.txt] suffix.  [journal] names a JSONL file receiving the
     typed event journal (newest 262144 records).  With neither given, no
     probe is attached and the forwarding plane runs exactly as before.
+
+    [faults] names a {!Faults.Schedule} file: the plan is validated
+    against the topology, injected into the run (link flaps, crashes,
+    lossy control-plane channels, clock skew), a probe is attached
+    regardless of the export flags, and the report ends with the
+    {!Faults.Oracle} scoring of every verdict against ground truth.
     Raises [Invalid_argument] when {!Config.validate} rejects the
-    configuration. *)
+    configuration, when the fault plan does not parse, or when it names
+    routers or links outside the topology. *)

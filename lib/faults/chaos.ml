@@ -1,0 +1,120 @@
+type budget = {
+  max_concurrent : int;
+  max_crashes : int;
+  max_flaps : int;
+  max_msg_loss : float;
+  max_skew : float;
+}
+
+let default_budget =
+  { max_concurrent = 4; max_crashes = 1; max_flaps = 3; max_msg_loss = 0.15;
+    max_skew = 0.005 }
+
+let gentle_budget =
+  { max_concurrent = 2; max_crashes = 0; max_flaps = 1; max_msg_loss = 0.05;
+    max_skew = 0.001 }
+
+(* Peak weighted overlap of half-open windows [s, e); a window closing
+   exactly when another opens does not overlap it. *)
+let max_overlap windows =
+  let events =
+    List.concat_map (fun (s, e, w) -> [ (s, w); (e, -w) ]) windows
+  in
+  let events =
+    List.sort
+      (fun (ta, wa) (tb, wb) ->
+        if ta = tb then compare wa wb else compare ta tb)
+      events
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, w) ->
+        let cur = cur + w in
+        (cur, max peak cur))
+      (0, 0) events
+  in
+  peak
+
+let uniform rng lo hi = lo +. (Random.State.float rng 1.0 *. (hi -. lo))
+
+let generate ~seed ~graph ~duration ?(budget = default_budget) () =
+  if not (duration > 0.0) then invalid_arg "Chaos.generate: duration must be positive";
+  let rng = Random.State.make [| 0x63616f73; seed |] in
+  let actions = ref [] in
+  let push a = actions := a :: !actions in
+  (* Duplex pairs, canonical (low, high) order, deterministic listing. *)
+  let pairs =
+    Topology.Graph.fold_links graph ~init:[] ~f:(fun acc l ->
+        let src = l.Topology.Graph.src and dst = l.Topology.Graph.dst in
+        if src < dst && Topology.Graph.link graph dst src <> None then
+          (src, dst) :: acc
+        else acc)
+    |> List.rev
+  in
+  let n_pairs = List.length pairs in
+  let windows = ref [] in
+  let fits (s, e, w) = max_overlap ((s, e, w) :: !windows) <= budget.max_concurrent in
+  (* A window: open somewhere in the first 60% of the run, closed by
+     90% — every fault heals with slack for the detectors to settle. *)
+  let draw_window rng =
+    let s = uniform rng (0.1 *. duration) (0.6 *. duration) in
+    let len = uniform rng (0.05 *. duration) (0.25 *. duration) in
+    (s, Float.min (s +. len) (0.9 *. duration))
+  in
+  (* Link flaps: both directions of a duplex pair go down and come
+     back, weight 2 against the concurrency ceiling. *)
+  if n_pairs > 0 then
+    for _ = 1 to budget.max_flaps do
+      let a, b = List.nth pairs (Random.State.int rng n_pairs) in
+      let s, e = draw_window rng in
+      if fits (s, e, 2) then begin
+        windows := (s, e, 2) :: !windows;
+        push (Schedule.Link_down { src = a; dst = b; at = s });
+        push (Schedule.Link_down { src = b; dst = a; at = s });
+        push (Schedule.Link_up { src = a; dst = b; at = e });
+        push (Schedule.Link_up { src = b; dst = a; at = e })
+      end
+    done;
+  (* Crashes: fail-stop with a restart, at most one per router. *)
+  let n = Topology.Graph.size graph in
+  let crashed = Hashtbl.create 4 in
+  if n > 0 then
+    for _ = 1 to budget.max_crashes do
+      let r = Random.State.int rng n in
+      let s, e = draw_window rng in
+      if (not (Hashtbl.mem crashed r)) && fits (s, e, 1) then begin
+        Hashtbl.add crashed r ();
+        windows := (s, e, 1) :: !windows;
+        push (Schedule.Crash { router = r; at = s });
+        push (Schedule.Restart { router = r; at = e })
+      end
+    done;
+  (* Mildly lossy control-plane channels on some duplex pairs. *)
+  if budget.max_msg_loss > 0.0 then
+    List.iter
+      (fun (a, b) ->
+        if Random.State.float rng 1.0 < 0.5 then begin
+          let loss = uniform rng 0.0 budget.max_msg_loss in
+          push (Schedule.Msg_loss { src = a; dst = b; prob = loss });
+          push (Schedule.Msg_loss { src = b; dst = a; prob = loss });
+          if Random.State.float rng 1.0 < 0.3 then
+            push
+              (Schedule.Msg_dup
+                 { src = a; dst = b; prob = uniform rng 0.0 (budget.max_msg_loss /. 3.0) });
+          if Random.State.float rng 1.0 < 0.3 then
+            push
+              (Schedule.Msg_reorder
+                 { src = a; dst = b;
+                   prob = uniform rng 0.0 (budget.max_msg_loss /. 2.0);
+                   delay = uniform rng 0.0 0.05 })
+        end)
+      pairs;
+  (* Small constant clock skews on about half the routers. *)
+  if budget.max_skew > 0.0 then
+    for r = 0 to n - 1 do
+      if Random.State.float rng 1.0 < 0.5 then
+        push
+          (Schedule.Clock_skew
+             { router = r; skew = uniform rng (-.budget.max_skew) budget.max_skew })
+    done;
+  { Schedule.seed; actions = List.rev !actions }

@@ -1,0 +1,40 @@
+(** Seeded random fault generation for chaos-style sweeps.
+
+    Draws a {!Schedule} from a topology, a run duration and a
+    {!budget}: bounded link flaps, bounded fail-stop crashes with
+    restarts, mildly lossy control-plane channels and small clock
+    skews.  The draw is a pure function of the seed — the same
+    (seed, graph, duration, budget) always yields the identical
+    schedule, which is what makes [mrdetect chaos --jobs N]
+    byte-identical across runs and job counts. *)
+
+type budget = {
+  max_concurrent : int;
+      (** ceiling on simultaneously open outage windows (a duplex flap
+          opens two directed windows, a crash one) *)
+  max_crashes : int;     (** total crash/restart pairs *)
+  max_flaps : int;       (** total duplex link flaps *)
+  max_msg_loss : float;  (** per-channel control-plane loss cap, [0,1) *)
+  max_skew : float;      (** absolute clock-skew cap, seconds *)
+}
+
+val default_budget : budget
+(** 4 concurrent outages, 1 crash, 3 flaps, 15% message loss,
+    5 ms skew. *)
+
+val gentle_budget : budget
+(** No crashes, 1 flap, 5% loss, 1 ms skew — churn mild enough that a
+    sound detector should raise {e zero} false accusations. *)
+
+val generate :
+  seed:int ->
+  graph:Topology.Graph.t ->
+  duration:float ->
+  ?budget:budget ->
+  unit ->
+  Schedule.t
+(** A schedule honouring the budget: the result always satisfies
+    [Schedule.max_concurrent_outages <= budget.max_concurrent] and
+    [Schedule.crash_count <= budget.max_crashes], every fault window
+    closes before [0.9 * duration], and [validate] passes against
+    [graph]. *)

@@ -1,0 +1,133 @@
+type t = {
+  probe : Netsim.Probe.t option;
+  net : Netsim.Net.t;
+  (* Down-counts per directed link: a link can be downed both by its own
+     flap and by a crash of either endpoint; it comes back up only when
+     every cause has been lifted. *)
+  downs : (int * int, int) Hashtbl.t;
+  mutable injected : int;
+}
+
+let record t ~time ~kind ~routers ~detail =
+  t.injected <- t.injected + 1;
+  match t.probe with
+  | None -> ()
+  | Some probe -> Netsim.Probe.record_fault probe ~time ~kind ~routers ~detail ()
+
+let down t src dst =
+  let c = Option.value (Hashtbl.find_opt t.downs (src, dst)) ~default:0 in
+  Hashtbl.replace t.downs (src, dst) (c + 1);
+  if c = 0 then Netsim.Net.fail_link t.net ~src ~dst
+
+let up t src dst =
+  match Hashtbl.find_opt t.downs (src, dst) with
+  | None | Some 0 -> ()
+  | Some 1 ->
+      Hashtbl.replace t.downs (src, dst) 0;
+      Netsim.Net.restore_link t.net ~src ~dst
+  | Some c -> Hashtbl.replace t.downs (src, dst) (c - 1)
+
+(* Every link touching the router, in both directions. *)
+let router_links graph router =
+  let out =
+    List.map (fun n -> (router, n)) (Topology.Graph.out_neighbors graph router)
+  in
+  let into =
+    Topology.Graph.fold_links graph ~init:[] ~f:(fun acc l ->
+        if l.Topology.Graph.dst = router then (l.Topology.Graph.src, router) :: acc
+        else acc)
+  in
+  out @ List.rev into
+
+let fire t action =
+  let time = Netsim.Sim.now (Netsim.Net.sim t.net) in
+  let graph = Netsim.Net.graph t.net in
+  match (action : Schedule.action) with
+  | Schedule.Link_down { src; dst; _ } ->
+      down t src dst;
+      record t ~time ~kind:"link_down" ~routers:[ src; dst ] ~detail:""
+  | Schedule.Link_up { src; dst; _ } ->
+      up t src dst;
+      record t ~time ~kind:"link_up" ~routers:[ src; dst ] ~detail:""
+  | Schedule.Crash { router; _ } ->
+      List.iter (fun (a, b) -> down t a b) (router_links graph router);
+      record t ~time ~kind:"crash" ~routers:[ router ] ~detail:"fail-stop"
+  | Schedule.Restart { router; _ } ->
+      List.iter (fun (a, b) -> up t a b) (router_links graph router);
+      record t ~time ~kind:"restart" ~routers:[ router ] ~detail:""
+  | Schedule.Msg_loss _ | Schedule.Msg_dup _ | Schedule.Msg_reorder _
+  | Schedule.Clock_skew _ ->
+      ()
+
+let apply ?probe ~net schedule =
+  Schedule.validate_exn ~graph:(Netsim.Net.graph net) schedule;
+  let t = { probe; net; downs = Hashtbl.create 16; injected = 0 } in
+  let sim = Netsim.Net.sim net in
+  (* Channel faults and skews are static configuration: journal them
+     once so the oracle and trace explain know the run was degraded. *)
+  List.iter
+    (fun (a : Schedule.action) ->
+      match a with
+      | Schedule.Msg_loss { src; dst; prob } ->
+          record t ~time:0.0 ~kind:"msg_loss" ~routers:[ src; dst ]
+            ~detail:(Printf.sprintf "prob=%g" prob)
+      | Schedule.Msg_dup { src; dst; prob } ->
+          record t ~time:0.0 ~kind:"msg_dup" ~routers:[ src; dst ]
+            ~detail:(Printf.sprintf "prob=%g" prob)
+      | Schedule.Msg_reorder { src; dst; prob; delay } ->
+          record t ~time:0.0 ~kind:"msg_reorder" ~routers:[ src; dst ]
+            ~detail:(Printf.sprintf "prob=%g delay=%g" prob delay)
+      | Schedule.Clock_skew { router; skew } ->
+          record t ~time:0.0 ~kind:"clock_skew" ~routers:[ router ]
+            ~detail:(Printf.sprintf "skew=%g" skew)
+      | _ -> ())
+    schedule.Schedule.actions;
+  List.iter
+    (fun (a : Schedule.action) ->
+      match a with
+      | Schedule.Link_down { at; _ }
+      | Schedule.Link_up { at; _ }
+      | Schedule.Crash { at; _ }
+      | Schedule.Restart { at; _ } ->
+          Netsim.Sim.schedule_at sim ~time:at (fun () -> fire t a)
+      | _ -> ())
+    (Schedule.timed schedule);
+  t
+
+let injected t = t.injected
+
+let ctrl (schedule : Schedule.t) =
+  let faults = Hashtbl.create 8 in
+  let get lk =
+    Option.value (Hashtbl.find_opt faults lk) ~default:Core.Ctrl.clean
+  in
+  List.iter
+    (fun (a : Schedule.action) ->
+      match a with
+      | Schedule.Msg_loss { src; dst; prob } ->
+          Hashtbl.replace faults (src, dst)
+            { (get (src, dst)) with Core.Ctrl.loss = prob }
+      | Schedule.Msg_dup { src; dst; prob } ->
+          Hashtbl.replace faults (src, dst)
+            { (get (src, dst)) with Core.Ctrl.duplicate = prob }
+      | Schedule.Msg_reorder { src; dst; prob; delay } ->
+          Hashtbl.replace faults (src, dst)
+            { (get (src, dst)) with
+              Core.Ctrl.reorder = prob;
+              Core.Ctrl.reorder_delay = delay }
+      | _ -> ())
+    schedule.Schedule.actions;
+  let links =
+    List.sort compare (Hashtbl.fold (fun lk f acc -> (lk, f) :: acc) faults [])
+  in
+  Core.Ctrl.create ~seed:schedule.Schedule.seed ~links ()
+
+let skew_fn (schedule : Schedule.t) =
+  let skews = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Schedule.action) ->
+      match a with
+      | Schedule.Clock_skew { router; skew } -> Hashtbl.replace skews router skew
+      | _ -> ())
+    schedule.Schedule.actions;
+  fun router -> Option.value (Hashtbl.find_opt skews router) ~default:0.0

@@ -1,0 +1,116 @@
+type outcome = {
+  verdicts : int;
+  alarms : int;
+  true_alarms : int;
+  false_alarms : int;
+  detected : int list;
+  falsely_accused : int list;
+  precision : float;
+  recall : float;
+  false_accusation_rate : float;
+  detection_latency : float option;
+  faults_injected : int;
+}
+
+let implicated (v : Netsim.Probe.verdict) =
+  match v.Netsim.Probe.subject with
+  | Some s -> [ s ]
+  | None -> v.Netsim.Probe.suspects
+
+let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
+  let is_malicious r = List.mem r malicious in
+  let n_verdicts = List.length verdicts in
+  let alarms = List.filter (fun (v : Netsim.Probe.verdict) -> v.alarm) verdicts in
+  let detected = ref [] in
+  let falsely_accused = ref [] in
+  let true_alarms = ref 0 in
+  let false_alarms = ref 0 in
+  let first_true = ref None in
+  List.iter
+    (fun (v : Netsim.Probe.verdict) ->
+      let accused = implicated v in
+      let hits = List.filter is_malicious accused in
+      if hits <> [] then begin
+        incr true_alarms;
+        List.iter
+          (fun r -> if not (List.mem r !detected) then detected := r :: !detected)
+          hits;
+        match !first_true with
+        | Some t when t <= v.Netsim.Probe.time -> ()
+        | _ -> first_true := Some v.Netsim.Probe.time
+      end
+      else begin
+        incr false_alarms;
+        List.iter
+          (fun r ->
+            if not (List.mem r !falsely_accused) then
+              falsely_accused := r :: !falsely_accused)
+          accused
+      end)
+    alarms;
+  let n_alarms = List.length alarms in
+  let n_malicious = List.length (List.sort_uniq compare malicious) in
+  { verdicts = n_verdicts;
+    alarms = n_alarms;
+    true_alarms = !true_alarms;
+    false_alarms = !false_alarms;
+    detected = List.sort compare !detected;
+    falsely_accused = List.sort compare !falsely_accused;
+    precision =
+      (if n_alarms = 0 then 1.0
+       else float_of_int !true_alarms /. float_of_int n_alarms);
+    recall =
+      (if n_malicious = 0 then 1.0
+       else float_of_int (List.length !detected) /. float_of_int n_malicious);
+    false_accusation_rate =
+      (if n_verdicts = 0 then 0.0
+       else float_of_int !false_alarms /. float_of_int n_verdicts);
+    detection_latency = Option.map (fun t -> t -. attack_start) !first_true;
+    faults_injected }
+
+let verdicts_of_probe = Netsim.Probe.verdicts
+
+let of_probe ~malicious ?attack_start probe =
+  score ~malicious ?attack_start
+    ~faults_injected:(Netsim.Probe.faults_recorded probe)
+    (verdicts_of_probe probe)
+
+let json_of_outcome o =
+  let open Telemetry.Export in
+  Assoc
+    [ ("verdicts", Int o.verdicts);
+      ("alarms", Int o.alarms);
+      ("true_alarms", Int o.true_alarms);
+      ("false_alarms", Int o.false_alarms);
+      ("detected", List (List.map (fun r -> Int r) o.detected));
+      ("falsely_accused", List (List.map (fun r -> Int r) o.falsely_accused));
+      ("precision", Float o.precision);
+      ("recall", Float o.recall);
+      ("false_accusation_rate", Float o.false_accusation_rate);
+      ( "detection_latency",
+        match o.detection_latency with Some l -> Float l | None -> Null );
+      ("faults_injected", Int o.faults_injected) ]
+
+let json_report ?label o =
+  let open Telemetry.Export in
+  Assoc
+    ([ ("schema", String "mrdetect-robustness-v1") ]
+    @ (match label with Some l -> [ ("label", String l) ] | None -> [])
+    @ [ ("report", json_of_outcome o) ])
+
+let merge_json outcomes =
+  let open Telemetry.Export in
+  let fold f init = List.fold_left f init outcomes in
+  let worst_precision = fold (fun acc o -> Float.min acc o.precision) 1.0 in
+  let worst_recall = fold (fun acc o -> Float.min acc o.recall) 1.0 in
+  let worst_far = fold (fun acc o -> Float.max acc o.false_accusation_rate) 0.0 in
+  let total_false = fold (fun acc o -> acc + o.false_alarms) 0 in
+  Assoc
+    [ ("schema", String "mrdetect-robustness-v1");
+      ("runs", List (List.map json_of_outcome outcomes));
+      ( "aggregate",
+        Assoc
+          [ ("worst_precision", Float worst_precision);
+            ("worst_recall", Float worst_recall);
+            ("worst_false_accusation_rate", Float worst_far);
+            ("total_false_alarms", Int total_false) ] ) ]

@@ -1,0 +1,65 @@
+(** Ground truth for robustness runs.
+
+    The oracle knows two things the detectors do not: which routers the
+    adversary script actually controls, and which anomalies were
+    injected-benign churn from a {!Schedule}.  Scoring a run's verdict
+    stream against that ground truth yields the robustness metrics the
+    chaos sweeps report:
+
+    - {b precision} — alarming verdicts that implicate at least one
+      truly malicious router, over all alarming verdicts (1 when the
+      run never alarms);
+    - {b recall} — truly malicious routers implicated by at least one
+      alarm, over all malicious routers (1 when none exist);
+    - {b false-accusation rate} — alarming verdicts that implicate
+      {e only} benign routers, over all verdicts rendered (0 when no
+      verdicts are rendered) — the paper's headline failure mode, a
+      merely unlucky router treated as a traffic-faulty one;
+    - {b detection latency} — time from [attack_start] to the first
+      alarm implicating a malicious router, [None] if never.
+
+    An alarming verdict implicates its [subject] when it has one (chi's
+    monitored router, fatih's segment interior) and its [suspects]
+    otherwise. *)
+
+type outcome = {
+  verdicts : int;          (** all verdicts rendered, alarming or not *)
+  alarms : int;
+  true_alarms : int;       (** alarms implicating >= 1 malicious router *)
+  false_alarms : int;      (** alarms implicating only benign routers *)
+  detected : int list;     (** malicious routers implicated, ascending *)
+  falsely_accused : int list; (** benign routers implicated, ascending *)
+  precision : float;
+  recall : float;
+  false_accusation_rate : float;
+  detection_latency : float option;
+  faults_injected : int;   (** benign fault records in the run *)
+}
+
+val score :
+  malicious:int list ->
+  ?attack_start:float ->
+  ?faults_injected:int ->
+  Netsim.Probe.verdict list ->
+  outcome
+(** Score a verdict stream.  [attack_start] (default 0) anchors the
+    detection latency; [faults_injected] is carried through to the
+    report. *)
+
+val of_probe :
+  malicious:int list -> ?attack_start:float -> Netsim.Probe.t -> outcome
+(** Score a finished run straight from its probe: verdicts and the
+    injected-fault count come from the probe's full-run retention
+    ([Probe.verdicts] / [Probe.faults_recorded]), not the bounded
+    journal, so heavy link traffic cannot evict an early verdict from
+    the scoring. *)
+
+val verdicts_of_probe : Netsim.Probe.t -> Netsim.Probe.verdict list
+(** Every verdict the run recorded, oldest first. *)
+
+val json_report : ?label:string -> outcome -> Telemetry.Export.json
+(** The [mrdetect-robustness-v1] report document. *)
+
+val merge_json : outcome list -> Telemetry.Export.json
+(** A [mrdetect-robustness-v1] document whose [runs] array holds one
+    report per outcome, plus aggregate worst-case metrics. *)

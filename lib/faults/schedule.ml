@@ -1,0 +1,326 @@
+type action =
+  | Link_down of { src : int; dst : int; at : float }
+  | Link_up of { src : int; dst : int; at : float }
+  | Crash of { router : int; at : float }
+  | Restart of { router : int; at : float }
+  | Msg_loss of { src : int; dst : int; prob : float }
+  | Msg_dup of { src : int; dst : int; prob : float }
+  | Msg_reorder of { src : int; dst : int; prob : float; delay : float }
+  | Clock_skew of { router : int; skew : float }
+
+type t = { seed : int; actions : action list }
+
+let empty = { seed = 1; actions = [] }
+
+(* --- printing --- *)
+
+(* Shortest decimal that parses back to the same float, so
+   [of_string (to_string t) = Ok t] holds exactly. *)
+let fstr f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let action_to_string = function
+  | Link_down { src; dst; at } ->
+      Printf.sprintf "(link-down %d %d at %s)" src dst (fstr at)
+  | Link_up { src; dst; at } ->
+      Printf.sprintf "(link-up %d %d at %s)" src dst (fstr at)
+  | Crash { router; at } -> Printf.sprintf "(crash %d at %s)" router (fstr at)
+  | Restart { router; at } ->
+      Printf.sprintf "(restart %d at %s)" router (fstr at)
+  | Msg_loss { src; dst; prob } ->
+      Printf.sprintf "(msg-loss %d %d prob %s)" src dst (fstr prob)
+  | Msg_dup { src; dst; prob } ->
+      Printf.sprintf "(msg-dup %d %d prob %s)" src dst (fstr prob)
+  | Msg_reorder { src; dst; prob; delay } ->
+      Printf.sprintf "(msg-reorder %d %d prob %s delay %s)" src dst (fstr prob)
+        (fstr delay)
+  | Clock_skew { router; skew } ->
+      Printf.sprintf "(clock-skew %d skew %s)" router (fstr skew)
+
+let to_string t =
+  String.concat "\n"
+    ((Printf.sprintf "(seed %d)" t.seed :: List.map action_to_string t.actions)
+    @ [ "" ])
+
+(* --- parsing --- *)
+
+type token = Lp of int | Rp of int | Atom of int * string
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' -> while !i < n && s.[!i] <> '\n' do incr i done
+    | '(' ->
+        toks := Lp !line :: !toks;
+        incr i
+    | ')' ->
+        toks := Rp !line :: !toks;
+        incr i
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && not
+               (match s.[!i] with
+               | ' ' | '\t' | '\r' | '\n' | '(' | ')' | '#' -> true
+               | _ -> false)
+        do
+          incr i
+        done;
+        toks := Atom (!line, String.sub s start (!i - start)) :: !toks);
+  done;
+  List.rev !toks
+
+exception Parse of string
+
+let fail line fmt =
+  Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "line %d: %s" line m))) fmt
+
+let int_atom line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: expected an integer, got %S" what s
+
+let float_atom line what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: expected a number, got %S" what s
+
+let keyword line form expected s =
+  if s <> expected then fail line "%s: expected %S, got %S" form expected s
+
+(* One form = a flat list of atoms between parens (nesting rejected). *)
+let parse_form line atoms =
+  match atoms with
+  | [] -> fail line "empty form"
+  | head :: args -> (
+      let arity want =
+        if List.length args <> want then
+          fail line "%s: expected %d arguments, got %d" head want
+            (List.length args)
+      in
+      match (head, args) with
+      | "seed", [ s ] -> `Seed (int_atom line "seed" s)
+      | "seed", _ ->
+          arity 1;
+          assert false
+      | "link-down", [ a; b; at_kw; t ] ->
+          keyword line head "at" at_kw;
+          `Action
+            (Link_down
+               { src = int_atom line "src" a; dst = int_atom line "dst" b;
+                 at = float_atom line "time" t })
+      | "link-up", [ a; b; at_kw; t ] ->
+          keyword line head "at" at_kw;
+          `Action
+            (Link_up
+               { src = int_atom line "src" a; dst = int_atom line "dst" b;
+                 at = float_atom line "time" t })
+      | "crash", [ r; at_kw; t ] ->
+          keyword line head "at" at_kw;
+          `Action
+            (Crash { router = int_atom line "router" r; at = float_atom line "time" t })
+      | "restart", [ r; at_kw; t ] ->
+          keyword line head "at" at_kw;
+          `Action
+            (Restart
+               { router = int_atom line "router" r; at = float_atom line "time" t })
+      | "msg-loss", [ a; b; p_kw; p ] ->
+          keyword line head "prob" p_kw;
+          `Action
+            (Msg_loss
+               { src = int_atom line "src" a; dst = int_atom line "dst" b;
+                 prob = float_atom line "prob" p })
+      | "msg-dup", [ a; b; p_kw; p ] ->
+          keyword line head "prob" p_kw;
+          `Action
+            (Msg_dup
+               { src = int_atom line "src" a; dst = int_atom line "dst" b;
+                 prob = float_atom line "prob" p })
+      | "msg-reorder", [ a; b; p_kw; p; d_kw; d ] ->
+          keyword line head "prob" p_kw;
+          keyword line head "delay" d_kw;
+          `Action
+            (Msg_reorder
+               { src = int_atom line "src" a; dst = int_atom line "dst" b;
+                 prob = float_atom line "prob" p;
+                 delay = float_atom line "delay" d })
+      | "clock-skew", [ r; s_kw; s ] ->
+          keyword line head "skew" s_kw;
+          `Action
+            (Clock_skew
+               { router = int_atom line "router" r; skew = float_atom line "skew" s })
+      | ( ("link-down" | "link-up" | "crash" | "restart" | "msg-loss" | "msg-dup"
+          | "msg-reorder" | "clock-skew"),
+          _ ) ->
+          fail line "%s: wrong number of arguments" head
+      | _ -> fail line "unknown fault form %S" head)
+
+let of_string s =
+  try
+    let toks = tokenize s in
+    let seed = ref None in
+    let actions = ref [] in
+    let rec forms = function
+      | [] -> ()
+      | Lp line :: rest ->
+          let rec atoms acc = function
+            | Atom (l, a) :: tl -> atoms ((l, a) :: acc) tl
+            | Rp _ :: tl -> (List.rev acc, tl)
+            | Lp l :: _ -> fail l "nested lists are not allowed"
+            | [] -> fail line "unterminated form"
+          in
+          let atom_list, rest = atoms [] rest in
+          (match parse_form line (List.map snd atom_list) with
+          | `Seed v -> (
+              match !seed with
+              | None -> seed := Some v
+              | Some _ -> fail line "duplicate (seed ...) form")
+          | `Action a -> actions := a :: !actions);
+          forms rest
+      | Rp line :: _ -> fail line "unexpected ')'"
+      | Atom (line, a) :: _ -> fail line "expected '(', got %S" a
+    in
+    forms toks;
+    Ok { seed = Option.value !seed ~default:1; actions = List.rev !actions }
+  with Parse m -> Error m
+
+let load path =
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error m -> invalid_arg (Printf.sprintf "fault schedule: %s" m)
+  in
+  match of_string contents with
+  | Ok t -> t
+  | Error m -> invalid_arg (Printf.sprintf "fault schedule %s: %s" path m)
+
+(* --- validation --- *)
+
+let validate ~graph t =
+  let n = Topology.Graph.size graph in
+  let check_node what r =
+    if r < 0 || r >= n then
+      raise
+        (Parse (Printf.sprintf "%s: router %d outside [0,%d)" what r n))
+  in
+  let check_link what src dst =
+    check_node what src;
+    check_node what dst;
+    if Topology.Graph.link graph src dst = None then
+      raise (Parse (Printf.sprintf "%s: no link %d->%d in topology" what src dst))
+  in
+  let check_time what v =
+    if not (Float.is_finite v) || v < 0.0 then
+      raise (Parse (Printf.sprintf "%s: time %g must be non-negative" what v))
+  in
+  let check_prob what p =
+    if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+      raise (Parse (Printf.sprintf "%s: probability %g outside [0,1]" what p))
+  in
+  try
+    List.iter
+      (function
+        | Link_down { src; dst; at } ->
+            check_link "link-down" src dst;
+            check_time "link-down" at
+        | Link_up { src; dst; at } ->
+            check_link "link-up" src dst;
+            check_time "link-up" at
+        | Crash { router; at } ->
+            check_node "crash" router;
+            check_time "crash" at
+        | Restart { router; at } ->
+            check_node "restart" router;
+            check_time "restart" at
+        | Msg_loss { src; dst; prob } ->
+            check_node "msg-loss" src;
+            check_node "msg-loss" dst;
+            check_prob "msg-loss" prob
+        | Msg_dup { src; dst; prob } ->
+            check_node "msg-dup" src;
+            check_node "msg-dup" dst;
+            check_prob "msg-dup" prob
+        | Msg_reorder { src; dst; prob; delay } ->
+            check_node "msg-reorder" src;
+            check_node "msg-reorder" dst;
+            check_prob "msg-reorder" prob;
+            if not (Float.is_finite delay) || delay < 0.0 then
+              raise
+                (Parse (Printf.sprintf "msg-reorder: negative delay %g" delay))
+        | Clock_skew { router; skew } ->
+            check_node "clock-skew" router;
+            if not (Float.is_finite skew) then
+              raise (Parse "clock-skew: skew must be finite"))
+      t.actions;
+    Ok ()
+  with Parse m -> Error m
+
+let validate_exn ~graph t =
+  match validate ~graph t with
+  | Ok () -> ()
+  | Error m -> invalid_arg (Printf.sprintf "fault schedule: %s" m)
+
+(* --- analysis --- *)
+
+let action_time = function
+  | Link_down { at; _ } | Link_up { at; _ } | Crash { at; _ } | Restart { at; _ }
+    ->
+      Some at
+  | Msg_loss _ | Msg_dup _ | Msg_reorder _ | Clock_skew _ -> None
+
+let timed t =
+  List.stable_sort
+    (fun a b ->
+      match (action_time a, action_time b) with
+      | Some ta, Some tb -> compare ta tb
+      | _ -> 0)
+    (List.filter (fun a -> action_time a <> None) t.actions)
+
+(* Sweep the timed actions: +1 on each down/crash opening, -1 on the
+   matching up/restart.  Unmatched closes are ignored; unmatched opens
+   stay open, which is exactly what a concurrency budget must count. *)
+let max_concurrent_outages t =
+  let open_links = Hashtbl.create 8 in
+  let open_crashes = Hashtbl.create 8 in
+  let current = ref 0 in
+  let peak = ref 0 in
+  List.iter
+    (fun a ->
+      match a with
+      | Link_down { src; dst; _ } ->
+          if not (Hashtbl.mem open_links (src, dst)) then begin
+            Hashtbl.add open_links (src, dst) ();
+            incr current;
+            if !current > !peak then peak := !current
+          end
+      | Link_up { src; dst; _ } ->
+          if Hashtbl.mem open_links (src, dst) then begin
+            Hashtbl.remove open_links (src, dst);
+            decr current
+          end
+      | Crash { router; _ } ->
+          if not (Hashtbl.mem open_crashes router) then begin
+            Hashtbl.add open_crashes router ();
+            incr current;
+            if !current > !peak then peak := !current
+          end
+      | Restart { router; _ } ->
+          if Hashtbl.mem open_crashes router then begin
+            Hashtbl.remove open_crashes router;
+            decr current
+          end
+      | _ -> ())
+    (timed t);
+  !peak
+
+let crash_count t =
+  List.length (List.filter (function Crash _ -> true | _ -> false) t.actions)

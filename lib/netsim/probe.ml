@@ -11,10 +11,18 @@ type verdict = {
   detail : string;
 }
 
+type fault_record = {
+  time : float;
+  kind : string;
+  routers : int list;
+  detail : string;
+}
+
 type event =
   | Link of iface_record
   | Node of router_record
   | Verdict of verdict
+  | Fault of fault_record
 
 type t = {
   registry : Telemetry.Metrics.t;
@@ -42,10 +50,15 @@ type t = {
   malicious_delay : Telemetry.Metrics.counter;
   verdicts : Telemetry.Metrics.counter;
   alarms : Telemetry.Metrics.counter;
+  faults_injected : Telemetry.Metrics.counter;
   pkt_size : Telemetry.Metrics.histogram;
   delivery_latency : Telemetry.Metrics.histogram;
   malice_by_router : (int, Telemetry.Metrics.counter) Hashtbl.t;
   mutable first_alarm_time : float option;
+  (* Verdicts are rare and load-bearing (the robustness oracle scores
+     them after the run), so they are retained here in full even when
+     the bounded journal has long since evicted them. *)
+  mutable verdicts_rev : verdict list;
   (* Span bridge (optional).  Traced packets open per-hop spans keyed by
      (uid, router, next) — multicast clones share a uid but traverse
      distinct (router, next) edges, so the keys stay unique per branch. *)
@@ -98,6 +111,7 @@ let create ?registry ?(journal_capacity = 65536) ?tracer () =
     malicious_delay = c "malicious_delay_total" "malicious delay events";
     verdicts = c "detector_verdicts_total" "detector round verdicts recorded";
     alarms = c "detector_alarms_total" "alarming detector verdicts";
+    faults_injected = c "fault_injected_total" "benign faults injected into the run";
     pkt_size =
       Telemetry.Metrics.histogram reg "pkt_size_bytes" ~buckets:16 ~min_exp:4
         ~help:"size of injected packets";
@@ -106,6 +120,7 @@ let create ?registry ?(journal_capacity = 65536) ?tracer () =
         ~min_exp:(-14) ~help:"origination-to-delivery latency";
     malice_by_router = Hashtbl.create 8;
     first_alarm_time = None;
+    verdicts_rev = [];
     tracer;
     pending_queue = Hashtbl.create 256;
     pending_tx = Hashtbl.create 256;
@@ -160,52 +175,60 @@ let on_originate t (pkt : Packet.t) =
 
 (* Per-hop spans for a traced packet: enqueue->transmit ("queue") then
    transmit->deliver ("transmit"); drops become instants and clear any
-   pending window so the tables never leak. *)
+   pending window so the tables never leak.  Drop instants are recorded
+   for {e every} packet, traced or not: benign congestion / RED / link
+   losses are exactly the anomalies the robustness oracle and
+   [mrdetect trace explain] must tell apart from malice, so they never
+   ride on the sampling coin — only the routine hop spans do. *)
 let trace_iface t sp ~time ~router ~next (ev : Iface.event) =
   let pkt = iface_packet ev in
   let trace = pkt.Packet.trace in
-  if trace <> 0 then begin
-    let key = (pkt.Packet.uid, router, next) in
-    let pid = Telemetry.Span.network_pid in
+  let key = (pkt.Packet.uid, router, next) in
+  let pid = Telemetry.Span.network_pid in
+  let routers = [ router; next ] in
+  let pkt_args =
+    [ ("pkt", Telemetry.Export.Int pkt.Packet.uid);
+      ("next", Telemetry.Export.Int next) ]
+  in
+  let drop cause =
     let tid = net_track t sp router in
-    let routers = [ router; next ] in
-    let pkt_args =
-      [ ("pkt", Telemetry.Export.Int pkt.Packet.uid);
-        ("next", Telemetry.Export.Int next) ]
-    in
-    let drop cause =
-      Hashtbl.remove t.pending_queue key;
-      Hashtbl.remove t.pending_tx key;
-      ignore
-        (Telemetry.Span.instant sp ~trace ~name:("drop " ^ cause) ~cat:"drop"
-           ~pid ~tid ~time ~routers
-           ~args:(("cause", Telemetry.Export.String cause) :: pkt_args)
-           ())
-    in
-    match ev with
-    | Iface.Enqueued _ -> Hashtbl.replace t.pending_queue key time
-    | Iface.Transmit_start _ ->
-        (match Hashtbl.find_opt t.pending_queue key with
-        | Some start ->
-            Hashtbl.remove t.pending_queue key;
-            ignore
-              (Telemetry.Span.span sp ~trace ~name:"queue" ~cat:"hop" ~pid ~tid
-                 ~start ~finish:time ~routers ~args:pkt_args ())
-        | None -> ());
-        Hashtbl.replace t.pending_tx key time
-    | Iface.Delivered _ -> (
-        match Hashtbl.find_opt t.pending_tx key with
-        | Some start ->
-            Hashtbl.remove t.pending_tx key;
-            ignore
-              (Telemetry.Span.span sp ~trace ~name:"transmit" ~cat:"hop" ~pid ~tid
-                 ~start ~finish:time ~routers ~args:pkt_args ())
-        | None -> ())
-    | Iface.Drop_congestion _ -> drop "congestion"
-    | Iface.Drop_red_early _ -> drop "red_early"
-    | Iface.Drop_link_down _ -> drop "link_down"
-    | Iface.Drop_corrupted _ -> drop "corrupted"
-  end
+    Hashtbl.remove t.pending_queue key;
+    Hashtbl.remove t.pending_tx key;
+    ignore
+      (Telemetry.Span.instant sp
+         ?trace:(if trace <> 0 then Some trace else None)
+         ~name:("drop " ^ cause) ~cat:"drop" ~pid ~tid ~time ~routers
+         ~args:(("cause", Telemetry.Export.String cause) :: pkt_args)
+         ())
+  in
+  match ev with
+  | Iface.Drop_congestion _ -> drop "congestion"
+  | Iface.Drop_red_early _ -> drop "red_early"
+  | Iface.Drop_link_down _ -> drop "link_down"
+  | Iface.Drop_corrupted _ -> drop "corrupted"
+  | (Iface.Enqueued _ | Iface.Transmit_start _ | Iface.Delivered _)
+    when trace = 0 ->
+      ()
+  | Iface.Enqueued _ -> Hashtbl.replace t.pending_queue key time
+  | Iface.Transmit_start _ ->
+      let tid = net_track t sp router in
+      (match Hashtbl.find_opt t.pending_queue key with
+      | Some start ->
+          Hashtbl.remove t.pending_queue key;
+          ignore
+            (Telemetry.Span.span sp ~trace ~name:"queue" ~cat:"hop" ~pid ~tid
+               ~start ~finish:time ~routers ~args:pkt_args ())
+      | None -> ());
+      Hashtbl.replace t.pending_tx key time
+  | Iface.Delivered _ -> (
+      let tid = net_track t sp router in
+      match Hashtbl.find_opt t.pending_tx key with
+      | Some start ->
+          Hashtbl.remove t.pending_tx key;
+          ignore
+            (Telemetry.Span.span sp ~trace ~name:"transmit" ~cat:"hop" ~pid ~tid
+               ~start ~finish:time ~routers ~args:pkt_args ())
+      | None -> ())
 
 let on_iface t ~time ~router ~next (ev : Iface.event) =
   (match ev with
@@ -224,20 +247,22 @@ let on_iface t ~time ~router ~next (ev : Iface.event) =
 let trace_router t sp ~time ~router (ev : Router.event) =
   let pkt = router_packet ev in
   let trace = pkt.Packet.trace in
-  if trace <> 0 then begin
+  let name, cat =
+    match ev with
+    | Router.Malicious_drop _ -> ("malicious drop", "malice")
+    | Router.Malicious_modify _ -> ("malicious modify", "malice")
+    | Router.Malicious_delay _ -> ("malicious delay", "malice")
+    | Router.Fabricated _ -> ("fabricate", "malice")
+    | Router.Fragmented _ -> ("fragment", "hop")
+    | Router.No_route _ -> ("drop no_route", "drop")
+    | Router.Ttl_expired _ -> ("drop ttl_expired", "drop")
+    | Router.Delivered_local _ -> ("deliver", "packet")
+  in
+  (* Anomalies (malice and drops) are always recorded; routine
+     hop/delivery events only for sampled packets. *)
+  if trace <> 0 || cat = "malice" || cat = "drop" then begin
     let pid = Telemetry.Span.network_pid in
     let tid = net_track t sp router in
-    let name, cat =
-      match ev with
-      | Router.Malicious_drop _ -> ("malicious drop", "malice")
-      | Router.Malicious_modify _ -> ("malicious modify", "malice")
-      | Router.Malicious_delay _ -> ("malicious delay", "malice")
-      | Router.Fabricated _ -> ("fabricate", "malice")
-      | Router.Fragmented _ -> ("fragment", "hop")
-      | Router.No_route _ -> ("drop no_route", "drop")
-      | Router.Ttl_expired _ -> ("drop ttl_expired", "drop")
-      | Router.Delivered_local _ -> ("deliver", "packet")
-    in
     let args =
       ("pkt", Telemetry.Export.Int pkt.Packet.uid)
       ::
@@ -251,8 +276,9 @@ let trace_router t sp ~time ~router (ev : Router.event) =
       | _ -> [])
     in
     ignore
-      (Telemetry.Span.instant sp ~trace ~name ~cat ~pid ~tid ~time
-         ~routers:[ router ] ~args ())
+      (Telemetry.Span.instant sp
+         ?trace:(if trace <> 0 then Some trace else None)
+         ~name ~cat ~pid ~tid ~time ~routers:[ router ] ~args ())
   end
 
 let on_router t ~time ~router (ev : Router.event) =
@@ -289,8 +315,9 @@ let record_verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alar
     Telemetry.Metrics.inc t.alarms;
     if t.first_alarm_time = None then t.first_alarm_time <- Some time
   end;
-  Telemetry.Journal.record t.journal
-    (Verdict { time; detector; subject; suspects; confidence; alarm; detail });
+  let v = { time; detector; subject; suspects; confidence; alarm; detail } in
+  t.verdicts_rev <- v :: t.verdicts_rev;
+  Telemetry.Journal.record t.journal (Verdict v);
   match t.tracer with
   | None -> ()
   | Some sp ->
@@ -299,6 +326,25 @@ let record_verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alar
            ~alarm ~detail ~evidence ())
 
 let first_alarm_time t = t.first_alarm_time
+let verdicts t = List.rev t.verdicts_rev
+let faults_recorded t = Telemetry.Metrics.counter_value t.faults_injected
+
+let record_fault t ~time ~kind ?(routers = []) ?(detail = "") () =
+  Telemetry.Metrics.inc t.faults_injected;
+  Telemetry.Journal.record t.journal (Fault { time; kind; routers; detail });
+  match t.tracer with
+  | None -> ()
+  | Some sp ->
+      let pid = Telemetry.Span.detector_pid in
+      let tid = Telemetry.Span.thread sp ~pid "faults" in
+      let args =
+        ("kind", Telemetry.Export.String kind)
+        :: (if detail = "" then []
+            else [ ("detail", Telemetry.Export.String detail) ])
+      in
+      ignore
+        (Telemetry.Span.instant sp ~name:("fault " ^ kind) ~cat:"fault" ~pid ~tid
+           ~time ~routers ~args ())
 
 (* Detector-side span helpers: record on the "detectors" process, one
    track per [track] name.  No-ops (returning [None]) without a tracer,
@@ -381,16 +427,24 @@ let describe = function
         (match suspects with
         | [] -> ""
         | s -> " suspects=" ^ String.concat "," (List.map string_of_int s))
+  | Fault { time; kind; routers; detail } ->
+      Printf.sprintf "%.4f FAULT-%s%s%s" time kind
+        (match routers with
+        | [] -> ""
+        | rs -> " r" ^ String.concat ",r" (List.map string_of_int rs))
+        (if detail = "" then "" else " " ^ detail)
 
 (* --- JSONL export --- *)
 
 let event_time = function
-  | Link { time; _ } | Node { time; _ } | Verdict { time; _ } -> time
+  | Link { time; _ } | Node { time; _ } | Verdict { time; _ } | Fault { time; _ }
+    ->
+      time
 
 let event_packet = function
   | Link { ev; _ } -> Some (iface_packet ev)
   | Node { ev; _ } -> Some (router_packet ev)
-  | Verdict _ -> None
+  | Verdict _ | Fault _ -> None
 
 let json_of_packet (p : Packet.t) =
   Telemetry.Export.Assoc
@@ -423,6 +477,11 @@ let json_of_event ev =
           | Some c -> [ ("confidence", Float c) ]
           | None -> [])
         @ [ ("alarm", Bool alarm) ]
+        @ (if detail = "" then [] else [ ("detail", String detail) ])
+    | Fault { kind; routers; detail; _ } ->
+        [ ("event", String ("fault-" ^ kind));
+          ("layer", String "fault");
+          ("routers", List (List.map (fun r -> Int r) routers)) ]
         @ if detail = "" then [] else [ ("detail", String detail) ]
   in
   Assoc

@@ -35,10 +35,20 @@ type verdict = {
   detail : string;
 }
 
+type fault_record = {
+  time : float;
+  kind : string;     (** "link_down" | "link_up" | "crash" | "restart" | ... *)
+  routers : int list;
+  detail : string;
+}
+(** A {e benign} injected fault: churn the oracle must excuse, never a
+    malicious action. *)
+
 type event =
   | Link of iface_record
   | Node of router_record
   | Verdict of verdict
+  | Fault of fault_record
 
 type t
 
@@ -115,7 +125,30 @@ val trace_instant :
 (** Record a detector-side point event (e.g. a suspicious loss used as
     verdict evidence).  [None] without a tracer. *)
 
+val record_fault :
+  t ->
+  time:float ->
+  kind:string ->
+  ?routers:int list ->
+  ?detail:string ->
+  unit ->
+  unit
+(** Journal a benign injected fault (from {!Faults.Injector} or the
+    chaos generator), bump the fault counter, and — with a tracer
+    attached — record an instant on the detector-side "faults" track so
+    the churn shows up in [mrdetect trace explain] next to the verdicts
+    it might have confused. *)
+
 val first_alarm_time : t -> float option
+
+val verdicts : t -> verdict list
+(** Every verdict recorded through {!record_verdict}, oldest first.
+    Unlike the bounded journal — where heavy link traffic can evict an
+    early verdict — this list is complete for the whole run; it is what
+    {!Faults.Oracle} scores. *)
+
+val faults_recorded : t -> int
+(** Total benign faults recorded through {!record_fault}. *)
 
 type conservation = {
   total_injected : int;
