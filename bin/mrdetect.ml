@@ -79,7 +79,11 @@ let simulate_cmd =
          & info [ "topology" ] ~docv:"TOPO" ~doc:"line | ring | grid | abilene")
   in
   let protocol =
-    Arg.(value & opt string "fatih" & info [ "protocol" ] ~docv:"P" ~doc:"chi | fatih")
+    let names =
+      Core.Detectors.register_all ();
+      String.concat " | " (Core.Detector.names ())
+    in
+    Arg.(value & opt string "fatih" & info [ "protocol" ] ~docv:"P" ~doc:names)
   in
   let attack =
     Arg.(value & opt string "drop-fraction"
@@ -135,12 +139,20 @@ let simulate_cmd =
                    section of the README for the schedule syntax) and score \
                    every verdict against ground truth")
   in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"partition the router graph into K shards and run the \
+                   conservative-parallel engine (one domain per shard); 0 \
+                   runs the classic single-heap engine.  Output is \
+                   byte-identical for every K >= 1")
+  in
   let run topology protocol attack fraction attacker duration seed flows trace
-      metrics journal trace_out trace_sample faults =
+      metrics journal trace_out trace_sample faults shards =
     match
       Experiments.Simulate.Config.of_cmdline ~topology ~protocol ~attack ~fraction
         ~attacker ~duration ~seed ~flows ~trace ~metrics ~journal ~trace_out
-        ~trace_sample ~faults
+        ~trace_sample ~faults ~shards
     with
     | Error msg -> `Error (false, msg)
     | Ok config -> (
@@ -155,7 +167,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a custom attack/detector scenario")
     Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker $ duration
                $ seed $ flows $ trace $ metrics $ journal $ trace_out
-               $ trace_sample $ faults))
+               $ trace_sample $ faults $ shards))
 
 let chaos_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"rng seed") in
@@ -170,10 +182,16 @@ let chaos_cmd =
              ~doc:"short deterministic run (10 s, at most 2 trials) for CI; \
                    this is what the @chaos-smoke dune alias executes")
   in
-  let run seed trials jobs smoke json =
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"run each trial on the K-shard conservative-parallel \
+                   engine (0 = classic single heap)")
+  in
+  let run seed trials jobs smoke shards json =
     try
       Experiments.Fig_robustness.chaos_run ~seed ~trials
-        ~jobs:(resolve_jobs jobs) ~smoke ?json ();
+        ~jobs:(resolve_jobs jobs) ~smoke ~shards ?json ();
       `Ok ()
     with
     | Sys_error msg -> `Error (false, "cannot write output file: " ^ msg)
@@ -184,7 +202,7 @@ let chaos_cmd =
        ~doc:"Sweep seeded random benign faults (within a budget) over the \
              ring8 scenario and score fatih against the ground-truth oracle; \
              output is byte-identical for a given --seed across --jobs values")
-    Term.(ret (const run $ seed $ trials $ jobs_arg $ smoke $ json_arg))
+    Term.(ret (const run $ seed $ trials $ jobs_arg $ smoke $ shards $ json_arg))
 
 let trace_cmd =
   let file =

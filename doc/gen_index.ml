@@ -26,6 +26,12 @@ The protocols answer three questions; each maps to a module family:
    the suspect queue from the neighbours' traffic information;
    {!Core.Chi_red} does the same for RED's probabilistic dropping.}}
 
+Every live protocol is also a first-class module behind the
+{!Core.Detector} registry ({!Core.Detectors} installs the built-ins:
+chi, fatih, pik2, pi2, watchers, perlman), which is how
+[mrdetect simulate --protocol NAME] resolves detectors — the scenario
+driver has no per-protocol code.
+
 The baselines the dissertation reviews are all executable:
 {!Core.Watchers} / {!Core.Watchers_live} (conservation of flow, with the
 consorting flaw and its fix), {!Core.Herzberg}, {!Core.Perlman} /
@@ -38,7 +44,13 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
 {ul
 {- [Netsim] — discrete-event packet simulator: {!Netsim.Net},
    {!Netsim.Tcp}, {!Netsim.Red}, {!Netsim.Router} (with adversarial
-   forwarding hooks), {!Netsim.Tracer}, {!Netsim.Meter}.}
+   forwarding hooks), {!Netsim.Tracer}, {!Netsim.Meter}.  Two engines
+   drive it: the classic single-heap {!Netsim.Sim} loop, and
+   {!Netsim.Shard} — a conservative-synchronization parallel engine
+   (one domain per graph partition, cross-shard packets through
+   {!Netsim.Mailbox} rings, observations merged at epoch barriers)
+   whose output is byte-identical for every shard count.
+   [mrdetect simulate --shards K] selects it.}
 {- [Topology] — {!Topology.Routing} (deterministic link state),
    {!Topology.Ecmp}, {!Topology.Policy} (segment excision),
    {!Topology.Segments} (Pr enumeration), {!Topology.Abilene},

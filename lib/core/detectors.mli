@@ -1,0 +1,27 @@
+(** The built-in {!Detector} instances.
+
+    One adapter per live protocol, each wrapping its deployment behind
+    {!Detector.S}:
+
+    - ["chi"] — Protocol χ on the attacker's first output queue, with a
+      TCP connection through it so congestion ambiguity exists (§6.2);
+    - ["fatih"] — the Fatih Πk+2 (k = 1) prototype with response (§5.3);
+    - ["pik2"] — Πk+2 by its paper name: the same live deployment as
+      ["fatih"], registered under the protocol's §5.2 spelling;
+    - ["pi2"] — Protocol Π2 by simulated consensus (§5.1);
+    - ["watchers"] — WATCHERS conservation-of-flow validation (§3.1);
+    - ["perlman"] — Perlman's robust f+1 disjoint-path delivery (§3.7):
+      no detection, the robustness baseline.
+
+    [register_all] installs them into the {!Detector} registry;
+    idempotent, call it from any entry point that resolves detectors by
+    name. *)
+
+val chi : Detector.detector
+val fatih : Detector.detector
+val pik2 : Detector.detector
+val pi2 : Detector.detector
+val watchers : Detector.detector
+val perlman : Detector.detector
+
+val register_all : unit -> unit

@@ -36,7 +36,7 @@ let graph_of = function
 module Config = struct
   type t = {
     topo : topo;
-    protocol : [ `Chi | `Fatih ];
+    protocol : string;
     attack : attack;
     attacker : int;
     duration : float;
@@ -48,14 +48,17 @@ module Config = struct
     trace_out : string option;
     trace_sample : float;
     faults : string option;
+    shards : int;
   }
 
   let default =
-    { topo = Ring; protocol = `Fatih; attack = Drop_fraction 0.2; attacker = 2;
+    { topo = Ring; protocol = "fatih"; attack = Drop_fraction 0.2; attacker = 2;
       duration = 60.0; seed = 1; flows = 8; trace = 0; metrics = None;
-      journal = None; trace_out = None; trace_sample = 1.0; faults = None }
+      journal = None; trace_out = None; trace_sample = 1.0; faults = None;
+      shards = 0 }
 
   let validate c =
+    Core.Detectors.register_all ();
     let fraction_of = function
       | Drop_fraction f | Queue_conditioned f -> Some f
       | No_attack | Drop_all | Drop_syn -> None
@@ -71,12 +74,21 @@ module Config = struct
       Error
         (Printf.sprintf "trace sample rate must lie in [0,1] (got %g)"
            c.trace_sample)
+    else if Core.Detector.find c.protocol = None then
+      Error
+        (Printf.sprintf "unknown protocol %S (%s)" c.protocol
+           (String.concat "|" (Core.Detector.names ())))
     else begin
       let n = Topology.Graph.size (graph_of c.topo) in
       if c.attacker < 0 || c.attacker >= n then
         Error
           (Printf.sprintf "attacker %d outside this topology's routers [0,%d)"
              c.attacker n)
+      else if c.shards < 0 || c.shards > n then
+        Error
+          (Printf.sprintf
+             "shards must lie in [0,%d] for this topology's %d routers (got %d)"
+             n n c.shards)
       else begin
         match fraction_of c.attack with
         | Some f when not (Float.is_finite f) || f < 0.0 || f > 1.0 ->
@@ -85,20 +97,32 @@ module Config = struct
       end
     end
 
-  let protocol_of_string = function
-    | "chi" -> Ok `Chi
-    | "fatih" -> Ok `Fatih
-    | p -> Error (Printf.sprintf "unknown protocol %S (chi|fatih)" p)
+  let make ?(protocol = default.protocol) ?(attack = default.attack)
+      ?(attacker = default.attacker) ?(duration = default.duration)
+      ?(seed = default.seed) ?(flows = default.flows) ?(trace = default.trace)
+      ?metrics ?journal ?trace_out ?(trace_sample = default.trace_sample) ?faults
+      ?(shards = default.shards) topo =
+    validate
+      { topo; protocol; attack; attacker; duration; seed; flows; trace; metrics;
+        journal; trace_out; trace_sample; faults; shards }
+
+  let make_exn ?protocol ?attack ?attacker ?duration ?seed ?flows ?trace ?metrics
+      ?journal ?trace_out ?trace_sample ?faults ?shards topo =
+    match
+      make ?protocol ?attack ?attacker ?duration ?seed ?flows ?trace ?metrics
+        ?journal ?trace_out ?trace_sample ?faults ?shards topo
+    with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Simulate.Config.make: " ^ msg)
 
   let of_cmdline ~topology ~protocol ~attack ~fraction ~attacker ~duration ~seed
-      ~flows ~trace ~metrics ~journal ~trace_out ~trace_sample ~faults =
+      ~flows ~trace ~metrics ~journal ~trace_out ~trace_sample ~faults ~shards =
     let ( let* ) = Result.bind in
     let* topo = topo_of_string topology in
-    let* protocol = protocol_of_string protocol in
     let* attack = attack_of_string attack ~fraction in
     validate
       { topo; protocol; attack; attacker; duration; seed; flows; trace; metrics;
-        journal; trace_out; trace_sample; faults }
+        journal; trace_out; trace_sample; faults; shards }
 end
 
 let behavior_of = function
@@ -142,8 +166,8 @@ let summary_json ~scenario ~attack_start net probe profile =
   let open Telemetry.Export in
   let sim = Net.sim net in
   let cons = Probe.conservation probe in
-  let cpu = Sim.cpu_time_in_run sim in
-  let events = Sim.events_processed sim in
+  let cpu = Net.cpu_time_in_run net in
+  let events = Net.events_processed net in
   let detection =
     [ ("first_alarm_time",
        match Probe.first_alarm_time probe with Some t -> Float t | None -> Null);
@@ -152,6 +176,25 @@ let summary_json ~scenario ~attack_start net probe profile =
        match Probe.first_alarm_time probe with
        | Some t when t >= attack_start -> Float (t -. attack_start)
        | Some _ | None -> Null) ]
+  in
+  let engine =
+    [ ("events_processed", Int events);
+      ("cpu_seconds_in_run", Float cpu);
+      ("events_per_cpu_second",
+       if cpu > 0.0 then Float (float_of_int events /. cpu) else Null);
+      ("sim_seconds", Float (Sim.now sim));
+      ("journal_total", Int (Telemetry.Journal.total (Probe.journal probe)));
+      ("journal_dropped", Int (Telemetry.Journal.dropped (Probe.journal probe))) ]
+  in
+  let engine =
+    match Net.shard_engine net with
+    | None -> engine
+    | Some sh ->
+        engine
+        @ [ ("shards", Int (Shard.k sh));
+            ("epochs_run", Int (Shard.epochs_run sh));
+            ("windows_run", Int (Shard.windows_run sh));
+            ("cross_shard_messages", Int (Shard.cross_messages sh)) ]
   in
   Assoc
     [ ("schema", String "mrdetect-metrics-v1");
@@ -164,16 +207,7 @@ let summary_json ~scenario ~attack_start net probe profile =
            ("fragmented", Int cons.Probe.total_fragmented);
            ("in_flight", Int cons.Probe.in_flight) ]);
       ("detection", Assoc detection);
-      ("engine",
-       Assoc
-         [ ("events_processed", Int events);
-           ("cpu_seconds_in_run", Float cpu);
-           ("events_per_cpu_second",
-            if cpu > 0.0 then Float (float_of_int events /. cpu) else Null);
-           ("sim_seconds", Float (Sim.now sim));
-           ("journal_total", Int (Telemetry.Journal.total (Probe.journal probe)));
-           ("journal_dropped", Int (Telemetry.Journal.dropped (Probe.journal probe)))
-         ]);
+      ("engine", Assoc engine);
       ("phases", Telemetry.Profile.json profile);
       ("metrics", json_of_registry (Probe.registry probe)) ]
 
@@ -197,10 +231,15 @@ let write_journal path probe =
 
 let run (config : Config.t) =
   let { Config.topo; protocol; attack; attacker; duration; seed; flows; trace;
-        metrics; journal; trace_out; trace_sample; faults } =
+        metrics; journal; trace_out; trace_sample; faults; shards } =
     match Config.validate config with
     | Ok c -> c
     | Error msg -> invalid_arg ("Simulate.run: " ^ msg)
+  in
+  let detector =
+    match Core.Detector.find protocol with
+    | Some d -> d
+    | None -> assert false (* validate checked the registry *)
   in
   let g = graph_of topo in
   let n = Topology.Graph.size g in
@@ -247,7 +286,7 @@ let run (config : Config.t) =
   let attack_start = duration /. 3.0 in
   let net, rt, pairs, malicious, congestion, tracer =
     Telemetry.Profile.time profile "setup" (fun () ->
-        let net = Net.create ~seed ~jitter_bound:200e-6 g in
+        let net = Net.create ~seed ~jitter_bound:200e-6 ~shards g in
         Net.set_probe net probe;
         let rt = Topology.Routing.compute g in
         Net.use_routing net rt;
@@ -309,83 +348,31 @@ let run (config : Config.t) =
         List.iter (fun line -> Printf.printf "  %s\n" line) (Tracer.events tr)
     | None -> ()
   in
-  let simulate () =
-    try Telemetry.Profile.time profile "run" (fun () -> Net.run ~until:duration net)
-    with e ->
-      (* Flight recorder: a crash mid-run still leaves the pinned spans
-         and recent window on disk before the exception propagates. *)
-      write_trace ();
-      raise e
+  (* Deploy the detector through the registry: same setup profiling the
+     per-protocol branches used to do inline. *)
+  let env =
+    { Core.Detector.net; rt; graph = g; probe; ctrl = fault_ctrl; retry = None;
+      skew = fault_skew; attacker = Some attacker; duration; seed }
   in
-  let report =
-    match protocol with
-    | `Fatih ->
-        let fatih =
-          Telemetry.Profile.time profile "setup" (fun () ->
-              Core.Fatih.deploy ~net ~rt ?probe ?ctrl:fault_ctrl ())
-        in
-        simulate ();
-        fun () ->
-          let ds = Core.Fatih.detections fatih in
-          Printf.printf "fatih: %d detections\n" (List.length ds);
-          if Core.Fatih.rounds_degraded fatih > 0 || Core.Fatih.rounds_excused fatih > 0
-          then
-            Printf.printf
-              "fatih: %d segment-rounds degraded (exchange timeout), %d excused \
-               (benign link failure)\n"
-              (Core.Fatih.rounds_degraded fatih)
-              (Core.Fatih.rounds_excused fatih);
-          List.iter
-            (fun (d : Core.Fatih.detection) ->
-              Printf.printf "  %.1f s  <%s>  %d/%d missing\n" d.Core.Fatih.time
-                (String.concat "," (List.map string_of_int d.Core.Fatih.segment))
-                d.Core.Fatih.missing d.Core.Fatih.sent)
-            ds;
-          List.iter
-            (fun (u : Core.Response.event) ->
-              Printf.printf "  %.1f s  routing update (%d segments excised)\n"
-                u.Core.Response.time
-                (List.length u.Core.Response.forbidden))
-            (Core.Response.updates (Core.Fatih.response fatih))
-    | `Chi ->
-        (* Monitor the attacker's busiest output queue; TCP through it
-           creates the congestion ambiguity χ resolves. *)
-        let next =
-          match Topology.Graph.out_neighbors g attacker with
-          | n :: _ -> n
-          | [] -> invalid_arg "Simulate.run: attacker has no interface"
-        in
-        let chi =
-          Telemetry.Profile.time profile "setup" (fun () ->
-              (* Ensure monitored-queue traffic exists: a TCP through it. *)
-              let upstreams =
-                List.filter (fun v -> v <> next)
-                  (Topology.Graph.out_neighbors g attacker)
-              in
-              (match upstreams with
-              | u :: _ -> ignore (Tcp.connect net ~src:u ~dst:next ())
-              | [] -> ());
-              let config = { Core.Chi.default_config with Core.Chi.tau = 2.0 } in
-              Core.Chi.deploy ~net ~rt ~router:attacker ~next ~config ?probe
-                ?skew:fault_skew ())
-        in
-        simulate ();
-        fun () ->
-          Printf.printf "chi on queue <%d -> %d>: %d rounds, %d alarms\n" attacker next
-            (List.length (Core.Chi.reports chi))
-            (List.length (Core.Chi.alarms chi));
-          List.iter
-            (fun (r : Core.Chi.report) ->
-              if r.Core.Chi.alarm then
-                Printf.printf "  %.0f s  %d losses, c_single %.3f\n" r.Core.Chi.end_time
-                  (List.length r.Core.Chi.losses)
-                  r.Core.Chi.c_single_max)
-            (Core.Chi.reports chi)
+  let inst =
+    Telemetry.Profile.time profile "setup" (fun () -> Core.Detector.init detector env)
   in
+  Net.subscribe_link_state net (fun ~src ~dst ~up ->
+      Core.Detector.on_ctrl inst ~now:(Sim.now (Net.sim net)) ~src ~dst ~up);
+  (try
+     Telemetry.Profile.time profile "run" (fun () ->
+         Net.run ~until:duration
+           ~on_epoch:(fun ~now -> Core.Detector.on_round inst ~now)
+           net)
+   with e ->
+     (* Flight recorder: a crash mid-run still leaves the pinned spans
+        and recent window on disk before the exception propagates. *)
+     write_trace ();
+     raise e);
   Telemetry.Profile.time profile "report" (fun () ->
       Printf.printf "ground truth: %d malicious drops, %d congestion drops\n"
         !malicious !congestion;
-      report ();
+      Core.Detector.report inst;
       (match (injector, probe) with
       | Some inj, Some probe ->
           Printf.printf "faults: %d injected from plan\n"
@@ -414,7 +401,7 @@ let run (config : Config.t) =
              (match topo with
              | Line -> "line" | Ring -> "ring" | Grid -> "grid"
              | Abilene -> "abilene"));
-          ("protocol", String (match protocol with `Chi -> "chi" | `Fatih -> "fatih"));
+          ("protocol", String protocol);
           ("attack",
            String
              (match attack with
@@ -425,6 +412,7 @@ let run (config : Config.t) =
           ("duration", Float duration);
           ("seed", Int seed);
           ("flows", Int flows);
+          ("shards", Int shards);
           ("faults",
            match faults with Some path -> String path | None -> Null) ]
       in

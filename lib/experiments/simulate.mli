@@ -2,6 +2,11 @@
     topology, an attack and a detector, run it, and print what the
     detector concluded next to the ground truth.
 
+    Detectors are resolved by name through the {!Core.Detector}
+    registry ({!Core.Detectors.register_all} installs the built-ins:
+    chi, fatih, pik2, pi2, watchers, perlman) — the driver has no
+    per-protocol code.
+
     With [metrics] and/or [journal] set in the configuration, the run
     carries a {!Netsim.Probe}: packet counters, per-router gauges,
     detector verdicts and run profiling come out as a JSON document (or
@@ -19,12 +24,13 @@ type attack = No_attack | Drop_all | Drop_fraction of float | Drop_syn | Queue_c
 
 val attack_of_string : string -> fraction:float -> (attack, string) result
 
-(** The full scenario description — one record instead of eleven
-    labeled arguments, validated before anything is simulated. *)
+(** The full scenario description — one record instead of a dozen
+    labeled arguments, validated before anything is simulated.  Build
+    it with {!Config.make} rather than a record literal. *)
 module Config : sig
   type t = {
     topo : topo;
-    protocol : [ `Chi | `Fatih ];
+    protocol : string;       (** detector name in the {!Core.Detector} registry *)
     attack : attack;
     attacker : int;          (** compromised router id *)
     duration : float;        (** seconds simulated *)
@@ -36,17 +42,58 @@ module Config : sig
     trace_out : string option; (** Chrome trace-event export path *)
     trace_sample : float;    (** fraction of packets traced, in [0,1] *)
     faults : string option;  (** benign fault-plan file ({!Faults.Schedule}) *)
+    shards : int;            (** engine shards; [0] = classic single heap *)
   }
 
   val default : t
-  (** Ring topology, Fatih, 20% drop fraction at router 2, 60 s, seed 1,
-      8 flows, no trace, no exports, trace sampling at 1.0, no faults. *)
+  (** Ring topology, fatih, 20% drop fraction at router 2, 60 s, seed 1,
+      8 flows, no trace, no exports, trace sampling at 1.0, no faults,
+      classic engine. *)
+
+  val make :
+    ?protocol:string ->
+    ?attack:attack ->
+    ?attacker:int ->
+    ?duration:float ->
+    ?seed:int ->
+    ?flows:int ->
+    ?trace:int ->
+    ?metrics:string ->
+    ?journal:string ->
+    ?trace_out:string ->
+    ?trace_sample:float ->
+    ?faults:string ->
+    ?shards:int ->
+    topo ->
+    (t, string) result
+  (** Build and {!validate} a configuration; unstated fields take the
+      {!default}s. *)
+
+  val make_exn :
+    ?protocol:string ->
+    ?attack:attack ->
+    ?attacker:int ->
+    ?duration:float ->
+    ?seed:int ->
+    ?flows:int ->
+    ?trace:int ->
+    ?metrics:string ->
+    ?journal:string ->
+    ?trace_out:string ->
+    ?trace_sample:float ->
+    ?faults:string ->
+    ?shards:int ->
+    topo ->
+    t
+  (** {!make}, raising [Invalid_argument] on rejection. *)
 
   val validate : t -> (t, string) result
   (** Reject non-positive duration, fewer than one flow, a negative
-      trace length, a sample rate outside [0,1], an attacker id outside
-      the chosen topology, and a drop/queue fraction outside [0,1] —
-      before any simulation state is built. *)
+      trace length, a sample rate outside [0,1], a protocol name absent
+      from the {!Core.Detector} registry, an attacker id outside the
+      chosen topology, a shard count outside [0, routers], and a
+      drop/queue fraction outside [0,1] — before any simulation state is
+      built. *)
 
   val of_cmdline :
     topology:string ->
@@ -63,18 +110,22 @@ module Config : sig
     trace_out:string option ->
     trace_sample:float ->
     faults:string option ->
+    shards:int ->
     (t, string) result
   (** Parse the raw command-line spellings and {!validate} the result. *)
 end
 
 val run : Config.t -> unit
-(** Build the network, start [flows] CBR flows between distinct random
-    pairs plus TCP where the detector needs congestion, compromise
-    [attacker] at one third of [duration], run, and print a summary.
+(** Build the network ([shards > 0] selects the {!Netsim.Shard}
+    conservative-parallel engine), start [flows] CBR flows between
+    distinct random pairs plus TCP where the detector needs congestion,
+    compromise [attacker] at one third of [duration], run, and print a
+    summary.
 
     [metrics] names a file for the metrics/summary export: JSON by
     default (schema ["mrdetect-metrics-v1"]: scenario echo, packet
-    conservation, detection latency, engine self-profiling, per-phase
+    conservation, detection latency, engine self-profiling — including
+    shard/epoch/window counts under the sharded engine — per-phase
     wall clock, and the full registry), Prometheus text for a
     [.prom]/[.txt] suffix.  [journal] names a JSONL file receiving the
     typed event journal (newest 262144 records).  With neither given, no

@@ -8,12 +8,18 @@ let check_args ~rate_pps ~size ~start ~stop =
   if size <= 0 then invalid_arg "Flow: size must be positive";
   if stop < start then invalid_arg "Flow: stop before start"
 
-let generator net ~src ~dst ~size ~start ~stop ~gap =
-  let sim = Net.sim net in
-  let t = { flow = Sim.fresh_id sim; sent = 0 } in
+(* Ticks run on the source node's data-plane sim (its shard under the
+   sharded engine), and uids come from the node's stream, so generated
+   traffic is identical for any shard count. *)
+let generator net ~flow ~src ~dst ~size ~start ~stop ~gap =
+  let sim = Net.data_sim net ~node:src in
+  let t = { flow; sent = 0 } in
   let rec tick () =
     if Sim.now sim <= stop then begin
-      let pkt = Packet.make ~sim ~src ~dst ~flow:t.flow ~size Packet.Udp in
+      let pkt =
+        Packet.make ~sim ~uid:(Net.fresh_uid net ~node:src) ~src ~dst ~flow:t.flow ~size
+          Packet.Udp
+      in
       t.sent <- t.sent + 1;
       Net.originate net pkt;
       Sim.schedule sim ~delay:(gap ()) tick
@@ -24,12 +30,14 @@ let generator net ~src ~dst ~size ~start ~stop ~gap =
 
 let cbr net ~src ~dst ~rate_pps ~size ~start ~stop =
   check_args ~rate_pps ~size ~start ~stop;
-  generator net ~src ~dst ~size ~start ~stop ~gap:(fun () -> 1.0 /. rate_pps)
+  generator net ~flow:(Net.fresh_flow_id net) ~src ~dst ~size ~start ~stop
+    ~gap:(fun () -> 1.0 /. rate_pps)
 
 let poisson net ~src ~dst ~rate_pps ~size ~start ~stop =
   check_args ~rate_pps ~size ~start ~stop;
-  let rng = Sim.rng (Net.sim net) in
-  generator net ~src ~dst ~size ~start ~stop ~gap:(fun () ->
+  let flow = Net.fresh_flow_id net in
+  let rng = Net.flow_rng net ~flow in
+  generator net ~flow ~src ~dst ~size ~start ~stop ~gap:(fun () ->
       Mrstats.Variate.exponential rng ~rate:rate_pps)
 
 let delivered_counter net ~node ~flow =

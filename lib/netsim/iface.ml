@@ -13,10 +13,18 @@ type event =
 
 type queue = Fifo of Queue_fifo.t | Red_q of Red.t
 
+type delivery =
+  | Direct
+  | Split of {
+      rng : Random.State.t;
+      handoff : time:float -> rank:int -> prev:int -> Packet.t -> unit;
+    }
+
 type t = {
   sim : Sim.t;
   link : Topology.Graph.link;
   queue : queue;
+  delivery : delivery;
   on_event : t -> event -> unit;
   deliver : prev:int -> Packet.t -> unit;
   mutable busy : bool;
@@ -31,14 +39,21 @@ type t = {
   mutable dropped_packets : int;
 }
 
-let create ~sim ~link ~kind ~on_event ~deliver =
+let create ~sim ~link ~kind ?(delivery = Direct) ~on_event ~deliver () =
   let queue =
     match kind with
     | Droptail limit_bytes -> Fifo (Queue_fifo.create ~limit_bytes ())
-    | Red_queue params -> Red_q (Red.create ~params ~rng:(Sim.rng sim) ())
+    | Red_queue params ->
+        (* Sharded mode gives RED its own per-interface stream so drop
+           coins do not depend on the shard count. *)
+        let rng =
+          match delivery with Split { rng; _ } -> rng | Direct -> Sim.rng sim
+        in
+        Red_q (Red.create ~params ~rng ())
   in
-  { sim; link; queue; on_event; deliver; busy = false; up = true; corruption = 0.0;
-    tx_packets = 0; tx_bytes = 0; delivered_packets = 0; dropped_packets = 0 }
+  { sim; link; queue; delivery; on_event; deliver; busy = false; up = true;
+    corruption = 0.0; tx_packets = 0; tx_bytes = 0; delivered_packets = 0;
+    dropped_packets = 0 }
 
 let owner t = t.link.Topology.Graph.src
 let next_hop t = t.link.Topology.Graph.dst
@@ -78,17 +93,43 @@ let rec kick t =
         Sim.schedule t.sim ~delay:tx (fun () ->
             t.busy <- false;
             kick t);
-        Sim.schedule t.sim ~delay:(tx +. t.link.Topology.Graph.delay) (fun () ->
-            if t.corruption > 0.0
-               && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
-            then begin
-              t.dropped_packets <- t.dropped_packets + 1;
-              t.on_event t (Drop_corrupted p)
-            end
+        (match t.delivery with
+        | Direct ->
+            Sim.schedule t.sim ~delay:(tx +. t.link.Topology.Graph.delay) (fun () ->
+                if t.corruption > 0.0
+                   && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
+                then begin
+                  t.dropped_packets <- t.dropped_packets + 1;
+                  t.on_event t (Drop_corrupted p)
+                end
+                else begin
+                  t.delivered_packets <- t.delivered_packets + 1;
+                  t.on_event t (Delivered p);
+                  t.deliver ~prev:(owner t) p
+                end)
+        | Split { rng; handoff } ->
+            (* Sharded mode: the corruption coin is drawn now, from the
+               per-interface stream, and the receive step is handed off
+               with a rank drawn now — everything about the arrival is
+               decided at transmit-start, which is what gives the engine
+               its lookahead (the arrival lies at least one link latency
+               in the future).  The owner-side arrival event keeps the
+               counters and the wire observation on this shard; the
+               receive itself runs as its own event on the neighbour's
+               shard at the same instant. *)
+            let at = Sim.now t.sim +. tx +. t.link.Topology.Graph.delay in
+            let corrupted =
+              t.corruption > 0.0 && Random.State.float rng 1.0 < t.corruption
+            in
+            if corrupted then
+              Sim.schedule_at t.sim ~time:at (fun () ->
+                  t.dropped_packets <- t.dropped_packets + 1;
+                  t.on_event t (Drop_corrupted p))
             else begin
-              t.delivered_packets <- t.delivered_packets + 1;
-              t.on_event t (Delivered p);
-              t.deliver ~prev:(owner t) p
+              Sim.schedule_at t.sim ~time:at (fun () ->
+                  t.delivered_packets <- t.delivered_packets + 1;
+                  t.on_event t (Delivered p));
+              handoff ~time:at ~rank:(Sim.fresh_rank t.sim) ~prev:(owner t) p
             end)
   end
 

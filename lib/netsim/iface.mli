@@ -21,17 +21,38 @@ type event =
   | Transmit_start of Packet.t   (** left the queue, serialization begins *)
   | Delivered of Packet.t        (** arrived at the far end of the link *)
 
+type delivery =
+  | Direct
+      (** Classic single-heap engine: the arrival event draws the
+          corruption coin from the simulation rng and calls [deliver]
+          inline. *)
+  | Split of {
+      rng : Random.State.t;
+      handoff : time:float -> rank:int -> prev:int -> Packet.t -> unit;
+    }
+      (** Sharded engine: the corruption coin comes from the given
+          per-interface stream and is drawn at transmit-start; intact
+          packets are handed off (arrival time, deterministic event
+          rank, previous hop) so the engine can schedule the receive on
+          the destination router's shard.  The owner-side arrival event
+          (counters + [Delivered]/[Drop_corrupted] observation) stays on
+          this shard.  Deciding the arrival at transmit-start is what
+          gives the shard engine its lookahead. *)
+
 type t
 
 val create :
   sim:Sim.t ->
   link:Topology.Graph.link ->
   kind:kind ->
+  ?delivery:delivery ->
   on_event:(t -> event -> unit) ->
   deliver:(prev:int -> Packet.t -> unit) ->
+  unit ->
   t
 (** Build the interface for a directed link.  [deliver] is invoked at the
-    packet's arrival instant at [link.dst] with [prev = link.src]. *)
+    packet's arrival instant at [link.dst] with [prev = link.src]
+    (ignored in [Split] mode, where [handoff] replaces it). *)
 
 val owner : t -> int
 (** The router that owns the queue ([link.src]). *)

@@ -1,0 +1,75 @@
+(* Single-producer single-consumer bounded ring with an unbounded
+   producer-side overflow spill.
+
+   The sharded engine gives each (source shard -> coordinator) edge its
+   own mailbox, so exactly one domain pushes and exactly one domain
+   drains.  The ring part is lock-free: the producer writes the slot
+   then publishes by bumping [tail]; the consumer reads slots up to the
+   observed [tail] and frees them by bumping [head].  OCaml [Atomic]
+   operations are sequentially consistent, so the slot write always
+   happens-before the tail publish.
+
+   When the ring is full the producer spills into a plain list instead
+   of blocking — the coordinator only drains at window barriers (where a
+   mutex handshake already orders memory), so the spill list needs no
+   synchronization of its own, and the engine never deadlocks on a burst
+   of cross-shard traffic.  [overflowed] counts spills so benchmarks can
+   tell when [capacity] is undersized. *)
+
+type 'a t = {
+  slots : 'a option array;
+  capacity : int;
+  head : int Atomic.t; (* next slot to read; advanced by the consumer *)
+  tail : int Atomic.t; (* next slot to write; advanced by the producer *)
+  mutable overflow_rev : 'a list; (* producer-side spill, newest first *)
+  mutable pushed : int;
+  mutable overflowed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
+  { slots = Array.make capacity None; capacity; head = Atomic.make 0; tail = Atomic.make 0;
+    overflow_rev = []; pushed = 0; overflowed = 0 }
+
+let capacity t = t.capacity
+let pushed t = t.pushed
+let overflowed t = t.overflowed
+
+(* Producer side only. *)
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head < t.capacity then begin
+    t.slots.(tail mod t.capacity) <- Some x;
+    Atomic.set t.tail (tail + 1)
+  end
+  else begin
+    t.overflow_rev <- x :: t.overflow_rev;
+    t.overflowed <- t.overflowed + 1
+  end;
+  t.pushed <- t.pushed + 1
+
+(* Consumer side only.  The ring portion is safe against a concurrent
+   producer; the overflow portion is only drained when the producer is
+   quiescent (the coordinator calls this at window barriers). *)
+let drain t f =
+  let tail = Atomic.get t.tail in
+  let head = ref (Atomic.get t.head) in
+  while !head < tail do
+    let i = !head mod t.capacity in
+    (match t.slots.(i) with
+    | Some x ->
+        t.slots.(i) <- None;
+        incr head;
+        Atomic.set t.head !head;
+        f x
+    | None -> assert false)
+  done;
+  match t.overflow_rev with
+  | [] -> ()
+  | spill ->
+      t.overflow_rev <- [];
+      List.iter f (List.rev spill)
+
+let is_empty t =
+  Atomic.get t.head = Atomic.get t.tail && t.overflow_rev == []

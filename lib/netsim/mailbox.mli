@@ -1,0 +1,38 @@
+(** Single-producer single-consumer bounded lock-free ring with an
+    unbounded producer-side overflow spill.
+
+    The sharded engine ({!Shard}) gives each source shard one mailbox
+    for its outbound cross-shard events; the coordinator drains all
+    mailboxes at every window barrier.  The ring never blocks the
+    producer: when full, messages spill into a plain list that is only
+    touched once the producer is quiescent (the barrier's mutex
+    handshake provides the ordering), so determinism and progress are
+    preserved under bursts at the cost of allocation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Ring with the given (positive) slot count. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Producer side: enqueue, spilling to the overflow list when the ring
+    is full.  Never blocks, never drops. *)
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** Consumer side: apply [f] to every pending message in push order
+    (ring first, then any overflow).  Ring entries may be drained
+    concurrently with the producer; the overflow list must only be
+    drained while the producer is quiescent. *)
+
+val is_empty : 'a t -> bool
+(** Whether no message is pending.  Only exact while the producer is
+    quiescent. *)
+
+val pushed : 'a t -> int
+(** Total messages ever pushed (producer-side counter). *)
+
+val overflowed : 'a t -> int
+(** How many of those spilled past the bounded ring — a sizing
+    diagnostic for benchmarks. *)

@@ -15,18 +15,38 @@ type router_event = {
   kind : Router.event;
 }
 
+(* The classic engine is one heap; the sharded engine is K data-plane
+   heaps plus a coordinator-side control heap ({!Shard}).  Everything
+   above this module (probes, detectors, TCP, the fault injector)
+   schedules on [sim t], which in sharded mode is the control heap —
+   control work then runs at epoch barriers, where every shard clock
+   agrees, so its behaviour cannot depend on the shard count. *)
+type engine = Single of Sim.t | Sharded of Shard.t
+
 type t = {
-  sim : Sim.t;
+  engine : engine;
+  seed : int;
   graph : Topology.Graph.t;
   mutable routers : Router.t array;
   mutable iface_listeners : (iface_event -> unit) list;
   mutable router_listeners : (router_event -> unit) list;
+  mutable link_listeners : (src:int -> dst:int -> up:bool -> unit) list;
   apps : (Packet.t -> unit) list ref array;
   pins : (int * int, int) Hashtbl.t; (* (flow, router) -> next hop *)
   mutable probe : Probe.t option;
+  (* Sharded mode: per-node uid counters, so packet identity never
+     depends on cross-shard event interleaving.  Only the owning
+     shard's domain touches a node's counter. *)
+  uid_next : int array;
 }
 
-let sim t = t.sim
+let sim t = match t.engine with Single s -> s | Sharded sh -> Shard.ctrl_sim sh
+
+let data_sim t ~node =
+  match t.engine with
+  | Single s -> s
+  | Sharded sh -> Shard.shard_sim sh (Shard.owner sh node)
+
 let graph t = t.graph
 let router t id = t.routers.(id)
 
@@ -34,6 +54,7 @@ let iface t ~src ~dst = Router.iface_to t.routers.(src) dst
 
 let subscribe_iface t f = t.iface_listeners <- f :: t.iface_listeners
 let subscribe_router t f = t.router_listeners <- f :: t.router_listeners
+let subscribe_link_state t f = t.link_listeners <- f :: t.link_listeners
 
 let set_probe t probe = t.probe <- probe
 let probe t = t.probe
@@ -52,40 +73,133 @@ let emit_router t (ev : router_event) =
 
 let attach_app t ~node f = t.apps.(node) := f :: !(t.apps.(node))
 
-let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) graph =
-  let sim = Sim.create ~seed () in
+(* Uids in sharded mode: high bits are the minting node, low bits a
+   per-node counter.  Disjoint from the control plane's small
+   [Sim.fresh_id] uids (TCP/Ping packets), and independent of shard
+   count by construction. *)
+let fresh_uid t ~node =
+  match t.engine with
+  | Single s -> Sim.fresh_id s
+  | Sharded _ ->
+      let c = t.uid_next.(node) in
+      t.uid_next.(node) <- c + 1;
+      ((node + 1) lsl 40) lor c
+
+let fresh_flow_id t = Sim.fresh_id (sim t)
+
+let flow_rng t ~flow =
+  match t.engine with
+  | Single s -> Sim.rng s
+  | Sharded _ -> Random.State.make [| t.seed; flow; 0xf10a |]
+
+(* Deliver one buffered shard observation at an epoch flush, in the
+   merged (time, rank, emission) order — probes, listeners and apps see
+   exactly the single-heap event stream. *)
+let deliver_obs t (r : Shard.obs_rec) =
+  match r.obs with
+  | Shard.Obs_iface { router; next; kind } ->
+      emit_iface t { time = r.at; router; next; kind }
+  | Shard.Obs_router { router; kind } -> emit_router t { time = r.at; router; kind }
+  | Shard.Obs_originate pkt -> (
+      match t.probe with Some p -> Probe.on_originate p pkt | None -> ())
+  | Shard.Obs_app { node; pkt } -> List.iter (fun f -> f pkt) !(t.apps.(node))
+
+let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shards ?epoch
+    graph =
   let n = Topology.Graph.size graph in
+  let engine =
+    match shards with
+    | None | Some 0 -> Single (Sim.create ~seed ())
+    | Some k -> Sharded (Shard.create ~seed ?epoch ~graph ~k ())
+  in
   let t =
-    { sim; graph;
+    { engine; seed; graph;
       routers = [||];
       iface_listeners = [];
       router_listeners = [];
+      link_listeners = [];
       apps = Array.init n (fun _ -> ref []);
       pins = Hashtbl.create 16;
-      probe = None }
+      probe = None;
+      uid_next = Array.make n 0 }
   in
-  let jitter () =
-    if jitter_bound <= 0.0 then 0.0 else Random.State.float (Sim.rng sim) jitter_bound
+  let node_sim id =
+    match engine with
+    | Single s -> s
+    | Sharded sh -> Shard.shard_sim sh (Shard.owner sh id)
   in
   t.routers <-
     Array.init n (fun id ->
-        Router.create ~sim ~id ~jitter
+        let sim = node_sim id in
+        let jitter =
+          match engine with
+          | Single _ ->
+              fun () ->
+                if jitter_bound <= 0.0 then 0.0
+                else Random.State.float (Sim.rng sim) jitter_bound
+          | Sharded _ ->
+              (* Per-router stream: forwarding jitter must not depend on
+                 how draws interleave across shards. *)
+              let rng = Random.State.make [| seed; id; 0x71e2 |] in
+              fun () ->
+                if jitter_bound <= 0.0 then 0.0 else Random.State.float rng jitter_bound
+        in
+        let fresh_uid =
+          match engine with
+          | Single _ -> None
+          | Sharded _ -> Some (fun () -> fresh_uid t ~node:id)
+        in
+        Router.create ~sim ~id ~jitter ?fresh_uid
           ~on_event:(fun r ev ->
-            emit_router t { time = Sim.now sim; router = Router.id r; kind = ev })
-          ~local_deliver:(fun pkt -> List.iter (fun f -> f pkt) !(t.apps.(id))));
+            match engine with
+            | Sharded sh when Shard.in_window () ->
+                Shard.record sh (Shard.Obs_router { router = Router.id r; kind = ev })
+            | _ ->
+                emit_router t { time = Sim.now sim; router = Router.id r; kind = ev })
+          ~local_deliver:(fun pkt ->
+            match engine with
+            | Sharded sh when Shard.in_window () ->
+                Shard.record sh (Shard.Obs_app { node = id; pkt })
+            | _ -> List.iter (fun f -> f pkt) !(t.apps.(id)))
+          ());
   let kind =
     match queue with Droptail b -> Iface.Droptail b | Red p -> Iface.Red_queue p
   in
   List.iter
     (fun (l : Topology.Graph.link) ->
+      let sim = node_sim l.Topology.Graph.src in
+      let dst = l.Topology.Graph.dst in
+      let delivery =
+        match engine with
+        | Single _ -> None
+        | Sharded sh ->
+            (* Per-link corruption/RED stream plus the cross-shard (or
+               same-shard — the event split is identical either way)
+               receive handoff. *)
+            let rng = Random.State.make [| seed; l.Topology.Graph.src; dst; 0xc0f1 |] in
+            Some
+              (Iface.Split
+                 { rng;
+                   handoff =
+                     (fun ~time ~rank ~prev pkt ->
+                       Shard.post sh ~dest:(Shard.owner sh dst) ~time ~rank (fun () ->
+                           Router.receive t.routers.(dst) ~prev:(Some prev) pkt)) })
+      in
       let iface =
-        Iface.create ~sim ~link:l ~kind
+        Iface.create ~sim ~link:l ~kind ?delivery
           ~on_event:(fun i ev ->
-            emit_iface t
-              { time = Sim.now sim; router = Iface.owner i; next = Iface.next_hop i;
-                kind = ev })
+            match engine with
+            | Sharded sh when Shard.in_window () ->
+                Shard.record sh
+                  (Shard.Obs_iface
+                     { router = Iface.owner i; next = Iface.next_hop i; kind = ev })
+            | _ ->
+                emit_iface t
+                  { time = Sim.now sim; router = Iface.owner i; next = Iface.next_hop i;
+                    kind = ev })
           ~deliver:(fun ~prev pkt ->
-            Router.receive t.routers.(l.Topology.Graph.dst) ~prev:(Some prev) pkt)
+            Router.receive t.routers.(dst) ~prev:(Some prev) pkt)
+          ()
       in
       Router.add_iface t.routers.(l.Topology.Graph.src) iface)
     (Topology.Graph.links graph);
@@ -137,7 +251,9 @@ let pin_flow_path t ~flow ~path =
 
 let set_link t ~src ~dst up =
   match iface t ~src ~dst with
-  | Some i -> Iface.set_up i up
+  | Some i ->
+      Iface.set_up i up;
+      List.iter (fun f -> f ~src ~dst ~up) t.link_listeners
   | None -> invalid_arg "Net: no such link"
 
 let fail_link t ~src ~dst = set_link t ~src ~dst false
@@ -149,7 +265,30 @@ let set_link_corruption t ~src ~dst p =
 let restore_link t ~src ~dst = set_link t ~src ~dst true
 
 let originate t pkt =
-  (match t.probe with Some p -> Probe.on_originate p pkt | None -> ());
-  Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+  match t.engine with
+  | Sharded sh when Shard.in_window () ->
+      Shard.record sh (Shard.Obs_originate pkt);
+      Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+  | _ ->
+      (match t.probe with Some p -> Probe.on_originate p pkt | None -> ());
+      Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
 
-let run ?until t = Sim.run ?until t.sim
+let run ?until ?on_epoch t =
+  match t.engine with
+  | Single s ->
+      ignore on_epoch;
+      Sim.run ?until s
+  | Sharded sh -> Shard.run ?until ?on_epoch sh ~emit:(deliver_obs t)
+
+let shards t = match t.engine with Single _ -> 0 | Sharded sh -> Shard.k sh
+let shard_engine t = match t.engine with Single _ -> None | Sharded sh -> Some sh
+
+let events_processed t =
+  match t.engine with
+  | Single s -> Sim.events_processed s
+  | Sharded sh -> Shard.events_processed sh
+
+let cpu_time_in_run t =
+  match t.engine with
+  | Single s -> Sim.cpu_time_in_run s
+  | Sharded sh -> Shard.cpu_time_in_run sh

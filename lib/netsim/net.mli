@@ -27,15 +27,43 @@ val create :
   ?seed:int ->
   ?queue:queue_spec ->
   ?jitter_bound:float ->
+  ?shards:int ->
+  ?epoch:float ->
   Topology.Graph.t ->
   t
 (** Build the network.  Every router gets one output interface per
     outgoing link with the given queue discipline (default
     [Droptail 64000]).  [jitter_bound] is the per-packet processing delay
     upper bound, drawn uniformly (default 300 microseconds; pass 0. for a
-    perfectly deterministic forwarding plane). *)
+    perfectly deterministic forwarding plane).
+
+    [shards] selects the engine: absent or [0] runs the classic
+    single-heap engine, byte-for-byte as before; [k >= 1] runs the
+    conservative-synchronization sharded engine ({!Shard}) with the
+    graph partitioned into [k] regions, one domain per region.  Sharded
+    output is byte-identical for every [k >= 1] (verdicts, journal,
+    trace), but not to the classic engine: randomness moves from the
+    single simulation stream to per-entity streams so that no draw
+    depends on cross-shard interleaving.  [epoch] is the sharded
+    engine's control-plane quantum in seconds (default 0.1): detectors,
+    TCP endpoints and observation delivery run at epoch barriers.
+    Raises [Invalid_argument] for more shards than routers or a
+    zero-latency cross-shard link. *)
 
 val sim : t -> Sim.t
+(** The simulation to schedule control-plane work on.  Classic engine:
+    the one heap.  Sharded engine: the coordinator's control heap —
+    events run at epoch barriers where every shard clock agrees.
+    Consequence: feedback loops closed through this heap (e.g. a TCP
+    endpoint's ACK clock) observe the network at epoch granularity, so
+    adaptive senders pace to the epoch rather than the wire RTT — the
+    same way for every shard count, so determinism is unaffected. *)
+
+val data_sim : t -> node:int -> Sim.t
+(** The simulation that executes [node]'s data-plane events: the shard
+    heap owning the node (sharded), or the single heap (classic).
+    Traffic generators schedule their ticks here. *)
+
 val graph : t -> Topology.Graph.t
 val router : t -> int -> Router.t
 val iface : t -> src:int -> dst:int -> Iface.t option
@@ -58,6 +86,11 @@ val subscribe_iface : t -> (iface_event -> unit) -> unit
 val subscribe_router : t -> (router_event -> unit) -> unit
 (** Observe router-level events (malicious actions, TTL expiry, local
     deliveries, ...). *)
+
+val subscribe_link_state : t -> (src:int -> dst:int -> up:bool -> unit) -> unit
+(** Observe administrative link-state changes ({!fail_link},
+    {!restore_link}, {!set_link} — the fault injector's flaps and
+    crashes); feeds {!Core.Detector.S.on_ctrl}. *)
 
 val set_probe : t -> Probe.t option -> unit
 (** Attach (or detach) the telemetry probe: every iface/router event and
@@ -96,5 +129,36 @@ val originate : t -> Packet.t -> unit
 (** Hand a locally-generated packet to its source router for
     forwarding. *)
 
-val run : ?until:float -> t -> unit
-(** Convenience alias for [Sim.run (sim t)]. *)
+val fresh_uid : t -> node:int -> int
+(** Mint a packet uid for a packet originated at [node]: the
+    simulation-global counter (classic), or the node's private stream
+    (sharded — uids must not depend on cross-shard interleaving). *)
+
+val fresh_flow_id : t -> int
+(** Flow identifier from the control-plane counter (setup-time, so
+    identical under every engine). *)
+
+val flow_rng : t -> flow:int -> Random.State.t
+(** Random stream for a traffic generator: the shared simulation stream
+    (classic) or a per-flow derived stream (sharded). *)
+
+val run : ?until:float -> ?on_epoch:(now:float -> unit) -> t -> unit
+(** Run the engine.  Classic: [Sim.run (sim t)].  Sharded: conservative
+    time windows with an observation flush at every epoch boundary;
+    [on_epoch] fires after each flush (the hook behind
+    {!Core.Detector.S.on_round}) and never fires on the classic
+    engine. *)
+
+val shards : t -> int
+(** Shard count of the engine ([0] = classic single heap). *)
+
+val shard_engine : t -> Shard.t option
+(** The sharded engine itself, for stats (windows, epochs, cross-shard
+    messages) and tests. *)
+
+val events_processed : t -> int
+(** Events executed across every heap of the engine. *)
+
+val cpu_time_in_run : t -> float
+(** Processor seconds spent inside event loops, summed over shard
+    domains (can exceed wall clock on multiple cores). *)

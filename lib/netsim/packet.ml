@@ -19,9 +19,9 @@ type t = {
   mutable trace : int;
 }
 
-let make ~sim ~src ~dst ~flow ~size ?(ttl = 64) proto =
+let make ~sim ?uid ~src ~dst ~flow ~size ?(ttl = 64) proto =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";
-  let uid = Sim.fresh_id sim in
+  let uid = match uid with Some uid -> uid | None -> Sim.fresh_id sim in
   (* Payloads carry pseudo-random bytes: on the wire nothing
      distinguishes one application's packet from another's, which
      stealth probing (§3.8) depends on. *)

@@ -34,10 +34,15 @@ type t = {
 }
 
 val make :
-  sim:Sim.t -> src:int -> dst:int -> flow:int -> size:int -> ?ttl:int -> proto -> t
+  sim:Sim.t ->
+  ?uid:int ->
+  src:int -> dst:int -> flow:int -> size:int -> ?ttl:int -> proto -> t
 (** Allocate a packet with a fresh uid and a pseudo-random payload (so
-    applications' packets are indistinguishable on the wire).  Raises
-    [Invalid_argument] for a non-positive size. *)
+    applications' packets are indistinguishable on the wire).  [uid]
+    overrides the simulation-global counter — the sharded engine draws
+    uids from per-node streams so they do not depend on event
+    interleaving across shards.  Raises [Invalid_argument] for a
+    non-positive size. *)
 
 val clone : t -> t
 (** An independent copy carrying the same identity (uid, payload, header)

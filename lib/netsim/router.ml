@@ -31,6 +31,7 @@ type t = {
   sim : Sim.t;
   id : int;
   jitter : unit -> float;
+  fresh_uid : unit -> int;
   on_event : t -> event -> unit;
   local_deliver : Packet.t -> unit;
   out : (int, Iface.t) Hashtbl.t;
@@ -45,8 +46,11 @@ type t = {
   mutable delivered_packets : int;
 }
 
-let create ~sim ~id ~jitter ~on_event ~local_deliver =
-  { sim; id; jitter; on_event; local_deliver; out = Hashtbl.create 4;
+let create ~sim ~id ~jitter ?fresh_uid ~on_event ~local_deliver () =
+  let fresh_uid =
+    match fresh_uid with Some f -> f | None -> fun () -> Sim.fresh_id sim
+  in
+  { sim; id; jitter; fresh_uid; on_event; local_deliver; out = Hashtbl.create 4;
     forwarding = (fun ~prev:_ _ -> None); behavior = honest; mtu = None;
     mcast = Hashtbl.create 2;
     received_packets = 0; forwarded_packets = 0; delivered_packets = 0 }
@@ -93,8 +97,9 @@ let fragment_if_needed t ~next iface pkt =
         let size = min mtu !remaining in
         remaining := !remaining - size;
         let frag =
-          Packet.make ~sim:t.sim ~src:pkt.Packet.src ~dst:pkt.Packet.dst
-            ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl pkt.Packet.proto
+          Packet.make ~sim:t.sim ~uid:(t.fresh_uid ()) ~src:pkt.Packet.src
+            ~dst:pkt.Packet.dst ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl
+            pkt.Packet.proto
         in
         (* Fragments stay on the original packet's trace: causally the
            same injection, even though their uids are fresh. *)

@@ -43,11 +43,17 @@ val create :
   sim:Sim.t ->
   id:int ->
   jitter:(unit -> float) ->
+  ?fresh_uid:(unit -> int) ->
   on_event:(t -> event -> unit) ->
   local_deliver:(Packet.t -> unit) ->
+  unit ->
   t
 (** [jitter ()] is the per-packet processing delay (the source of the
-    queue-prediction error Protocol χ calibrates, §6.2.1). *)
+    queue-prediction error Protocol χ calibrates, §6.2.1).  [fresh_uid]
+    overrides the uid source for packets the router itself mints
+    (fragments); the sharded engine supplies a per-node stream so uids
+    are independent of cross-shard interleaving.  Defaults to the
+    simulation-global counter. *)
 
 val id : t -> int
 

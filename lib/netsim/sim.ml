@@ -1,3 +1,75 @@
+(* Deterministic-rank context, one per domain.
+
+   The sharded engine needs every event to carry a tie-break key that is
+   identical for any shard count K: the obvious per-heap sequence number
+   depends on which shard inserted the event and in what order, so it
+   cannot be used.  Instead each event gets a rank derived purely from
+   its *causal* position — rank = mix (parent rank, i) for the i-th
+   event scheduled while executing the parent, and mix (0, i) for the
+   i-th root event scheduled outside any event (setup code).  The mix is
+   a splitmix64-style finalizer truncated to a non-negative OCaml int
+   (62 bits), so ranks are effectively collision-free and, crucially,
+   K-invariant: the causal tree of events does not depend on how routers
+   are partitioned.
+
+   The context lives in domain-local storage so each shard domain tracks
+   its own executing event without synchronization. *)
+module Det = struct
+  type ctx = {
+    mutable active : bool;  (* currently executing an event *)
+    mutable parent : int;   (* rank of the executing event *)
+    mutable child_ix : int; (* events scheduled by the executing event *)
+    mutable obs_ix : int;   (* observations emitted by the executing event *)
+    mutable root_ix : int;  (* root events scheduled outside any event *)
+  }
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        { active = false; parent = 0; child_ix = 0; obs_ix = 0; root_ix = 0 })
+
+  let ctx () = Domain.DLS.get key
+
+  let mix a b =
+    let z =
+      let open Int64 in
+      let z = add (mul (of_int a) 0x9E3779B97F4A7C15L) (of_int (b + 1)) in
+      let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+      let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+      logxor z (shift_right_logical z 31)
+    in
+    Int64.to_int z land max_int
+
+  let fresh_rank () =
+    let c = ctx () in
+    if c.active then begin
+      let i = c.child_ix in
+      c.child_ix <- i + 1;
+      mix c.parent i
+    end
+    else begin
+      let i = c.root_ix in
+      c.root_ix <- i + 1;
+      mix 0 i
+    end
+
+  let reset () =
+    let c = ctx () in
+    c.active <- false;
+    c.parent <- 0;
+    c.child_ix <- 0;
+    c.obs_ix <- 0;
+    c.root_ix <- 0
+
+  let enter rank =
+    let c = ctx () in
+    c.active <- true;
+    c.parent <- rank;
+    c.child_ix <- 0;
+    c.obs_ix <- 0
+
+  let leave () = (ctx ()).active <- false
+end
+
 type t = {
   mutable clock : float;
   events : (unit -> unit) Prioq.t;
@@ -5,11 +77,12 @@ type t = {
   mutable processed : int;
   mutable next_id : int;
   mutable run_cpu : float;
+  det : bool;
 }
 
-let create ?(seed = 1) () =
+let create ?(seed = 1) ?(det = false) () =
   { clock = 0.0; events = Prioq.create (); rng = Random.State.make [| seed; 0x51a7 |];
-    processed = 0; next_id = 0; run_cpu = 0.0 }
+    processed = 0; next_id = 0; run_cpu = 0.0; det }
 
 let now t = t.clock
 let rng t = t.rng
@@ -18,28 +91,73 @@ let schedule_at t ~time thunk =
   if time < t.clock -. 1e-12 then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %.9f is in the past (now %.9f)" time t.clock);
-  Prioq.push t.events ~priority:(Float.max time t.clock) thunk
+  let priority = Float.max time t.clock in
+  if t.det then Prioq.push_ranked t.events ~priority ~rank:(Det.fresh_rank ()) thunk
+  else Prioq.push t.events ~priority thunk
 
 let schedule t ~delay thunk =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) thunk
 
+let schedule_ranked t ~time ~rank thunk =
+  if time < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_ranked: time %.9f is in the past (now %.9f)" time
+         t.clock);
+  Prioq.push_ranked t.events ~priority:(Float.max time t.clock) ~rank thunk
+
+let fresh_rank _t = Det.fresh_rank ()
+let reset_det_context () = Det.reset ()
+let current_rank () = (Det.ctx ()).parent
+
+let next_obs_ix () =
+  let c = Det.ctx () in
+  let i = c.obs_ix in
+  c.obs_ix <- i + 1;
+  i
+
+let exec t time rank thunk =
+  t.clock <- time;
+  t.processed <- t.processed + 1;
+  if t.det then begin
+    Det.enter rank;
+    Fun.protect ~finally:Det.leave thunk
+  end
+  else thunk ()
+
 let run ?until t =
   let cpu0 = Sys.time () in
-  (* Single heap traversal per event: pop_if_before replaces the former
+  (* Single heap traversal per event: pop_ranked replaces the former
      peek-then-pop pair. *)
   let limit = match until with None -> Float.infinity | Some u -> u in
   let continue = ref true in
   while !continue do
-    match Prioq.pop_if_before t.events ~until:limit with
+    match Prioq.pop_ranked t.events ~until:limit ~strict:false with
     | None -> continue := false
-    | Some (time, thunk) ->
-        t.clock <- time;
-        t.processed <- t.processed + 1;
-        thunk ()
+    | Some (time, rank, thunk) -> exec t time rank thunk
   done;
   t.run_cpu <- t.run_cpu +. (Sys.time () -. cpu0);
   match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
+
+let run_window t ~until ~inclusive =
+  let cpu0 = Sys.time () in
+  let continue = ref true in
+  while !continue do
+    match Prioq.pop_ranked t.events ~until ~strict:(not inclusive) with
+    | None -> continue := false
+    | Some (time, rank, thunk) -> exec t time rank thunk
+  done;
+  t.run_cpu <- t.run_cpu +. (Sys.time () -. cpu0);
+  if until > t.clock then t.clock <- until
+
+let next_key t = Prioq.peek_key t.events
+
+let run_next t =
+  match Prioq.pop_ranked t.events ~until:Float.infinity ~strict:false with
+  | None -> ()
+  | Some (time, rank, thunk) -> exec t time rank thunk
+
+let set_time t time = if time > t.clock then t.clock <- time
 
 let events_processed t = t.processed
 let pending t = Prioq.length t.events

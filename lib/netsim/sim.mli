@@ -3,18 +3,37 @@
     The synchronous system model of §2.1.2/§4.1 is realized by a global
     event clock: bounded message delays and coarsely synchronized clocks
     hold by construction.  Deterministic for a fixed seed: events at equal
-    times fire in scheduling order. *)
+    times fire in scheduling order.
+
+    {2 Deterministic-rank mode}
+
+    A simulation created with [~det:true] keys every event by a
+    deterministic {e rank} instead of an insertion sequence number.  The
+    rank is a splitmix64-style hash of the causal position — the i-th
+    event scheduled while executing a parent event gets
+    [mix parent_rank i]; the i-th event scheduled outside any event
+    (setup code) gets [mix 0 i].  Because the causal tree of events does
+    not depend on how routers are partitioned across shards, ranks give
+    the sharded engine ({!Shard}) a total order over same-time events
+    that is byte-identical for any shard count.  The rank context lives
+    in domain-local storage, so each shard domain tracks its own
+    executing event without synchronization.  The classic engine
+    ([~det:false], the default) is unchanged: insertion order breaks
+    ties. *)
 
 type t
 
-val create : ?seed:int -> unit -> t
-(** Fresh simulation at time 0. *)
+val create : ?seed:int -> ?det:bool -> unit -> t
+(** Fresh simulation at time 0.  [det] (default [false]) switches on
+    deterministic-rank event keys; see the module preamble. *)
 
 val now : t -> float
 (** Current simulation time in seconds. *)
 
 val rng : t -> Random.State.t
-(** The simulation's random state (single source of randomness). *)
+(** The simulation's random state (single source of randomness for the
+    classic engine; the sharded engine gives data-plane entities their
+    own derived streams instead). *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run a thunk [delay] seconds from now ([delay >= 0]). *)
@@ -22,9 +41,39 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Run a thunk at an absolute time (must not be in the past). *)
 
+val schedule_ranked : t -> time:float -> rank:int -> (unit -> unit) -> unit
+(** Schedule with an explicit, caller-computed rank — how a cross-shard
+    handoff lands an event in the destination shard's heap with the rank
+    drawn on the source shard (so the key is K-invariant). *)
+
+val fresh_rank : t -> int
+(** Draw the next deterministic rank from the calling domain's context
+    (the executing event's child counter, or the root counter outside
+    events).  Only meaningful for [~det:true] simulations. *)
+
 val run : ?until:float -> t -> unit
 (** Process events until the queue is empty or the clock passes [until].
     Events scheduled at exactly [until] are processed. *)
+
+val run_window : t -> until:float -> inclusive:bool -> unit
+(** Process events with time [< until] ([<= until] when [inclusive]),
+    then advance the clock to [until].  The sharded engine's
+    conservative time windows: half-open so boundary events land in the
+    next window on every shard alike; the final window of a run is
+    inclusive so events at exactly the horizon still execute. *)
+
+val next_key : t -> (float * int) option
+(** Time and rank of the earliest pending event, without executing it;
+    the coordinator uses this to merge per-shard observation streams
+    with control-plane events in (time, rank) order. *)
+
+val run_next : t -> unit
+(** Execute exactly the earliest pending event (no-op when idle). *)
+
+val set_time : t -> float -> unit
+(** Advance the clock to the given time if it is ahead of the current
+    clock (never moves it backwards); the coordinator pins every shard
+    clock to the epoch boundary between windows. *)
 
 val events_processed : t -> int
 (** Total number of events executed so far. *)
@@ -33,10 +82,25 @@ val pending : t -> int
 (** Number of events currently scheduled. *)
 
 val cpu_time_in_run : t -> float
-(** Processor seconds spent inside {!run} so far — with
+(** Processor seconds spent inside {!run}/{!run_window} so far — with
     {!events_processed} this gives the engine's events/sec
     self-measurement that the telemetry summary reports. *)
 
 val fresh_id : t -> int
 (** Monotonically increasing identifier source (packet uids, flow ids);
     deterministic per simulation instance. *)
+
+val reset_det_context : unit -> unit
+(** Reset the calling domain's deterministic-rank context (root event
+    counter and per-event state).  The sharded engine calls this when an
+    engine is created so that consecutive runs in one process draw
+    identical root ranks. *)
+
+val current_rank : unit -> int
+(** Rank of the event the calling domain is currently executing (0
+    outside events); keys buffered observations. *)
+
+val next_obs_ix : unit -> int
+(** Next observation index within the currently executing event — a
+    within-event emission counter that orders observations produced by
+    the same event. *)

@@ -2,7 +2,10 @@
    {priority; seq; value} record per element.  [prio] is an unboxed
    float array, so a push allocates nothing (beyond amortized growth)
    and sift-up/down touch cache-friendly flat storage.  Ties break by
-   insertion sequence number for deterministic FIFO order. *)
+   the int in [seq]: an insertion sequence number for {!push} (FIFO
+   order), or a caller-supplied rank for {!push_ranked} (the sharded
+   engine's deterministic event order, which must not depend on
+   insertion order). *)
 
 type 'a t = {
   mutable prio : float array;
@@ -17,6 +20,18 @@ let length t = t.size
 let is_empty t = t.size = 0
 let capacity t = Array.length t.prio
 
+(* Overwrite vals.(i .. i+len-1) with an immediate so the slots no
+   longer reference user values.  When ['a] is [float] the backing
+   array is an unboxed float array (Double_array_tag): its slots hold
+   no pointers, so there is nothing to scrub — and writing an immediate
+   into it through [Obj] would corrupt it, hence the tag guard. *)
+let scrub (vals : 'a array) i len =
+  if len > 0 then begin
+    let repr = Obj.repr vals in
+    if Obj.tag repr <> Obj.double_array_tag then
+      Array.fill (Obj.obj repr : Obj.t array) i len (Obj.repr 0)
+  end
+
 let grow t value =
   let cap = Array.length t.prio in
   if t.size = cap then begin
@@ -25,17 +40,19 @@ let grow t value =
     let seq = Array.make ncap 0 in
     let vals = Array.make ncap value in
     Array.blit t.prio 0 prio 0 t.size;
-    Array.blit t.seq 0 seq 0 t.size;
     Array.blit t.vals 0 vals 0 t.size;
+    Array.blit t.seq 0 seq 0 t.size;
+    (* Array.make filled every slot with [value]; drop the references
+       beyond the live prefix (slot [size] is written by the caller's
+       push immediately after). *)
+    scrub vals t.size (ncap - t.size);
     t.prio <- prio;
     t.seq <- seq;
     t.vals <- vals
   end
 
-let push t ~priority value =
+let push_key t key ~priority value =
   grow t value;
-  let sq = t.next_seq in
-  t.next_seq <- sq + 1;
   let prio = t.prio and seq = t.seq and vals = t.vals in
   (* Hole-based sift-up: shift parents down, write the new element once. *)
   let i = ref t.size in
@@ -44,7 +61,7 @@ let push t ~priority value =
   while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
     let pp = Array.unsafe_get prio p in
-    if priority < pp || (priority = pp && sq < Array.unsafe_get seq p) then begin
+    if priority < pp || (priority = pp && key < Array.unsafe_get seq p) then begin
       Array.unsafe_set prio !i pp;
       Array.unsafe_set seq !i (Array.unsafe_get seq p);
       Array.unsafe_set vals !i (Array.unsafe_get vals p);
@@ -53,10 +70,18 @@ let push t ~priority value =
     else continue := false
   done;
   Array.unsafe_set prio !i priority;
-  Array.unsafe_set seq !i sq;
+  Array.unsafe_set seq !i key;
   Array.unsafe_set vals !i value
 
+let push t ~priority value =
+  let sq = t.next_seq in
+  t.next_seq <- sq + 1;
+  push_key t sq ~priority value
+
+let push_ranked t ~priority ~rank value = push_key t rank ~priority value
+
 let peek t = if t.size = 0 then None else Some (t.prio.(0), t.vals.(0))
+let peek_key t = if t.size = 0 then None else Some (t.prio.(0), t.seq.(0))
 
 (* Sift the element (p, sq, v) down from the root of the first [t.size]
    slots, writing it into its final slot. *)
@@ -100,10 +125,11 @@ let pop_root t =
   t.size <- n;
   if n > 0 then begin
     let p = t.prio.(n) and sq = t.seq.(n) and v = t.vals.(n) in
-    sift_down t p sq v;
-    (* Drop the stale reference in the vacated slot (slot 0 is live). *)
-    t.vals.(n) <- t.vals.(0)
+    sift_down t p sq v
   end;
+  (* The vacated slot (the old last slot, or the root itself when the
+     heap just emptied) must stop referencing the popped value. *)
+  scrub t.vals n 1;
   (top_p, top_v)
 
 let pop t = if t.size = 0 then None else Some (pop_root t)
@@ -111,8 +137,20 @@ let pop t = if t.size = 0 then None else Some (pop_root t)
 let pop_if_before t ~until =
   if t.size = 0 || t.prio.(0) > until then None else Some (pop_root t)
 
+let pop_ranked t ~until ~strict =
+  if t.size = 0 then None
+  else
+    let p = t.prio.(0) in
+    if (if strict then p >= until else p > until) then None
+    else begin
+      let key = t.seq.(0) in
+      let _, v = pop_root t in
+      Some (p, key, v)
+    end
+
 let clear t =
   (* Keep capacity so a cleared heap can be refilled without re-growth;
-     overwrite the value slots so cleared elements become collectable. *)
-  if Array.length t.vals > 0 then Array.fill t.vals 0 (Array.length t.vals) t.vals.(0);
+     scrub the live prefix so no cleared element stays reachable (slots
+     beyond [size] were already scrubbed by pop/grow). *)
+  scrub t.vals 0 t.size;
   t.size <- 0

@@ -185,6 +185,7 @@ let test_iface_timing () =
         | Iface.Delivered _ -> delivered := Some (Sim.now sim)
         | _ -> ())
       ~deliver:(fun ~prev:_ _ -> ())
+      ()
   in
   Iface.enqueue iface (mk_pkt sim ());
   Sim.run sim;
@@ -204,6 +205,7 @@ let test_iface_serialization () =
       ~on_event:(fun _ ev ->
         match ev with Iface.Delivered _ -> times := Sim.now sim :: !times | _ -> ())
       ~deliver:(fun ~prev:_ _ -> ())
+      ()
   in
   Iface.enqueue iface (mk_pkt sim ());
   Iface.enqueue iface (mk_pkt sim ());

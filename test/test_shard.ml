@@ -1,0 +1,326 @@
+(* Sharded-engine determinism suite.
+
+   The contract under test: for every shard count K >= 1 the sharded
+   engine produces byte-identical output — verdicts, journal, trace,
+   oracle scores — on the same scenario.  K = 1 is the sequential
+   reference of the same engine; the classic single-heap engine (shards
+   absent) is exercised by every other suite and is unchanged. *)
+
+module G = Topology.Graph
+open Netsim
+
+(* --- Prioq regression: stale references after grow + clear ---------- *)
+
+(* The bug: [clear] used to spread one live value reference across the
+   whole (possibly grown) capacity, and popping the last element left
+   the popped value referenced in slot 0 — both kept dead values
+   reachable.  Watch collectability directly with a finaliser. *)
+let test_prioq_no_stale_refs () =
+  let q = Prioq.create () in
+  let collected = ref 0 in
+  let n = 100 in
+  (* Enough pushes to grow capacity several times. *)
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Gc.finalise (fun _ -> incr collected) v;
+    Prioq.push q ~priority:(float_of_int i) v
+  done;
+  (* Pop half (exercises pop's scrub incl. the just-emptied case via the
+     second heap below), then clear the rest with capacity grown. *)
+  for _ = 1 to n / 2 do
+    ignore (Prioq.pop q)
+  done;
+  Prioq.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "all cleared values collected" n !collected;
+  Alcotest.(check bool) "capacity retained" true (Prioq.capacity q >= n);
+  (* Pop-to-empty leaves nothing referenced either. *)
+  let q2 = Prioq.create () in
+  let collected2 = ref 0 in
+  for i = 0 to 2 do
+    let v = ref i in
+    Gc.finalise (fun _ -> incr collected2) v;
+    Prioq.push q2 ~priority:(float_of_int i) v
+  done;
+  while Prioq.pop q2 <> None do
+    ()
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "popped-to-empty values collected" 3 !collected2
+
+let test_prioq_ranked () =
+  let q = Prioq.create () in
+  (* Same priority, ranks inserted out of order: pops must follow rank. *)
+  List.iter
+    (fun r -> Prioq.push_ranked q ~priority:1.0 ~rank:r r)
+    [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "peek_key" (Some (1.0, 1)) (Prioq.peek_key q);
+  let order = ref [] in
+  let rec drain () =
+    match Prioq.pop_ranked q ~until:infinity ~strict:false with
+    | None -> ()
+    | Some (_, r, v) ->
+        Alcotest.(check int) "rank equals value" r v;
+        order := r :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "rank order" [ 1; 3; 5; 7; 9 ] (List.rev !order);
+  (* Strict window excludes the boundary. *)
+  Prioq.push_ranked q ~priority:2.0 ~rank:1 1;
+  Alcotest.(check bool) "strict excludes boundary" true
+    (Prioq.pop_ranked q ~until:2.0 ~strict:true = None);
+  Alcotest.(check bool) "inclusive takes boundary" true
+    (Prioq.pop_ranked q ~until:2.0 ~strict:false <> None)
+
+(* --- Partition ------------------------------------------------------ *)
+
+let test_partition () =
+  let g = Topology.Generate.ring ~n:8 in
+  List.iter
+    (fun k ->
+      let owner = Shard.partition g ~k in
+      Alcotest.(check int) "every router owned" 0
+        (Array.fold_left (fun acc s -> if s < 0 || s >= k then acc + 1 else acc) 0 owner);
+      let sizes = Array.make k 0 in
+      Array.iter (fun s -> sizes.(s) <- sizes.(s) + 1) owner;
+      Array.iteri
+        (fun s size ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d of %d non-empty" s k)
+            true (size > 0))
+        sizes)
+    [ 1; 2; 4; 8 ];
+  (* Deterministic. *)
+  let a = Shard.partition g ~k:3 and b = Shard.partition g ~k:3 in
+  Alcotest.(check (array int)) "partition deterministic" a b;
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Shard.partition: 9 shards for 8 routers") (fun () ->
+      ignore (Shard.partition g ~k:9))
+
+(* --- Mailbox -------------------------------------------------------- *)
+
+let test_mailbox_order () =
+  let m = Mailbox.create ~capacity:4 in
+  (* Push past capacity: ring + overflow must drain in push order. *)
+  for i = 0 to 9 do
+    Mailbox.push m i
+  done;
+  Alcotest.(check int) "pushed" 10 (Mailbox.pushed m);
+  Alcotest.(check int) "overflowed" 6 (Mailbox.overflowed m);
+  let got = ref [] in
+  Mailbox.drain m (fun i -> got := i :: !got);
+  Alcotest.(check (list int)) "drain order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !got);
+  Alcotest.(check bool) "empty after drain" true (Mailbox.is_empty m);
+  (* Reusable after drain. *)
+  Mailbox.push m 42;
+  let got2 = ref [] in
+  Mailbox.drain m (fun i -> got2 := i :: !got2);
+  Alcotest.(check (list int)) "ring reused" [ 42 ] !got2
+
+(* --- Engine-level determinism --------------------------------------- *)
+
+(* A scenario rich enough to cross shards constantly: ring of 8, CBR and
+   Poisson flows on antipodal pairs, one malicious dropper, link
+   corruption, and a detector-style event subscription.  The digest
+   folds every observable (event stream order, times, uids, payloads,
+   app deliveries) into one string. *)
+let run_scenario ~shards ~duration () =
+  let g = Topology.Generate.ring ~n:8 in
+  let net = Net.create ~seed:11 ~jitter_bound:200e-6 ?shards g in
+  let rt = Topology.Routing.compute g in
+  Net.use_routing net rt;
+  let buf = Buffer.create 4096 in
+  Net.subscribe_iface net (fun ev ->
+      let tag =
+        match ev.Net.kind with
+        | Iface.Enqueued p -> Printf.sprintf "enq:%d" p.Packet.uid
+        | Iface.Drop_congestion p -> Printf.sprintf "dcong:%d" p.Packet.uid
+        | Iface.Drop_red_early p -> Printf.sprintf "dred:%d" p.Packet.uid
+        | Iface.Drop_link_down p -> Printf.sprintf "ddown:%d" p.Packet.uid
+        | Iface.Drop_corrupted p -> Printf.sprintf "dcorr:%d" p.Packet.uid
+        | Iface.Transmit_start p -> Printf.sprintf "tx:%d" p.Packet.uid
+        | Iface.Delivered p -> Printf.sprintf "dlv:%d:%Ld" p.Packet.uid p.Packet.payload
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%.9f i %d>%d %s\n" ev.Net.time ev.Net.router ev.Net.next tag));
+  Net.subscribe_router net (fun ev ->
+      let tag =
+        match ev.Net.kind with
+        | Router.Malicious_drop { pkt; _ } -> Printf.sprintf "mdrop:%d" pkt.Packet.uid
+        | Router.Delivered_local pkt -> Printf.sprintf "local:%d" pkt.Packet.uid
+        | Router.Ttl_expired pkt -> Printf.sprintf "ttl:%d" pkt.Packet.uid
+        | Router.No_route pkt -> Printf.sprintf "noroute:%d" pkt.Packet.uid
+        | _ -> "other"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%.9f r %d %s\n" ev.Net.time ev.Net.router tag));
+  (* Malicious interior router dropping a fraction of transit packets. *)
+  Router.set_behavior (Net.router net 2) (Core.Adversary.drop_fraction ~seed:7 0.3);
+  (* Benign corruption on one link. *)
+  Net.set_link_corruption net ~src:5 ~dst:6 0.05;
+  let flows =
+    [ Flow.cbr net ~src:0 ~dst:4 ~rate_pps:300.0 ~size:400 ~start:0.05 ~stop:duration;
+      Flow.poisson net ~src:1 ~dst:5 ~rate_pps:200.0 ~size:600 ~start:0.1 ~stop:duration;
+      Flow.cbr net ~src:6 ~dst:2 ~rate_pps:250.0 ~size:300 ~start:0.02 ~stop:duration ]
+  in
+  let counted = Flow.delivered_counter net ~node:4 ~flow:(Flow.flow_id (List.hd flows)) in
+  (* A mid-run control action through the control plane. *)
+  Sim.schedule_at (Net.sim net) ~time:(duration /. 3.0) (fun () ->
+      Net.fail_link net ~src:3 ~dst:4);
+  Sim.schedule_at (Net.sim net) ~time:(duration /. 2.0) (fun () ->
+      Net.restore_link net ~src:3 ~dst:4);
+  Net.run ~until:duration net;
+  Buffer.add_string buf
+    (Printf.sprintf "sent=%s delivered=%d events=%d\n"
+       (String.concat "," (List.map (fun f -> string_of_int (Flow.sent f)) flows))
+       (counted ())
+       (Net.events_processed net));
+  Buffer.contents buf
+
+let test_shard_k_invariance () =
+  let reference = run_scenario ~shards:(Some 1) ~duration:3.0 () in
+  List.iter
+    (fun k ->
+      let got = run_scenario ~shards:(Some k) ~duration:3.0 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "K=%d byte-identical to K=1" k)
+        true
+        (String.equal reference got))
+    [ 2; 4 ];
+  Alcotest.(check bool) "scenario non-trivial" true (String.length reference > 10_000)
+
+let test_shard_sequential_repeatable () =
+  (* Two consecutive K=2 runs in one process must agree (root-rank
+     context resets per engine). *)
+  let a = run_scenario ~shards:(Some 2) ~duration:1.0 () in
+  let b = run_scenario ~shards:(Some 2) ~duration:1.0 () in
+  Alcotest.(check bool) "repeatable" true (String.equal a b)
+
+(* --- end-to-end golden runs through the scenario driver -------------- *)
+
+(* The real contract: `mrdetect simulate --shards K` is byte-identical
+   for every K — report text, typed journal, everything the user sees.
+   Capture stdout through the same dup2 dance the telemetry tests use,
+   and fold the journal file in. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_captured_stdout f =
+  let path = Filename.temp_file "shard_stdout" ".txt" in
+  let oc = open_out path in
+  let backup = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel oc) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 backup Unix.stdout;
+      Unix.close backup;
+      close_out oc)
+    f;
+  let s = read_file path in
+  Sys.remove path;
+  s
+
+let simulate_digest ~topo ~protocol ?faults ~shards () =
+  let journal = Filename.temp_file "shard_journal" ".jsonl" in
+  let out =
+    with_captured_stdout (fun () ->
+        Experiments.Simulate.run
+          (Experiments.Simulate.Config.make_exn ~protocol ~duration:12.0 ~seed:7
+             ~flows:6 ~journal ?faults ~shards topo))
+  in
+  let j = read_file journal in
+  Sys.remove journal;
+  out ^ "--journal--\n" ^ j
+
+let check_k_invariant name ~topo ~protocol ?faults () =
+  let reference = simulate_digest ~topo ~protocol ?faults ~shards:1 () in
+  Alcotest.(check bool)
+    (name ^ ": non-trivial run")
+    true
+    (String.length reference > 500);
+  List.iter
+    (fun k ->
+      let got = simulate_digest ~topo ~protocol ?faults ~shards:k () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: K=%d byte-identical to K=1" name k)
+        true
+        (String.equal reference got))
+    [ 2; 4 ]
+
+let test_golden_ring_fatih () =
+  check_k_invariant "ring8/fatih" ~topo:Experiments.Simulate.Ring ~protocol:"fatih" ()
+
+let test_golden_abilene_chi () =
+  check_k_invariant "abilene/chi" ~topo:Experiments.Simulate.Abilene ~protocol:"chi" ()
+
+let test_golden_chaos_faults () =
+  (* Under a gentle chaos plan (benign flaps and a crash), the oracle
+     line and every journaled fault record must also be K-invariant. *)
+  let g = Topology.Generate.ring ~n:8 in
+  let schedule =
+    Faults.Chaos.generate ~seed:5 ~graph:g ~duration:12.0
+      ~budget:Faults.Chaos.gentle_budget ()
+  in
+  let path = Filename.temp_file "shard_faults" ".txt" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Faults.Schedule.to_string schedule));
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_k_invariant "ring8/fatih/chaos" ~topo:Experiments.Simulate.Ring
+        ~protocol:"fatih" ~faults:path ())
+
+(* Cross-shard mailbox delivery must reproduce the single-heap order
+   even when K does not divide the ring: every cut link is cross-shard
+   on one side and not the other, so any ordering bug shows up as a
+   journal diff. *)
+let test_mailbox_order_matches_single_heap () =
+  let a = run_scenario ~shards:(Some 1) ~duration:2.0 () in
+  let b = run_scenario ~shards:(Some 3) ~duration:2.0 () in
+  Alcotest.(check bool) "K=3 equals K=1" true (String.equal a b)
+
+let test_shard_validation () =
+  let g = Topology.Generate.ring ~n:4 in
+  Alcotest.(check bool) "too many shards rejected" true
+    (match Net.create ~shards:5 g with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative epoch rejected" true
+    (match Net.create ~shards:2 ~epoch:0.0 g with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "shard"
+    [ ( "prioq",
+        [ Alcotest.test_case "no stale refs after grow+clear" `Quick
+            test_prioq_no_stale_refs;
+          Alcotest.test_case "ranked push/pop" `Quick test_prioq_ranked ] );
+      ( "partition",
+        [ Alcotest.test_case "covers, balanced, deterministic" `Quick test_partition ] );
+      ("mailbox", [ Alcotest.test_case "push order, overflow" `Quick test_mailbox_order ]);
+      ( "engine",
+        [ Alcotest.test_case "K in {1,2,4} byte-identical" `Quick test_shard_k_invariance;
+          Alcotest.test_case "consecutive runs identical" `Quick
+            test_shard_sequential_repeatable;
+          Alcotest.test_case "K=3 matches single heap" `Quick
+            test_mailbox_order_matches_single_heap;
+          Alcotest.test_case "shard-count validation" `Quick test_shard_validation ] );
+      ( "golden",
+        [ Alcotest.test_case "ring8 fatih K-invariant" `Quick test_golden_ring_fatih;
+          Alcotest.test_case "abilene chi K-invariant" `Quick test_golden_abilene_chi;
+          Alcotest.test_case "chaos faults K-invariant" `Quick
+            test_golden_chaos_faults ] ) ]

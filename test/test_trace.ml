@@ -250,16 +250,10 @@ let test_simulate_trace_golden () =
           close_out devnull)
         (fun () ->
           Experiments.Simulate.run
-            { Experiments.Simulate.Config.default with
-              topo = Experiments.Simulate.Ring;
-              protocol = `Fatih;
-              attack = Experiments.Simulate.Drop_fraction 0.4;
-              attacker = 2;
-              duration = 25.0;
-              seed = 7;
-              flows = 6;
-              trace_out = Some path
-            });
+            (Experiments.Simulate.Config.make_exn ~protocol:"fatih"
+               ~attack:(Experiments.Simulate.Drop_fraction 0.4) ~attacker:2
+               ~duration:25.0 ~seed:7 ~flows:6 ~trace_out:path
+               Experiments.Simulate.Ring));
       match Export.of_string (String.trim (read_file path)) with
       | Error e -> Alcotest.failf "trace file is not valid JSON: %s" e
       | Ok doc ->
