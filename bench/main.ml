@@ -4,24 +4,67 @@
    dissertation's evaluation (see DESIGN.md's per-experiment index),
    reports Bechamel microbenchmarks for the per-packet costs of
    Chapter 7 (fingerprint computation, traffic validation, set
-   reconciliation), and writes three JSON artifacts:
+   reconciliation), and writes the JSON artifacts:
 
    - BENCH_telemetry.json — every gauge the stdout tables show;
    - BENCH_parallel.json  — serial vs parallel experiment-suite wall
-     clock (honestly marked "skipped" on a 1-domain host);
+     clock (honestly marked "skipped" on a 1-domain host), with
+     Gc.quick_stat deltas for both passes;
    - BENCH_hotpath.json   — before/after ns-per-op for the lib/crypto
      and event-loop hot-path kernels, measured against the in-process
      reference implementation and against the numbers recorded by the
-     previous PR.
+     previous PR;
+   - BENCH_alloc.json     — words allocated per simulation event on the
+     reference scenario, pooling off/on, against the seed's numbers;
+   - BENCH_faults.json / BENCH_shard.json — fault-injection overhead
+     and sharded-engine scaling (the latter with per-mode GC deltas and
+     the 2-domain mailbox micro-benchmark).
 
    [main.exe --smoke] runs every microbenchmark with a tiny quota and
-   skips the reproduction and the JSON writes; the @bench-smoke dune
-   alias uses it to keep the harness compiling and running under
-   `dune runtest`. *)
+   skips the reproduction and the JSON writes — except BENCH_alloc.json,
+   which smoke writes too so the writer itself stays covered; the
+   @bench-smoke dune alias uses it to keep the harness compiling and
+   running under `dune runtest`. *)
 
 module Exp = Experiments.Exp
 module Registry = Experiments.Registry
 module Pool = Experiments.Pool
+
+(* Gc.quick_stat delta across a thunk: the BENCH artifacts record these
+   counters alongside wall clock so an allocation regression shows up
+   in a file diff exactly the way a throughput regression does. *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_promoted_words : float;
+  gd_major_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+}
+
+let with_gc_delta f =
+  let s0 = Gc.quick_stat () in
+  (* [quick_stat] counters settle at collection boundaries; the minor
+     allocation pointer is read exactly so short runs measure true. *)
+  let mw0 = Gc.minor_words () in
+  let r = f () in
+  let mw1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    { gd_minor_words = mw1 -. mw0;
+      gd_promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      gd_major_words = s1.Gc.major_words -. s0.Gc.major_words;
+      gd_minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      gd_major_collections = s1.Gc.major_collections - s0.Gc.major_collections
+    } )
+
+let gc_json d =
+  let open Telemetry.Export in
+  Assoc
+    [ ("minor_words", Float d.gd_minor_words);
+      ("promoted_words", Float d.gd_promoted_words);
+      ("major_words", Float d.gd_major_words);
+      ("minor_collections", Int d.gd_minor_collections);
+      ("major_collections", Int d.gd_major_collections) ]
 
 (* Evaluate the whole registry serially (timed), then render — the same
    list mrdetect and the odoc index use, not a private copy. *)
@@ -29,10 +72,10 @@ let reproduction () =
   print_endline "Detecting Malicious Routers - evaluation reproduction";
   print_endline "======================================================";
   let t0 = Unix.gettimeofday () in
-  let results = Registry.eval_all ~jobs:1 () in
+  let results, gc = with_gc_delta (fun () -> Registry.eval_all ~jobs:1 ()) in
   let serial = Unix.gettimeofday () -. t0 in
   List.iter Exp.render results;
-  (results, serial)
+  (results, serial, gc)
 
 (* Serial vs parallel wall clock for the experiment suite.  The
    parallel pass uses the machine's recommended domain count and checks
@@ -40,7 +83,7 @@ let reproduction () =
    On a host where the recommended count is 1 a "parallel" rerun would
    only measure run-to-run noise and report a meaningless ~1.0x, so the
    comparison is recorded as skipped instead. *)
-let parallel_comparison ~serial serial_results =
+let parallel_comparison ~serial ~serial_gc serial_results =
   print_endline "";
   print_endline "Experiment suite: serial vs parallel (Domain pool)";
   print_endline "==================================================";
@@ -55,6 +98,7 @@ let parallel_comparison ~serial serial_results =
   set "experiments_serial_seconds" "wall clock, jobs=1" serial;
   set "experiments_domains_recommended" "Domain.recommended_domain_count"
     (float_of_int recommended);
+  let parallel_gc = ref None in
   let status =
     if jobs <= 1 then begin
       Printf.printf "  serial (1 domain)      %8.2f s\n" serial;
@@ -66,7 +110,10 @@ let parallel_comparison ~serial serial_results =
     end
     else begin
       let t0 = Unix.gettimeofday () in
-      let parallel_results = Registry.eval_all ~jobs () in
+      let parallel_results, pgc =
+        with_gc_delta (fun () -> Registry.eval_all ~jobs ())
+      in
+      parallel_gc := Some pgc;
       let parallel = Unix.gettimeofday () -. t0 in
       let doc results =
         Telemetry.Export.to_string (Registry.json_document results)
@@ -87,9 +134,16 @@ let parallel_comparison ~serial serial_results =
   in
   Telemetry.Export.write_file "BENCH_parallel.json"
     (Telemetry.Export.Assoc
-       [ ("schema", Telemetry.Export.String "mrdetect-bench-parallel-v2");
+       [ ("schema", Telemetry.Export.String "mrdetect-bench-parallel-v3");
          ("status", Telemetry.Export.String status);
          ("domains_recommended", Telemetry.Export.Int recommended);
+         ( "gc",
+           Telemetry.Export.Assoc
+             [ ("serial", gc_json serial_gc);
+               ( "parallel",
+                 match !parallel_gc with
+                 | Some d -> gc_json d
+                 | None -> Telemetry.Export.Null ) ] );
          ("metrics", Telemetry.Export.json_of_registry registry) ]);
   print_endline "\nparallel benchmark metrics written to BENCH_parallel.json"
 
@@ -425,6 +479,141 @@ let fault_overhead ~smoke registry =
     print_endline "\nfault-injection overhead written to BENCH_faults.json"
   end
 
+(* --- allocation regression (BENCH_alloc.json) ----------------------- *)
+
+(* Per-event allocation recorded by the seed's bench run on the same
+   ring8 reference scenario, before the zero-allocation work (flat
+   event heap, ring queues, packet pooling, slim telemetry path).
+   Kept as literals so the reduction column survives later rewrites. *)
+let recorded_seed_minor_words_per_event = 62.97
+let recorded_seed_promoted_words_per_event = 1.1772
+let recorded_seed_events_per_second = 3984214.25394
+
+(* Words allocated per simulation event, pooling off and on, against
+   the numbers the seed recorded.  Allocation counters come from a
+   single pass (they are a deterministic count, not a timing); the
+   wall clock takes the minimum over a few repeat runs — the same
+   estimator as the hot-path harness, since on a shared vCPU neighbor
+   load only ever inflates a reading.  Unlike the other artifacts this
+   one is written on --smoke too (with the [smoke] flag set and
+   meaningless numbers) so the @bench-smoke alias exercises the writer
+   end to end. *)
+let allocation ~smoke registry =
+  print_endline "";
+  print_endline "Allocation (ring8 reference scenario, words per event)";
+  print_endline "======================================================";
+  let horizon = if smoke then 0.5 else 30.0 in
+  let reps = if smoke then 1 else 3 in
+  let one_run ~pooling =
+    let g = Topology.Generate.ring ~n:8 in
+    let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 ~pooling g in
+    Netsim.Net.use_routing net (Topology.Routing.compute g);
+    List.iter
+      (fun (s, d) ->
+        ignore
+          (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500
+             ~start:0.0 ~stop:horizon))
+      [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+    ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
+    (* Settle setup garbage so the delta measures the event loop. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let (), gc = with_gc_delta (fun () -> Netsim.Net.run ~until:horizon net) in
+    let wall = Unix.gettimeofday () -. t0 in
+    (Netsim.Net.events_processed net, wall, gc, Netsim.Net.pool_stats net)
+  in
+  let run_mode ~pooling =
+    let events, wall, gc, pool = one_run ~pooling in
+    let best = ref wall in
+    for _ = 2 to reps do
+      let _, w, _, _ = one_run ~pooling in
+      if w < !best then best := w
+    done;
+    (events, !best, gc, pool)
+  in
+  let rows =
+    [ ("unpooled", false, run_mode ~pooling:false);
+      ("pooled", true, run_mode ~pooling:true) ]
+  in
+  let per events w = w /. float_of_int (max 1 events) in
+  let row_json = ref [] in
+  List.iter
+    (fun (name, pooling, (events, wall, gc, pool)) ->
+      let minor = per events gc.gd_minor_words in
+      let promoted = per events gc.gd_promoted_words in
+      let eps = float_of_int events /. wall in
+      Printf.printf
+        "  %-9s %8.2f minor w/ev  %7.4f promoted w/ev  %9.0f events/s%s\n"
+        name minor promoted eps
+        (if pooling then
+           Printf.sprintf "  (recycled %d of %d packets)"
+             pool.Netsim.Pool.recycled
+             (pool.Netsim.Pool.recycled + pool.Netsim.Pool.fresh)
+         else "");
+      let set g help v =
+        Telemetry.Metrics.set
+          (Telemetry.Metrics.gauge registry g ~help
+             ~labels:[ ("scenario", "ring8-reference"); ("mode", name) ])
+          v
+      in
+      set "alloc_minor_words_per_event" "minor-heap words per event" minor;
+      set "alloc_promoted_words_per_event" "promoted words per event" promoted;
+      set "alloc_events_per_second" "throughput, best of repeat runs" eps;
+      let open Telemetry.Export in
+      row_json :=
+        Assoc
+          [ ("mode", String name);
+            ("pooling", Bool pooling);
+            ("events", Int events);
+            ("wall_seconds", Float wall);
+            ("events_per_second", Float eps);
+            ("minor_words_per_event", Float minor);
+            ("promoted_words_per_event", Float promoted);
+            ( "reduction_vs_seed_percent",
+              Float
+                ((1.0 -. (minor /. recorded_seed_minor_words_per_event))
+                *. 100.0) );
+            ( "pool",
+              Assoc
+                [ ("fresh", Int pool.Netsim.Pool.fresh);
+                  ("recycled", Int pool.Netsim.Pool.recycled);
+                  ("released", Int pool.Netsim.Pool.released);
+                  ("available", Int pool.Netsim.Pool.available) ] );
+            ("gc", gc_json gc) ]
+        :: !row_json)
+    rows;
+  Printf.printf
+    "  %-9s %8.2f minor w/ev  %7.4f promoted w/ev  %9.0f events/s  \
+     (recorded at seed)\n"
+    "seed" recorded_seed_minor_words_per_event
+    recorded_seed_promoted_words_per_event recorded_seed_events_per_second;
+  (let _, _, (events, _, gc, _) = List.nth rows 1 in
+   Printf.printf "  pooled minor-allocation reduction vs seed: %.1f%%\n"
+     ((1.0 -. (per events gc.gd_minor_words /. recorded_seed_minor_words_per_event))
+     *. 100.0));
+  let open Telemetry.Export in
+  write_file "BENCH_alloc.json"
+    (Assoc
+       [ ("schema", String "mrdetect-bench-alloc-v1");
+         ( "method",
+           String
+             "Gc.quick_stat delta over the 30 s ring8 reference scenario \
+              (6 crossing CBR flows + 1 TCP connection) after a full major \
+              collection; words-per-event divides by Sim events processed; \
+              wall clock is the minimum over 3 runs" );
+         ("smoke", Bool smoke);
+         ("scenario", String "ring8-reference");
+         ( "recorded_seed",
+           Assoc
+             [ ( "minor_words_per_event",
+                 Float recorded_seed_minor_words_per_event );
+               ( "promoted_words_per_event",
+                 Float recorded_seed_promoted_words_per_event );
+               ("events_per_second", Float recorded_seed_events_per_second)
+             ] );
+         ("modes", List (List.rev !row_json)) ]);
+  print_endline "\nallocation regression written to BENCH_alloc.json"
+
 (* --- hot-path before/after regression harness (BENCH_hotpath.json) --- *)
 
 (* ns-per-op recorded by the previous PR's bench run (the values in
@@ -555,12 +744,52 @@ let hotpath ~smoke ~sim_events_per_second =
 
 (* --- sharded-engine scaling (BENCH_shard.json) ---------------------- *)
 
+(* Sustained push/drain throughput of the cross-shard mailbox with a
+   real producer domain: the producer pushes [n] messages while this
+   domain live-drains the ring, then the spill is settled once the
+   producer has quiesced.  The padding between [head] and [tail] in
+   {!Netsim.Mailbox} keeps the two atomics off one cache line; this row
+   is the regression guard for that layout. *)
+let mailbox_throughput ~smoke =
+  let n = if smoke then 10_000 else 500_000 in
+  let run () =
+    let mb = Netsim.Mailbox.create ~capacity:4096 in
+    let finished = Atomic.make false in
+    let received = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let producer =
+      Domain.spawn (fun () ->
+          for i = 1 to n do
+            Netsim.Mailbox.push mb i
+          done;
+          Atomic.set finished true)
+    in
+    while not (Atomic.get finished) do
+      Netsim.Mailbox.drain_ring mb (fun _ -> incr received)
+    done;
+    Domain.join producer;
+    Netsim.Mailbox.drain mb (fun _ -> incr received);
+    let wall = Unix.gettimeofday () -. t0 in
+    if !received <> n then failwith "mailbox micro-bench lost messages";
+    float_of_int n /. wall
+  in
+  let reps = if smoke then 1 else 3 in
+  let best = ref 0.0 in
+  for _ = 1 to reps do
+    let v = run () in
+    if v > !best then best := v
+  done;
+  (n, !best)
+
 (* Wall clock of the same 64-router grid scenario under the classic
    single-heap engine and the sharded engine at K = 1, 2, 4.  Speedups
    are quoted against the sharded K = 1 run (same engine family, same
    event set — the classic engine runs a different event decomposition,
-   so its row is context, not a baseline).  The scenario is heavy enough
-   (32 crossing CBR flows) that shard heaps stay busy between barriers. *)
+   so its row is context, not a baseline).  The K = 1 row against the
+   classic row is the engine's synchronization overhead — the
+   zero-allocation work holds it under 1.3x on this host.  The scenario
+   is heavy enough (32 crossing CBR flows) that shard heaps stay busy
+   between barriers. *)
 let shard_scaling ~smoke registry =
   print_endline "";
   print_endline "Sharded-engine scaling (grid8x8, 32 flows)";
@@ -588,20 +817,26 @@ let shard_scaling ~smoke registry =
   let reps = if smoke then 1 else 3 in
   let best k =
     let wall = ref infinity and events = ref 0 in
-    for _ = 1 to reps do
-      let w, e = run_shards k in
-      if w < !wall then begin wall := w; events := e end
-    done;
-    (k, !wall, !events)
+    let (), gc =
+      (* The delta spans all reps of the mode — per-rep allocation is
+         identical, so dividing by [reps] recovers one run. *)
+      with_gc_delta (fun () ->
+          for _ = 1 to reps do
+            let w, e = run_shards k in
+            if w < !wall then begin wall := w; events := e end
+          done)
+    in
+    (k, !wall, !events, gc)
   in
   let rows = List.map best [ 0; 1; 2; 4 ] in
-  let wall_k1 =
-    match List.find_opt (fun (k, _, _) -> k = 1) rows with
-    | Some (_, w, _) -> w
+  let wall_of p =
+    match List.find_opt (fun (k, _, _, _) -> k = p) rows with
+    | Some (_, w, _, _) -> w
     | None -> 0.0
   in
+  let wall_k1 = wall_of 1 and wall_classic = wall_of 0 in
   List.iter
-    (fun (k, wall, events) ->
+    (fun (k, wall, events, _gc) ->
       let name = if k = 0 then "classic" else Printf.sprintf "shards=%d" k in
       let speedup = if k > 0 && wall > 0.0 then wall_k1 /. wall else 0.0 in
       Printf.printf "  %-10s %7.3f s wall  %9.0f events/s%s\n" name wall
@@ -617,19 +852,36 @@ let shard_scaling ~smoke registry =
       set "shard_events_per_second" "engine throughput by shard count"
         (float_of_int events /. wall))
     rows;
+  if wall_classic > 0.0 then
+    Printf.printf "  shards=1 overhead vs classic: %.2fx\n"
+      (wall_k1 /. wall_classic);
+  let mb_n, mb_eps = mailbox_throughput ~smoke in
+  Printf.printf "  mailbox SPSC (2 domains) %9.0f msgs/s  (%d messages)\n"
+    mb_eps mb_n;
+  Telemetry.Metrics.set
+    (Telemetry.Metrics.gauge registry "mailbox_msgs_per_second"
+       ~help:"2-domain SPSC mailbox push/drain throughput"
+       ~labels:[ ("bench", "mailbox-spsc") ])
+    mb_eps;
   let cores = Domain.recommended_domain_count () in
   Printf.printf "  (host offers %d recommended domain(s))\n" cores;
   if not smoke then begin
     let open Telemetry.Export in
     write_file "BENCH_shard.json"
       (Assoc
-         [ ("schema", String "mrdetect-bench-shard-v1");
+         [ ("schema", String "mrdetect-bench-shard-v2");
            ( "method",
              String
                "best wall clock of 3 runs of a 10 s grid8x8 scenario (64 \
                 routers, 32 crossing CBR flows); speedup is against the \
-                sharded K=1 run, which executes the identical event set" );
+                sharded K=1 run, which executes the identical event set; \
+                gc counters are the Gc.quick_stat delta across all 3 runs \
+                of the mode" );
            ("recommended_domain_count", Int cores);
+           ( "mailbox_spsc",
+             Assoc
+               [ ("messages", Int mb_n);
+                 ("msgs_per_second", Float mb_eps) ] );
            ( "note",
              String
                (if cores <= 1 then
@@ -643,7 +895,7 @@ let shard_scaling ~smoke registry =
            ( "modes",
              List
                (List.map
-                  (fun (k, wall, events) ->
+                  (fun (k, wall, events, gc) ->
                     Assoc
                       [ ("shards", Int k);
                         ( "engine",
@@ -653,7 +905,12 @@ let shard_scaling ~smoke registry =
                           Float (float_of_int events /. wall) );
                         ( "speedup_vs_shards1",
                           if k > 0 && wall > 0.0 then Float (wall_k1 /. wall)
-                          else Null ) ])
+                          else Null );
+                        ( "overhead_vs_classic",
+                          if k > 0 && wall_classic > 0.0 then
+                            Float (wall /. wall_classic)
+                          else Null );
+                        ("gc", gc_json gc) ])
                   rows) ) ]);
     print_endline "\nsharded-engine scaling written to BENCH_shard.json"
   end
@@ -677,16 +934,18 @@ let () =
     let eps = simulator_performance ~smoke registry in
     tracing_overhead ~smoke registry;
     fault_overhead ~smoke registry;
+    allocation ~smoke registry;
     shard_scaling ~smoke registry;
     run_benchmarks ~smoke registry;
     hotpath ~smoke ~sim_events_per_second:eps
   end
   else begin
-    let results, serial = reproduction () in
-    parallel_comparison ~serial results;
+    let results, serial, serial_gc = reproduction () in
+    parallel_comparison ~serial ~serial_gc results;
     let eps = simulator_performance ~smoke registry in
     tracing_overhead ~smoke registry;
     fault_overhead ~smoke registry;
+    allocation ~smoke registry;
     shard_scaling ~smoke registry;
     run_benchmarks ~smoke registry;
     hotpath ~smoke ~sim_events_per_second:eps;

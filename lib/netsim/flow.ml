@@ -16,10 +16,7 @@ let generator net ~flow ~src ~dst ~size ~start ~stop ~gap =
   let t = { flow; sent = 0 } in
   let rec tick () =
     if Sim.now sim <= stop then begin
-      let pkt =
-        Packet.make ~sim ~uid:(Net.fresh_uid net ~node:src) ~src ~dst ~flow:t.flow ~size
-          Packet.Udp
-      in
+      let pkt = Net.make_packet net ~src ~dst ~flow:t.flow ~size Packet.Udp in
       t.sent <- t.sent + 1;
       Net.originate net pkt;
       Sim.schedule sim ~delay:(gap ()) tick

@@ -27,6 +27,8 @@ type t = {
   delivery : delivery;
   on_event : t -> event -> unit;
   deliver : prev:int -> Packet.t -> unit;
+  release : Packet.t -> unit;  (* return a dead packet to its pool *)
+  mutable observe : bool;
   mutable busy : bool;
   mutable up : bool;
   mutable corruption : float;
@@ -39,7 +41,17 @@ type t = {
   mutable dropped_packets : int;
 }
 
-let create ~sim ~link ~kind ?(delivery = Direct) ~on_event ~deliver () =
+(* Event tags for the flat heap (registered below, once the handlers'
+   callees exist).  Tagged scheduling replaces the two closures the old
+   hot path boxed per transmission. *)
+let tag_txend = ref 0
+let tag_arrive = ref 0      (* Direct-mode arrival: coin, counters, deliver *)
+let tag_arrive_obs = ref 0  (* Split-mode owner-side arrival observation *)
+
+let no_release (_ : Packet.t) = ()
+
+let create ~sim ~link ~kind ?(delivery = Direct) ?(release = no_release)
+    ~on_event ~deliver () =
   let queue =
     match kind with
     | Droptail limit_bytes -> Fifo (Queue_fifo.create ~limit_bytes ())
@@ -51,13 +63,15 @@ let create ~sim ~link ~kind ?(delivery = Direct) ~on_event ~deliver () =
         in
         Red_q (Red.create ~params ~rng ())
   in
-  { sim; link; queue; delivery; on_event; deliver; busy = false; up = true;
+  { sim; link; queue; delivery; on_event; deliver; release; observe = true;
+    busy = false; up = true;
     corruption = 0.0; tx_packets = 0; tx_bytes = 0; delivered_packets = 0;
     dropped_packets = 0 }
 
 let owner t = t.link.Topology.Graph.src
 let next_hop t = t.link.Topology.Graph.dst
 let link t = t.link
+let set_observe t v = t.observe <- v
 
 let occupancy t =
   match t.queue with Fifo q -> Queue_fifo.occupancy q | Red_q q -> Red.occupancy q
@@ -72,41 +86,34 @@ let red_state t = match t.queue with Red_q q -> Some q | Fifo _ -> None
 let backlog t =
   match t.queue with Fifo q -> Queue_fifo.length q | Red_q q -> Red.length q
 
-let dequeue t =
+let queue_empty t =
   match t.queue with
-  | Fifo q -> Queue_fifo.dequeue q
-  | Red_q q -> Red.dequeue q ~now:(Sim.now t.sim)
+  | Fifo q -> Queue_fifo.is_empty q
+  | Red_q q -> Red.is_empty q
+
+(* pre: not empty *)
+let dequeue_exn t =
+  match t.queue with
+  | Fifo q -> Queue_fifo.dequeue_exn q
+  | Red_q q -> Red.dequeue_exn q ~now:(Sim.now t.sim)
 
 (* Serialize the head packet; at transmission end start the next one; at
    transmission end + propagation delay the packet reaches the
    neighbour. *)
-let rec kick t =
-  if (not t.busy) && t.up then begin
-    match dequeue t with
-    | None -> ()
-    | Some p ->
+let kick t =
+  if (not t.busy) && t.up && not (queue_empty t) then begin
+    let p = dequeue_exn t in
         t.busy <- true;
         t.tx_packets <- t.tx_packets + 1;
         t.tx_bytes <- t.tx_bytes + p.Packet.size;
-        t.on_event t (Transmit_start p);
+        if t.observe then t.on_event t (Transmit_start p);
         let tx = float_of_int p.Packet.size /. t.link.Topology.Graph.bw in
-        Sim.schedule t.sim ~delay:tx (fun () ->
-            t.busy <- false;
-            kick t);
+        Sim.schedule_ev t.sim ~delay:tx ~tag:!tag_txend ~i:0 (Obj.repr t)
+          Sim.nil;
         (match t.delivery with
         | Direct ->
-            Sim.schedule t.sim ~delay:(tx +. t.link.Topology.Graph.delay) (fun () ->
-                if t.corruption > 0.0
-                   && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
-                then begin
-                  t.dropped_packets <- t.dropped_packets + 1;
-                  t.on_event t (Drop_corrupted p)
-                end
-                else begin
-                  t.delivered_packets <- t.delivered_packets + 1;
-                  t.on_event t (Delivered p);
-                  t.deliver ~prev:(owner t) p
-                end)
+            Sim.schedule_ev t.sim ~delay:(tx +. t.link.Topology.Graph.delay)
+              ~tag:!tag_arrive ~i:0 (Obj.repr t) (Obj.repr p)
         | Split { rng; handoff } ->
             (* Sharded mode: the corruption coin is drawn now, from the
                per-interface stream, and the receive step is handed off
@@ -116,22 +123,69 @@ let rec kick t =
                in the future).  The owner-side arrival event keeps the
                counters and the wire observation on this shard; the
                receive itself runs as its own event on the neighbour's
-               shard at the same instant. *)
+               shard at the same instant.  When nothing observes the
+               network the owner-side event is elided entirely —
+               counters are settled here at transmit-start — which is
+               safe for every K at once because observation is a
+               whole-network property. *)
             let at = Sim.now t.sim +. tx +. t.link.Topology.Graph.delay in
             let corrupted =
               t.corruption > 0.0 && Random.State.float rng 1.0 < t.corruption
             in
-            if corrupted then
-              Sim.schedule_at t.sim ~time:at (fun () ->
-                  t.dropped_packets <- t.dropped_packets + 1;
-                  t.on_event t (Drop_corrupted p))
+            if t.observe then begin
+              Sim.schedule_ev_at t.sim ~time:at ~tag:!tag_arrive_obs
+                ~i:(if corrupted then 1 else 0)
+                (Obj.repr t) (Obj.repr p);
+              if not corrupted then
+                handoff ~time:at ~rank:(Sim.fresh_rank t.sim) ~prev:(owner t) p
+            end
+            else if corrupted then begin
+              t.dropped_packets <- t.dropped_packets + 1;
+              t.release p
+            end
             else begin
-              Sim.schedule_at t.sim ~time:at (fun () ->
-                  t.delivered_packets <- t.delivered_packets + 1;
-                  t.on_event t (Delivered p));
+              t.delivered_packets <- t.delivered_packets + 1;
               handoff ~time:at ~rank:(Sim.fresh_rank t.sim) ~prev:(owner t) p
             end)
   end
+
+(* Direct-mode arrival: the coin comes from the simulation stream at the
+   arrival instant, exactly as the classic engine always drew it. *)
+let arrive_direct t p =
+  if t.corruption > 0.0 && Random.State.float (Sim.rng t.sim) 1.0 < t.corruption
+  then begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    if t.observe then t.on_event t (Drop_corrupted p) else t.release p
+  end
+  else begin
+    t.delivered_packets <- t.delivered_packets + 1;
+    if t.observe then t.on_event t (Delivered p);
+    t.deliver ~prev:(owner t) p
+  end
+
+(* Split-mode owner-side arrival (observed runs only): settle counters
+   and report the wire event; the corruption coin was already drawn at
+   transmit-start ([iarg] carries the outcome). *)
+let arrive_obs t p corrupted =
+  if corrupted = 1 then begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    t.on_event t (Drop_corrupted p)
+  end
+  else begin
+    t.delivered_packets <- t.delivered_packets + 1;
+    t.on_event t (Delivered p)
+  end
+
+let () =
+  tag_txend :=
+    Sim.new_tag (fun _ a _ _ ->
+        let t : t = Obj.obj a in
+        t.busy <- false;
+        kick t);
+  tag_arrive :=
+    Sim.new_tag (fun _ a b _ -> arrive_direct (Obj.obj a) (Obj.obj b));
+  tag_arrive_obs :=
+    Sim.new_tag (fun _ a b i -> arrive_obs (Obj.obj a) (Obj.obj b) i)
 
 let is_up t = t.up
 
@@ -146,7 +200,7 @@ let set_up t up =
 let enqueue t p =
   if not t.up then begin
     t.dropped_packets <- t.dropped_packets + 1;
-    t.on_event t (Drop_link_down p)
+    if t.observe then t.on_event t (Drop_link_down p) else t.release p
   end
   else begin
   let verdict =
@@ -156,14 +210,14 @@ let enqueue t p =
   in
   match verdict with
   | `Enqueued ->
-      t.on_event t (Enqueued p);
+      if t.observe then t.on_event t (Enqueued p);
       kick t
   | `Forced_drop ->
       t.dropped_packets <- t.dropped_packets + 1;
-      t.on_event t (Drop_congestion p)
+      if t.observe then t.on_event t (Drop_congestion p) else t.release p
   | `Early_drop ->
       t.dropped_packets <- t.dropped_packets + 1;
-      t.on_event t (Drop_red_early p)
+      if t.observe then t.on_event t (Drop_red_early p) else t.release p
   end
 
 let tx_packets t = t.tx_packets

@@ -46,13 +46,26 @@ val create :
   link:Topology.Graph.link ->
   kind:kind ->
   ?delivery:delivery ->
+  ?release:(Packet.t -> unit) ->
   on_event:(t -> event -> unit) ->
   deliver:(prev:int -> Packet.t -> unit) ->
   unit ->
   t
 (** Build the interface for a directed link.  [deliver] is invoked at the
     packet's arrival instant at [link.dst] with [prev = link.src]
-    (ignored in [Split] mode, where [handoff] replaces it). *)
+    (ignored in [Split] mode, where [handoff] replaces it).  [release]
+    (default: no-op) receives packets this interface kills while the
+    network is unobserved — the pool-recycling hook. *)
+
+val set_observe : t -> bool -> unit
+(** Whether anything consumes this interface's events.  [true] (the
+    default) reports every transition through [on_event] exactly as
+    before; [false] elides event construction — and, in [Split] mode,
+    the owner-side arrival event itself (counters settle at
+    transmit-start) — so the steady-state hot path allocates nothing.
+    Must be fixed before the run starts: flipping it mid-run changes the
+    event structure.  {!Net} manages it from its probe and subscriber
+    state. *)
 
 val owner : t -> int
 (** The router that owns the queue ([link.src]). *)

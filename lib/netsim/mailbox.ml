@@ -20,15 +20,28 @@ type 'a t = {
   slots : 'a option array;
   capacity : int;
   head : int Atomic.t; (* next slot to read; advanced by the consumer *)
+  _pad : int array; (* see [spaced_atomics] *)
   tail : int Atomic.t; (* next slot to write; advanced by the producer *)
   mutable overflow_rev : 'a list; (* producer-side spill, newest first *)
   mutable pushed : int;
   mutable overflowed : int;
 }
 
+(* [head] is written by the consumer domain, [tail] by the producer; if
+   the two atomic blocks share a cache line every push invalidates the
+   consumer's line and vice versa.  Allocating a cache line of padding
+   between them keeps them apart; the spacer is retained in the record
+   so compaction cannot close the gap. *)
+let spaced_atomics () =
+  let head = Atomic.make 0 in
+  let pad = Array.make 8 0 in
+  let tail = Atomic.make 0 in
+  (head, pad, tail)
+
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mailbox.create: capacity must be positive";
-  { slots = Array.make capacity None; capacity; head = Atomic.make 0; tail = Atomic.make 0;
+  let head, _pad, tail = spaced_atomics () in
+  { slots = Array.make capacity None; capacity; head; _pad; tail;
     overflow_rev = []; pushed = 0; overflowed = 0 }
 
 let capacity t = t.capacity
@@ -49,10 +62,9 @@ let push t x =
   end;
   t.pushed <- t.pushed + 1
 
-(* Consumer side only.  The ring portion is safe against a concurrent
-   producer; the overflow portion is only drained when the producer is
-   quiescent (the coordinator calls this at window barriers). *)
-let drain t f =
+(* Consumer side, safe against a concurrent producer: takes only the
+   ring portion, never the spill. *)
+let drain_ring t f =
   let tail = Atomic.get t.tail in
   let head = ref (Atomic.get t.head) in
   while !head < tail do
@@ -64,7 +76,13 @@ let drain t f =
         Atomic.set t.head !head;
         f x
     | None -> assert false)
-  done;
+  done
+
+(* Consumer side only.  The ring portion is safe against a concurrent
+   producer; the overflow portion is only drained when the producer is
+   quiescent (the coordinator calls this at window barriers). *)
+let drain t f =
+  drain_ring t f;
   match t.overflow_rev with
   | [] -> ()
   | spill ->

@@ -26,6 +26,12 @@ val drain : 'a t -> ('a -> unit) -> unit
     concurrently with the producer; the overflow list must only be
     drained while the producer is quiescent. *)
 
+val drain_ring : 'a t -> ('a -> unit) -> unit
+(** Like {!drain} but takes only the ring portion, which is safe
+    against a concurrent producer at any time.  Messages sitting in the
+    overflow spill stay put.  Used by live-drain loops (and the
+    mailbox micro-benchmark) that run while the producer is active. *)
+
 val is_empty : 'a t -> bool
 (** Whether no message is pending.  Only exact while the producer is
     quiescent. *)

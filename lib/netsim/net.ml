@@ -38,9 +38,41 @@ type t = {
      depends on cross-shard event interleaving.  Only the owning
      shard's domain touches a node's counter. *)
   uid_next : int array;
+  (* Whether anything consumes wire observations (probe or data-plane
+     listeners).  Pushed down into every Router/Iface [observe] flag so
+     the unobserved hot path builds no events at all. *)
+  mutable observed : bool;
+  mutable has_apps : bool;
+  (* Packet recycling: one freelist per shard (index 0 for the classic
+     engine); entities release into the pool of the shard that executes
+     them, so pools are never contended.  [pool_on] is the effective
+     switch: pooling requested AND nothing observing packets beyond
+     their network lifetime. *)
+  pooling : bool;
+  pools : Pool.t array;
+  mutable pool_on : bool;
 }
 
 let sim t = match t.engine with Single s -> s | Sharded sh -> Shard.ctrl_sim sh
+
+(* Observation elision and pooling are whole-network properties; both
+   must be settled before the run starts.  Pooling stays inert while
+   observed (events retain packets past their network lifetime) and, in
+   sharded mode, while apps are attached (buffered [Obs_app] records
+   would outlive the router's release of the packet). *)
+let refresh_observe t =
+  let observed =
+    t.probe <> None || t.iface_listeners <> [] || t.router_listeners <> []
+  in
+  t.observed <- observed;
+  t.pool_on <-
+    t.pooling && (not observed)
+    && (match t.engine with Single _ -> true | Sharded _ -> not t.has_apps);
+  Array.iter
+    (fun r ->
+      Router.set_observe r observed;
+      List.iter (fun i -> Iface.set_observe i observed) (Router.ifaces r))
+    t.routers
 
 let data_sim t ~node =
   match t.engine with
@@ -52,26 +84,47 @@ let router t id = t.routers.(id)
 
 let iface t ~src ~dst = Router.iface_to t.routers.(src) dst
 
-let subscribe_iface t f = t.iface_listeners <- f :: t.iface_listeners
-let subscribe_router t f = t.router_listeners <- f :: t.router_listeners
+let subscribe_iface t f =
+  t.iface_listeners <- f :: t.iface_listeners;
+  refresh_observe t
+
+let subscribe_router t f =
+  t.router_listeners <- f :: t.router_listeners;
+  refresh_observe t
+
 let subscribe_link_state t f = t.link_listeners <- f :: t.link_listeners
 
-let set_probe t probe = t.probe <- probe
+let set_probe t probe =
+  t.probe <- probe;
+  refresh_observe t
 let probe t = t.probe
 
-let emit_iface t (ev : iface_event) =
+(* Listener records are only built when a listener exists: the common
+   observed configuration (probe only) pays fields, not boxes. *)
+let emit_iface t ~time ~router ~next kind =
   (match t.probe with
-  | Some p -> Probe.on_iface p ~time:ev.time ~router:ev.router ~next:ev.next ev.kind
+  | Some p -> Probe.on_iface p ~time ~router ~next kind
   | None -> ());
-  List.iter (fun f -> f ev) t.iface_listeners
+  match t.iface_listeners with
+  | [] -> ()
+  | ls ->
+      let ev = { time; router; next; kind } in
+      List.iter (fun f -> f ev) ls
 
-let emit_router t (ev : router_event) =
+let emit_router t ~time ~router kind =
   (match t.probe with
-  | Some p -> Probe.on_router p ~time:ev.time ~router:ev.router ev.kind
+  | Some p -> Probe.on_router p ~time ~router kind
   | None -> ());
-  List.iter (fun f -> f ev) t.router_listeners
+  match t.router_listeners with
+  | [] -> ()
+  | ls ->
+      let ev = { time; router; kind } in
+      List.iter (fun f -> f ev) ls
 
-let attach_app t ~node f = t.apps.(node) := f :: !(t.apps.(node))
+let attach_app t ~node f =
+  t.apps.(node) := f :: !(t.apps.(node));
+  t.has_apps <- true;
+  refresh_observe t
 
 (* Uids in sharded mode: high bits are the minting node, low bits a
    per-node counter.  Disjoint from the control plane's small
@@ -98,20 +151,29 @@ let flow_rng t ~flow =
 let deliver_obs t (r : Shard.obs_rec) =
   match r.obs with
   | Shard.Obs_iface { router; next; kind } ->
-      emit_iface t { time = r.at; router; next; kind }
-  | Shard.Obs_router { router; kind } -> emit_router t { time = r.at; router; kind }
+      emit_iface t ~time:r.at ~router ~next kind
+  | Shard.Obs_router { router; kind } -> emit_router t ~time:r.at ~router kind
   | Shard.Obs_originate pkt -> (
       match t.probe with Some p -> Probe.on_originate p pkt | None -> ())
   | Shard.Obs_app { node; pkt } -> List.iter (fun f -> f pkt) !(t.apps.(node))
 
+(* Cross-shard receive as a registered tag: the handoff descriptor is
+   (dest router, packet, prev) — no closure crosses the mailbox. *)
+let tag_recv = ref 0
+
+let () =
+  tag_recv :=
+    Sim.new_tag (fun _ a b i -> Router.receive_prev (Obj.obj a) ~prev:i (Obj.obj b))
+
 let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shards ?epoch
-    graph =
+    ?(pooling = false) ?(poison = false) graph =
   let n = Topology.Graph.size graph in
   let engine =
     match shards with
     | None | Some 0 -> Single (Sim.create ~seed ())
     | Some k -> Sharded (Shard.create ~seed ?epoch ~graph ~k ())
   in
+  let npools = match engine with Single _ -> 1 | Sharded sh -> Shard.k sh in
   let t =
     { engine; seed; graph;
       routers = [||];
@@ -121,7 +183,19 @@ let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shard
       apps = Array.init n (fun _ -> ref []);
       pins = Hashtbl.create 16;
       probe = None;
-      uid_next = Array.make n 0 }
+      uid_next = Array.make n 0;
+      observed = false;
+      has_apps = false;
+      pooling;
+      pools = Array.init npools (fun _ -> Pool.create ~poison ());
+      pool_on = false }
+  in
+  let pool_ix id =
+    match engine with Single _ -> 0 | Sharded sh -> Shard.owner sh id
+  in
+  let release_into id =
+    let pool = t.pools.(pool_ix id) in
+    fun p -> if t.pool_on then Pool.release pool p
   in
   let node_sim id =
     match engine with
@@ -149,18 +223,21 @@ let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shard
           | Single _ -> None
           | Sharded _ -> Some (fun () -> fresh_uid t ~node:id)
         in
-        Router.create ~sim ~id ~jitter ?fresh_uid
+        let local_apps = t.apps.(id) in
+        Router.create ~sim ~id ~jitter ?fresh_uid ~release:(release_into id)
           ~on_event:(fun r ev ->
             match engine with
             | Sharded sh when Shard.in_window () ->
                 Shard.record sh (Shard.Obs_router { router = Router.id r; kind = ev })
-            | _ ->
-                emit_router t { time = Sim.now sim; router = Router.id r; kind = ev })
+            | _ -> emit_router t ~time:(Sim.now sim) ~router:(Router.id r) ev)
           ~local_deliver:(fun pkt ->
-            match engine with
-            | Sharded sh when Shard.in_window () ->
-                Shard.record sh (Shard.Obs_app { node = id; pkt })
-            | _ -> List.iter (fun f -> f pkt) !(t.apps.(id)))
+            (* Nodes without apps skip the buffered record entirely:
+               the emission would iterate an empty list at the flush. *)
+            if !local_apps <> [] then
+              match engine with
+              | Sharded sh when Shard.in_window () ->
+                  Shard.record sh (Shard.Obs_app { node = id; pkt })
+              | _ -> List.iter (fun f -> f pkt) !local_apps)
           ());
   let kind =
     match queue with Droptail b -> Iface.Droptail b | Red p -> Iface.Red_queue p
@@ -177,16 +254,20 @@ let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shard
                same-shard — the event split is identical either way)
                receive handoff. *)
             let rng = Random.State.make [| seed; l.Topology.Graph.src; dst; 0xc0f1 |] in
+            let rdst = Obj.repr t.routers.(dst) in
+            let dshard = Shard.owner sh dst in
             Some
               (Iface.Split
                  { rng;
                    handoff =
                      (fun ~time ~rank ~prev pkt ->
-                       Shard.post sh ~dest:(Shard.owner sh dst) ~time ~rank (fun () ->
-                           Router.receive t.routers.(dst) ~prev:(Some prev) pkt)) })
+                       Shard.post sh ~dest:dshard ~time ~rank ~tag:!tag_recv
+                         ~i:prev rdst (Obj.repr pkt)) })
       in
+      let rdst = t.routers.(dst) in
       let iface =
         Iface.create ~sim ~link:l ~kind ?delivery
+          ~release:(release_into l.Topology.Graph.src)
           ~on_event:(fun i ev ->
             match engine with
             | Sharded sh when Shard.in_window () ->
@@ -194,15 +275,14 @@ let create ?(seed = 1) ?(queue = Droptail 64000) ?(jitter_bound = 300e-6) ?shard
                   (Shard.Obs_iface
                      { router = Iface.owner i; next = Iface.next_hop i; kind = ev })
             | _ ->
-                emit_iface t
-                  { time = Sim.now sim; router = Iface.owner i; next = Iface.next_hop i;
-                    kind = ev })
-          ~deliver:(fun ~prev pkt ->
-            Router.receive t.routers.(dst) ~prev:(Some prev) pkt)
+                emit_iface t ~time:(Sim.now sim) ~router:(Iface.owner i)
+                  ~next:(Iface.next_hop i) ev)
+          ~deliver:(fun ~prev pkt -> Router.receive_prev rdst ~prev pkt)
           ()
       in
       Router.add_iface t.routers.(l.Topology.Graph.src) iface)
     (Topology.Graph.links graph);
+  refresh_observe t;
   t
 
 let with_pins t r fallback ~prev pkt =
@@ -211,11 +291,18 @@ let with_pins t r fallback ~prev pkt =
   | None -> fallback ~prev pkt
 
 let use_routing t rt =
+  (* The common forwarding plane goes through the int-returning table
+     lookup: no option box per hop, and no pin-key tuple unless a pin
+     actually exists. *)
   Array.iter
     (fun r ->
-      Router.set_forwarding r
-        (with_pins t r (fun ~prev:_ pkt ->
-             Topology.Routing.next_hop rt (Router.id r) ~dst:pkt.Packet.dst)))
+      let id = Router.id r in
+      Router.set_forwarding_id r (fun ~prev:_ pkt ->
+          if Hashtbl.length t.pins > 0 then
+            match Hashtbl.find_opt t.pins (pkt.Packet.flow, id) with
+            | Some next -> next
+            | None -> Topology.Routing.next_hop_id rt id ~dst:pkt.Packet.dst
+          else Topology.Routing.next_hop_id rt id ~dst:pkt.Packet.dst))
     t.routers
 
 let use_policy t pol =
@@ -267,11 +354,50 @@ let restore_link t ~src ~dst = set_link t ~src ~dst true
 let originate t pkt =
   match t.engine with
   | Sharded sh when Shard.in_window () ->
-      Shard.record sh (Shard.Obs_originate pkt);
-      Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+      (* The buffered record only feeds the probe; skip it when no probe
+         can consume it at the flush. *)
+      if t.probe <> None then Shard.record sh (Shard.Obs_originate pkt);
+      Router.receive_prev t.routers.(pkt.Packet.src) ~prev:(-1) pkt
   | _ ->
       (match t.probe with Some p -> Probe.on_originate p pkt | None -> ());
-      Router.receive t.routers.(pkt.Packet.src) ~prev:None pkt
+      Router.receive_prev t.routers.(pkt.Packet.src) ~prev:(-1) pkt
+
+(* Traffic sources mint packets here so recycling is transparent: a
+   freelisted record when the pool is live, a fresh one otherwise. *)
+let make_packet t ~src ~dst ~flow ~size proto =
+  let uid = fresh_uid t ~node:src in
+  let now = Sim.now (data_sim t ~node:src) in
+  if t.pool_on then
+    let ix = match t.engine with Single _ -> 0 | Sharded sh -> Shard.owner sh src in
+    Pool.acquire t.pools.(ix) ~now ~uid ~src ~dst ~flow ~size proto
+  else Packet.make_at ~now ~uid ~src ~dst ~flow ~size proto
+
+(* Control-plane sources (TCP, Ping) mint with uids from the control
+   heap's counter — identity unchanged — but still draw records from the
+   classic engine's pool when recycling is live.  Sharded control
+   packets stay fresh: pooling is inert there whenever apps are
+   attached, and control endpoints always attach one. *)
+let make_ctrl_packet t ~src ~dst ~flow ~size proto =
+  let s = sim t in
+  let uid = Sim.fresh_id s in
+  let now = Sim.now s in
+  match t.engine with
+  | Single _ when t.pool_on ->
+      Pool.acquire t.pools.(0) ~now ~uid ~src ~dst ~flow ~size proto
+  | _ -> Packet.make_at ~now ~uid ~src ~dst ~flow ~size proto
+
+let pooling_active t = t.pool_on
+
+let pool_stats t =
+  Array.fold_left
+    (fun (acc : Pool.stats) p ->
+      let s = Pool.stats p in
+      { Pool.fresh = acc.fresh + s.fresh;
+        recycled = acc.recycled + s.recycled;
+        released = acc.released + s.released;
+        available = acc.available + s.available })
+    { Pool.fresh = 0; recycled = 0; released = 0; available = 0 }
+    t.pools
 
 let run ?until ?on_epoch t =
   match t.engine with

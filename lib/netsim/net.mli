@@ -29,6 +29,8 @@ val create :
   ?jitter_bound:float ->
   ?shards:int ->
   ?epoch:float ->
+  ?pooling:bool ->
+  ?poison:bool ->
   Topology.Graph.t ->
   t
 (** Build the network.  Every router gets one output interface per
@@ -48,7 +50,18 @@ val create :
     engine's control-plane quantum in seconds (default 0.1): detectors,
     TCP endpoints and observation delivery run at epoch barriers.
     Raises [Invalid_argument] for more shards than routers or a
-    zero-latency cross-shard link. *)
+    zero-latency cross-shard link.
+
+    [pooling] (default false) turns on packet recycling: dead packets
+    return to a per-shard freelist ({!Pool}) and {!make_packet} reuses
+    them, so steady-state traffic allocates no packet records.  The
+    pool is automatically inert while the network is observed (probe or
+    data-plane listeners — observations retain packets), and, under the
+    sharded engine, while apps are attached (buffered app deliveries
+    outlive the packet's network lifetime); it never changes simulation
+    output.  [poison] (default false) additionally stamps released
+    packets so stale references read loudly-wrong data and double
+    releases raise — the debug mode the allocation tests use. *)
 
 val sim : t -> Sim.t
 (** The simulation to schedule control-plane work on.  Classic engine:
@@ -128,6 +141,28 @@ val set_link_corruption : t -> src:int -> dst:int -> float -> unit
 val originate : t -> Packet.t -> unit
 (** Hand a locally-generated packet to its source router for
     forwarding. *)
+
+val make_packet :
+  t -> src:int -> dst:int -> flow:int -> size:int -> Packet.proto -> Packet.t
+(** Mint a data packet originated at [src]: a recycled record when
+    pooling is live, a fresh one otherwise — identical content either
+    way (uid from {!fresh_uid}, creation time from [src]'s data-plane
+    clock).  Traffic generators must mint through this so recycling is
+    transparent to them. *)
+
+val make_ctrl_packet :
+  t -> src:int -> dst:int -> flow:int -> size:int -> Packet.proto -> Packet.t
+(** {!make_packet} for control-plane endpoints (TCP, Ping): the uid
+    comes from the control heap's counter exactly as their direct
+    [Packet.make ~sim] calls always drew it, so packet identity is
+    unchanged under every engine. *)
+
+val pooling_active : t -> bool
+(** Whether packet recycling is currently live (requested at {!create}
+    and not suppressed by observation state). *)
+
+val pool_stats : t -> Pool.stats
+(** Freelist counters summed over the per-shard pools. *)
 
 val fresh_uid : t -> node:int -> int
 (** Mint a packet uid for a packet originated at [node]: the

@@ -7,29 +7,51 @@ type proto =
 and tcp_header = { seq : int; ack : int; syn : bool; fin : bool }
 
 type t = {
-  uid : int;
-  src : int;
-  dst : int;
-  flow : int;
-  size : int;
-  proto : proto;
+  mutable uid : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable flow : int;
+  mutable size : int;
+  mutable proto : proto;
   mutable ttl : int;
   mutable payload : int64;
-  created : float;
+  mutable created : float;
   mutable trace : int;
+  mutable q_start : float;
+  mutable tx_start : float;
 }
 
-let make ~sim ?uid ~src ~dst ~flow ~size ?(ttl = 64) proto =
+(* Payloads carry pseudo-random bytes: on the wire nothing
+   distinguishes one application's packet from another's, which
+   stealth probing (§3.8) depends on. *)
+let make_at ~now ~uid ~src ~dst ~flow ~size ?(ttl = 64) proto =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";
-  let uid = match uid with Some uid -> uid | None -> Sim.fresh_id sim in
-  (* Payloads carry pseudo-random bytes: on the wire nothing
-     distinguishes one application's packet from another's, which
-     stealth probing (§3.8) depends on. *)
   { uid; src; dst; flow; size; proto; ttl;
-    payload = Crypto_sim.Fnv.hash_int64 (Int64.of_int uid); created = Sim.now sim;
-    trace = 0 }
+    payload = Crypto_sim.Fnv.hash_int64 (Int64.of_int uid); created = now;
+    trace = 0; q_start = -1.0; tx_start = -1.0 }
+
+let make ~sim ?uid ~src ~dst ~flow ~size ?(ttl = 64) proto =
+  let uid = match uid with Some uid -> uid | None -> Sim.fresh_id sim in
+  make_at ~now:(Sim.now sim) ~uid ~src ~dst ~flow ~size ~ttl proto
 
 let clone t = { t with uid = t.uid }
+
+(* Pool recycling: overwrite every field of a dead packet so the reused
+   record is indistinguishable from a fresh [make]. *)
+let reinit p ~now ~uid ~src ~dst ~flow ~size ?(ttl = 64) proto =
+  if size <= 0 then invalid_arg "Packet.reinit: size must be positive";
+  p.uid <- uid;
+  p.src <- src;
+  p.dst <- dst;
+  p.flow <- flow;
+  p.size <- size;
+  p.proto <- proto;
+  p.ttl <- ttl;
+  p.payload <- Crypto_sim.Fnv.hash_int64 (Int64.of_int uid);
+  p.created <- now;
+  p.trace <- 0;
+  p.q_start <- -1.0;
+  p.tx_start <- -1.0
 
 let proto_words = function
   | Udp -> [ 0L ]

@@ -18,19 +18,28 @@ and tcp_header = {
 }
 
 type t = {
-  uid : int;           (** globally unique id, part of the packet content *)
-  src : int;           (** originating router *)
-  dst : int;           (** destination router *)
-  flow : int;          (** flow identifier *)
-  size : int;          (** total bytes on the wire *)
-  proto : proto;
+  mutable uid : int;   (** globally unique id, part of the packet content *)
+  mutable src : int;   (** originating router *)
+  mutable dst : int;   (** destination router *)
+  mutable flow : int;  (** flow identifier *)
+  mutable size : int;  (** total bytes on the wire *)
+  mutable proto : proto;
   mutable ttl : int;   (** rewritten per hop; excluded from fingerprints *)
   mutable payload : int64;  (** stand-in for payload bytes; a modification
                                 attack overwrites it *)
-  created : float;     (** origination time *)
+  mutable created : float;  (** origination time *)
   mutable trace : int; (** telemetry trace id (0 = unsampled); pure
                            observability metadata, excluded from
                            fingerprints like the TTL *)
+  mutable q_start : float;
+      (** probe scratch: enqueue instant of the pending queue span on
+          the packet's current edge; [-1] = none.  A packet sits in at
+          most one queue at a time, so the field replaces a
+          (uid, router, next)-keyed table on the tracing fast path.
+          Observability metadata, excluded from fingerprints. *)
+  mutable tx_start : float;
+      (** probe scratch: transmit-start instant of the pending transit
+          span; [-1] = none. *)
 }
 
 val make :
@@ -43,6 +52,23 @@ val make :
     uids from per-node streams so they do not depend on event
     interleaving across shards.  Raises [Invalid_argument] for a
     non-positive size. *)
+
+val make_at :
+  now:float ->
+  uid:int -> src:int -> dst:int -> flow:int -> size:int -> ?ttl:int ->
+  proto -> t
+(** {!make} with the origination time and uid given explicitly — the
+    variant the packet {!Pool} uses, with no dependency on a [Sim.t]. *)
+
+val reinit :
+  t ->
+  now:float ->
+  uid:int -> src:int -> dst:int -> flow:int -> size:int -> ?ttl:int ->
+  proto -> unit
+(** Overwrite every field of a dead packet so the record can be reused as
+    if freshly {!make}d — the {!Pool} recycling step.  All identity
+    fields are mutable only for this purpose: live packets must never be
+    reinitialized.  Raises [Invalid_argument] for a non-positive size. *)
 
 val clone : t -> t
 (** An independent copy carrying the same identity (uid, payload, header)

@@ -14,8 +14,8 @@ let start net ~src ~dst ?(interval = 1.0) ?(size = 100) ~start ~stop () =
         match pkt.Packet.proto with
         | Packet.Ping seq ->
             let reply =
-              Packet.make ~sim ~src:dst ~dst:src ~flow:t.flow ~size:pkt.Packet.size
-                (Packet.Pong seq)
+              Net.make_ctrl_packet net ~src:dst ~dst:src ~flow:t.flow
+                ~size:pkt.Packet.size (Packet.Pong seq)
             in
             Net.originate net reply
         | Packet.Pong _ | Packet.Udp | Packet.Tcp _ -> ()
@@ -34,7 +34,7 @@ let start net ~src ~dst ?(interval = 1.0) ?(size = 100) ~start ~stop () =
       end);
   let rec tick seq () =
     if Sim.now sim <= stop then begin
-      let pkt = Packet.make ~sim ~src ~dst ~flow:t.flow ~size (Packet.Ping seq) in
+      let pkt = Net.make_ctrl_packet net ~src ~dst ~flow:t.flow ~size (Packet.Ping seq) in
       t.sent <- t.sent + 1;
       Hashtbl.replace t.sent_at seq (Sim.now sim);
       Net.originate net pkt;

@@ -1,0 +1,68 @@
+(* Packet freelist (per shard): dead packets come back through the
+   entity [release] hooks and are recycled by the flow layer instead of
+   being re-allocated, so a steady-state run touches the minor heap only
+   for boxes the engine cannot avoid (Int64 payload refresh).  Pools are
+   never shared across shards — each shard releases into its own pool —
+   so no synchronization is needed.
+
+   Debug poison mode stamps released packets with a sentinel uid and a
+   zero size; any later read of a recycled packet through a stale
+   reference is then loudly wrong, and a double release is detected at
+   the pool boundary. *)
+
+type t = {
+  mutable free : Packet.t array;
+  mutable n : int;
+  poison : bool;
+  mutable fresh : int;     (* packets allocated because the pool was dry *)
+  mutable recycled : int;  (* acquisitions served from the freelist *)
+  mutable released : int;  (* packets returned *)
+}
+
+type stats = { fresh : int; recycled : int; released : int; available : int }
+
+let none : Packet.t = Obj.magic 0 (* scrub value for vacated slots *)
+
+let poison_uid = -0x0DEAD
+
+let create ?(poison = false) () =
+  { free = [||]; n = 0; poison; fresh = 0; recycled = 0; released = 0 }
+
+let is_poisoned p = p.Packet.uid = poison_uid
+
+let release t p =
+  if t.poison then begin
+    if is_poisoned p then
+      failwith "Pool.release: double release (packet already in the pool)";
+    p.Packet.uid <- poison_uid;
+    p.Packet.size <- 0;
+    p.Packet.ttl <- 0
+  end;
+  let cap = Array.length t.free in
+  if t.n = cap then begin
+    let nfree = Array.make (max 64 (2 * cap)) none in
+    Array.blit t.free 0 nfree 0 t.n;
+    t.free <- nfree
+  end;
+  t.free.(t.n) <- p;
+  t.n <- t.n + 1;
+  t.released <- t.released + 1
+
+let acquire t ~now ~uid ~src ~dst ~flow ~size ?ttl proto =
+  if t.n = 0 then begin
+    t.fresh <- t.fresh + 1;
+    let p = Packet.make_at ~now ~uid ~src ~dst ~flow ~size ?ttl proto in
+    p
+  end
+  else begin
+    t.n <- t.n - 1;
+    let p = t.free.(t.n) in
+    t.free.(t.n) <- none;
+    t.recycled <- t.recycled + 1;
+    Packet.reinit p ~now ~uid ~src ~dst ~flow ~size ?ttl proto;
+    p
+  end
+
+let stats (t : t) =
+  { fresh = t.fresh; recycled = t.recycled; released = t.released;
+    available = t.n }

@@ -1,0 +1,45 @@
+(** Packet freelists for the zero-allocation hot path.
+
+    A pool recycles dead {!Packet.t} records: the engine's [release]
+    hooks return packets the network has killed (delivered, dropped,
+    TTL-expired) and the traffic sources draw replacements from the
+    freelist instead of the minor heap.  Pools are strictly per shard —
+    every entity releases into the pool of the shard that executes it —
+    so they need no synchronization.
+
+    Pooling only runs while the network is unobserved: the moment
+    anything subscribes to wire events, packets outlive their network
+    lifetime inside observations and {!Net} leaves the pool inert. *)
+
+type t
+
+type stats = {
+  fresh : int;     (** packets allocated because the freelist was empty *)
+  recycled : int;  (** acquisitions served by recycling *)
+  released : int;  (** packets returned to the freelist *)
+  available : int; (** current freelist depth *)
+}
+
+val create : ?poison:bool -> unit -> t
+(** Fresh empty pool.  With [poison] (a debug mode), released packets are
+    stamped with a sentinel uid and zero size so stale references read
+    loudly-wrong data, and releasing the same packet twice fails. *)
+
+val acquire :
+  t ->
+  now:float ->
+  uid:int -> src:int -> dst:int -> flow:int -> size:int -> ?ttl:int ->
+  Packet.proto -> Packet.t
+(** A packet with the given content: recycled from the freelist when one
+    is available (via {!Packet.reinit}), freshly allocated otherwise. *)
+
+val release : t -> Packet.t -> unit
+(** Return a dead packet to the freelist.  The caller must hold the only
+    live reference.  In poison mode, raises [Failure] on a double
+    release. *)
+
+val is_poisoned : Packet.t -> bool
+(** Whether a packet currently carries the poison stamp, i.e. reading it
+    is a use-after-release bug (meaningful in poison mode only). *)
+
+val stats : t -> stats

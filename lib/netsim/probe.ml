@@ -62,9 +62,13 @@ type t = {
   (* Span bridge (optional).  Traced packets open per-hop spans keyed by
      (uid, router, next) — multicast clones share a uid but traverse
      distinct (router, next) edges, so the keys stay unique per branch. *)
+  (* Pending per-hop span windows live on the packet itself
+     ([Packet.q_start] / [Packet.tx_start]): a packet occupies at most
+     one (router, next) edge at a time, so the fields replace the
+     (uid, router, next)-keyed tables — and their per-event tuple keys —
+     the fast path used to allocate.  Multicast clones and fragments are
+     fresh records, so branches never share a window. *)
   tracer : Telemetry.Span.t option;
-  pending_queue : (int * int * int, float) Hashtbl.t;
-  pending_tx : (int * int * int, float) Hashtbl.t;
   named_tracks : (int, unit) Hashtbl.t;
 }
 
@@ -122,8 +126,6 @@ let create ?registry ?(journal_capacity = 65536) ?tracer () =
     first_alarm_time = None;
     verdicts_rev = [];
     tracer;
-    pending_queue = Hashtbl.create 256;
-    pending_tx = Hashtbl.create 256;
     named_tracks = Hashtbl.create 16 }
 
 let registry t = t.registry
@@ -183,22 +185,21 @@ let on_originate t (pkt : Packet.t) =
 let trace_iface t sp ~time ~router ~next (ev : Iface.event) =
   let pkt = iface_packet ev in
   let trace = pkt.Packet.trace in
-  let key = (pkt.Packet.uid, router, next) in
   let pid = Telemetry.Span.network_pid in
-  let routers = [ router; next ] in
-  let pkt_args =
+  let pkt_args () =
     [ ("pkt", Telemetry.Export.Int pkt.Packet.uid);
       ("next", Telemetry.Export.Int next) ]
   in
   let drop cause =
     let tid = net_track t sp router in
-    Hashtbl.remove t.pending_queue key;
-    Hashtbl.remove t.pending_tx key;
+    pkt.Packet.q_start <- -1.0;
+    pkt.Packet.tx_start <- -1.0;
     ignore
       (Telemetry.Span.instant sp
          ?trace:(if trace <> 0 then Some trace else None)
-         ~name:("drop " ^ cause) ~cat:"drop" ~pid ~tid ~time ~routers
-         ~args:(("cause", Telemetry.Export.String cause) :: pkt_args)
+         ~name:("drop " ^ cause) ~cat:"drop" ~pid ~tid ~time
+         ~routers:[ router; next ]
+         ~args:(("cause", Telemetry.Export.String cause) :: pkt_args ())
          ())
   in
   match ev with
@@ -209,26 +210,26 @@ let trace_iface t sp ~time ~router ~next (ev : Iface.event) =
   | (Iface.Enqueued _ | Iface.Transmit_start _ | Iface.Delivered _)
     when trace = 0 ->
       ()
-  | Iface.Enqueued _ -> Hashtbl.replace t.pending_queue key time
+  | Iface.Enqueued _ -> pkt.Packet.q_start <- time
   | Iface.Transmit_start _ ->
       let tid = net_track t sp router in
-      (match Hashtbl.find_opt t.pending_queue key with
-      | Some start ->
-          Hashtbl.remove t.pending_queue key;
-          ignore
-            (Telemetry.Span.span sp ~trace ~name:"queue" ~cat:"hop" ~pid ~tid
-               ~start ~finish:time ~routers ~args:pkt_args ())
-      | None -> ());
-      Hashtbl.replace t.pending_tx key time
-  | Iface.Delivered _ -> (
+      let start = pkt.Packet.q_start in
+      if start >= 0.0 then begin
+        pkt.Packet.q_start <- -1.0;
+        ignore
+          (Telemetry.Span.hop_span sp ~trace ~name:"queue" ~pid ~tid ~start
+             ~finish:time ~router ~next ~pkt:pkt.Packet.uid)
+      end;
+      pkt.Packet.tx_start <- time
+  | Iface.Delivered _ ->
       let tid = net_track t sp router in
-      match Hashtbl.find_opt t.pending_tx key with
-      | Some start ->
-          Hashtbl.remove t.pending_tx key;
-          ignore
-            (Telemetry.Span.span sp ~trace ~name:"transmit" ~cat:"hop" ~pid ~tid
-               ~start ~finish:time ~routers ~args:pkt_args ())
-      | None -> ())
+      let start = pkt.Packet.tx_start in
+      if start >= 0.0 then begin
+        pkt.Packet.tx_start <- -1.0;
+        ignore
+          (Telemetry.Span.hop_span sp ~trace ~name:"transmit" ~pid ~tid ~start
+             ~finish:time ~router ~next ~pkt:pkt.Packet.uid)
+      end
 
 let on_iface t ~time ~router ~next (ev : Iface.event) =
   (match ev with

@@ -1,25 +1,26 @@
-type t = { q : Packet.t Queue.t; limit : int; mutable bytes : int }
+type t = { q : Pktring.t; limit : int; mutable bytes : int }
 
 let create ?(limit_bytes = 64000) () =
   if limit_bytes <= 0 then invalid_arg "Queue_fifo.create: limit must be positive";
-  { q = Queue.create (); limit = limit_bytes; bytes = 0 }
+  { q = Pktring.create (); limit = limit_bytes; bytes = 0 }
 
 let limit t = t.limit
 let occupancy t = t.bytes
-let length t = Queue.length t.q
-let is_empty t = Queue.is_empty t.q
+let length t = Pktring.length t.q
+let is_empty t = Pktring.is_empty t.q
 
 let try_enqueue t p =
   if t.bytes + p.Packet.size > t.limit then false
   else begin
-    Queue.push p t.q;
+    Pktring.push t.q p;
     t.bytes <- t.bytes + p.Packet.size;
     true
   end
 
-let dequeue t =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some p ->
-      t.bytes <- t.bytes - p.Packet.size;
-      Some p
+(* pre: not empty *)
+let dequeue_exn t =
+  let p = Pktring.pop_exn t.q in
+  t.bytes <- t.bytes - p.Packet.size;
+  p
+
+let dequeue t = if is_empty t then None else Some (dequeue_exn t)

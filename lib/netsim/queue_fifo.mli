@@ -24,3 +24,6 @@ val try_enqueue : t -> Packet.t -> bool
 
 val dequeue : t -> Packet.t option
 (** Remove the head packet. *)
+
+val dequeue_exn : t -> Packet.t
+(** {!dequeue} without the option box; the queue must not be empty. *)

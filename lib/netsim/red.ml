@@ -14,12 +14,15 @@ let default_params =
 
 type t = {
   p : params;
-  q : Packet.t Queue.t;
+  q : Pktring.t;
   rng : Random.State.t;
   mutable bytes : int;
   mutable avg : float;
   mutable count : int;      (* packets since last drop; -1 = below min_th *)
-  mutable idle_since : float option;
+  (* idle tracking as two plain fields instead of a [float option]: the
+     hot path must not box a float per idle transition *)
+  mutable idle : bool;
+  mutable idle_since : float;
 }
 
 let validate p =
@@ -31,15 +34,15 @@ let validate p =
 
 let create ?(params = default_params) ~rng () =
   validate params;
-  { p = params; q = Queue.create (); rng; bytes = 0; avg = 0.0; count = -1;
-    idle_since = Some 0.0 }
+  { p = params; q = Pktring.create (); rng; bytes = 0; avg = 0.0; count = -1;
+    idle = true; idle_since = 0.0 }
 
 let params t = t.p
 let occupancy t = t.bytes
 let avg t = t.avg
 let count_since_drop t = t.count
-let is_empty t = Queue.is_empty t.q
-let length t = Queue.length t.q
+let is_empty t = Pktring.is_empty t.q
+let length t = Pktring.length t.q
 
 let decay_avg p ~avg ~idle ~link_bw =
   (* The queue was empty for [idle] seconds: pretend m small packets
@@ -75,11 +78,10 @@ type verdict = [ `Enqueued | `Early_drop | `Forced_drop ]
 
 let enqueue t ~now ~link_bw pkt =
   (* EWMA update, including idle decay if the queue was empty. *)
-  (match t.idle_since with
-  | Some since when Queue.is_empty t.q ->
-      t.avg <- decay_avg t.p ~avg:t.avg ~idle:(now -. since) ~link_bw;
-      t.idle_since <- None
-  | _ -> ());
+  if t.idle && Pktring.is_empty t.q then begin
+    t.avg <- decay_avg t.p ~avg:t.avg ~idle:(now -. t.idle_since) ~link_bw;
+    t.idle <- false
+  end;
   t.avg <- update_avg t.p ~avg:t.avg ~occupancy:t.bytes;
   let decide () =
     let pb = base_probability t.p ~avg:t.avg in
@@ -109,15 +111,20 @@ let enqueue t ~now ~link_bw pkt =
         `Forced_drop
       end
       else begin
-        Queue.push pkt t.q;
+        Pktring.push t.q pkt;
         t.bytes <- t.bytes + pkt.Packet.size;
         `Enqueued
       end
 
+(* pre: not empty *)
+let dequeue_exn t ~now =
+  let p = Pktring.pop_exn t.q in
+  t.bytes <- t.bytes - p.Packet.size;
+  if Pktring.is_empty t.q then begin
+    t.idle <- true;
+    t.idle_since <- now
+  end;
+  p
+
 let dequeue t ~now =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some p ->
-      t.bytes <- t.bytes - p.Packet.size;
-      if Queue.is_empty t.q then t.idle_since <- Some now;
-      Some p
+  if Pktring.is_empty t.q then None else Some (dequeue_exn t ~now)

@@ -50,6 +50,9 @@ val enqueue : t -> now:float -> link_bw:float -> Packet.t -> verdict
 val dequeue : t -> now:float -> Packet.t option
 (** Remove the head packet, recording the idle start if emptied. *)
 
+val dequeue_exn : t -> now:float -> Packet.t
+(** {!dequeue} without the option box; the queue must not be empty. *)
+
 (* Pure replay functions for the validator: *)
 
 val decay_avg : params -> avg:float -> idle:float -> link_bw:float -> float

@@ -34,8 +34,13 @@ type t = {
   fresh_uid : unit -> int;
   on_event : t -> event -> unit;
   local_deliver : Packet.t -> unit;
+  release : Packet.t -> unit;  (* return a dead packet to its pool *)
   out : (int, Iface.t) Hashtbl.t;
-  mutable forwarding : prev:int option -> Packet.t -> int option;
+  mutable observe : bool;
+  (* prev is the previous-hop router id, -1 for locally originated: the
+     int encoding keeps the per-hop path free of option boxes.  The
+     public {!set_forwarding}/[behavior] surface keeps the option view. *)
+  mutable forwarding : prev:int -> Packet.t -> int;
   mutable behavior : behavior;
   mutable mtu : int option;
   mcast : (int, int list * bool) Hashtbl.t; (* group -> (branches, local) *)
@@ -46,16 +51,21 @@ type t = {
   mutable delivered_packets : int;
 }
 
-let create ~sim ~id ~jitter ?fresh_uid ~on_event ~local_deliver () =
+let no_release (_ : Packet.t) = ()
+
+let create ~sim ~id ~jitter ?fresh_uid ?(release = no_release) ~on_event
+    ~local_deliver () =
   let fresh_uid =
     match fresh_uid with Some f -> f | None -> fun () -> Sim.fresh_id sim
   in
-  { sim; id; jitter; fresh_uid; on_event; local_deliver; out = Hashtbl.create 4;
-    forwarding = (fun ~prev:_ _ -> None); behavior = honest; mtu = None;
+  { sim; id; jitter; fresh_uid; on_event; local_deliver; release;
+    out = Hashtbl.create 4; observe = true;
+    forwarding = (fun ~prev:_ _ -> -1); behavior = honest; mtu = None;
     mcast = Hashtbl.create 2;
     received_packets = 0; forwarded_packets = 0; delivered_packets = 0 }
 
 let id t = t.id
+let set_observe t v = t.observe <- v
 
 let add_iface t iface =
   if Iface.owner iface <> t.id then invalid_arg "Router.add_iface: foreign interface";
@@ -64,7 +74,14 @@ let add_iface t iface =
 let iface_to t next = Hashtbl.find_opt t.out next
 let ifaces t = Hashtbl.fold (fun _ i acc -> i :: acc) t.out []
 
-let set_forwarding t f = t.forwarding <- f
+let set_forwarding_id t f = t.forwarding <- f
+
+let set_forwarding t f =
+  t.forwarding <-
+    (fun ~prev pkt ->
+      let prev = if prev < 0 then None else Some prev in
+      match f ~prev pkt with Some next -> next | None -> -1)
+
 let set_behavior t b = t.behavior <- b
 let add_multicast_route t ~group ~next_hops ~local =
   List.iter
@@ -80,108 +97,150 @@ let set_mtu t m =
   | _ -> ());
   t.mtu <- m
 
+(* Post-jitter enqueue as a tagged event: the common forwarding step
+   schedules nothing but (iface, packet) into the flat heap. *)
+let tag_enqueue = ref 0
+
+let () =
+  tag_enqueue :=
+    Sim.new_tag (fun _ a b _ -> Iface.enqueue (Obj.obj a) (Obj.obj b))
+
 let enqueue_after_jitter t iface pkt =
   let j = t.jitter () in
   if j <= 0.0 then Iface.enqueue iface pkt
-  else Sim.schedule t.sim ~delay:j (fun () -> Iface.enqueue iface pkt)
+  else
+    Sim.schedule_ev t.sim ~delay:j ~tag:!tag_enqueue ~i:0 (Obj.repr iface)
+      (Obj.repr pkt)
 
 (* §7.4.4: splitting produces fresh packets whose fingerprints no
    upstream router ever announced. *)
+let fragment t ~next iface pkt mtu =
+  let pieces = (pkt.Packet.size + mtu - 1) / mtu in
+  if t.observe then
+    t.on_event t (Fragmented { next; original = pkt; fragments = pieces });
+  let remaining = ref pkt.Packet.size in
+  for _ = 1 to pieces do
+    let size = min mtu !remaining in
+    remaining := !remaining - size;
+    let frag =
+      Packet.make ~sim:t.sim ~uid:(t.fresh_uid ()) ~src:pkt.Packet.src
+        ~dst:pkt.Packet.dst ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl
+        pkt.Packet.proto
+    in
+    (* Fragments stay on the original packet's trace: causally the
+       same injection, even though their uids are fresh. *)
+    frag.Packet.trace <- pkt.Packet.trace;
+    enqueue_after_jitter t iface frag
+  done;
+  t.release pkt
+
 let fragment_if_needed t ~next iface pkt =
   match t.mtu with
-  | Some mtu when pkt.Packet.size > mtu ->
-      let pieces = (pkt.Packet.size + mtu - 1) / mtu in
-      t.on_event t (Fragmented { next; original = pkt; fragments = pieces });
-      let remaining = ref pkt.Packet.size in
-      for _ = 1 to pieces do
-        let size = min mtu !remaining in
-        remaining := !remaining - size;
-        let frag =
-          Packet.make ~sim:t.sim ~uid:(t.fresh_uid ()) ~src:pkt.Packet.src
-            ~dst:pkt.Packet.dst ~flow:pkt.Packet.flow ~size ~ttl:pkt.Packet.ttl
-            pkt.Packet.proto
-        in
-        (* Fragments stay on the original packet's trace: causally the
-           same injection, even though their uids are fresh. *)
-        frag.Packet.trace <- pkt.Packet.trace;
-        enqueue_after_jitter t iface frag
-      done
+  | Some mtu when pkt.Packet.size > mtu -> fragment t ~next iface pkt mtu
   | Some _ | None -> enqueue_after_jitter t iface pkt
 
 let forward_one t ~prev ~next pkt =
-  match iface_to t next with
-  | None -> t.on_event t (No_route pkt)
-  | Some iface ->
-      let ctx =
-        { now = Sim.now t.sim; prev; next_hop = next;
-          queue_occupancy = Iface.occupancy iface;
-          queue_limit = Iface.queue_limit iface;
-          red_avg = Option.map Red.avg (Iface.red_state iface) }
-      in
-      (match t.behavior ctx pkt with
-      | Forward ->
-          t.forwarded_packets <- t.forwarded_packets + 1;
-          fragment_if_needed t ~next iface pkt
-      | Drop -> t.on_event t (Malicious_drop { next; pkt })
-      | Modify payload ->
-          let old_payload = pkt.Packet.payload in
-          pkt.Packet.payload <- payload;
-          t.on_event t (Malicious_modify { next; pkt; old_payload });
-          fragment_if_needed t ~next iface pkt
-      | Delay d ->
-          t.on_event t (Malicious_delay { next; pkt; delay = d });
-          Sim.schedule t.sim ~delay:d (fun () -> fragment_if_needed t ~next iface pkt))
+  match Hashtbl.find t.out next with
+  | exception Not_found ->
+      if t.observe then t.on_event t (No_route pkt) else t.release pkt
+  | iface ->
+      (* Honest routers — the overwhelmingly common case — skip the
+         behavior context entirely: it exists to show a compromised
+         forwarding plane its state, and building it costs boxes. *)
+      if t.behavior == honest then begin
+        t.forwarded_packets <- t.forwarded_packets + 1;
+        fragment_if_needed t ~next iface pkt
+      end
+      else begin
+        let ctx =
+          { now = Sim.now t.sim;
+            prev = (if prev < 0 then None else Some prev);
+            next_hop = next;
+            queue_occupancy = Iface.occupancy iface;
+            queue_limit = Iface.queue_limit iface;
+            red_avg = Option.map Red.avg (Iface.red_state iface) }
+        in
+        match t.behavior ctx pkt with
+        | Forward ->
+            t.forwarded_packets <- t.forwarded_packets + 1;
+            fragment_if_needed t ~next iface pkt
+        | Drop ->
+            if t.observe then t.on_event t (Malicious_drop { next; pkt })
+            else t.release pkt
+        | Modify payload ->
+            let old_payload = pkt.Packet.payload in
+            pkt.Packet.payload <- payload;
+            if t.observe then
+              t.on_event t (Malicious_modify { next; pkt; old_payload });
+            fragment_if_needed t ~next iface pkt
+        | Delay d ->
+            if t.observe then
+              t.on_event t (Malicious_delay { next; pkt; delay = d });
+            Sim.schedule t.sim ~delay:d (fun () ->
+                fragment_if_needed t ~next iface pkt)
+      end
 
-let receive t ~prev pkt =
+let receive_prev t ~prev pkt =
   t.received_packets <- t.received_packets + 1;
   match Hashtbl.find_opt t.mcast pkt.Packet.dst with
   | Some (branches, local) ->
       (* Multicast: duplicate per branch (same identity, §7.4.3);
          deliver locally if this router is a leaf. *)
       let expired =
-        match prev with
-        | None -> false
-        | Some _ ->
-            pkt.Packet.ttl <- pkt.Packet.ttl - 1;
-            pkt.Packet.ttl <= 0
+        prev >= 0
+        && begin
+             pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+             pkt.Packet.ttl <= 0
+           end
       in
-      if expired then t.on_event t (Ttl_expired pkt)
+      if expired then begin
+        if t.observe then t.on_event t (Ttl_expired pkt) else t.release pkt
+      end
       else begin
         if local then begin
           t.delivered_packets <- t.delivered_packets + 1;
-          t.on_event t (Delivered_local pkt);
+          if t.observe then t.on_event t (Delivered_local pkt);
           t.local_deliver pkt
         end;
-        List.iter (fun next -> forward_one t ~prev ~next (Packet.clone pkt)) branches
+        List.iter (fun next -> forward_one t ~prev ~next (Packet.clone pkt)) branches;
+        t.release pkt
       end
   | None ->
   if pkt.Packet.dst = t.id then begin
     t.delivered_packets <- t.delivered_packets + 1;
-    t.on_event t (Delivered_local pkt);
-    t.local_deliver pkt
+    if t.observe then t.on_event t (Delivered_local pkt);
+    t.local_deliver pkt;
+    t.release pkt
   end
   else begin
     (* TTL is only spent on transit hops. *)
     let expired =
-      match prev with
-      | None -> false
-      | Some _ ->
-          pkt.Packet.ttl <- pkt.Packet.ttl - 1;
-          pkt.Packet.ttl <= 0
+      prev >= 0
+      && begin
+           pkt.Packet.ttl <- pkt.Packet.ttl - 1;
+           pkt.Packet.ttl <= 0
+         end
     in
-    if expired then t.on_event t (Ttl_expired pkt)
+    if expired then begin
+      if t.observe then t.on_event t (Ttl_expired pkt) else t.release pkt
+    end
     else begin
-      match t.forwarding ~prev pkt with
-      | None -> t.on_event t (No_route pkt)
-      | Some next -> forward_one t ~prev ~next pkt
+      let next = t.forwarding ~prev pkt in
+      if next < 0 then begin
+        if t.observe then t.on_event t (No_route pkt) else t.release pkt
+      end
+      else forward_one t ~prev ~next pkt
     end
   end
+
+let receive t ~prev pkt =
+  receive_prev t ~prev:(match prev with None -> -1 | Some p -> p) pkt
 
 let fabricate t ~next pkt =
   match iface_to t next with
   | None -> invalid_arg "Router.fabricate: no interface to that neighbour"
   | Some iface ->
-      t.on_event t (Fabricated { next; pkt });
+      if t.observe then t.on_event t (Fabricated { next; pkt });
       Iface.enqueue iface pkt
 
 let received_packets t = t.received_packets

@@ -44,6 +44,7 @@ val create :
   id:int ->
   jitter:(unit -> float) ->
   ?fresh_uid:(unit -> int) ->
+  ?release:(Packet.t -> unit) ->
   on_event:(t -> event -> unit) ->
   local_deliver:(Packet.t -> unit) ->
   unit ->
@@ -53,7 +54,9 @@ val create :
     overrides the uid source for packets the router itself mints
     (fragments); the sharded engine supplies a per-node stream so uids
     are independent of cross-shard interleaving.  Defaults to the
-    simulation-global counter. *)
+    simulation-global counter.  [release] (default: no-op) receives
+    packets that die at this router while the network is unobserved —
+    the pool-recycling hook. *)
 
 val id : t -> int
 
@@ -66,6 +69,17 @@ val ifaces : t -> Iface.t list
 
 val set_forwarding : t -> (prev:int option -> Packet.t -> int option) -> unit
 (** Install the forwarding decision (link-state or policy routing). *)
+
+val set_forwarding_id : t -> (prev:int -> Packet.t -> int) -> unit
+(** The allocation-free variant: previous hop and next hop are plain
+    router ids with [-1] meaning "none" — what the per-packet path
+    actually runs.  {!set_forwarding} is a wrapper over this. *)
+
+val set_observe : t -> bool -> unit
+(** Whether anything consumes this router's events.  [false] elides
+    event construction on the hot path and hands terminal packets
+    (local delivery, TTL expiry, no-route, malicious drop) to the
+    [release] hook.  Fixed before the run; {!Net} manages it. *)
 
 val set_behavior : t -> behavior -> unit
 (** Compromise (or restore) the router. *)
@@ -89,6 +103,10 @@ val set_mtu : t -> int option -> unit
 val receive : t -> prev:int option -> Packet.t -> unit
 (** Packet arrival: local delivery or forwarding through the behavior
     hook.  [prev = None] means the packet originates at this router. *)
+
+val receive_prev : t -> prev:int -> Packet.t -> unit
+(** {!receive} with the int encoding ([-1] = originated here): the
+    engine-internal arrival path, free of option boxes. *)
 
 val fabricate : t -> next:int -> Packet.t -> unit
 (** Inject a packet the router made up straight into an output queue

@@ -35,10 +35,24 @@ type obs =
 
 type obs_rec = { at : float; rank : int; ix : int; obs : obs }
 
-type msg = { time : float; rank : int; dest : int; run : unit -> unit }
+(* A cross-shard handoff travels as a flat tagged-event descriptor, not
+   a closure: the receive step is a registered {!Sim} tag plus two
+   payload words, so posting allocates one message record and nothing
+   else. *)
+type msg = {
+  time : float;
+  rank : int;
+  dest : int;
+  tag : int;
+  i : int;
+  a : Obj.t;
+  b : Obj.t;
+}
 
 (* Minimal growable buffer (no Dynarray on this compiler).  [clear]
-   drops the backing array so cleared records are collectable. *)
+   keeps the backing array — the per-epoch observation buffers reach a
+   steady-state capacity once and are reused for the rest of the run —
+   but scrubs the vacated slots so cleared records stay collectable. *)
 module Buf = struct
   type 'a t = { mutable arr : 'a array; mutable len : int }
 
@@ -58,7 +72,7 @@ module Buf = struct
   let length t = t.len
 
   let clear t =
-    t.arr <- [||];
+    if t.len > 0 then Array.fill t.arr 0 t.len (Obj.magic 0);
     t.len <- 0
 end
 
@@ -184,19 +198,20 @@ let record t obs =
   Buf.push t.obs_bufs.(s)
     { at = Sim.now sim; rank = Sim.current_rank (); ix = Sim.next_obs_ix (); obs }
 
-let post t ~dest ~time ~rank run =
+let post t ~dest ~time ~rank ~tag ~i a b =
   let s = current () in
   if s = dest || s < 0 then
     (* Same shard, or coordinator context at a barrier: the destination
        heap is not being mutated by anyone else — schedule directly. *)
-    Sim.schedule_ranked t.sims.(dest) ~time ~rank run
-  else Mailbox.push t.outbox.(s) { time; rank; dest; run }
+    Sim.schedule_ev_ranked t.sims.(dest) ~time ~rank ~tag ~i a b
+  else Mailbox.push t.outbox.(s) { time; rank; dest; tag; i; a; b }
 
 let drain_mailboxes t =
   Array.iter
     (fun box ->
       Mailbox.drain box (fun m ->
-          Sim.schedule_ranked t.sims.(m.dest) ~time:m.time ~rank:m.rank m.run))
+          Sim.schedule_ev_ranked t.sims.(m.dest) ~time:m.time ~rank:m.rank
+            ~tag:m.tag ~i:m.i m.a m.b))
     t.outbox
 
 let data_min t =

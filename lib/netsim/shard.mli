@@ -93,12 +93,16 @@ val record : t -> obs -> unit
     simulation time, executing event's rank and emission index.  Must
     only be called when {!in_window}. *)
 
-val post : t -> dest:int -> time:float -> rank:int -> (unit -> unit) -> unit
-(** Schedule an event onto shard [dest]'s heap: directly when the caller
-    is [dest] itself or the coordinator at a barrier, through the
-    calling shard's mailbox otherwise.  [time]/[rank] were computed by
-    the sender (at transmit-start), so the destination key is identical
-    for every K. *)
+val post :
+  t ->
+  dest:int -> time:float -> rank:int -> tag:int -> i:int ->
+  Obj.t -> Obj.t -> unit
+(** Schedule a tagged event ({!Sim.new_tag}) onto shard [dest]'s heap:
+    directly when the caller is [dest] itself or the coordinator at a
+    barrier, through the calling shard's mailbox otherwise.  The flat
+    descriptor replaces the closure the handoff used to box:
+    [time]/[rank] were computed by the sender (at transmit-start), so
+    the destination key is identical for every K. *)
 
 val run :
   ?until:float -> ?on_epoch:(now:float -> unit) -> t -> emit:(obs_rec -> unit) -> unit

@@ -6,7 +6,7 @@
    cannot be used.  Instead each event gets a rank derived purely from
    its *causal* position — rank = mix (parent rank, i) for the i-th
    event scheduled while executing the parent, and mix (0, i) for the
-   i-th root event scheduled outside any event (setup code).  The mix is
+   i-th event scheduled outside any event (setup code).  The mix is
    a splitmix64-style finalizer truncated to a non-negative OCaml int
    (62 bits), so ranks are effectively collision-free and, crucially,
    K-invariant: the causal tree of events does not depend on how routers
@@ -70,9 +70,12 @@ module Det = struct
   let leave () = (ctx ()).active <- false
 end
 
+module Ev = Prioq.Event
+
 type t = {
-  mutable clock : float;
-  events : (unit -> unit) Prioq.t;
+  clock : Ev.fbox;       (* flat box: advancing the clock never allocates *)
+  events : Ev.t;
+  cursor : Ev.cursor;    (* reused by every pop of this heap *)
   rng : Random.State.t;
   mutable processed : int;
   mutable next_id : int;
@@ -80,31 +83,72 @@ type t = {
   det : bool;
 }
 
+(* Tag-handler registry: event kinds the engine schedules without boxing
+   a closure.  Handlers are installed at module-initialization time
+   (single-threaded), the table is read-only afterwards, so shard
+   domains dispatch through it without synchronization.  Tag 0 is the
+   legacy closure event: payload A is the thunk itself. *)
+let handlers : (t -> Obj.t -> Obj.t -> int -> unit) array ref =
+  ref (Array.make 8 (fun _ _ _ _ -> ()))
+
+let handler_count = ref 1
+
+let new_tag f =
+  let tag = !handler_count in
+  if tag > 0xff then invalid_arg "Sim.new_tag: tag space exhausted";
+  if tag >= Array.length !handlers then begin
+    let bigger = Array.make (2 * Array.length !handlers) (fun _ _ _ _ -> ()) in
+    Array.blit !handlers 0 bigger 0 (Array.length !handlers);
+    handlers := bigger
+  end;
+  !handlers.(tag) <- f;
+  handler_count := tag + 1;
+  tag
+
+let nil = Ev.nil
+
 let create ?(seed = 1) ?(det = false) () =
-  { clock = 0.0; events = Prioq.create (); rng = Random.State.make [| seed; 0x51a7 |];
+  { clock = { Ev.f = 0.0 }; events = Ev.create (); cursor = Ev.cursor ();
+    rng = Random.State.make [| seed; 0x51a7 |];
     processed = 0; next_id = 0; run_cpu = 0.0; det }
 
-let now t = t.clock
+let now t = t.clock.Ev.f
 let rng t = t.rng
 
-let schedule_at t ~time thunk =
-  if time < t.clock -. 1e-12 then
+(* --- scheduling ----------------------------------------------------- *)
+
+let past_check t time what =
+  if time < t.clock.Ev.f -. 1e-12 then
     invalid_arg
-      (Printf.sprintf "Sim.schedule_at: time %.9f is in the past (now %.9f)" time t.clock);
-  let priority = Float.max time t.clock in
-  if t.det then Prioq.push_ranked t.events ~priority ~rank:(Det.fresh_rank ()) thunk
-  else Prioq.push t.events ~priority thunk
+      (Printf.sprintf "%s: time %.9f is in the past (now %.9f)" what time
+         t.clock.Ev.f)
+
+let schedule_ev_at t ~time ~tag ~i a b =
+  past_check t time "Sim.schedule_at";
+  let time = Float.max time t.clock.Ev.f in
+  if t.det then
+    Ev.push_ranked t.events ~time ~rank:(Det.fresh_rank ()) ~tag ~iarg:i a b
+  else Ev.push t.events ~time ~tag ~iarg:i a b
+
+let schedule_ev t ~delay ~tag ~i a b =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_ev_at t ~time:(t.clock.Ev.f +. delay) ~tag ~i a b
+
+let schedule_ev_ranked t ~time ~rank ~tag ~i a b =
+  past_check t time "Sim.schedule_ranked";
+  Ev.push_ranked t.events ~time:(Float.max time t.clock.Ev.f) ~rank ~tag
+    ~iarg:i a b
+
+let schedule_at t ~time thunk =
+  schedule_ev_at t ~time ~tag:0 ~i:0 (Obj.repr thunk) nil
 
 let schedule t ~delay thunk =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) thunk
+  schedule_ev_at t ~time:(t.clock.Ev.f +. delay) ~tag:0 ~i:0 (Obj.repr thunk)
+    nil
 
 let schedule_ranked t ~time ~rank thunk =
-  if time < t.clock -. 1e-12 then
-    invalid_arg
-      (Printf.sprintf "Sim.schedule_ranked: time %.9f is in the past (now %.9f)" time
-         t.clock);
-  Prioq.push_ranked t.events ~priority:(Float.max time t.clock) ~rank thunk
+  schedule_ev_ranked t ~time ~rank ~tag:0 ~i:0 (Obj.repr thunk) nil
 
 let fresh_rank _t = Det.fresh_rank ()
 let reset_det_context () = Det.reset ()
@@ -116,51 +160,62 @@ let next_obs_ix () =
   c.obs_ix <- i + 1;
   i
 
-let exec t time rank thunk =
-  t.clock <- time;
+(* --- the dispatch loop ---------------------------------------------- *)
+
+let dispatch t (c : Ev.cursor) =
+  let tag = c.Ev.tag in
+  let a = c.Ev.pa and b = c.Ev.pb in
+  (* Drop the cursor's references before running the event: the handler
+     may run arbitrarily long and the payloads must not out-live it. *)
+  c.Ev.pa <- nil;
+  c.Ev.pb <- nil;
+  if tag = 0 then (Obj.obj a : unit -> unit) ()
+  else (Array.unsafe_get !handlers tag) t a b c.Ev.iarg
+
+let exec t (c : Ev.cursor) =
+  t.clock.Ev.f <- c.Ev.time.Ev.f;
   t.processed <- t.processed + 1;
   if t.det then begin
-    Det.enter rank;
-    Fun.protect ~finally:Det.leave thunk
+    Det.enter c.Ev.key_out;
+    match dispatch t c with
+    | () -> Det.leave ()
+    | exception e ->
+        Det.leave ();
+        raise e
   end
-  else thunk ()
+  else dispatch t c
 
 let run ?until t =
   let cpu0 = Sys.time () in
-  (* Single heap traversal per event: pop_ranked replaces the former
-     peek-then-pop pair. *)
   let limit = match until with None -> Float.infinity | Some u -> u in
-  let continue = ref true in
-  while !continue do
-    match Prioq.pop_ranked t.events ~until:limit ~strict:false with
-    | None -> continue := false
-    | Some (time, rank, thunk) -> exec t time rank thunk
+  let c = t.cursor in
+  while Ev.pop t.events ~until:limit ~strict:false c do
+    exec t c
   done;
   t.run_cpu <- t.run_cpu +. (Sys.time () -. cpu0);
-  match until with Some u when u > t.clock -> t.clock <- u | _ -> ()
+  match until with
+  | Some u when u > t.clock.Ev.f -> t.clock.Ev.f <- u
+  | _ -> ()
 
 let run_window t ~until ~inclusive =
   let cpu0 = Sys.time () in
-  let continue = ref true in
-  while !continue do
-    match Prioq.pop_ranked t.events ~until ~strict:(not inclusive) with
-    | None -> continue := false
-    | Some (time, rank, thunk) -> exec t time rank thunk
+  let c = t.cursor in
+  while Ev.pop t.events ~until ~strict:(not inclusive) c do
+    exec t c
   done;
   t.run_cpu <- t.run_cpu +. (Sys.time () -. cpu0);
-  if until > t.clock then t.clock <- until
+  if until > t.clock.Ev.f then t.clock.Ev.f <- until
 
-let next_key t = Prioq.peek_key t.events
+let next_key t = Ev.peek_key t.events
 
 let run_next t =
-  match Prioq.pop_ranked t.events ~until:Float.infinity ~strict:false with
-  | None -> ()
-  | Some (time, rank, thunk) -> exec t time rank thunk
+  if Ev.pop t.events ~until:Float.infinity ~strict:false t.cursor then
+    exec t t.cursor
 
-let set_time t time = if time > t.clock then t.clock <- time
+let set_time t time = if time > t.clock.Ev.f then t.clock.Ev.f <- time
 
 let events_processed t = t.processed
-let pending t = Prioq.length t.events
+let pending t = Ev.length t.events
 let cpu_time_in_run t = t.run_cpu
 
 let fresh_id t =

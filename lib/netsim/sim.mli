@@ -104,3 +104,32 @@ val next_obs_ix : unit -> int
 (** Next observation index within the currently executing event — a
     within-event emission counter that orders observations produced by
     the same event. *)
+
+(** {2 Tagged events (the zero-allocation scheduling path)}
+
+    The engine's hot events — queue kicks, transmissions, arrivals,
+    post-jitter enqueues — are scheduled as an int tag plus two uniform
+    payload slots straight into the flat event heap ({!Prioq.Event}),
+    instead of boxing a closure per event.  A tag names a handler
+    registered once at module-initialization time; the handler owns the
+    typing discipline for the payload slots of its tag.  The closure
+    API above remains for cold-path and control-plane work (tag 0). *)
+
+val new_tag : (t -> Obj.t -> Obj.t -> int -> unit) -> int
+(** Register an event handler and return its tag.  Must be called at
+    module-initialization time (the table is read-only once shard
+    domains start).  The handler receives the executing simulation, the
+    two payload slots and the int operand. *)
+
+val nil : Obj.t
+(** Empty payload slot. *)
+
+val schedule_ev : t -> delay:float -> tag:int -> i:int -> Obj.t -> Obj.t -> unit
+(** [schedule delay] for a tagged event; allocates nothing. *)
+
+val schedule_ev_at : t -> time:float -> tag:int -> i:int -> Obj.t -> Obj.t -> unit
+(** [schedule_at] for a tagged event. *)
+
+val schedule_ev_ranked :
+  t -> time:float -> rank:int -> tag:int -> i:int -> Obj.t -> Obj.t -> unit
+(** [schedule_ranked] for a tagged event (cross-shard handoffs). *)

@@ -61,28 +61,29 @@ let mssf t = float_of_int t.mss
 
 let send_segment t ~seq ~len =
   let pkt =
-    Packet.make ~sim:t.sim ~src:t.src ~dst:t.dst ~flow:t.flow ~size:(len + header_bytes)
+    Net.make_ctrl_packet t.net ~src:t.src ~dst:t.dst ~flow:t.flow
+      ~size:(len + header_bytes)
       (Packet.Tcp { seq; ack = -1; syn = false; fin = false })
   in
   Net.originate t.net pkt
 
 let send_syn t =
   let pkt =
-    Packet.make ~sim:t.sim ~src:t.src ~dst:t.dst ~flow:t.flow ~size:header_bytes
+    Net.make_ctrl_packet t.net ~src:t.src ~dst:t.dst ~flow:t.flow ~size:header_bytes
       (Packet.Tcp { seq = -1; ack = -1; syn = true; fin = false })
   in
   Net.originate t.net pkt
 
 let send_synack t =
   let pkt =
-    Packet.make ~sim:t.sim ~src:t.dst ~dst:t.src ~flow:t.flow ~size:header_bytes
+    Net.make_ctrl_packet t.net ~src:t.dst ~dst:t.src ~flow:t.flow ~size:header_bytes
       (Packet.Tcp { seq = -1; ack = 0; syn = true; fin = false })
   in
   Net.originate t.net pkt
 
 let send_ack t =
   let pkt =
-    Packet.make ~sim:t.sim ~src:t.dst ~dst:t.src ~flow:t.flow ~size:ack_size
+    Net.make_ctrl_packet t.net ~src:t.dst ~dst:t.src ~flow:t.flow ~size:ack_size
       (Packet.Tcp { seq = -1; ack = t.rcv_nxt; syn = false; fin = false })
   in
   Net.originate t.net pkt

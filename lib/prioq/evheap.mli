@@ -1,0 +1,72 @@
+(** Flat event heap: the {!Prioq} parallel-array min-heap specialized
+    for the simulator's inner loop.
+
+    Each element is a full event descriptor — time, tie-break key, an
+    8-bit event tag, a small non-negative int operand and two uniform
+    payload slots — so scheduling allocates nothing (beyond amortized
+    growth) and popping fills a caller-owned {!cursor} instead of
+    building options or tuples.  Internally the heap sifts four scalar
+    parallel arrays (time, key, packed descriptor, payload handle);
+    payloads sit still in a handle-indexed side table, so reordering
+    the heap never runs the GC write barrier.
+
+    Payload slots are [Obj.t]: the scheduler's tag handlers own the
+    typing discipline (each tag fixes the concrete types of both slots),
+    which is what lets one monomorphic heap carry every event kind
+    without per-event boxing.  Use {!nil} for unused slots.  Slots
+    vacated by pops and {!clear} are scrubbed, so finished events never
+    keep their payloads reachable.
+
+    Not thread-safe; each shard owns its own. *)
+
+type t
+
+type fbox = { mutable f : float }
+(** Single-field float record: flat storage, so writing through it does
+    not box. *)
+
+type cursor = {
+  time : fbox;          (** event time (unboxed store) *)
+  mutable key_out : int;(** tie-break key: rank or sequence number *)
+  mutable tag : int;    (** event tag, [0..255] *)
+  mutable iarg : int;   (** small operand, [>= 0] *)
+  mutable pa : Obj.t;   (** payload slot A *)
+  mutable pb : Obj.t;   (** payload slot B *)
+}
+(** Destination of {!pop}.  The payload slots keep the popped event's
+    payloads reachable until overwritten; the dispatch loop should drop
+    them ([nil]) once consumed. *)
+
+val nil : Obj.t
+(** The empty payload (the immediate [0]). *)
+
+val cursor : unit -> cursor
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Backing-array capacity; {!clear} keeps it. *)
+
+val push : t -> time:float -> tag:int -> iarg:int -> Obj.t -> Obj.t -> unit
+(** Insert an event; ties at equal time pop in insertion order.
+    [tag] must fit 8 bits and [iarg] must be non-negative (they share a
+    packed descriptor word). *)
+
+val push_ranked :
+  t -> time:float -> rank:int -> tag:int -> iarg:int -> Obj.t -> Obj.t -> unit
+(** Insert with a caller-supplied tie-break rank instead of a sequence
+    number (the sharded engine's deterministic event order). *)
+
+val pop : t -> until:float -> strict:bool -> cursor -> bool
+(** Pop the minimum element into the cursor when its time is within the
+    window ([< until] when [strict], [<= until] otherwise); returns
+    [false] (cursor untouched) when the heap is empty or the minimum is
+    beyond the window.  Allocates nothing. *)
+
+val peek_key : t -> (float * int) option
+(** Time and tie-break key of the earliest event, without popping. *)
+
+val clear : t -> unit
+(** Empty the heap, keeping capacity; payload slots are scrubbed. *)

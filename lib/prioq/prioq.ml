@@ -154,3 +154,7 @@ let clear t =
      beyond [size] were already scrubbed by pop/grow). *)
   scrub t.vals 0 t.size;
   t.size <- 0
+
+(* Re-export the flat event heap so library users reach it as
+   [Prioq.Event] (this module is the library's curated interface). *)
+module Event = Evheap

@@ -66,3 +66,8 @@ val clear : 'a t -> unit
     element remains referenced by the backing store (slots are scrubbed,
     so values become collectable immediately — including slots beyond
     the live prefix left by an earlier capacity growth). *)
+
+module Event : module type of Evheap
+(** The simulator's flat event heap — same parallel-array design,
+    specialized to tagged event descriptors with a non-allocating
+    cursor pop; see {!Evheap}. *)

@@ -1,6 +1,6 @@
 type 'a t = {
   capacity : int;
-  ring : 'a option array;
+  ring : 'a array;
   mutable next : int;
   mutable total : int;
   (* Single-writer guard: the domain id that owns the ring (-1 =
@@ -14,9 +14,17 @@ type 'a t = {
 
 let unclaimed = -1
 
+(* Empty slots hold an immediate sentinel rather than [None]: recording
+   then costs zero allocation (the old option array boxed a [Some] per
+   record on the telemetry fast path).  The sentinel is never read —
+   [total]/[next] delimit the filled region exactly.  Consequence: the
+   element type must be boxed or immediate (records, variants, ints);
+   [float Journal.t] would need a flat array and is not supported. *)
+let none : 'a = Obj.magic 0
+
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Journal.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next = 0; total = 0;
+  { capacity; ring = Array.make capacity none; next = 0; total = 0;
     owner = Atomic.make unclaimed }
 
 let capacity t = t.capacity
@@ -36,7 +44,7 @@ let check_owner t =
 
 let record t x =
   check_owner t;
-  t.ring.(t.next) <- Some x;
+  t.ring.(t.next) <- x;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
@@ -47,11 +55,14 @@ let dropped t = max 0 (t.total - t.capacity)
 let iter t f =
   (* Oldest first: the slot after [next] holds the oldest survivor once
      the ring has wrapped. *)
-  for i = 0 to t.capacity - 1 do
-    match t.ring.((t.next + i) mod t.capacity) with
-    | Some x -> f x
-    | None -> ()
-  done
+  if t.total <= t.capacity then
+    for i = 0 to t.total - 1 do
+      f t.ring.(i)
+    done
+  else
+    for i = 0 to t.capacity - 1 do
+      f t.ring.((t.next + i) mod t.capacity)
+    done
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -61,7 +72,7 @@ let fold t ~init ~f =
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
 
 let clear t =
-  Array.fill t.ring 0 t.capacity None;
+  Array.fill t.ring 0 t.capacity none;
   t.next <- 0;
   t.total <- 0;
   Atomic.set t.owner unclaimed

@@ -16,6 +16,14 @@ type kind =
       evidence : id list;
     }
 
+(* Inline-field sentinel: hop entries carry their two routers and the
+   packet uid as immediate ints instead of [routers]/[args] lists, so
+   the full-rate tracing path allocates one record per span rather than
+   a record plus four list cells and two boxes.  [no_field] marks an
+   absent inline field; router ids and uids are non-negative, so the
+   sentinel can never collide. *)
+let no_field = min_int
+
 type entry = {
   id : id;
   trace : int;
@@ -26,8 +34,22 @@ type entry = {
   time : float;
   routers : int list;
   args : (string * Export.json) list;
+  hop_r1 : int;
+  hop_r2 : int;
+  hop_pkt : int;
   kind : kind;
 }
+
+let entry_routers e =
+  if e.routers <> [] then e.routers
+  else if e.hop_r1 = no_field then []
+  else if e.hop_r2 = no_field then [ e.hop_r1 ]
+  else [ e.hop_r1; e.hop_r2 ]
+
+let entry_args e =
+  if e.hop_pkt = no_field then e.args
+  else
+    ("pkt", Export.Int e.hop_pkt) :: ("next", Export.Int e.hop_r2) :: e.args
 
 type t = {
   ring : entry Journal.t;
@@ -118,6 +140,7 @@ let span t ?(trace = 0) ~name ?(cat = "") ~pid ~tid ~start ~finish ?(routers = [
   let id = fresh_id t in
   Journal.record t.ring
     { id; trace; name; cat; pid; tid; time = start; routers; args;
+      hop_r1 = no_field; hop_r2 = no_field; hop_pkt = no_field;
       kind = Complete { duration = Float.max 0.0 (finish -. start) } };
   id
 
@@ -125,7 +148,20 @@ let instant t ?(trace = 0) ~name ?(cat = "") ~pid ~tid ~time ?(routers = [])
     ?(args = []) () =
   let id = fresh_id t in
   Journal.record t.ring
-    { id; trace; name; cat; pid; tid; time; routers; args; kind = Instant };
+    { id; trace; name; cat; pid; tid; time; routers; args;
+      hop_r1 = no_field; hop_r2 = no_field; hop_pkt = no_field;
+      kind = Instant };
+  id
+
+(* The full-rate tracing fast path: a per-hop span whose two routers
+   and packet uid live in inline int fields (exported identically to
+   [~routers:[router; next] ~args:[("pkt", ...); ("next", ...)]]). *)
+let hop_span t ~trace ~name ~pid ~tid ~start ~finish ~router ~next ~pkt =
+  let id = fresh_id t in
+  Journal.record t.ring
+    { id; trace; name; cat = "hop"; pid; tid; time = start; routers = [];
+      args = []; hop_r1 = router; hop_r2 = next; hop_pkt = pkt;
+      kind = Complete { duration = Float.max 0.0 (finish -. start) } };
   id
 
 (* --- flight recorder --- *)
@@ -146,7 +182,8 @@ let pin_window t ~routers ~evidence =
   Journal.iter t.ring (fun e ->
       if Hashtbl.mem wanted e.id then pin_entry t e
       else if
-        routers = [] || List.exists (fun r -> List.mem r routers) e.routers
+        routers = []
+        || List.exists (fun r -> List.mem r routers) (entry_routers e)
       then matched := e :: !matched);
   (* [matched] is newest-first: pin the window head. *)
   List.iteri (fun i e -> if i < t.flight then pin_entry t e) !matched
@@ -167,6 +204,7 @@ let verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alarm
   let e =
     { id; trace = 0; name = detector ^ " verdict"; cat = "verdict"; pid = detector_pid;
       tid; time; routers = implicated; args = [];
+      hop_r1 = no_field; hop_r2 = no_field; hop_pkt = no_field;
       kind =
         Verdict { detector; subject; suspects; confidence; alarm; detail; evidence } }
   in

@@ -62,8 +62,22 @@ type entry = {
   time : float;  (** seconds (sim clock); start time for spans *)
   routers : int list;  (** routers this entry concerns (flight-recorder key) *)
   args : (string * Export.json) list;
+  hop_r1 : int;  (** inline router/packet fields used by {!hop_span} in *)
+  hop_r2 : int;  (** place of [routers]/[args]; {!no_field} = absent.   *)
+  hop_pkt : int; (** Read through {!entry_routers} / {!entry_args}.     *)
   kind : kind;
 }
+
+val no_field : int
+(** Sentinel marking an absent inline [hop_*] field. *)
+
+val entry_routers : entry -> int list
+(** The routers an entry concerns: [routers] or the inline hop pair. *)
+
+val entry_args : entry -> (string * Export.json) list
+(** The entry's args with any inline hop fields materialized (as
+    [("pkt", ...); ("next", ...)], matching what {!span} callers used to
+    pass) — what exporters must serialize. *)
 
 val create :
   ?capacity:int -> ?flight:int -> ?sample:float -> ?seed:int -> unit -> t
@@ -119,6 +133,25 @@ val span :
   id
 (** Record a completed interval (a Chrome "X" event); a [finish] before
     [start] is clamped to a zero-duration span. *)
+
+val hop_span :
+  t ->
+  trace:int ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  start:float ->
+  finish:float ->
+  router:int ->
+  next:int ->
+  pkt:int ->
+  id
+(** {!span} specialized for the full-rate per-hop path (cat ["hop"]):
+    equivalent to [span ~routers:[router; next]
+    ~args:[("pkt", Int pkt); ("next", Int next)]] but the three values
+    live in inline int fields, so recording allocates one entry record
+    instead of a record plus list cells — exporters see identical
+    output via {!entry_routers}/{!entry_args}. *)
 
 val instant :
   t ->

@@ -33,11 +33,12 @@ let event_json (e : Span.entry) =
     | _ -> []
   in
   let args =
+    let routers = Span.entry_routers e in
     (("id", Int e.Span.id)
      :: (if e.Span.trace <> 0 then [ ("trace", Int e.Span.trace) ] else []))
-    @ (if e.Span.routers = [] then []
-       else [ ("routers", List (List.map (fun r -> Int r) e.Span.routers)) ])
-    @ e.Span.args @ provenance
+    @ (if routers = [] then []
+       else [ ("routers", List (List.map (fun r -> Int r) routers)) ])
+    @ Span.entry_args e @ provenance
   in
   Assoc
     ([ ("name", String e.Span.name);

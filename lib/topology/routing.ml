@@ -2,32 +2,50 @@ type t = {
   graph : Graph.t;
   (* dist_to.(d).(v) = least cost from v to d. *)
   dist_to : int array array;
+  (* nh.(d).(v) = next hop from v towards d, -1 when none; precomputed
+     so the per-packet forwarding lookup is two array reads with no
+     list walk and no option allocation. *)
+  nh : int array array;
 }
 
 let compute graph =
   let n = Graph.size graph in
   let rev = Dijkstra.transpose graph in
   let dist_to = Array.init n (fun d -> Dijkstra.distances rev ~src:d) in
-  { graph; dist_to }
+  let nh =
+    Array.init n (fun dst ->
+        let dist = dist_to.(dst) in
+        Array.init n (fun v ->
+            if v = dst || dist.(v) = Dijkstra.unreachable then -1
+            else
+              (* Neighbors are in ascending order, so the first optimal
+                 one is the deterministic choice shared by all routers. *)
+              match
+                List.find_opt
+                  (fun w ->
+                    dist.(w) <> Dijkstra.unreachable
+                    && (Graph.link_exn graph v w).Graph.cost + dist.(w)
+                       = dist.(v))
+                  (Graph.out_neighbors graph v)
+              with
+              | Some w -> w
+              | None -> -1))
+  in
+  { graph; dist_to; nh }
 
 let graph t = t.graph
 
+let next_hop_id t v ~dst =
+  if v < 0
+     || v >= Array.length t.nh
+     || dst < 0
+     || dst >= Array.length t.nh
+  then invalid_arg "Routing.next_hop: bad node";
+  t.nh.(dst).(v)
+
 let next_hop t v ~dst =
-  let n = Graph.size t.graph in
-  if v < 0 || v >= n || dst < 0 || dst >= n then invalid_arg "Routing.next_hop: bad node";
-  if v = dst then None
-  else begin
-    let dist = t.dist_to.(dst) in
-    if dist.(v) = Dijkstra.unreachable then None
-    else
-      (* Neighbors are in ascending order, so the first optimal one is the
-         deterministic choice shared by all routers. *)
-      List.find_opt
-        (fun w ->
-          dist.(w) <> Dijkstra.unreachable
-          && (Graph.link_exn t.graph v w).Graph.cost + dist.(w) = dist.(v))
-        (Graph.out_neighbors t.graph v)
-  end
+  let w = next_hop_id t v ~dst in
+  if w < 0 then None else Some w
 
 let cost t src dst =
   let d = t.dist_to.(dst).(src) in

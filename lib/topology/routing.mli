@@ -18,6 +18,11 @@ val next_hop : t -> Graph.node -> dst:Graph.node -> Graph.node option
 (** The unique deterministic next hop from a router toward a
     destination; [None] if unreachable or already there. *)
 
+val next_hop_id : t -> Graph.node -> dst:Graph.node -> Graph.node
+(** Like {!next_hop} but returning [-1] for "no route": a precomputed
+    table lookup that allocates nothing — the forwarding plane's
+    per-packet path. *)
+
 val cost : t -> Graph.node -> Graph.node -> int option
 (** Least path cost between two routers. *)
 

@@ -1,0 +1,142 @@
+(* Allocation-regression suite (@alloc).
+
+   The zero-allocation work pins the simulator's steady-state cost: the
+   ring8 reference scenario recorded 62.97 minor words per event at the
+   seed; the flat event heap, ring queues and packet pooling hold it
+   around 11.  The ceilings below sit between the two with generous
+   slack for environment differences — they catch a reintroduced
+   per-event box, not run-to-run noise ([Gc.minor_words] deltas are a
+   deterministic count of allocation, not a timing).
+
+   The suite also proves the pool actually recycles on the reference
+   scenario, that pooled and unpooled runs execute the identical event
+   set, and that poison mode catches an injected use-after-free and a
+   double release at the pool boundary. *)
+
+open Netsim
+
+(* Words allocated per event over the tail of a ring8 reference run:
+   the first simulated second is warm-up (pools filling, rings and
+   journals growing), the remaining four are the steady state the
+   budget applies to. *)
+let ring8_run ~pooling =
+  let horizon = 5.0 in
+  let g = Topology.Generate.ring ~n:8 in
+  let net = Net.create ~seed:1 ~jitter_bound:100e-6 ~pooling g in
+  Net.use_routing net (Topology.Routing.compute g);
+  List.iter
+    (fun (s, d) ->
+      ignore
+        (Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500 ~start:0.0
+           ~stop:horizon))
+    [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+  ignore (Tcp.connect net ~src:0 ~dst:3 ());
+  Net.run ~until:1.0 net;
+  Gc.full_major ();
+  let m0 = Gc.minor_words () in
+  let e0 = Net.events_processed net in
+  Net.run ~until:horizon net;
+  let m1 = Gc.minor_words () in
+  let events = Net.events_processed net - e0 in
+  let words_per_event = (m1 -. m0) /. float_of_int (max 1 events) in
+  (words_per_event, Net.events_processed net, Net.pool_stats net)
+
+let seed_words_per_event = 62.97
+
+let test_steady_state_budget () =
+  let unpooled, events_unpooled, _ = ring8_run ~pooling:false in
+  let pooled, events_pooled, stats = ring8_run ~pooling:true in
+  (* Identical scenario, identical event set: pooling must be invisible
+     to the simulation itself. *)
+  Alcotest.(check int)
+    "pooled run executes the identical event count" events_unpooled
+    events_pooled;
+  Alcotest.(check bool)
+    (Printf.sprintf "unpooled %.2f w/ev under 24.0 ceiling" unpooled)
+    true (unpooled < 24.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled %.2f w/ev under 20.0 ceiling" pooled)
+    true (pooled < 20.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled %.2f w/ev at least halves the seed's %.2f" pooled
+       seed_words_per_event)
+    true
+    (pooled < seed_words_per_event /. 2.0);
+  (* The budget must be met by recycling, not by a quiet pool. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pool recycled %d of %d acquisitions" stats.Pool.recycled
+       (stats.Pool.recycled + stats.Pool.fresh))
+    true
+    (stats.Pool.recycled > 10 * stats.Pool.fresh)
+
+let test_pool_inert_when_observed () =
+  (* A probe retains packets in its journal, so recycling must switch
+     itself off rather than corrupt the observations. *)
+  let g = Topology.Generate.ring ~n:4 in
+  let net = Net.create ~seed:1 ~pooling:true g in
+  Net.set_probe net (Some (Probe.create ()));
+  Net.use_routing net (Topology.Routing.compute g);
+  Alcotest.(check bool) "pooling suppressed under a probe" false
+    (Net.pooling_active net);
+  let net2 = Net.create ~seed:1 ~pooling:true g in
+  Net.use_routing net2 (Topology.Routing.compute g);
+  Alcotest.(check bool) "pooling live unobserved" true (Net.pooling_active net2)
+
+(* Poison mode: a released packet is stamped loudly wrong, so a stale
+   holder (the injected use-after-free) reads the sentinel instead of
+   plausible data, and a second release trips at the pool boundary. *)
+let test_poison_catches_use_after_free () =
+  let pool = Pool.create ~poison:true () in
+  let p =
+    Pool.acquire pool ~now:0.0 ~uid:7 ~src:0 ~dst:1 ~flow:3 ~size:500
+      Packet.Udp
+  in
+  let stale = p in
+  (* The injected bug: [stale] outlives the packet's network lifetime. *)
+  Pool.release pool p;
+  Alcotest.(check bool) "stale reference reads poison" true
+    (Pool.is_poisoned stale);
+  Alcotest.(check int) "poisoned size is zero" 0 stale.Packet.size;
+  Alcotest.check_raises "double release detected"
+    (Failure "Pool.release: double release (packet already in the pool)")
+    (fun () -> Pool.release pool p);
+  (* Reacquiring heals the poison: the recycled record is fresh. *)
+  let q =
+    Pool.acquire pool ~now:1.0 ~uid:8 ~src:1 ~dst:0 ~flow:3 ~size:200
+      Packet.Udp
+  in
+  Alcotest.(check bool) "recycled packet is clean" false (Pool.is_poisoned q);
+  Alcotest.(check bool) "recycled the same record" true (q == stale);
+  let s = Pool.stats pool in
+  Alcotest.(check int) "one fresh, one recycled" 1 s.Pool.fresh;
+  Alcotest.(check int) "recycled count" 1 s.Pool.recycled
+
+let test_pool_grows_and_counts () =
+  let pool = Pool.create () in
+  let mk uid =
+    Pool.acquire pool ~now:0.0 ~uid ~src:0 ~dst:1 ~flow:1 ~size:100 Packet.Udp
+  in
+  let batch = List.init 200 mk in
+  List.iter (Pool.release pool) batch;
+  let s = Pool.stats pool in
+  Alcotest.(check int) "all fresh on a dry pool" 200 s.Pool.fresh;
+  Alcotest.(check int) "all returned" 200 s.Pool.released;
+  Alcotest.(check int) "all available" 200 s.Pool.available;
+  let again = List.init 200 (fun i -> mk (1000 + i)) in
+  let s2 = Pool.stats pool in
+  Alcotest.(check int) "all served from the freelist" 200 s2.Pool.recycled;
+  Alcotest.(check int) "pool drained" 0 s2.Pool.available;
+  ignore again
+
+let () =
+  Alcotest.run "alloc"
+    [ ( "budget",
+        [ Alcotest.test_case "ring8 steady state under ceiling" `Quick
+            test_steady_state_budget;
+          Alcotest.test_case "pooling inert when observed" `Quick
+            test_pool_inert_when_observed ] );
+      ( "poison",
+        [ Alcotest.test_case "use-after-free and double release" `Quick
+            test_poison_catches_use_after_free;
+          Alcotest.test_case "freelist growth and counters" `Quick
+            test_pool_grows_and_counts ] ) ]

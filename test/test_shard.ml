@@ -243,12 +243,33 @@ let simulate_digest ~topo ~protocol ?faults ~shards () =
   Sys.remove journal;
   out ^ "--journal--\n" ^ j
 
-let check_k_invariant name ~topo ~protocol ?faults () =
+(* [recorded], when given, pins the run against MD5 digests captured
+   from the seed engine (pre-pooling, pre-flat-heap): the classic K=0
+   digest and the sharded K>=1 digest.  The optimized engine must
+   reproduce the seed's reports and journals bit-for-bit for every K —
+   recycling, flat events and batched synchronization are pure
+   mechanics, never observable. *)
+let check_k_invariant name ~topo ~protocol ?faults ?recorded () =
+  (match recorded with
+  | None -> ()
+  | Some (classic_hex, _) ->
+      let classic = simulate_digest ~topo ~protocol ?faults ~shards:0 () in
+      Alcotest.(check string)
+        (name ^ ": K=0 matches the recorded seed digest")
+        classic_hex
+        (Digest.to_hex (Digest.string classic)));
   let reference = simulate_digest ~topo ~protocol ?faults ~shards:1 () in
   Alcotest.(check bool)
     (name ^ ": non-trivial run")
     true
     (String.length reference > 500);
+  (match recorded with
+  | None -> ()
+  | Some (_, sharded_hex) ->
+      Alcotest.(check string)
+        (name ^ ": K=1 matches the recorded seed digest")
+        sharded_hex
+        (Digest.to_hex (Digest.string reference)));
   List.iter
     (fun k ->
       let got = simulate_digest ~topo ~protocol ?faults ~shards:k () in
@@ -262,7 +283,11 @@ let test_golden_ring_fatih () =
   check_k_invariant "ring8/fatih" ~topo:Experiments.Simulate.Ring ~protocol:"fatih" ()
 
 let test_golden_abilene_chi () =
-  check_k_invariant "abilene/chi" ~topo:Experiments.Simulate.Abilene ~protocol:"chi" ()
+  check_k_invariant "abilene/chi" ~topo:Experiments.Simulate.Abilene ~protocol:"chi"
+    ~recorded:
+      ( "9b6bdd95e53f33ec11f0d32be6056d78" (* classic, seed engine *),
+        "7632a9edaaf0a00127a1ba17db4be606" (* sharded, any K *) )
+    ()
 
 let test_golden_chaos_faults () =
   (* Under a gentle chaos plan (benign flaps and a crash), the oracle
@@ -281,7 +306,11 @@ let test_golden_chaos_faults () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       check_k_invariant "ring8/fatih/chaos" ~topo:Experiments.Simulate.Ring
-        ~protocol:"fatih" ~faults:path ())
+        ~protocol:"fatih" ~faults:path
+        ~recorded:
+          ( "d0941d928d0d1cb8318bc0378b0f3647" (* classic, seed engine *),
+            "8c39d490fe34bbca97ded1f1d9391730" (* sharded, any K *) )
+        ())
 
 (* Cross-shard mailbox delivery must reproduce the single-heap order
    even when K does not divide the ring: every cut link is cross-shard
