@@ -498,30 +498,31 @@ let recorded_seed_events_per_second = 3984214.25394
    one is written on --smoke too (with the [smoke] flag set and
    meaningless numbers) so the @bench-smoke alias exercises the writer
    end to end. *)
+let reference_alloc_run ~horizon ~pooling () =
+  let g = Topology.Generate.ring ~n:8 in
+  let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 ~pooling g in
+  Netsim.Net.use_routing net (Topology.Routing.compute g);
+  List.iter
+    (fun (s, d) ->
+      ignore
+        (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500
+           ~start:0.0 ~stop:horizon))
+    [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+  ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
+  (* Settle setup garbage so the delta measures the event loop. *)
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let (), gc = with_gc_delta (fun () -> Netsim.Net.run ~until:horizon net) in
+  let wall = Unix.gettimeofday () -. t0 in
+  (Netsim.Net.events_processed net, wall, gc, Netsim.Net.pool_stats net)
+
 let allocation ~smoke registry =
   print_endline "";
   print_endline "Allocation (ring8 reference scenario, words per event)";
   print_endline "======================================================";
   let horizon = if smoke then 0.5 else 30.0 in
   let reps = if smoke then 1 else 3 in
-  let one_run ~pooling =
-    let g = Topology.Generate.ring ~n:8 in
-    let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 ~pooling g in
-    Netsim.Net.use_routing net (Topology.Routing.compute g);
-    List.iter
-      (fun (s, d) ->
-        ignore
-          (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500
-             ~start:0.0 ~stop:horizon))
-      [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
-    ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
-    (* Settle setup garbage so the delta measures the event loop. *)
-    Gc.full_major ();
-    let t0 = Unix.gettimeofday () in
-    let (), gc = with_gc_delta (fun () -> Netsim.Net.run ~until:horizon net) in
-    let wall = Unix.gettimeofday () -. t0 in
-    (Netsim.Net.events_processed net, wall, gc, Netsim.Net.pool_stats net)
-  in
+  let one_run ~pooling = reference_alloc_run ~horizon ~pooling () in
   let run_mode ~pooling =
     let events, wall, gc, pool = one_run ~pooling in
     let best = ref wall in
@@ -650,32 +651,34 @@ let measure_min ~batches f =
   done;
   !best
 
+(* (name, before thunk or None, after thunk); the before thunk is the
+   in-process reference implementation where one exists.  Shared by the
+   recording pass ({!hotpath}) and the regression gate ({!check_gate}). *)
+let hotpath_kernels () =
+  let msg = packet_bytes 1500 in
+  let small = packet_bytes 40 in
+  let sip_key = Crypto_sim.Siphash.key_of_string "bench" in
+  let hk = Crypto_sim.Sha256.hmac_key ~key:"k" in
+  [ ( "sha256-1500B",
+      Some (fun () -> ignore (Crypto_sim.Sha256_ref.digest msg)),
+      fun () -> ignore (Crypto_sim.Sha256.digest msg) );
+    ( "hmac-sha256-1500B",
+      Some (fun () -> ignore (Crypto_sim.Sha256_ref.hmac ~key:"k" msg)),
+      fun () -> ignore (Crypto_sim.Sha256.hmac_with hk msg) );
+    ( "siphash-1500B",
+      None,
+      fun () -> ignore (Crypto_sim.Siphash.hash sip_key msg) );
+    ( "siphash-40B",
+      None,
+      fun () -> ignore (Crypto_sim.Siphash.hash sip_key small) );
+    ("fnv-1500B", None, fun () -> ignore (Crypto_sim.Fnv.hash_string msg)) ]
+
 let hotpath ~smoke ~sim_events_per_second =
   print_endline "";
   print_endline "Hot-path kernels: before/after (BENCH_hotpath.json)";
   print_endline "===================================================";
   let batches = if smoke then 5 else 400 in
-  let msg = packet_bytes 1500 in
-  let small = packet_bytes 40 in
-  let sip_key = Crypto_sim.Siphash.key_of_string "bench" in
-  let hk = Crypto_sim.Sha256.hmac_key ~key:"k" in
-  (* (name, before thunk or None, after thunk); the before thunk is the
-     in-process reference implementation where one exists. *)
-  let kernels =
-    [ ( "sha256-1500B",
-        Some (fun () -> ignore (Crypto_sim.Sha256_ref.digest msg)),
-        fun () -> ignore (Crypto_sim.Sha256.digest msg) );
-      ( "hmac-sha256-1500B",
-        Some (fun () -> ignore (Crypto_sim.Sha256_ref.hmac ~key:"k" msg)),
-        fun () -> ignore (Crypto_sim.Sha256.hmac_with hk msg) );
-      ( "siphash-1500B",
-        None,
-        fun () -> ignore (Crypto_sim.Siphash.hash sip_key msg) );
-      ( "siphash-40B",
-        None,
-        fun () -> ignore (Crypto_sim.Siphash.hash sip_key small) );
-      ("fnv-1500B", None, fun () -> ignore (Crypto_sim.Fnv.hash_string msg)) ]
-  in
+  let kernels = hotpath_kernels () in
   let rows =
     List.map
       (fun (name, before, after) ->
@@ -925,8 +928,120 @@ let write_json registry path =
          ("metrics", Telemetry.Export.json_of_registry registry) ]);
   Printf.printf "\nbenchmark metrics written to %s\n" path
 
+(* --- regression gate (`bench --check`) ------------------------------- *)
+
+(* Re-measure the cheap reference numbers and compare them against the
+   committed BENCH_*.json baselines through one-sided tolerance bands
+   (Experiments.Benchgate).  The ring8 reference scenario simulates its
+   full 30 s horizon even under --smoke — that is ~0.2 s of wall clock,
+   so the gate always measures the same workload the baselines recorded;
+   --smoke only trims the kernel batch count.
+
+   [handicap] degrades every fresh measurement by a factor (latency and
+   allocation multiplied, throughput divided) so the failure path of the
+   gate itself is testable without a real regression. *)
+let check_gate ~smoke ~handicap ~baseline_dir =
+  let module G = Experiments.Benchgate in
+  print_endline "Bench regression gate (--check)";
+  print_endline "===============================";
+  if handicap <> 1.0 then
+    Printf.printf "  synthetic handicap: %.2fx applied to fresh measurements\n"
+      handicap;
+  let load name =
+    match G.load_json (Filename.concat baseline_dir name) with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "bench --check: cannot load baseline %s: %s\n" name msg;
+        exit 2
+  in
+  let alloc_doc = load "BENCH_alloc.json" in
+  let hotpath_doc = load "BENCH_hotpath.json" in
+  let baseline doc path =
+    match G.float_at doc path with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "bench --check: baseline missing %s\n"
+          (String.concat "." path);
+        exit 2
+  in
+  let verdicts = ref [] in
+  let push v = verdicts := v :: !verdicts in
+  (* Allocation + throughput: min over a few repetitions of the exact
+     recording scenario.  Words-per-event is near-deterministic, so its
+     band is tight; wall clock gets the wide shared-vCPU band. *)
+  let reps = if smoke then 2 else 3 in
+  List.iter
+    (fun mode ->
+      let pooling = mode = "pooled" in
+      let words = ref infinity and eps = ref 0.0 in
+      for _ = 1 to reps do
+        let events, wall, gc, _ = reference_alloc_run ~horizon:30.0 ~pooling () in
+        let w = gc.gd_minor_words /. float_of_int (max 1 events) in
+        if w < !words then words := w;
+        let e = float_of_int events /. wall in
+        if e > !eps then eps := e
+      done;
+      let row =
+        match G.find_by alloc_doc ~field:"modes" ~key:"mode" ~value:mode with
+        | Some row -> row
+        | None ->
+            Printf.eprintf "bench --check: BENCH_alloc.json has no mode %S\n"
+              mode;
+            exit 2
+      in
+      push
+        (G.judge
+           (G.band ~slack:1.0 ~direction:G.Lower_better ~limit:1.25
+              (Printf.sprintf "alloc.%s.minor_words_per_event" mode))
+           ~baseline:(baseline row [ "minor_words_per_event" ])
+           ~measured:(!words *. handicap));
+      push
+        (G.judge
+           (G.band ~direction:G.Higher_better ~limit:1.6
+              (Printf.sprintf "alloc.%s.events_per_second" mode))
+           ~baseline:(baseline row [ "events_per_second" ])
+           ~measured:(!eps /. handicap)))
+    [ "unpooled"; "pooled" ];
+  (* Hot-path kernels: the same min-estimator the recording pass uses. *)
+  let batches = if smoke then 60 else 400 in
+  List.iter
+    (fun (name, _before, after) ->
+      let row =
+        match G.find_by hotpath_doc ~field:"kernels" ~key:"name" ~value:name with
+        | Some row -> row
+        | None ->
+            Printf.eprintf "bench --check: BENCH_hotpath.json has no kernel %S\n"
+              name;
+            exit 2
+      in
+      push
+        (G.judge
+           (G.band ~slack:50.0 ~direction:G.Lower_better ~limit:1.8
+              (Printf.sprintf "hotpath.%s.ns_per_op" name))
+           ~baseline:(baseline row [ "measured_ns_per_op" ])
+           ~measured:(measure_min ~batches after *. handicap)))
+    (hotpath_kernels ());
+  let verdicts = List.rev !verdicts in
+  List.iter (fun v -> print_endline (G.render v)) verdicts;
+  let ok = G.all_ok verdicts in
+  print_endline (if ok then "\nbench --check: ok" else "\nbench --check: REGRESSION");
+  ok
+
 let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let argv = Sys.argv in
+  let smoke = Array.exists (( = ) "--smoke") argv in
+  let flag_value name default parse =
+    let v = ref default in
+    Array.iteri
+      (fun i a -> if a = name && i + 1 < Array.length argv then v := parse argv.(i + 1))
+      argv;
+    !v
+  in
+  if Array.exists (( = ) "--check") argv then begin
+    let handicap = flag_value "--check-handicap" 1.0 float_of_string in
+    let baseline_dir = flag_value "--baseline" "." Fun.id in
+    exit (if check_gate ~smoke ~handicap ~baseline_dir then 0 else 1)
+  end;
   let registry = Telemetry.Metrics.create () in
   if smoke then begin
     (* Compile-and-run check for the whole harness: tiny quotas, a short

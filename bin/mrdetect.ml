@@ -240,6 +240,146 @@ let trace_cmd =
                             $(b,simulate --trace-out)")
     [ explain_cmd ]
 
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"METRICS"
+             ~doc:"an mrdetect-metrics-v1 JSON file written by \
+                   $(b,simulate --metrics)")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"write the report to FILE instead of stdout")
+  in
+  let as_json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit the normalized mrdetect-report-v1 JSON document \
+                   instead of HTML (engine-independent: byte-identical for \
+                   every --shards K >= 1 of the same scenario)")
+  in
+  let run file out as_json =
+    match Experiments.Report.load file with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok report -> (
+        let render () =
+          if as_json then Telemetry.Export.to_string report ^ "\n"
+          else
+            match Experiments.Report.html report with
+            | Ok html -> html
+            | Error msg -> failwith msg
+        in
+        match render () with
+        | exception Failure msg -> `Error (false, msg)
+        | text -> (
+            match out with
+            | None ->
+                print_string text;
+                `Ok ()
+            | Some path -> (
+                try
+                  let oc = open_out path in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> output_string oc text);
+                  Printf.printf "report written to %s\n" path;
+                  `Ok ()
+                with Sys_error msg ->
+                  `Error (false, "cannot write report: " ^ msg))))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a simulate --metrics document as a self-contained HTML \
+             dashboard (inline SVG sparklines and histograms) or, with \
+             --json, as the engine-independent mrdetect-report-v1 document")
+    Term.(ret (const run $ file $ out $ as_json))
+
+let top_cmd =
+  let topo =
+    Arg.(value & opt string "ring"
+         & info [ "topology" ] ~docv:"TOPO" ~doc:"line | ring | grid | abilene")
+  in
+  let protocol =
+    Arg.(value & opt string "fatih" & info [ "protocol" ] ~docv:"P" ~doc:"detector")
+  in
+  let attack =
+    Arg.(value & opt string "drop-fraction"
+         & info [ "attack" ] ~docv:"A" ~doc:"none | drop-all | drop-fraction | syn | queue")
+  in
+  let fraction =
+    Arg.(value & opt float 0.2
+         & info [ "fraction" ] ~docv:"F" ~doc:"drop fraction / queue trigger")
+  in
+  let attacker =
+    Arg.(value & opt int 2 & info [ "attacker" ] ~docv:"R" ~doc:"compromised router id")
+  in
+  let duration =
+    Arg.(value & opt float 60.0 & info [ "duration" ] ~docv:"S" ~doc:"seconds simulated")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"rng seed") in
+  let flows = Arg.(value & opt int 8 & info [ "flows" ] ~docv:"N" ~doc:"CBR flows") in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"FILE" ~doc:"inject the benign fault plan in FILE")
+  in
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"run the K-shard conservative-parallel engine (0 = classic)")
+  in
+  let refresh =
+    Arg.(value & opt float 0.5
+         & info [ "refresh" ] ~docv:"S"
+             ~doc:"sim seconds between dashboard refreshes (classic engine; \
+                   the sharded engine refreshes at its epoch barriers)")
+  in
+  let run topology protocol attack fraction attacker duration seed flows faults
+      shards refresh =
+    match
+      Experiments.Simulate.Config.of_cmdline ~topology ~protocol ~attack ~fraction
+        ~attacker ~duration ~seed ~flows ~trace:0 ~metrics:None ~journal:None
+        ~trace_out:None ~trace_sample:1.0 ~faults ~shards
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok config -> (
+        if not (refresh > 0.0) then `Error (false, "refresh must be positive")
+        else
+          let interactive = Unix.isatty Unix.stdout in
+          let last = ref "" in
+          let draw ~now net =
+            match Netsim.Net.stats net with
+            | None -> ()
+            | Some st ->
+                let frame = Experiments.Live.render ~now ~duration st in
+                if interactive then begin
+                  (* Home + clear-to-end repaint: no flicker, no history spam. *)
+                  print_string "\x1b[H\x1b[2J";
+                  print_string frame;
+                  flush stdout
+                end
+                else last := frame
+          in
+          try
+            Experiments.Simulate.run ~on_progress:draw ~progress_interval:refresh
+              config;
+            if not interactive then begin
+              print_newline ();
+              print_string !last
+            end;
+            `Ok ()
+          with
+          | Sys_error msg -> `Error (false, msg)
+          | Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Run a scenario with a live terminal dashboard (headline rates, \
+             latency quantiles, per-router queue depths) fed by the always-on \
+             stats collectors; on a non-TTY only the final frame is printed")
+    Term.(ret (const run $ topo $ protocol $ attack $ fraction $ attacker
+               $ duration $ seed $ flows $ faults $ shards $ refresh))
+
 let subcommand (e : Exp.entry) =
   let run () = Exp.render (e.eval ()) in
   Cmd.v (Cmd.info e.id ~doc:e.doc) Term.(const run $ const ())
@@ -260,4 +400,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           (all_cmd :: quick_cmd :: ablations_cmd :: simulate_cmd :: chaos_cmd
-           :: trace_cmd :: registry_cmds)))
+           :: trace_cmd :: report_cmd :: top_cmd :: registry_cmds)))

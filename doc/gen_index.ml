@@ -69,21 +69,32 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
    (causal packet traces, detector round spans, verdict provenance and
    the flight recorder) with {!Telemetry.Trace_export} (Chrome
    trace-event JSON for Perfetto, plus the evidence-chain renderer
-   behind [mrdetect trace explain]).  {!Netsim.Probe} wires these into
-   the simulator's event stream and the detectors' verdicts;
+   behind [mrdetect trace explain]).  The always-on time-series layer
+   sits beside these: {!Telemetry.Timeseries} (fixed-capacity
+   downsampling rings) and {!Telemetry.Hist} (mergeable HDR-style
+   log-bucketed histograms) feed {!Netsim.Stats}, whose per-shard
+   collectors merge exactly at epoch barriers — byte-identical output
+   for every [--shards K >= 1] — and surface as [mrdetect report]
+   (self-contained HTML dashboard or [mrdetect-report-v1] JSON),
+   [mrdetect top] (live terminal view) and
+   {!Experiments.Benchgate}-backed [bench --check] regression gating.
+   {!Netsim.Probe} wires these into the simulator's event stream and
+   the detectors' verdicts;
    [mrdetect simulate --metrics FILE --journal FILE --trace-out FILE]
    exposes them on the command line (JSON summary with
    packet-conservation counters and detection latency; JSONL event
    journal; Chrome trace).  With none of the flags, no probe is
    attached and the forwarding plane is unchanged.  The README's
-   "Observability" section is the walkthrough.}
+   "Observability" section — and its "Time series and reports"
+   subsection — is the walkthrough.}
 {- [Faults] — deterministic fault injection and the robustness oracle:
    {!Faults.Schedule} (declarative seed-deterministic fault plans with
    a textual s-expression form), {!Faults.Injector} (applies a plan to
    a live run through the probe hooks), {!Faults.Chaos} (seeded random
    schedules under a budget) and {!Faults.Oracle} (scores a run's
    verdict stream against ground truth: precision, recall,
-   false-accusation rate, detection latency — the
+   false-accusation rate, detection latency with mergeable
+   p50/p95/p99 quantiles over every true alarm — the
    [mrdetect-robustness-v1] JSON document).  {!Core.Ctrl} is the lossy
    control-plane channel the summary exchanges ride; its retry budget
    is what lets a round degrade instead of accuse.

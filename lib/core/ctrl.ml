@@ -34,6 +34,7 @@ type t = {
   mutable duplicates : int;
   mutable reorders : int;
   mutable timeouts : int;
+  mutable observer : (attempts:int -> ok:bool -> unit) option;
 }
 
 let check_faults f =
@@ -57,7 +58,8 @@ let create ?(seed = 1) ?(default = clean) ?(links = []) () =
     links;
   { key = Crypto_sim.Siphash.key_of_ints (Int64.of_int seed) 0xc791L;
     default; per_link;
-    sends = 0; attempts = 0; losses = 0; duplicates = 0; reorders = 0; timeouts = 0 }
+    sends = 0; attempts = 0; losses = 0; duplicates = 0; reorders = 0;
+    timeouts = 0; observer = None }
 
 let reliable () = create ()
 
@@ -103,7 +105,19 @@ let send t ?(retry = default_retry) ~src ~dst ~tag () =
           extra_delay = waited +. (if reordered then f.reorder_delay else 0.0) }
     end
   in
-  go 1 0.0 retry.base_timeout
+  let outcome = go 1 0.0 retry.base_timeout in
+  (match t.observer with
+  | None -> ()
+  | Some f ->
+      let attempts, ok =
+        match outcome with
+        | Delivered { attempts; _ } -> (attempts, true)
+        | Timed_out { attempts; _ } -> (attempts, false)
+      in
+      f ~attempts ~ok);
+  outcome
+
+let set_observer t f = t.observer <- f
 
 let stats t =
   { sends = t.sends; attempts = t.attempts; losses = t.losses;

@@ -78,3 +78,9 @@ val send : t -> ?retry:retry -> src:int -> dst:int -> tag:int -> unit -> outcome
 
 val stats : t -> stats
 (** Cumulative channel statistics since creation. *)
+
+val set_observer : t -> (attempts:int -> ok:bool -> unit) option -> unit
+(** Install (or clear) a per-send observer, invoked after every {!send}
+    with the transmissions used and whether the message got through.
+    The telemetry layer hangs its retry histogram here; observation
+    never perturbs the channel's deterministic coins. *)

@@ -1,0 +1,10 @@
+(** `mrdetect top`: terminal dashboard over the always-on
+    {!Netsim.Stats} collectors.
+
+    {!render} builds one frame — headline series with Unicode-block
+    sparklines and trailing rates, latency/round/detection quantiles,
+    control-channel counters, per-router queue depths.  The driver
+    repaints it in place on a TTY and prints only the final frame
+    otherwise. *)
+
+val render : now:float -> duration:float -> Netsim.Stats.t -> string

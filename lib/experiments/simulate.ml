@@ -209,17 +209,23 @@ let summary_json ~scenario ~attack_start net probe profile =
       ("detection", Assoc detection);
       ("engine", Assoc engine);
       ("phases", Telemetry.Profile.json profile);
-      ("metrics", json_of_registry (Probe.registry probe)) ]
+      ("metrics", json_of_registry (Probe.registry probe));
+      ("stats",
+       match Net.stats net with Some st -> Stats.to_json st | None -> Null) ]
 
-let write_metrics path doc probe =
+let write_metrics path doc net probe =
   (* A .prom / .txt suffix selects the Prometheus text exposition format;
      anything else gets the JSON document. *)
   if Filename.check_suffix path ".prom" || Filename.check_suffix path ".txt" then begin
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (Telemetry.Export.prometheus_of_registry
-                                     (Probe.registry probe)))
+      (fun () ->
+        output_string oc (Telemetry.Export.prometheus_of_registry
+                            (Probe.registry probe));
+        match Net.stats net with
+        | Some st -> output_string oc (Stats.prometheus st)
+        | None -> ())
   end
   else Telemetry.Export.write_file path doc
 
@@ -229,7 +235,7 @@ let write_journal path probe =
 
 (* --- the scenario ----------------------------------------------------- *)
 
-let run (config : Config.t) =
+let run ?on_progress ?(progress_interval = 0.5) (config : Config.t) =
   let { Config.topo; protocol; attack; attacker; duration; seed; flows; trace;
         metrics; journal; trace_out; trace_sample; faults; shards } =
     match Config.validate config with
@@ -270,7 +276,7 @@ let run (config : Config.t) =
     (* Fault injection always carries a probe: the oracle needs the
        journaled fault records and verdicts to score the run. *)
     if metrics <> None || journal <> None || Option.is_some span_tracer
-       || fault_schedule <> None
+       || fault_schedule <> None || on_progress <> None
     then
       Some
         (Probe.create
@@ -288,6 +294,10 @@ let run (config : Config.t) =
     Telemetry.Profile.time profile "setup" (fun () ->
         let net = Net.create ~seed ~jitter_bound:200e-6 ~shards g in
         Net.set_probe net probe;
+        (* Arm the detection-latency histograms before any traffic runs. *)
+        (match Net.stats net with
+        | Some st -> Stats.set_attack_start st attack_start
+        | None -> ());
         let rt = Topology.Routing.compute g in
         Net.use_routing net rt;
         (* Ground truth. *)
@@ -332,6 +342,12 @@ let run (config : Config.t) =
       fault_schedule
   in
   let fault_ctrl = Option.map Faults.Injector.ctrl fault_schedule in
+  (* Retry telemetry: every control-plane send feeds the stats histogram. *)
+  (match (fault_ctrl, Net.stats net) with
+  | Some c, Some st ->
+      Core.Ctrl.set_observer c
+        (Some (fun ~attempts ~ok -> Stats.on_ctrl_send st ~attempts ~ok))
+  | _ -> ());
   let fault_skew =
     Option.map
       (fun s ->
@@ -359,11 +375,29 @@ let run (config : Config.t) =
   in
   Net.subscribe_link_state net (fun ~src ~dst ~up ->
       Core.Detector.on_ctrl inst ~now:(Sim.now (Net.sim net)) ~src ~dst ~up);
-  (try
-     Telemetry.Profile.time profile "run" (fun () ->
-         Net.run ~until:duration
-           ~on_epoch:(fun ~now -> Core.Detector.on_round inst ~now)
-           net)
+  let on_epoch ~now =
+    Core.Detector.on_round inst ~now;
+    (* Sharded engine: the epoch barrier doubles as the live-view tick. *)
+    match on_progress with
+    | Some f when shards > 0 -> f ~now net
+    | _ -> ()
+  in
+  let drive () =
+    match on_progress with
+    | Some f when shards = 0 ->
+        (* Classic engine: slice the run.  [Sim.run ~until] pops the
+           same heap in the same order whatever the slicing, so output
+           is byte-identical to a single-shot run. *)
+        let rec go t =
+          let t' = Float.min duration (t +. progress_interval) in
+          Net.run ~until:t' ~on_epoch net;
+          f ~now:t' net;
+          if t' < duration then go t'
+        in
+        go 0.0
+    | _ -> Net.run ~until:duration ~on_epoch net
+  in
+  (try Telemetry.Profile.time profile "run" drive
    with e ->
      (* Flight recorder: a crash mid-run still leaves the pinned spans
         and recent window on disk before the exception propagates. *)
@@ -417,7 +451,7 @@ let run (config : Config.t) =
            match faults with Some path -> String path | None -> Null) ]
       in
       let doc = summary_json ~scenario ~attack_start net probe profile in
-      (match metrics with Some path -> write_metrics path doc probe | None -> ());
+      (match metrics with Some path -> write_metrics path doc net probe | None -> ());
       (match journal with Some path -> write_journal path probe | None -> ());
       (match (trace_out, span_tracer) with
       | Some path, Some sp ->

@@ -115,7 +115,11 @@ module Config : sig
   (** Parse the raw command-line spellings and {!validate} the result. *)
 end
 
-val run : Config.t -> unit
+val run :
+  ?on_progress:(now:float -> Netsim.Net.t -> unit) ->
+  ?progress_interval:float ->
+  Config.t ->
+  unit
 (** Build the network ([shards > 0] selects the {!Netsim.Shard}
     conservative-parallel engine), start [flows] CBR flows between
     distinct random pairs plus TCP where the detector needs congestion,
@@ -138,4 +142,11 @@ val run : Config.t -> unit
     {!Faults.Oracle} scoring of every verdict against ground truth.
     Raises [Invalid_argument] when {!Config.validate} rejects the
     configuration, when the fault plan does not parse, or when it names
-    routers or links outside the topology. *)
+    routers or links outside the topology.
+
+    [on_progress] is the live-view hook ([mrdetect top]): it fires every
+    [progress_interval] sim seconds (default 0.5) on the classic engine
+    — which is sliced into multiple [Net.run] calls, byte-identical to a
+    single-shot run — and at every epoch barrier on the sharded engine.
+    Passing it forces a probe (and thus the always-on {!Netsim.Stats}
+    collector) even with no exports configured. *)

@@ -9,8 +9,13 @@ type outcome = {
   recall : float;
   false_accusation_rate : float;
   detection_latency : float option;
+  latency_hist : Telemetry.Hist.t;
   faults_injected : int;
 }
+
+(* Same geometry as {!Netsim.Stats}' detection-latency histogram, so
+   oracle quantiles and the always-on stats layer bucket identically. *)
+let latency_hist_create () = Telemetry.Hist.create ~buckets:20 ~min_exp:(-4) ()
 
 let implicated (v : Netsim.Probe.verdict) =
   match v.Netsim.Probe.subject with
@@ -26,12 +31,14 @@ let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
   let true_alarms = ref 0 in
   let false_alarms = ref 0 in
   let first_true = ref None in
+  let latency_hist = latency_hist_create () in
   List.iter
     (fun (v : Netsim.Probe.verdict) ->
       let accused = implicated v in
       let hits = List.filter is_malicious accused in
       if hits <> [] then begin
         incr true_alarms;
+        Telemetry.Hist.record latency_hist (v.Netsim.Probe.time -. attack_start);
         List.iter
           (fun r -> if not (List.mem r !detected) then detected := r :: !detected)
           hits;
@@ -66,6 +73,7 @@ let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
       (if n_verdicts = 0 then 0.0
        else float_of_int !false_alarms /. float_of_int n_verdicts);
     detection_latency = Option.map (fun t -> t -. attack_start) !first_true;
+    latency_hist;
     faults_injected }
 
 let verdicts_of_probe = Netsim.Probe.verdicts
@@ -74,6 +82,20 @@ let of_probe ~malicious ?attack_start probe =
   score ~malicious ?attack_start
     ~faults_injected:(Netsim.Probe.faults_recorded probe)
     (verdicts_of_probe probe)
+
+(* Quantiles over every true alarm's latency (not just the first):
+   bucket upper bounds from the mergeable histogram, so the numbers are
+   deterministic and identical however per-trial outcomes are merged. *)
+let latency_quantiles_json h =
+  let open Telemetry.Export in
+  if Telemetry.Hist.count h = 0 then Null
+  else
+    Assoc
+      [ ("count", Int (Telemetry.Hist.count h));
+        ("mean", Float (Telemetry.Hist.mean h));
+        ("p50", Float (Telemetry.Hist.p50 h));
+        ("p95", Float (Telemetry.Hist.p95 h));
+        ("p99", Float (Telemetry.Hist.p99 h)) ]
 
 let json_of_outcome o =
   let open Telemetry.Export in
@@ -89,6 +111,7 @@ let json_of_outcome o =
       ("false_accusation_rate", Float o.false_accusation_rate);
       ( "detection_latency",
         match o.detection_latency with Some l -> Float l | None -> Null );
+      ("detection_latency_quantiles", latency_quantiles_json o.latency_hist);
       ("faults_injected", Int o.faults_injected) ]
 
 let json_report ?label o =
@@ -105,6 +128,12 @@ let merge_json outcomes =
   let worst_recall = fold (fun acc o -> Float.min acc o.recall) 1.0 in
   let worst_far = fold (fun acc o -> Float.max acc o.false_accusation_rate) 0.0 in
   let total_false = fold (fun acc o -> acc + o.false_alarms) 0 in
+  (* Exact integer merge of the per-run histograms: the aggregate
+     quantiles are byte-identical whatever order the runs arrive in. *)
+  let merged_latency = latency_hist_create () in
+  List.iter
+    (fun o -> Telemetry.Hist.merge_into ~into:merged_latency o.latency_hist)
+    outcomes;
   Assoc
     [ ("schema", String "mrdetect-robustness-v1");
       ("runs", List (List.map json_of_outcome outcomes));
@@ -113,4 +142,6 @@ let merge_json outcomes =
           [ ("worst_precision", Float worst_precision);
             ("worst_recall", Float worst_recall);
             ("worst_false_accusation_rate", Float worst_far);
-            ("total_false_alarms", Int total_false) ] ) ]
+            ("total_false_alarms", Int total_false);
+            ( "detection_latency_quantiles",
+              latency_quantiles_json merged_latency ) ] ) ]

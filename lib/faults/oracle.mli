@@ -33,6 +33,13 @@ type outcome = {
   recall : float;
   false_accusation_rate : float;
   detection_latency : float option;
+  latency_hist : Telemetry.Hist.t;
+      (** latency of {e every} true alarm (not just the first), in a
+          mergeable histogram bucketed like {!Netsim.Stats}' detection
+          hist — the source of the report's
+          [detection_latency_quantiles] (count/mean/p50/p95/p99, [null]
+          when no true alarm fired) and, merged exactly across runs, of
+          the same field under [aggregate] in {!merge_json}. *)
   faults_injected : int;   (** benign fault records in the run *)
 }
 

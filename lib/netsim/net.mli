@@ -108,9 +108,18 @@ val subscribe_link_state : t -> (src:int -> dst:int -> up:bool -> unit) -> unit
 val set_probe : t -> Probe.t option -> unit
 (** Attach (or detach) the telemetry probe: every iface/router event and
     every origination is counted and journaled through it.  With no
-    probe attached the per-event overhead is one pointer test. *)
+    probe attached the per-event overhead is one pointer test.
+    Attaching a probe also creates the always-on {!Stats} collector
+    (see {!stats}); in sharded mode, one local collector per shard is
+    fed on the shard domains and drained into the main one at every
+    epoch barrier, so the aggregate is byte-identical for every shard
+    count [K >= 1]. *)
 
 val probe : t -> Probe.t option
+
+val stats : t -> Stats.t option
+(** The always-on time-series collector riding with the probe; [None]
+    when no probe is attached. *)
 
 val attach_app : t -> node:int -> (Packet.t -> unit) -> unit
 (** Register a local-delivery handler at a node; every handler attached

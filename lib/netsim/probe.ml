@@ -70,6 +70,10 @@ type t = {
      fresh records, so branches never share a window. *)
   tracer : Telemetry.Span.t option;
   named_tracks : (int, unit) Hashtbl.t;
+  (* Always-on stats collector (wired by [Net.set_probe]): verdicts,
+     round durations and faults feed its control-plane series directly —
+     they happen on the coordinator, outside any shard window. *)
+  mutable stats : Stats.t option;
 }
 
 let iface_packet = function
@@ -126,11 +130,14 @@ let create ?registry ?(journal_capacity = 65536) ?tracer () =
     first_alarm_time = None;
     verdicts_rev = [];
     tracer;
-    named_tracks = Hashtbl.create 16 }
+    named_tracks = Hashtbl.create 16;
+    stats = None }
 
 let registry t = t.registry
 let journal t = t.journal
 let tracer t = t.tracer
+let set_stats t stats = t.stats <- stats
+let stats t = t.stats
 
 (* Name the (netsim, router) track on first use. *)
 let net_track t sp router =
@@ -318,6 +325,9 @@ let record_verdict t ~time ~detector ?subject ?(suspects = []) ?confidence ~alar
   end;
   let v = { time; detector; subject; suspects; confidence; alarm; detail } in
   t.verdicts_rev <- v :: t.verdicts_rev;
+  (match t.stats with
+  | Some st -> Stats.on_verdict st ~time ~detector ~alarm
+  | None -> ());
   Telemetry.Journal.record t.journal (Verdict v);
   match t.tracer with
   | None -> ()
@@ -332,6 +342,7 @@ let faults_recorded t = Telemetry.Metrics.counter_value t.faults_injected
 
 let record_fault t ~time ~kind ?(routers = []) ?(detail = "") () =
   Telemetry.Metrics.inc t.faults_injected;
+  (match t.stats with Some st -> Stats.on_fault st ~time | None -> ());
   Telemetry.Journal.record t.journal (Fault { time; kind; routers; detail });
   match t.tracer with
   | None -> ()
@@ -352,6 +363,11 @@ let record_fault t ~time ~kind ?(routers = []) ?(detail = "") () =
    so protocol code can call them unconditionally. *)
 
 let trace_span t ~track ~name ?cat ~start ~finish ?routers ?args () =
+  (* Round spans double as the always-on round-duration samples: the
+     stats feed runs with or without a tracer attached. *)
+  (match (t.stats, cat) with
+  | Some st, Some "round" -> Stats.on_round st ~track ~start ~finish
+  | _ -> ());
   match t.tracer with
   | None -> None
   | Some sp ->

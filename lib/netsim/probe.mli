@@ -69,6 +69,13 @@ val journal : t -> event Telemetry.Journal.t
 val tracer : t -> Telemetry.Span.t option
 (** The span collector attached at creation, if any. *)
 
+val set_stats : t -> Stats.t option -> unit
+(** Wire the always-on {!Stats} collector (done by [Net.set_probe]):
+    verdicts, faults and round spans then feed its control-plane series
+    and histograms — with or without a tracer attached. *)
+
+val stats : t -> Stats.t option
+
 val on_originate : t -> Packet.t -> unit
 (** Count an application origination.  With a tracer attached this also
     draws the sampling coin and, when sampled, stamps [Packet.trace]

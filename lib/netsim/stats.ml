@@ -1,0 +1,365 @@
+(* Always-on time-series collection for a simulated run.
+
+   One [Stats.t] rides along with the probe and is fed from the same
+   event sites; everything it keeps is bounded: downsampling
+   [Telemetry.Timeseries] rings for the headline rates, mergeable
+   [Telemetry.Hist] histograms for latencies and durations, and flat
+   per-router / per-link arrays for the topology-shaped counters.
+
+   Sharded runs split the collector in two tiers:
+
+   - {e per-shard locals} ([local]) receive the data-plane events of
+     their shard's windows on the shard's own domain and are folded into
+     the main collector at every epoch barrier ([drain]).  All merged
+     state is integer (bucket counts and fixed-point sums), so the fold
+     is exact — commutative and associative — and the aggregate is
+     byte-identical for every shard count K >= 1.
+
+   - {e shared single-writer state} (queue-depth tracking and the
+     per-link counters) is physically one set of arrays referenced by
+     the main collector and every local: cell [r] is only ever touched
+     by the domain executing router [r]'s events (its owning shard
+     inside a window, the coordinator at a barrier), so sharing is
+     race-free and the running queue depth never splits across
+     collectors.
+
+   Control-plane observations (verdicts, round durations, ctrl channel
+   retries, faults) happen at epoch barriers on the coordinator and feed
+   the main collector directly. *)
+
+module Ts = Telemetry.Timeseries
+module Hist = Telemetry.Hist
+
+(* Headline series: 512 buckets of 50 ms cover 25.6 s before the first
+   coarsening; the default 60 s scenario lands at 100 ms buckets. *)
+let series_capacity = 512
+let series_resolution = 0.05
+
+(* Per-router queue series are coarser: 128 x 100 ms. *)
+let router_capacity = 128
+let router_resolution = 0.1
+
+type shared = {
+  n : int;
+  depth : int array; (* running queued-packet count per router *)
+  queue_depth : Ts.t array; (* event-weighted depth samples per router *)
+  link_tx : int array; (* (router * n + next) transmit starts *)
+  link_drop : int array; (* (router * n + next) iface drops *)
+}
+
+type t = {
+  shared : shared;
+  (* Mergeable data-plane collectors (per-shard local in sharded runs). *)
+  injected : Ts.t;
+  delivered : Ts.t;
+  enqueued : Ts.t;
+  dropped : Ts.t;
+  malice : Ts.t;
+  latency : Hist.t; (* origination-to-delivery, matches probe geometry *)
+  (* Control plane: main collector only (locals leave these empty). *)
+  verdicts : Ts.t;
+  alarms : Ts.t;
+  faults : Ts.t;
+  round_duration : (string, Hist.t) Hashtbl.t; (* per protocol *)
+  detection_latency : (string, Hist.t) Hashtbl.t; (* per detector, alarms *)
+  ctrl_attempts : Hist.t; (* transmissions per ctrl send *)
+  mutable ctrl_sends : int;
+  mutable ctrl_timeouts : int;
+  mutable attack_start : float; (* negative: unknown *)
+}
+
+let headline () = Ts.create ~capacity:series_capacity ~resolution:series_resolution ()
+let latency_hist () = Hist.create ~buckets:24 ~min_exp:(-14) ()
+let round_hist () = Hist.create ~buckets:20 ~min_exp:(-10) ()
+let detect_hist () = Hist.create ~buckets:20 ~min_exp:(-4) ()
+
+let of_shared shared =
+  { shared;
+    injected = headline ();
+    delivered = headline ();
+    enqueued = headline ();
+    dropped = headline ();
+    malice = headline ();
+    latency = latency_hist ();
+    verdicts = headline ();
+    alarms = headline ();
+    faults = headline ();
+    round_duration = Hashtbl.create 8;
+    detection_latency = Hashtbl.create 8;
+    ctrl_attempts = Hist.create ~buckets:8 ~min_exp:0 ();
+    ctrl_sends = 0;
+    ctrl_timeouts = 0;
+    attack_start = -1.0 }
+
+let create ~n () =
+  of_shared
+    { n;
+      depth = Array.make n 0;
+      queue_depth =
+        Array.init n (fun _ ->
+            Ts.create ~capacity:router_capacity ~resolution:router_resolution ());
+      link_tx = Array.make (n * n) 0;
+      link_drop = Array.make (n * n) 0 }
+
+let local t = of_shared t.shared
+
+let routers t = t.shared.n
+let set_attack_start t time = t.attack_start <- time
+let attack_start t = if t.attack_start < 0.0 then None else Some t.attack_start
+
+(* --- data plane ----------------------------------------------------- *)
+
+let on_originate t ~time (_pkt : Packet.t) = Ts.record t.injected ~time 1.0
+
+let depth_sample sh ~time router =
+  Ts.record sh.queue_depth.(router) ~time (float_of_int sh.depth.(router))
+
+let on_iface t ~time ~router ~next (ev : Iface.event) =
+  let sh = t.shared in
+  let link = (router * sh.n) + next in
+  match ev with
+  | Iface.Enqueued _ ->
+      Ts.record t.enqueued ~time 1.0;
+      sh.depth.(router) <- sh.depth.(router) + 1;
+      depth_sample sh ~time router
+  | Iface.Transmit_start _ ->
+      sh.link_tx.(link) <- sh.link_tx.(link) + 1;
+      if sh.depth.(router) > 0 then sh.depth.(router) <- sh.depth.(router) - 1;
+      depth_sample sh ~time router
+  | Iface.Drop_link_down _ ->
+      Ts.record t.dropped ~time 1.0;
+      sh.link_drop.(link) <- sh.link_drop.(link) + 1;
+      (* The packet had left the queue (or the queue is being flushed);
+         keep the running depth honest either way. *)
+      if sh.depth.(router) > 0 then sh.depth.(router) <- sh.depth.(router) - 1;
+      depth_sample sh ~time router
+  | Iface.Drop_congestion _ | Iface.Drop_red_early _ | Iface.Drop_corrupted _ ->
+      Ts.record t.dropped ~time 1.0;
+      sh.link_drop.(link) <- sh.link_drop.(link) + 1
+  | Iface.Delivered _ -> ()
+
+let on_router t ~time ~router:_ (ev : Router.event) =
+  match ev with
+  | Router.Delivered_local pkt ->
+      Ts.record t.delivered ~time 1.0;
+      Hist.record t.latency (time -. pkt.Packet.created)
+  | Router.Malicious_drop _ ->
+      Ts.record t.dropped ~time 1.0;
+      Ts.record t.malice ~time 1.0
+  | Router.Malicious_modify _ | Router.Malicious_delay _ | Router.Fabricated _ ->
+      Ts.record t.malice ~time 1.0
+  | Router.No_route _ | Router.Ttl_expired _ -> Ts.record t.dropped ~time 1.0
+  | Router.Fragmented _ -> ()
+
+(* --- control plane --------------------------------------------------- *)
+
+let find_hist tbl fresh key =
+  match Hashtbl.find_opt tbl key with
+  | Some h -> h
+  | None ->
+      let h = fresh () in
+      Hashtbl.add tbl key h;
+      h
+
+let on_verdict t ~time ~detector ~alarm =
+  Ts.record t.verdicts ~time 1.0;
+  if alarm then begin
+    Ts.record t.alarms ~time 1.0;
+    if t.attack_start >= 0.0 && time >= t.attack_start then
+      Hist.record
+        (find_hist t.detection_latency detect_hist detector)
+        (time -. t.attack_start)
+  end
+
+(* Round spans arrive keyed by their trace track ("fatih", "chi r3");
+   the protocol is the first token, so per-router chi tracks fold into
+   one per-protocol histogram. *)
+let protocol_of_track track =
+  match String.index_opt track ' ' with
+  | None -> track
+  | Some i -> String.sub track 0 i
+
+let on_round t ~track ~start ~finish =
+  Hist.record
+    (find_hist t.round_duration round_hist (protocol_of_track track))
+    (finish -. start)
+
+let on_ctrl_send t ~attempts ~ok =
+  t.ctrl_sends <- t.ctrl_sends + 1;
+  if not ok then t.ctrl_timeouts <- t.ctrl_timeouts + 1;
+  Hist.record t.ctrl_attempts (float_of_int attempts)
+
+let on_fault t ~time = Ts.record t.faults ~time 1.0
+
+(* --- epoch-barrier aggregation --------------------------------------- *)
+
+let merge_tbl ~into fresh src =
+  Hashtbl.iter
+    (fun key h -> Hist.merge_into ~into:(find_hist into fresh key) h)
+    src
+
+let merge_into ~into src =
+  Ts.merge_into ~into:into.injected src.injected;
+  Ts.merge_into ~into:into.delivered src.delivered;
+  Ts.merge_into ~into:into.enqueued src.enqueued;
+  Ts.merge_into ~into:into.dropped src.dropped;
+  Ts.merge_into ~into:into.malice src.malice;
+  Hist.merge_into ~into:into.latency src.latency;
+  Ts.merge_into ~into:into.verdicts src.verdicts;
+  Ts.merge_into ~into:into.alarms src.alarms;
+  Ts.merge_into ~into:into.faults src.faults;
+  merge_tbl ~into:into.round_duration round_hist src.round_duration;
+  merge_tbl ~into:into.detection_latency detect_hist src.detection_latency;
+  Hist.merge_into ~into:into.ctrl_attempts src.ctrl_attempts;
+  into.ctrl_sends <- into.ctrl_sends + src.ctrl_sends;
+  into.ctrl_timeouts <- into.ctrl_timeouts + src.ctrl_timeouts
+
+let drain ~into src =
+  merge_into ~into src;
+  Ts.clear src.injected;
+  Ts.clear src.delivered;
+  Ts.clear src.enqueued;
+  Ts.clear src.dropped;
+  Ts.clear src.malice;
+  Hist.clear src.latency;
+  Ts.clear src.verdicts;
+  Ts.clear src.alarms;
+  Ts.clear src.faults;
+  Hashtbl.reset src.round_duration;
+  Hashtbl.reset src.detection_latency;
+  Hist.clear src.ctrl_attempts;
+  src.ctrl_sends <- 0;
+  src.ctrl_timeouts <- 0
+
+(* --- JSON view ------------------------------------------------------- *)
+
+let series_json name ts =
+  let open Telemetry.Export in
+  let nb = Ts.used ts in
+  Assoc
+    [ ("name", String name);
+      ("resolution", Float (Ts.resolution ts));
+      ("counts", List (List.init nb (fun i -> Int (Ts.bucket_count ts i))));
+      ("sums", List (List.init nb (fun i -> Float (Ts.bucket_sum ts i)))) ]
+
+let hist_json name h =
+  let open Telemetry.Export in
+  Assoc
+    [ ("name", String name);
+      ("uppers",
+       List (Array.to_list (Array.map (fun u -> Float u) (Hist.uppers h))));
+      ("counts",
+       List (List.init (Hist.buckets h) (fun i -> Int (Hist.bucket_count h i))));
+      ("count", Int (Hist.count h));
+      ("sum", Float (Hist.sum h));
+      ("p50", Float (Hist.p50 h));
+      ("p95", Float (Hist.p95 h));
+      ("p99", Float (Hist.p99 h)) ]
+
+let sorted_hists tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json t =
+  let open Telemetry.Export in
+  let sh = t.shared in
+  let series =
+    [ ("injected", t.injected); ("delivered", t.delivered);
+      ("enqueued", t.enqueued); ("dropped", t.dropped); ("malice", t.malice);
+      ("verdicts", t.verdicts); ("alarms", t.alarms); ("faults", t.faults) ]
+  in
+  let hists =
+    (("delivery_latency", t.latency) :: ("ctrl_attempts", t.ctrl_attempts)
+     :: List.map
+          (fun (k, h) -> ("round_duration:" ^ k, h))
+          (sorted_hists t.round_duration))
+    @ List.map
+        (fun (k, h) -> ("detection_latency:" ^ k, h))
+        (sorted_hists t.detection_latency)
+  in
+  let links =
+    let acc = ref [] in
+    for r = sh.n - 1 downto 0 do
+      for nx = sh.n - 1 downto 0 do
+        let i = (r * sh.n) + nx in
+        if sh.link_tx.(i) > 0 || sh.link_drop.(i) > 0 then
+          acc :=
+            Assoc
+              [ ("src", Int r); ("dst", Int nx);
+                ("tx", Int sh.link_tx.(i)); ("drops", Int sh.link_drop.(i)) ]
+            :: !acc
+      done
+    done;
+    !acc
+  in
+  let routers =
+    List.init sh.n (fun r ->
+        Assoc
+          [ ("router", Int r);
+            ("queue_depth", series_json "queue_depth" sh.queue_depth.(r)) ])
+  in
+  Assoc
+    [ ("series", List (List.map (fun (n, ts) -> series_json n ts) series));
+      ("hists", List (List.map (fun (n, h) -> hist_json n h) hists));
+      ("ctrl",
+       Assoc
+         [ ("sends", Int t.ctrl_sends); ("timeouts", Int t.ctrl_timeouts) ]);
+      ("links", List links);
+      ("routers", List routers) ]
+
+(* Prometheus text rendering of the same collectors: histogram [le=]
+   edges come from [Hist.uppers] via the shared exporter, per-protocol
+   histograms become labelled series. *)
+let prometheus t =
+  let open Telemetry.Export in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (n, ts) -> prometheus_append_timeseries buf ~name:("stats_" ^ n) ts)
+    [ ("injected", t.injected); ("delivered", t.delivered);
+      ("enqueued", t.enqueued); ("dropped", t.dropped); ("malice", t.malice);
+      ("verdicts", t.verdicts); ("alarms", t.alarms); ("faults", t.faults) ];
+  prometheus_append_hist buf ~name:"stats_delivery_latency_seconds"
+    ~help:"origination-to-delivery latency" t.latency;
+  prometheus_append_hist buf ~name:"stats_ctrl_attempts"
+    ~help:"transmissions per control-plane send" t.ctrl_attempts;
+  List.iter
+    (fun (k, h) ->
+      prometheus_append_hist buf ~name:"stats_round_duration_seconds"
+        ~labels:[ ("protocol", k) ] h)
+    (sorted_hists t.round_duration);
+  List.iter
+    (fun (k, h) ->
+      prometheus_append_hist buf ~name:"stats_detection_latency_seconds"
+        ~labels:[ ("detector", k) ] h)
+    (sorted_hists t.detection_latency);
+  Buffer.add_string buf "# TYPE stats_ctrl_sends counter\n";
+  Buffer.add_string buf (Printf.sprintf "stats_ctrl_sends %d\n" t.ctrl_sends);
+  Buffer.add_string buf "# TYPE stats_ctrl_timeouts counter\n";
+  Buffer.add_string buf (Printf.sprintf "stats_ctrl_timeouts %d\n" t.ctrl_timeouts);
+  Array.iteri
+    (fun r ts ->
+      prometheus_append_timeseries buf ~name:"stats_queue_depth"
+        ~labels:[ ("router", string_of_int r) ] ts)
+    t.shared.queue_depth;
+  Buffer.contents buf
+
+let json_of_series = series_json
+let json_of_hist = hist_json
+
+(* Accessors for the live view and the exporters. *)
+let injected t = t.injected
+let delivered t = t.delivered
+let enqueued t = t.enqueued
+let dropped t = t.dropped
+let malice t = t.malice
+let alarms t = t.alarms
+let delivery_latency t = t.latency
+let ctrl_attempts_hist t = t.ctrl_attempts
+let ctrl_sends t = t.ctrl_sends
+let ctrl_timeouts t = t.ctrl_timeouts
+let queue_depth t r = t.shared.queue_depth.(r)
+let link_tx t ~src ~dst = t.shared.link_tx.((src * t.shared.n) + dst)
+let link_drops t ~src ~dst = t.shared.link_drop.((src * t.shared.n) + dst)
+
+let round_durations t = sorted_hists t.round_duration
+let detection_latencies t = sorted_hists t.detection_latency

@@ -287,6 +287,67 @@ let json_of_registry reg =
            @ json_of_sample sample))
        (Metrics.snapshot reg))
 
+(* --- Hist / Timeseries exporters --- *)
+
+let json_of_hist h =
+  Assoc
+    [ ("min_exp", Int (Hist.min_exp h));
+      ("counts",
+       List (List.init (Hist.buckets h) (fun i -> Int (Hist.bucket_count h i))));
+      ("sum", Float (Hist.sum h)) ]
+
+let int_list_of_json j =
+  match to_list_opt j with
+  | None -> None
+  | Some xs ->
+      let ints = List.filter_map to_int xs in
+      if List.length ints = List.length xs then Some (Array.of_list ints) else None
+
+let float_list_of_json j =
+  match to_list_opt j with
+  | None -> None
+  | Some xs ->
+      let fs = List.filter_map to_float xs in
+      if List.length fs = List.length xs then Some (Array.of_list fs) else None
+
+let hist_of_json j =
+  match
+    ( Option.bind (member "min_exp" j) to_int,
+      Option.bind (member "counts" j) int_list_of_json,
+      Option.bind (member "sum" j) to_float )
+  with
+  | Some min_exp, Some counts, Some sum -> (
+      match Hist.of_raw ~min_exp ~counts ~sum with
+      | h -> Ok h
+      | exception Invalid_argument msg -> Error msg)
+  | _ -> Error "hist_of_json: expected {min_exp, counts, sum}"
+
+let json_of_timeseries ts =
+  let nb = Timeseries.used ts in
+  Assoc
+    [ ("capacity", Int (Timeseries.capacity ts));
+      ("base_resolution", Float (Timeseries.base_resolution ts));
+      ("level", Int (Timeseries.level ts));
+      ("counts", List (List.init nb (fun i -> Int (Timeseries.bucket_count ts i))));
+      ("sums", List (List.init nb (fun i -> Float (Timeseries.bucket_sum ts i)))) ]
+
+let timeseries_of_json j =
+  match
+    ( Option.bind (member "capacity" j) to_int,
+      Option.bind (member "base_resolution" j) to_float,
+      Option.bind (member "level" j) to_int,
+      Option.bind (member "counts" j) int_list_of_json,
+      Option.bind (member "sums" j) float_list_of_json )
+  with
+  | Some capacity, Some resolution, Some level, Some counts, Some sums -> (
+      match Timeseries.of_raw ~capacity ~resolution ~level ~counts ~sums with
+      | ts -> Ok ts
+      | exception Invalid_argument msg -> Error msg)
+  | _ ->
+      Error
+        "timeseries_of_json: expected {capacity, base_resolution, level, counts, \
+         sums}"
+
 let prom_escape s =
   String.concat ""
     (List.map
@@ -349,4 +410,55 @@ let prometheus_of_registry reg =
           Buffer.add_string buf
             (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) count))
     (Metrics.snapshot reg);
+  Buffer.contents buf
+
+(* Prometheus rendering for the always-on collectors.  The [le=] edges
+   are taken straight from [Hist.uppers], which shares its geometry with
+   [Metrics.histogram] — the two exposition paths agree edge for edge. *)
+let prometheus_append_hist buf ~name ?(help = "") ?(labels = []) h =
+  if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let uppers = Hist.uppers h in
+  let cumulative = ref 0 in
+  Array.iteri
+    (fun i upper ->
+      cumulative := !cumulative + Hist.bucket_count h i;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" name
+           (prom_labels (labels @ [ ("le", prom_float upper) ]))
+           !cumulative))
+    uppers;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
+       (prom_float (Hist.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) (Hist.count h))
+
+let prometheus_of_hist ~name ?help ?labels h =
+  let buf = Buffer.create 512 in
+  prometheus_append_hist buf ~name ?help ?labels h;
+  Buffer.contents buf
+
+(* A time series becomes two gauge vectors labelled by the inclusive
+   bucket start time: per-bucket event counts and value sums. *)
+let prometheus_append_timeseries buf ~name ?(help = "") ?(labels = []) ts =
+  let emit suffix value_of =
+    let metric = name ^ suffix in
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" metric help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" metric);
+    for i = 0 to Timeseries.used ts - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" metric
+           (prom_labels
+              (labels @ [ ("t", prom_float (Timeseries.bucket_start ts i)) ]))
+           (value_of i))
+    done
+  in
+  emit "_bucket_count" (fun i -> string_of_int (Timeseries.bucket_count ts i));
+  emit "_bucket_sum" (fun i -> prom_float (Timeseries.bucket_sum ts i))
+
+let prometheus_of_timeseries ~name ?help ?labels ts =
+  let buf = Buffer.create 512 in
+  prometheus_append_timeseries buf ~name ?help ?labels ts;
   Buffer.contents buf

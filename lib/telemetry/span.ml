@@ -4,7 +4,7 @@ let network_pid = 1
 let detector_pid = 2
 
 type kind =
-  | Complete of { duration : float }
+  | Complete of { mutable duration : float }
   | Instant
   | Verdict of {
       detector : string;
@@ -24,19 +24,23 @@ type kind =
    sentinel can never collide. *)
 let no_field = min_int
 
+(* The hop-entry fields are mutable so evicted hop records can be
+   recycled in place on the full-rate path (see [hop_span]); [cat],
+   [routers], [args] and [kind] stay immutable — recycling is restricted
+   to entries where those already hold the hop-span values. *)
 type entry = {
-  id : id;
-  trace : int;
-  name : string;
+  mutable id : id;
+  mutable trace : int;
+  mutable name : string;
   cat : string;
-  pid : int;
-  tid : int;
-  time : float;
+  mutable pid : int;
+  mutable tid : int;
+  mutable time : float;
   routers : int list;
   args : (string * Export.json) list;
-  hop_r1 : int;
-  hop_r2 : int;
-  hop_pkt : int;
+  mutable hop_r1 : int;
+  mutable hop_r2 : int;
+  mutable hop_pkt : int;
   kind : kind;
 }
 
@@ -155,13 +159,44 @@ let instant t ?(trace = 0) ~name ?(cat = "") ~pid ~tid ~time ?(routers = [])
 
 (* The full-rate tracing fast path: a per-hop span whose two routers
    and packet uid live in inline int fields (exported identically to
-   [~routers:[router; next] ~args:[("pkt", ...); ("next", ...)]]). *)
+   [~routers:[router; next] ~args:[("pkt", ...); ("next", ...)]]).
+
+   Once the ring has wrapped, the entry being evicted is recycled in
+   place instead of allocating a fresh record — but only when it is
+   itself an unpinned hop entry, so the immutable [cat]/[routers]/
+   [args] fields already hold the hop-span values and no reference to
+   it survives in the flight recorder.  Sustained full-rate tracing
+   then allocates only the boxed float writes, not a record plus a
+   [Complete] block per hop. *)
 let hop_span t ~trace ~name ~pid ~tid ~start ~finish ~router ~next ~pkt =
   let id = fresh_id t in
-  Journal.record t.ring
-    { id; trace; name; cat = "hop"; pid; tid; time = start; routers = [];
-      args = []; hop_r1 = router; hop_r2 = next; hop_pkt = pkt;
-      kind = Complete { duration = Float.max 0.0 (finish -. start) } };
+  let duration = Float.max 0.0 (finish -. start) in
+  let recycled =
+    match Journal.recycle t.ring with
+    | Some e
+      when e.hop_pkt <> no_field && not (Hashtbl.mem t.pinned_ids e.id) -> (
+        match e.kind with
+        | Complete c ->
+            e.id <- id;
+            e.trace <- trace;
+            e.name <- name;
+            e.pid <- pid;
+            e.tid <- tid;
+            e.time <- start;
+            e.hop_r1 <- router;
+            e.hop_r2 <- next;
+            e.hop_pkt <- pkt;
+            c.duration <- duration;
+            Journal.record t.ring e;
+            true
+        | Instant | Verdict _ -> false)
+    | _ -> false
+  in
+  if not recycled then
+    Journal.record t.ring
+      { id; trace; name; cat = "hop"; pid; tid; time = start; routers = [];
+        args = []; hop_r1 = router; hop_r2 = next; hop_pkt = pkt;
+        kind = Complete { duration } };
   id
 
 (* --- flight recorder --- *)

@@ -40,7 +40,8 @@ val detector_pid : int
 (** Track group for detectors and protocols: tids from {!thread}. *)
 
 type kind =
-  | Complete of { duration : float }  (** a span: [time .. time+duration] *)
+  | Complete of { mutable duration : float }
+      (** a span: [time .. time+duration] *)
   | Instant
   | Verdict of {
       detector : string;
@@ -52,19 +53,23 @@ type kind =
       evidence : id list;  (** entry ids justifying the accusation *)
     }
 
+(** Hop-entry fields are mutable so the collector can recycle evicted
+    hop records in place on the full-rate path (see {!hop_span}); hold
+    no reference to an entry across further recording — read what you
+    need while iterating. *)
 type entry = {
-  id : id;
-  trace : int;  (** trace id; 0 = not part of a packet trace *)
-  name : string;
+  mutable id : id;
+  mutable trace : int;  (** trace id; 0 = not part of a packet trace *)
+  mutable name : string;
   cat : string;
-  pid : int;
-  tid : int;
-  time : float;  (** seconds (sim clock); start time for spans *)
+  mutable pid : int;
+  mutable tid : int;
+  mutable time : float;  (** seconds (sim clock); start time for spans *)
   routers : int list;  (** routers this entry concerns (flight-recorder key) *)
   args : (string * Export.json) list;
-  hop_r1 : int;  (** inline router/packet fields used by {!hop_span} in *)
-  hop_r2 : int;  (** place of [routers]/[args]; {!no_field} = absent.   *)
-  hop_pkt : int; (** Read through {!entry_routers} / {!entry_args}.     *)
+  mutable hop_r1 : int;  (** inline router/packet fields used by {!hop_span} *)
+  mutable hop_r2 : int;  (** in place of [routers]/[args]; {!no_field} =    *)
+  mutable hop_pkt : int; (** absent.  Read via {!entry_routers}/{!entry_args}. *)
   kind : kind;
 }
 
@@ -151,7 +156,10 @@ val hop_span :
     ~args:[("pkt", Int pkt); ("next", Int next)]] but the three values
     live in inline int fields, so recording allocates one entry record
     instead of a record plus list cells — exporters see identical
-    output via {!entry_routers}/{!entry_args}. *)
+    output via {!entry_routers}/{!entry_args}.  Once the ring has
+    wrapped, the evicted record is recycled in place when it is itself
+    an unpinned hop entry, making sustained full-rate tracing
+    allocation-free per hop. *)
 
 val instant :
   t ->

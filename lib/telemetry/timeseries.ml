@@ -1,0 +1,137 @@
+(* Fixed-capacity downsampling time series.
+
+   A flat pair of parallel arrays bucketed by sim time: bucket i covers
+   [i*res, (i+1)*res).  When a sample lands past the last bucket the
+   series coarsens — adjacent buckets fold pairwise and the resolution
+   doubles — so memory stays bounded at [capacity] buckets forever while
+   the horizon grows.  Coarsening is aligned at t = 0 and always by
+   powers of two, which is what makes [merge] exact: two series with the
+   same base resolution can be folded to a common (the coarser) level
+   with pure integer index shifts, then added bucket-wise.
+
+   Like Hist, the per-bucket value sums are fixed point (Hist.quantum
+   units) so merging per-shard collectors is commutative AND associative
+   — integer addition all the way down — and therefore yields
+   byte-identical results for every shard count.  [record] is O(1)
+   amortized (a coarsening pass is O(capacity) but halves the used
+   range) and allocation-free after [create]. *)
+
+type t = {
+  capacity : int;
+  res0 : float; (* finest bucket width, sim seconds *)
+  mutable level : int; (* current width = res0 * 2^level *)
+  mutable res : float;
+  counts : int array;
+  sums_q : int array; (* fixed point, Hist.quantum units *)
+  mutable used : int; (* buckets in use: indices [0, used) *)
+}
+
+let create ?(capacity = 256) ~resolution () =
+  if capacity < 2 then invalid_arg "Timeseries.create: capacity < 2";
+  if not (resolution > 0.0) then
+    invalid_arg "Timeseries.create: resolution must be positive";
+  { capacity; res0 = resolution; level = 0; res = resolution;
+    counts = Array.make capacity 0; sums_q = Array.make capacity 0; used = 0 }
+
+let copy t =
+  { t with counts = Array.copy t.counts; sums_q = Array.copy t.sums_q }
+
+let clear t =
+  Array.fill t.counts 0 t.capacity 0;
+  Array.fill t.sums_q 0 t.capacity 0;
+  t.level <- 0;
+  t.res <- t.res0;
+  t.used <- 0
+
+let capacity t = t.capacity
+let base_resolution t = t.res0
+let resolution t = t.res
+let level t = t.level
+let used t = t.used
+let bucket_count t i = t.counts.(i)
+let bucket_sum t i = float_of_int t.sums_q.(i) *. Hist.quantum
+let bucket_start t i = float_of_int i *. t.res
+
+let total_count t =
+  let n = ref 0 in
+  for i = 0 to t.used - 1 do
+    n := !n + t.counts.(i)
+  done;
+  !n
+
+let total_sum t =
+  let s = ref 0 in
+  for i = 0 to t.used - 1 do
+    s := !s + t.sums_q.(i)
+  done;
+  float_of_int !s *. Hist.quantum
+
+(* Fold adjacent pairs: bucket i <- buckets 2i + 2i+1, double res. *)
+let coarsen t =
+  let half = (t.used + 1) / 2 in
+  for i = 0 to half - 1 do
+    let a = 2 * i and b = (2 * i) + 1 in
+    t.counts.(i) <- (t.counts.(a) + if b < t.used then t.counts.(b) else 0);
+    t.sums_q.(i) <- (t.sums_q.(a) + if b < t.used then t.sums_q.(b) else 0)
+  done;
+  Array.fill t.counts half (t.capacity - half) 0;
+  Array.fill t.sums_q half (t.capacity - half) 0;
+  t.used <- half;
+  t.level <- t.level + 1;
+  t.res <- t.res *. 2.0
+
+let record t ~time v =
+  let idx = int_of_float (time /. t.res) in
+  let idx = if idx < 0 then 0 else idx in
+  let idx = ref idx in
+  while !idx >= t.capacity do
+    coarsen t;
+    let i = int_of_float (time /. t.res) in
+    idx := if i < 0 then 0 else i
+  done;
+  let i = !idx in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sums_q.(i) <- t.sums_q.(i) + Hist.quantize v;
+  if i >= t.used then t.used <- i + 1
+
+let same_shape a b = a.capacity = b.capacity && a.res0 = b.res0
+
+let merge_into ~into src =
+  if not (same_shape into src) then
+    invalid_arg "Timeseries.merge_into: incompatible capacity or resolution";
+  while into.level < src.level do
+    coarsen into
+  done;
+  let shift = into.level - src.level in
+  for i = 0 to src.used - 1 do
+    let j = i lsr shift in
+    into.counts.(j) <- into.counts.(j) + src.counts.(i);
+    into.sums_q.(j) <- into.sums_q.(j) + src.sums_q.(i);
+    if j >= into.used then into.used <- j + 1
+  done
+
+let merge a b =
+  let r = copy a in
+  merge_into ~into:r b;
+  r
+
+(* Rebuild from exported raw state (Export round-trips through this).
+   Exported per-bucket sums are exact multiples of Hist.quantum, so the
+   fixed-point representation is recovered losslessly. *)
+let of_raw ~capacity ~resolution ~level ~counts ~sums =
+  if capacity < 2 then invalid_arg "Timeseries.of_raw: capacity < 2";
+  if not (resolution > 0.0) then
+    invalid_arg "Timeseries.of_raw: resolution must be positive";
+  if level < 0 then invalid_arg "Timeseries.of_raw: negative level";
+  let used = Array.length counts in
+  if Array.length sums <> used then
+    invalid_arg "Timeseries.of_raw: counts/sums length mismatch";
+  if used > capacity then invalid_arg "Timeseries.of_raw: more buckets than capacity";
+  let t =
+    { capacity; res0 = resolution; level;
+      res = resolution *. Float.pow 2.0 (float_of_int level);
+      counts = Array.make capacity 0; sums_q = Array.make capacity 0; used }
+  in
+  Array.blit counts 0 t.counts 0 used;
+  Array.iteri (fun i s -> t.sums_q.(i) <- Hist.quantize s) sums;
+  t

@@ -1,0 +1,75 @@
+(** Fixed-capacity downsampling time series.
+
+    Sim-time-bucketed counters and gauges: bucket [i] covers
+    [[i*res, (i+1)*res)].  When a sample lands past the last bucket, the
+    series coarsens — adjacent buckets fold pairwise, the resolution
+    doubles — so memory stays bounded at [capacity] buckets while the
+    horizon grows without limit.  Coarsening is aligned at [t = 0] and
+    by powers of two only, and per-bucket value sums are fixed point
+    ({!Hist.quantum} units), so {!merge} is exact integer arithmetic:
+    commutative, associative, and independent of how per-shard
+    collectors are grouped — the property the sharded engine's
+    epoch-barrier aggregation relies on for byte-identical output.
+
+    {!record} is O(1) amortized and allocation-free after {!create}. *)
+
+type t
+
+val create : ?capacity:int -> resolution:float -> unit -> t
+(** [capacity] (default 256, minimum 2) buckets of [resolution] sim
+    seconds each; the series covers [capacity * resolution] seconds
+    before its first coarsening.  Raises [Invalid_argument] on a
+    capacity below 2 or a non-positive resolution. *)
+
+val copy : t -> t
+val clear : t -> unit
+
+val record : t -> time:float -> float -> unit
+(** Add a sample with value [v] at sim time [time] (negative times clamp
+    to bucket 0).  For counter-style series record [1.0] per event; for
+    gauge-style series record the observed value — per-bucket count and
+    sum support both rate and mean readouts. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src] into [into], coarsening either side to the coarser of the
+    two resolutions first.  Raises [Invalid_argument] when capacity or
+    base resolution differ. *)
+
+val merge : t -> t -> t
+(** Pure merge into a fresh series; commutative and associative. *)
+
+val capacity : t -> int
+
+val base_resolution : t -> float
+(** The finest (creation-time) bucket width. *)
+
+val resolution : t -> float
+(** The current bucket width: [base_resolution * 2^level]. *)
+
+val level : t -> int
+(** How many times the series has coarsened. *)
+
+val used : t -> int
+(** Number of leading buckets in use; valid indices are [0..used-1]. *)
+
+val bucket_count : t -> int -> int
+val bucket_sum : t -> int -> float
+
+val bucket_start : t -> int -> float
+(** Inclusive sim-time lower edge of bucket [i]. *)
+
+val total_count : t -> int
+val total_sum : t -> float
+
+val of_raw :
+  capacity:int ->
+  resolution:float ->
+  level:int ->
+  counts:int array ->
+  sums:float array ->
+  t
+(** Rebuild a series from exported state ({!Export.timeseries_of_json}):
+    [resolution] is the {e base} resolution, [counts]/[sums] the leading
+    used buckets at the given [level].  Exported sums are exact multiples
+    of {!Hist.quantum} and re-quantize losslessly.  Raises
+    [Invalid_argument] on shape errors. *)

@@ -128,13 +128,62 @@ let test_pool_grows_and_counts () =
   Alcotest.(check int) "pool drained" 0 s2.Pool.available;
   ignore again
 
+(* Span-record recycling: once the trace ring has wrapped, each hop
+   span mutates the evicted record in place instead of allocating a
+   fresh record plus a Complete block.  The residual per-hop cost is
+   the boxed float store into the mixed record's [time] field plus
+   [fresh_id] bookkeeping — well under the ~24 words an unrecycled hop
+   entry costs.  [Gc.minor_words] deltas are deterministic counts. *)
+let test_span_recycling () =
+  let capacity = 1024 in
+  let hop sp i =
+    ignore
+      (Telemetry.Span.hop_span sp ~trace:1 ~name:"queue"
+         ~pid:Telemetry.Span.network_pid ~tid:0 ~start:(float_of_int i *. 1e-6)
+         ~finish:((float_of_int i +. 0.5) *. 1e-6)
+         ~router:(i mod 8)
+         ~next:((i + 1) mod 8)
+         ~pkt:i)
+  in
+  let n = 10_000 in
+  let words_per_hop ~wrapped =
+    (* When [wrapped], fill past capacity first so every measured hop
+       recycles; otherwise size the ring so none does. *)
+    let cap = if wrapped then capacity else capacity + (3 * n) in
+    let sp = Telemetry.Span.create ~capacity:cap () in
+    for i = 0 to (2 * capacity) - 1 do
+      hop sp i
+    done;
+    Gc.full_major ();
+    let m0 = Gc.minor_words () in
+    for i = 0 to n - 1 do
+      hop sp (2 * capacity + i)
+    done;
+    (Gc.minor_words () -. m0) /. float_of_int n
+  in
+  let fresh = words_per_hop ~wrapped:false in
+  let recycled = words_per_hop ~wrapped:true in
+  (* The 14-word entry record plus its Complete block no longer
+     allocate (22 -> 8 w/hop measured); what remains is boxed-float
+     traffic at the call boundary, identical in both paths. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "recycled %.2f w/hop saves >= 12 words vs fresh %.2f"
+       recycled fresh)
+    true
+    (recycled <= fresh -. 12.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "recycled residual %.2f w/hop under 10.0" recycled)
+    true (recycled < 10.0)
+
 let () =
   Alcotest.run "alloc"
     [ ( "budget",
         [ Alcotest.test_case "ring8 steady state under ceiling" `Quick
             test_steady_state_budget;
           Alcotest.test_case "pooling inert when observed" `Quick
-            test_pool_inert_when_observed ] );
+            test_pool_inert_when_observed;
+          Alcotest.test_case "span recycling after ring wrap" `Quick
+            test_span_recycling ] );
       ( "poison",
         [ Alcotest.test_case "use-after-free and double release" `Quick
             test_poison_catches_use_after_free;

@@ -345,7 +345,25 @@ let test_oracle_json () =
               Alcotest.(check (float 1e-9)) "worst precision" 1.0 p
           | Some (Telemetry.Export.Int p) ->
               Alcotest.(check int) "worst precision" 1 p
-          | _ -> Alcotest.fail "missing worst_precision")
+          | _ -> Alcotest.fail "missing worst_precision");
+          (* The aggregate latency quantiles merge both runs' histograms:
+             one true alarm at latency 2.0 per run, and 2.0 sits exactly
+             on a bucket edge of the (20, -4) geometry, so the quantile
+             upper bound is 2.0 itself. *)
+          (match Telemetry.Export.member "detection_latency_quantiles" agg with
+          | Some q ->
+              (match Telemetry.Export.member "count" q with
+              | Some (Telemetry.Export.Int n) ->
+                  Alcotest.(check int) "merged latency count" 2 n
+              | _ -> Alcotest.fail "missing latency count");
+              (match
+                 Option.bind
+                   (Telemetry.Export.member "p95" q)
+                   Telemetry.Export.to_float
+               with
+              | Some p -> Alcotest.(check (float 1e-9)) "merged p95" 2.0 p
+              | None -> Alcotest.fail "missing latency p95")
+          | None -> Alcotest.fail "missing detection_latency_quantiles")
       | None -> Alcotest.fail "missing aggregate"
 
 (* --- adversary combinators (and their use by the fault runs) --- *)
