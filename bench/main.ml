@@ -389,32 +389,41 @@ let tracing_overhead ~smoke registry =
    events — so what this measures is the simulation actually getting
    harder: rerouting around downed links, retransmits, journal traffic.
    Writes BENCH_faults.json (skipped on --smoke). *)
+(* One timed run of the fault-overhead reference scenario: events/s on
+   ring8 with an optional schedule applied.  Top-level because the
+   regression gate ({!check_gate}) re-measures the exact workload the
+   recording pass committed to BENCH_faults.json. *)
+let faults_reference_run ~horizon schedule =
+  let g = Topology.Generate.ring ~n:8 in
+  let probe = Netsim.Probe.create ~journal_capacity:4096 () in
+  let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 g in
+  Netsim.Net.set_probe net (Some probe);
+  Netsim.Net.use_routing net (Topology.Routing.compute g);
+  (match schedule with
+  | Some s -> ignore (Faults.Injector.apply ~probe ~net s)
+  | None -> ());
+  List.iter
+    (fun (s, d) ->
+      ignore
+        (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500 ~start:0.0
+           ~stop:horizon))
+    [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
+  ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
+  let t0 = Unix.gettimeofday () in
+  Netsim.Net.run ~until:horizon net;
+  let wall = Unix.gettimeofday () -. t0 in
+  float_of_int (Netsim.Sim.events_processed (Netsim.Net.sim net)) /. wall
+
+let faults_reference_chaos ~horizon budget =
+  Faults.Chaos.generate ~seed:11 ~graph:(Topology.Generate.ring ~n:8)
+    ~duration:horizon ~budget ()
+
 let fault_overhead ~smoke registry =
   print_endline "";
   print_endline "Fault-injection overhead (ring8 reference scenario)";
   print_endline "===================================================";
   let horizon = if smoke then 0.5 else 20.0 in
-  let g = Topology.Generate.ring ~n:8 in
-  let run_mode schedule =
-    let probe = Netsim.Probe.create ~journal_capacity:4096 () in
-    let net = Netsim.Net.create ~seed:1 ~jitter_bound:100e-6 g in
-    Netsim.Net.set_probe net (Some probe);
-    Netsim.Net.use_routing net (Topology.Routing.compute g);
-    (match schedule with
-    | Some s -> ignore (Faults.Injector.apply ~probe ~net s)
-    | None -> ());
-    List.iter
-      (fun (s, d) ->
-        ignore
-          (Netsim.Flow.cbr net ~src:s ~dst:d ~rate_pps:200.0 ~size:500 ~start:0.0
-             ~stop:horizon))
-      [ (0, 4); (4, 0); (1, 5); (5, 1); (2, 6); (6, 2) ];
-    ignore (Netsim.Tcp.connect net ~src:0 ~dst:3 ());
-    let t0 = Unix.gettimeofday () in
-    Netsim.Net.run ~until:horizon net;
-    let wall = Unix.gettimeofday () -. t0 in
-    float_of_int (Netsim.Sim.events_processed (Netsim.Net.sim net)) /. wall
-  in
+  let run_mode schedule = faults_reference_run ~horizon schedule in
   let fixed =
     let open Faults.Schedule in
     { seed = 1;
@@ -424,10 +433,8 @@ let fault_overhead ~smoke registry =
           Crash { router = 6; at = 0.4 *. horizon };
           Restart { router = 6; at = 0.7 *. horizon } ] }
   in
-  let chaos =
-    Faults.Chaos.generate ~seed:11 ~graph:g ~duration:horizon
-      ~budget:Faults.Chaos.default_budget ()
-  in
+  let chaos = faults_reference_chaos ~horizon Faults.Chaos.default_budget in
+  let byz = faults_reference_chaos ~horizon Faults.Chaos.byzantine_budget in
   let mode name schedule =
     let reps = if smoke then 1 else 3 in
     let best = ref 0.0 in
@@ -438,7 +445,8 @@ let fault_overhead ~smoke registry =
     (name, !best)
   in
   let rows =
-    [ mode "off" None; mode "schedule" (Some fixed); mode "chaos" (Some chaos) ]
+    [ mode "off" None; mode "schedule" (Some fixed); mode "chaos" (Some chaos);
+      mode "byz" (Some byz) ]
   in
   let baseline = List.assoc "off" rows in
   let overhead eps =
@@ -466,7 +474,8 @@ let fault_overhead ~smoke registry =
              String
                "best events/s of 3 runs per mode on the ring8 reference \
                 scenario; 'schedule' is one link flap plus one crash/restart, \
-                'chaos' a default-budget generated plan" );
+                'chaos' a default-budget generated plan, 'byz' a \
+                byzantine-budget one (protocol-faulty roles armed)" );
            ( "modes",
              List
                (List.map
@@ -956,6 +965,7 @@ let check_gate ~smoke ~handicap ~baseline_dir =
   in
   let alloc_doc = load "BENCH_alloc.json" in
   let hotpath_doc = load "BENCH_hotpath.json" in
+  let faults_doc = load "BENCH_faults.json" in
   let baseline doc path =
     match G.float_at doc path with
     | Some v -> v
@@ -1021,6 +1031,35 @@ let check_gate ~smoke ~handicap ~baseline_dir =
            ~baseline:(baseline row [ "measured_ns_per_op" ])
            ~measured:(measure_min ~batches after *. handicap)))
     (hotpath_kernels ());
+  (* Fault-injection throughput: re-run the exact 20 s reference
+     scenario the recording pass measured, faults off and under the
+     default-budget chaos plan.  Wall-clock throughput on a shared vCPU
+     gets the same wide band as the allocation scenario's events/s. *)
+  List.iter
+    (fun (mode, schedule) ->
+      let row =
+        match G.find_by faults_doc ~field:"modes" ~key:"mode" ~value:mode with
+        | Some row -> row
+        | None ->
+            Printf.eprintf "bench --check: BENCH_faults.json has no mode %S\n"
+              mode;
+            exit 2
+      in
+      let eps = ref 0.0 in
+      for _ = 1 to reps do
+        let e = faults_reference_run ~horizon:20.0 schedule in
+        if e > !eps then eps := e
+      done;
+      push
+        (G.judge
+           (G.band ~direction:G.Higher_better ~limit:1.6
+              (Printf.sprintf "faults.%s.events_per_second" mode))
+           ~baseline:(baseline row [ "events_per_second" ])
+           ~measured:(!eps /. handicap)))
+    [ ("off", None);
+      ("chaos",
+       Some (faults_reference_chaos ~horizon:20.0 Faults.Chaos.default_budget))
+    ];
   let verdicts = List.rev !verdicts in
   List.iter (fun v -> print_endline (G.render v)) verdicts;
   let ok = G.all_ok verdicts in

@@ -188,10 +188,18 @@ let chaos_cmd =
              ~doc:"run each trial on the K-shard conservative-parallel \
                    engine (0 = classic single heap)")
   in
-  let run seed trials jobs smoke shards json =
+  let byzantine =
+    Arg.(value & flag
+         & info [ "byzantine" ]
+             ~doc:"sweep the byzantine chaos budget: the benign churn plus \
+                   up to two protocol-faulty roles (framer, equivocator, \
+                   mute, staller) per trial, with the hardened detectors' \
+                   framing metrics reported")
+  in
+  let run seed trials jobs smoke byzantine shards json =
     try
       Experiments.Fig_robustness.chaos_run ~seed ~trials
-        ~jobs:(resolve_jobs jobs) ~smoke ~shards ?json ();
+        ~jobs:(resolve_jobs jobs) ~smoke ~byzantine ~shards ?json ();
       `Ok ()
     with
     | Sys_error msg -> `Error (false, "cannot write output file: " ^ msg)
@@ -202,7 +210,8 @@ let chaos_cmd =
        ~doc:"Sweep seeded random benign faults (within a budget) over the \
              ring8 scenario and score fatih against the ground-truth oracle; \
              output is byte-identical for a given --seed across --jobs values")
-    Term.(ret (const run $ seed $ trials $ jobs_arg $ smoke $ shards $ json_arg))
+    Term.(ret (const run $ seed $ trials $ jobs_arg $ smoke $ byzantine $ shards
+               $ json_arg))
 
 let trace_cmd =
   let file =

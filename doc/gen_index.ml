@@ -94,13 +94,21 @@ variant and the framing attack), {!Core.Sats}, {!Core.Stealth}, and
    schedules under a budget) and {!Faults.Oracle} (scores a run's
    verdict stream against ground truth: precision, recall,
    false-accusation rate, detection latency with mergeable
-   p50/p95/p99 quantiles over every true alarm — the
-   [mrdetect-robustness-v1] JSON document).  {!Core.Ctrl} is the lossy
-   control-plane channel the summary exchanges ride; its retry budget
-   is what lets a round degrade instead of accuse.
-   [mrdetect simulate --faults FILE] and [mrdetect chaos --seed S]
-   expose the machinery on the command line.  The README's
-   "Robustness" section is the walkthrough.}}
+   p50/p95/p99 quantiles over every true alarm, and the alpha-accuracy
+   counters: [alpha_violations], [framed_honest] and the framing /
+   forgery / equivocation tallies — the [mrdetect-robustness-v1] JSON
+   document).  {!Core.Byz} models the protocol-faulty adversaries the
+   [byz-*] schedule forms arm (framing, equivocation, muting,
+   stalling) and the origin-MAC screening that makes forged summary
+   entries rejectable by construction; {!Core.Ctrl} is the lossy
+   control-plane channel the summary exchanges ride — its retry budget
+   is what lets a round degrade instead of accuse, and its peer faults
+   are how mutes and stallers bite.
+   [mrdetect simulate --faults FILE], [mrdetect chaos --seed S]
+   (add [--byzantine] to sweep the byzantine budget) and
+   [mrdetect byzantine] expose the machinery on the command line.
+   The README's "Robustness" section — and its "threat matrix"
+   subsection — is the walkthrough.}}
 
 {1 Experiment index}
 

@@ -42,7 +42,10 @@ type t = {
   config : config;
   qlimit : float;
   router : int;
+  next : int;
   probe : Netsim.Probe.t option;
+  ctrl : Ctrl.t option;
+  retry : Ctrl.retry option;
   error : Mrstats.Welford.t;
   mutable error_samples_rev : float list;
   mutable error_sample_count : int;
@@ -50,6 +53,13 @@ type t = {
   mutable carry_d : Qmon.entry list;   (* departures past the horizon *)
   mutable round : int;
   mutable reports_rev : report list;
+  (* Graceful degradation under a faulty control plane: rounds whose
+     departure report never arrived (alarm suppressed, never an
+     accusation) and the consecutive-refusal streak that eventually
+     judges the reporter fail-stop. *)
+  mutable rounds_degraded : int;
+  mutable mute_streak : int;
+  mutable failstopped : bool;
 }
 
 let mu_sigma t =
@@ -143,12 +153,15 @@ let evaluate t ~losses ~fabricated ~learning =
   in
   (c_single_max, c_combined, alarm)
 
-let run_round t ~start_time ~end_time ~learning =
+let run_round t ~start_time ~end_time ~learning ~degraded =
   let horizon = end_time -. t.config.slack in
   let data = Qmon.drain t.qmon ~horizon in
   let losses = process_round t data ~horizon ~learning in
   let fabricated = List.length data.Qmon.fabricated in
   let c_single_max, c_combined, alarm = evaluate t ~losses ~fabricated ~learning in
+  (* A round whose departure report never arrived has no trustworthy
+     replay: suppress the alarm rather than accuse on partial data. *)
+  let alarm = alarm && not degraded in
   let predicted_congestive =
     List.length (List.filter (fun l -> l.confidence < t.config.th_single) losses)
   in
@@ -217,8 +230,11 @@ let run_round t ~start_time ~end_time ~learning =
           ()
       end
 
+let mute_rounds = 3
+
 let deploy ~net ~rt ~router ~next ?(config = default_config)
-    ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew ?probe () =
+    ?(key = Crypto_sim.Siphash.key_of_string "chi-monitor") ?predict ?skew ?probe
+    ?ctrl ?retry () =
   let predict =
     match predict with Some p -> p | None -> Qmon.predict_of_routing rt ~router
   in
@@ -229,17 +245,55 @@ let deploy ~net ~rt ~router ~next ?(config = default_config)
     | None -> invalid_arg "Chi.deploy: no such link"
   in
   let t =
-    { qmon; config; qlimit; router; probe;
+    { qmon; config; qlimit; router; next; probe; ctrl; retry;
       error = Mrstats.Welford.create ();
       error_samples_rev = []; error_sample_count = 0; qpred = 0.0; carry_d = [];
-      round = 0; reports_rev = [] }
+      round = 0; reports_rev = [];
+      rounds_degraded = 0; mute_streak = 0; failstopped = false }
   in
   Qmon.set_calibrating qmon true;
   let sim = Netsim.Net.sim net in
   let rec tick start_time () =
     let end_time = Netsim.Sim.now sim in
     let learning = t.round < config.learning_rounds in
-    run_round t ~start_time ~end_time ~learning;
+    (* The downstream neighbour's departure report rides the (possibly
+       faulty) control plane: an exhausted retry budget degrades the
+       round instead of wedging it, and a persistently mute reporter is
+       judged fail-stop — never accused of the drops χ cannot check. *)
+    let degraded =
+      match t.ctrl with
+      | None -> false
+      | Some ch -> (
+          let tag = (((t.router * 8191) + t.next) * 8191) + t.round in
+          match
+            Ctrl.send ch ?retry:t.retry ~now:end_time ~src:t.next ~dst:t.router
+              ~tag ()
+          with
+          | Ctrl.Delivered _ ->
+              t.mute_streak <- 0;
+              false
+          | Ctrl.Timed_out _ ->
+              t.rounds_degraded <- t.rounds_degraded + 1;
+              t.mute_streak <- t.mute_streak + 1;
+              true)
+    in
+    run_round t ~start_time ~end_time ~learning ~degraded;
+    if t.mute_streak >= mute_rounds && not t.failstopped then begin
+      t.failstopped <- true;
+      match t.probe with
+      | None -> ()
+      | Some probe ->
+          Netsim.Probe.record_verdict probe ~time:end_time ~detector:"chi"
+            ~subject:t.next
+            ~suspects:[ t.router; t.next ]
+            ~alarm:false
+            ~detail:
+              (Printf.sprintf
+                 "fail-stop: departure reports refused %d consecutive rounds \
+                  — excised, not accused"
+                 mute_rounds)
+            ()
+    end;
     if t.round >= config.learning_rounds then Qmon.set_calibrating qmon false;
     Netsim.Sim.schedule sim ~delay:config.tau (tick end_time)
   in
@@ -250,5 +304,6 @@ let set_predict t p = Qmon.set_predict t.qmon p
 
 let reports t = List.rev t.reports_rev
 let alarms t = List.filter (fun r -> r.alarm) (reports t)
+let rounds_degraded t = t.rounds_degraded
 
 let error_samples t = List.rev t.error_samples_rev

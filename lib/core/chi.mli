@@ -71,6 +71,8 @@ val deploy :
   ?predict:(Netsim.Packet.t -> int option) ->
   ?skew:(reporter:int -> float) ->
   ?probe:Netsim.Probe.t ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
   unit ->
   t
 (** Install the monitor on queue ⟨router → next⟩ and schedule validation
@@ -79,13 +81,25 @@ val deploy :
     pass {!Qmon.predict_of_ecmp} when the network runs ECMP, §7.4.1).
     With [probe], every post-learning round's verdict (suspect flows,
     max single-loss confidence, alarm) is journaled as a typed
-    {!Netsim.Probe.verdict}. *)
+    {!Netsim.Probe.verdict}.
+
+    With [ctrl], the downstream neighbour's per-round departure report
+    rides that lossy control-plane channel under [retry]: a timed-out
+    report {e degrades} the round — χ has no trustworthy replay, so the
+    alarm is suppressed rather than raised on partial data — and three
+    consecutive refusals (a protocol-faulty mute reporter) judge the
+    reporter {b fail-stop} with a non-alarming verdict.  χ never
+    convicts a router for silence. *)
 
 val reports : t -> report list
 (** All completed round reports, oldest first. *)
 
 val alarms : t -> report list
 (** The alarming rounds only. *)
+
+val rounds_degraded : t -> int
+(** Rounds whose departure report exhausted its [ctrl] retry budget
+    (alarm suppressed, never an accusation). *)
 
 val set_predict : t -> (Netsim.Packet.t -> int option) -> unit
 (** Swap the monitor's forwarding prediction (call after a routing

@@ -32,7 +32,22 @@ type retry = {
 }
 
 val default_retry : retry
-(** 4 attempts, 0.25 s base timeout, doubling. *)
+(** 4 attempts, 0.25 s base timeout, doubling.
+
+    {b Budget-exhaustion semantics.}  Attempt [i] (1-based) waits
+    [base_timeout *. backoff ** (i - 1)] seconds before the next
+    retransmission; under the defaults the backoff sequence is exactly
+    0.25 s, 0.5 s, 1 s, 2 s.  When every attempt is lost the sender
+    gives up after [max_attempts] transmissions having waited the full
+    geometric sum — [Timed_out { attempts = max_attempts; waited }]
+    with [waited = base_timeout *. (backoff^max_attempts - 1) /.
+    (backoff - 1)], i.e. exactly 3.75 s under the defaults.  Exhaustion
+    is a {e degradation} signal, never a verdict: the protocols riding
+    the channel carry their round state over (fatih, pi2) and only
+    after several {e consecutive} exhausted rounds judge the
+    unreachable peer fail-stop — excised from routing, recorded
+    non-alarming — mirroring the dissertation's §4.2.1 benign-failure
+    rule that silence is never treated as malice. *)
 
 type outcome =
   | Delivered of {
@@ -50,7 +65,22 @@ type stats = {
   duplicates : int;
   reorders : int;
   timeouts : int;    (** sends that exhausted their attempts *)
+  mutes : int;       (** sends refused outright by a muted endpoint *)
+  stalls : int;      (** deliveries a stalling endpoint delayed *)
 }
+
+type peer_fault = {
+  mute_from : float option;
+      (** refuse all participation from this instant on: every send
+          touching the router burns its whole retry budget and times
+          out (protocol-faulty muting, exhausting peers' budgets) *)
+  stall_margin : float option;
+      (** acknowledge just under the timeout: deliveries succeed but
+          consume this fraction (in [0,1)) of the sender's total
+          backoff budget as extra delay *)
+}
+
+val no_peer_fault : peer_fault
 
 type t
 
@@ -69,10 +99,24 @@ val create :
 
 val faults_for : t -> src:int -> dst:int -> link_faults
 
-val send : t -> ?retry:retry -> src:int -> dst:int -> tag:int -> unit -> outcome
+val set_peer_fault : t -> router:int -> peer_fault -> unit
+(** Install (or, with {!no_peer_fault}, clear) a router's
+    protocol-faulty behaviour on the channel.  Raises
+    [Invalid_argument] on a stall margin outside [0,1) or a negative
+    mute start. *)
+
+val peer_fault : t -> router:int -> peer_fault
+
+val send :
+  t -> ?retry:retry -> ?now:float -> src:int -> dst:int -> tag:int -> unit ->
+  outcome
 (** Attempt to move one control message from [src] to [dst].  [tag]
     must be unique per logical message (round number folded with the
-    segment identity) — it keys the deterministic coins.  Raises
+    segment identity) — it keys the deterministic coins.  [now]
+    (default 0) is the sender's clock, consulted only by [mute_from]
+    peer faults.  A send touching a muted endpoint times out after the
+    full retry budget without flipping any coins, so surrounding sends
+    see exactly the coin stream they would have seen anyway.  Raises
     [Invalid_argument] on a non-positive [max_attempts] or
     [base_timeout], or a [backoff] below 1. *)
 

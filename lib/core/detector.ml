@@ -5,6 +5,7 @@ type env = {
   probe : Netsim.Probe.t option;
   ctrl : Ctrl.t option;
   retry : Ctrl.retry option;
+  byz : Byz.t option;
   skew : (reporter:int -> float) option;
   attacker : int option;
   duration : float;

@@ -24,6 +24,11 @@ type env = {
   probe : Netsim.Probe.t option;    (** journal verdicts through this *)
   ctrl : Ctrl.t option;             (** lossy control-plane channel, if faulted *)
   retry : Ctrl.retry option;        (** retry budget for [ctrl] *)
+  byz : Byz.t option;
+      (** Byzantine control-plane plan: protocols that understand
+          claims harden themselves against it (screen origin MACs,
+          corroborate before alarming) and run validation on what the
+          scripted liars actually submit *)
   skew : (reporter:int -> float) option;
       (** per-reporter clock skew (fault injection) *)
   attacker : int option;

@@ -38,7 +38,8 @@ module Chi_adapter = struct
     let config = { Chi.default_config with Chi.tau = 2.0 } in
     let chi =
       Chi.deploy ~net:env.Detector.net ~rt:env.Detector.rt ~router:attacker ~next
-        ~config ?probe:env.Detector.probe ?skew:env.Detector.skew ()
+        ~config ?probe:env.Detector.probe ?skew:env.Detector.skew
+        ?ctrl:env.Detector.ctrl ?retry:env.Detector.retry ()
     in
     { attacker; next; chi }
 
@@ -76,7 +77,7 @@ module Fatih_adapter = struct
 
   let init (env : Detector.env) =
     Fatih.deploy ~net:env.Detector.net ~rt:env.Detector.rt ?probe:env.Detector.probe
-      ?ctrl:env.Detector.ctrl ?retry:env.Detector.retry ()
+      ?ctrl:env.Detector.ctrl ?retry:env.Detector.retry ?byz:env.Detector.byz ()
 
   let on_round _ ~now:_ = ()
   let on_ctrl _ ~now:_ ~src:_ ~dst:_ ~up:_ = ()
@@ -129,7 +130,9 @@ module Pi2_adapter = struct
   let doc = "Protocol Pi 2 by simulated consensus: precision-2 suspicion (5.1)"
 
   let init (env : Detector.env) =
-    Pi2_live.deploy ~net:env.Detector.net ~rt:env.Detector.rt ()
+    Pi2_live.deploy ~net:env.Detector.net ~rt:env.Detector.rt
+      ?probe:env.Detector.probe ?ctrl:env.Detector.ctrl ?retry:env.Detector.retry
+      ?byz:env.Detector.byz ()
 
   let on_round _ ~now:_ = ()
   let on_ctrl _ ~now:_ ~src:_ ~dst:_ ~up:_ = ()

@@ -7,12 +7,13 @@ type config = {
   policy : Summary.policy;
   exchange : exchange;
   response : Response.config;
+  mute_rounds : int;
 }
 
 let default_config =
   { tau = 5.0; thresholds = Validation.lenient (); min_packets = 20;
     policy = Summary.Content; exchange = Full_sets;
-    response = Response.default_config }
+    response = Response.default_config; mute_rounds = 3 }
 
 type detection = {
   time : float;
@@ -36,6 +37,16 @@ type seg_state = {
      failure is locally observable (link-state flood), so the terminals
      excuse the round instead of accusing the interior router. *)
   mutable excused : bool;
+  (* The interior router's own forwarded-traffic summary — the third
+     claim of the corroboration quorum, collected only when a Byzantine
+     plan is armed. *)
+  mutable mid : Summary.t;
+  (* Consecutive summary-exchange timeouts / interior-heartbeat
+     timeouts: either streak reaching [mute_rounds] judges the silent
+     party fail-stop — excised from routing, never accused. *)
+  mutable degraded_streak : int;
+  mutable mute_streak : int;
+  mutable failstopped : bool;
 }
 
 type t = {
@@ -68,16 +79,20 @@ let fresh_state policy =
   { sent = Summary.create policy;
     received = Summary.create policy;
     prev_sent = Summary.create policy;
-    excused = false }
+    excused = false;
+    mid = Summary.create policy;
+    degraded_streak = 0; mute_streak = 0; failstopped = false }
 
 let reset_state policy st =
   st.prev_sent <- st.sent;
   st.sent <- Summary.create policy;
   st.received <- Summary.create policy;
+  st.mid <- Summary.create policy;
   st.excused <- false
 
 let deploy ~net ~rt ?(config = default_config)
-    ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe ?ctrl ?retry () =
+    ?(key = Crypto_sim.Siphash.key_of_string "fatih") ?probe ?ctrl ?retry ?byz
+    () =
   let t =
     { config; response = Response.create ~net ~config:config.response ?probe ();
       segs = Hashtbl.create 256; detections_rev = []; last_policy_change = neg_infinity;
@@ -115,6 +130,7 @@ let deploy ~net ~rt ?(config = default_config)
           st.sent <- Summary.create config.policy;
           st.received <- Summary.create config.policy;
           st.prev_sent <- Summary.create config.policy;
+          st.mid <- Summary.create config.policy;
           st.excused <- false)
         t.segs);
   (* Which monitored segments a directed link belongs to, for excusing
@@ -159,7 +175,15 @@ let deploy ~net ~rt ?(config = default_config)
                     observe (fun st -> st.sent) [ u; v; p.(i + 2) ];
                   (* Link (u,v) closes ⟨p(i-1),u,v⟩: terminal router v
                      records what came out. *)
-                  if i >= 1 then observe (fun st -> st.received) [ p.(i - 1); u; v ]
+                  if i >= 1 then begin
+                    observe (fun st -> st.received) [ p.(i - 1); u; v ];
+                    (* With a Byzantine plan armed, the interior router u
+                       also fingerprints its own egress: the third claim
+                       the corroboration quorum compares against the
+                       terminals' stories. *)
+                    if byz <> None then
+                      observe (fun st -> st.mid) [ p.(i - 1); u; v ]
+                  end
                 end
               done;
               (* One MAC-compute instant per traced hop, however many
@@ -247,11 +271,67 @@ let deploy ~net ~rt ?(config = default_config)
                 let tag =
                   List.fold_left (fun acc r -> (acc * 8191) + r + 1) t.round seg
                 in
-                match Ctrl.send ch ?retry ~src:a ~dst:b ~tag () with
+                match Ctrl.send ch ?retry ~now ~src:a ~dst:b ~tag () with
                 | Ctrl.Delivered { attempts; _ } -> `Ok attempts
                 | Ctrl.Timed_out { attempts; waited } ->
                     `Degraded (attempts, waited))
         in
+        (* Interior-participation heartbeat: with a Byzantine plan armed
+           the terminals expect the interior router to answer on the
+           control plane every judged round.  A refusal leaves the round
+           uncorroborated (degraded, not accusatory); a persistent
+           streak is judged fail-stop below. *)
+        let m_reachable =
+          match (byz, ctrl, exchange) with
+          | Some bz, Some ch, `Ok _ when Byz.hardened bz -> (
+              let a, m =
+                match seg with [ a; m; _ ] -> (a, m) | _ -> assert false
+              in
+              let tag =
+                List.fold_left (fun acc r -> (acc * 8191) + r + 1) t.round seg
+                lxor 0x68e31da4
+              in
+              match Ctrl.send ch ?retry ~now ~src:m ~dst:a ~tag () with
+              | Ctrl.Delivered _ ->
+                  st.mute_streak <- 0;
+                  true
+              | Ctrl.Timed_out _ ->
+                  st.mute_streak <- st.mute_streak + 1;
+                  false)
+          | _ -> true
+        in
+        (match exchange with
+        | `Ok _ -> st.degraded_streak <- 0
+        | `Degraded _ -> st.degraded_streak <- st.degraded_streak + 1
+        | `Skip -> ());
+        (* Persistent silence is fail-stop, not malice: after
+           [mute_rounds] consecutive refusals the segment is excised
+           from routing with a non-alarming verdict — the α-accuracy
+           bar forbids convicting a router for being unreachable. *)
+        (if (match byz with Some bz -> Byz.hardened bz | None -> false)
+            && not st.failstopped
+            && (st.degraded_streak >= config.mute_rounds
+               || st.mute_streak >= config.mute_rounds) then begin
+           st.failstopped <- true;
+           let mute = st.mute_streak >= config.mute_rounds in
+           (match probe with
+           | Some probe ->
+               Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
+                 ?subject:
+                   (if mute then
+                      match seg with [ _; m; _ ] -> Some m | _ -> None
+                    else None)
+                 ~suspects:seg ~alarm:false
+                 ~detail:
+                   (Printf.sprintf
+                      "fail-stop: %s %d consecutive rounds — excised, not accused"
+                      (if mute then "interior heartbeat refused"
+                       else "summary exchange timed out")
+                      config.mute_rounds)
+                 ()
+           | None -> ());
+           Response.suspect t.response seg
+         end);
         (match exchange with
         | `Skip -> ()
         | `Degraded (attempts, waited) -> (
@@ -287,9 +367,39 @@ let deploy ~net ~rt ?(config = default_config)
                        Telemetry.Export.Int (Summary.packets st.received)) ]
                   ()
           in
+          let a_end, m_int, b_end =
+            match seg with [ a; m; b ] -> (a, m, b) | _ -> assert false
+          in
+          (* With a Byzantine plan armed, validation runs on what the
+             terminals *claim* — their summaries plus any asserted
+             extras, each screened against its origin MAC first.  A
+             hardened verifier therefore never even sees a forged
+             entry; the unhardened baseline folds them in and measures
+             the damage. *)
+          let s_claim, r_claim =
+            match byz with
+            | None -> (st.sent, st.received)
+            | Some bz ->
+                let claim ~claimant ~peer truth =
+                  let cl, extras =
+                    Byz.summary_claim bz ~claimant ~peer ~segment:seg
+                      ~round:t.round truth
+                  in
+                  match extras with
+                  | [] -> cl
+                  | extras ->
+                      let c = if cl == truth then Summary.copy cl else cl in
+                      ignore
+                        (Byz.screen bz ?probe ~time:now ~claimant ~summary:c
+                           ~extras ());
+                      c
+                in
+                ( claim ~claimant:a_end ~peer:b_end st.sent,
+                  claim ~claimant:b_end ~peer:a_end st.received )
+          in
           let v =
-            Validation.tv ~thresholds:config.thresholds ~sent:st.sent
-              ~received:st.received ()
+            Validation.tv ~thresholds:config.thresholds ~sent:s_claim
+              ~received:r_claim ()
           in
           (* Boundary filter: ignore "fabricated" packets announced in the
              previous round. *)
@@ -298,7 +408,7 @@ let deploy ~net ~rt ?(config = default_config)
               (fun fp -> not (Summary.mem st.prev_sent fp))
               v.Validation.fabricated
           in
-          let sent_n = Summary.packets st.sent in
+          let sent_n = Summary.packets s_claim in
           let loss_bad =
             float_of_int (List.length v.Validation.missing)
             > config.thresholds.Validation.max_loss_fraction *. float_of_int sent_n
@@ -312,7 +422,62 @@ let deploy ~net ~rt ?(config = default_config)
           let delay_bad =
             v.Validation.max_delay_seen > config.thresholds.Validation.max_delay
           in
-          if loss_bad || fab_bad || order_bad || delay_bad then begin
+          let verdict ?subject ?(evidence = Option.to_list dispatch)
+              ~suspects ~alarm ~detail () =
+            match probe with
+            | None -> ()
+            | Some probe ->
+                Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
+                  ?subject ~suspects ~alarm ~detail ~evidence ()
+          in
+          let counts =
+            Printf.sprintf "missing=%d/%d fabricated=%d"
+              (List.length v.Validation.missing) sent_n
+              (List.length fabricated)
+          in
+          (* The interior router's own forwarded-claim, requested over
+             the control plane each judged round when the hardened
+             protocol is armed: the third leg of the corroboration
+             quorum, and the surface on which an equivocating interior
+             is caught. *)
+          let interior_claims =
+            match byz with
+            | Some bz when Byz.hardened bz && m_reachable && not st.failstopped
+              ->
+                let m_to_a, _ =
+                  Byz.summary_claim bz ~claimant:m_int ~peer:a_end ~segment:seg
+                    ~round:t.round st.mid
+                in
+                let m_to_b, _ =
+                  Byz.summary_claim bz ~claimant:m_int ~peer:b_end ~segment:seg
+                    ~round:t.round st.mid
+                in
+                Some (bz, m_to_a, m_to_b)
+            | _ -> None
+          in
+          let equivocated =
+            match interior_claims with
+            | Some (bz, m_to_a, m_to_b)
+              when Byz.digest m_to_a <> Byz.digest m_to_b ->
+                (* The interior told each terminal a different story
+                   about the same round: only a faulty router
+                   equivocates, so this conviction is α-safe — and it
+                   needs no threshold trigger, because lying on the
+                   control plane leaves the data plane clean. *)
+                Byz.note_equivocation bz;
+                verdict ~subject:m_int ~suspects:seg ~alarm:true
+                  ~detail:
+                    (counts
+                    ^ Printf.sprintf
+                        " equivocation: digests to %d and %d disagree" a_end
+                        b_end)
+                  ();
+                Response.suspect t.response seg;
+                true
+            | _ -> false
+          in
+          if (not equivocated) && (loss_bad || fab_bad || order_bad || delay_bad)
+          then begin
             incr detected;
             let ends =
               match seg with [ a; _; b ] -> (a, b) | _ -> assert false
@@ -324,9 +489,10 @@ let deploy ~net ~rt ?(config = default_config)
                 reordered = v.Validation.reordered;
                 max_delay = v.Validation.max_delay_seen; sent = sent_n }
               :: t.detections_rev;
-            (match probe with
-            | Some probe ->
-                let mismatch =
+            let mismatch_ev =
+              match probe with
+              | None -> None
+              | Some probe ->
                   Netsim.Probe.trace_instant probe ~track:"fatih"
                     ~name:"summary-mismatch" ~cat:"evidence" ~time:now
                     ~routers:seg
@@ -341,21 +507,121 @@ let deploy ~net ~rt ?(config = default_config)
                            v.Validation.max_delay_seen);
                         ("sent", Telemetry.Export.Int sent_n) ]
                     ()
-                in
+            in
+            let verdict ?subject ~suspects ~alarm ~detail () =
+              verdict ?subject
+                ~evidence:
+                  (Option.to_list dispatch @ Option.to_list mismatch_ev)
+                ~suspects ~alarm ~detail ()
+            in
+            (match byz with
+            | None ->
                 (* The accused is the segment's interior router: the two
                    ends are the detecting terminals. *)
-                Netsim.Probe.record_verdict probe ~time:now ~detector:"fatih"
+                verdict
                   ?subject:(match seg with [ _; m; _ ] -> Some m | _ -> None)
                   ~suspects:seg ~alarm:(not link_failed)
                   ~detail:
-                    (Printf.sprintf "missing=%d/%d fabricated=%d%s"
-                       (List.length v.Validation.missing) sent_n
-                       (List.length fabricated)
-                       (if link_failed then " link-failure" else ""))
-                  ~evidence:(Option.to_list dispatch @ Option.to_list mismatch)
-                  ()
-            | None -> ());
-            Response.suspect t.response seg
+                    (counts ^ if link_failed then " link-failure" else "")
+                  ();
+                Response.suspect t.response seg
+            | Some _ when link_failed ->
+                verdict ~subject:m_int ~suspects:seg ~alarm:false
+                  ~detail:(counts ^ " link-failure") ();
+                Response.suspect t.response seg
+            | Some bz when not (Byz.hardened bz) ->
+                (* The unhardened baseline folds the forged claims in
+                   and judges them exactly like the classic protocol:
+                   the interior router is convicted by name on its
+                   terminals' say-so — the framing damage the hardened
+                   path exists to prevent. *)
+                Byz.note_dispute bz;
+                verdict ~subject:m_int ~suspects:seg ~alarm:true
+                  ~detail:counts ();
+                Response.suspect t.response seg
+            | Some bz ->
+                (* Participants disagree: corroborate before alarming.
+                   The interior router's own forwarded-claim is the
+                   third leg of a conservation quorum — whichever half
+                   of the segment the three stories cannot account for
+                   names a pair that provably contains a faulty router,
+                   so no honest router is ever convicted alone. *)
+                Byz.note_dispute bz;
+                (match interior_claims with
+                | None ->
+                    if not m_reachable then begin
+                      Byz.note_mute_refusal bz;
+                      verdict ~suspects:seg ~alarm:false
+                        ~detail:
+                          (counts
+                          ^ " uncorroborated: interior refused the heartbeat \
+                             — degraded, not accusing")
+                        ()
+                    end
+                    else
+                      verdict ~suspects:seg ~alarm:false
+                        ~detail:
+                          (counts
+                          ^ " uncorroborated mismatch — degraded, not \
+                             accusing")
+                        ()
+                | Some (_, m_to_a, m_to_b) ->
+                    let half_bad ~sent ~received =
+                      let hv =
+                        Validation.tv ~thresholds:config.thresholds ~sent
+                          ~received ()
+                      in
+                      let fab =
+                        List.filter
+                          (fun fp -> not (Summary.mem st.prev_sent fp))
+                          hv.Validation.fabricated
+                      in
+                      float_of_int (List.length hv.Validation.missing)
+                      > config.thresholds.Validation.max_loss_fraction
+                        *. float_of_int (Summary.packets sent)
+                      || List.length fab
+                         > config.thresholds.Validation.max_fabricated
+                    in
+                    let bad_am = half_bad ~sent:s_claim ~received:m_to_a in
+                    let bad_mb = half_bad ~sent:m_to_b ~received:r_claim in
+                    match (bad_am, bad_mb) with
+                    | true, false ->
+                        verdict ~suspects:[ a_end; m_int ] ~alarm:true
+                          ~detail:
+                            (counts
+                            ^ Printf.sprintf
+                                " corroborated: conservation broken between \
+                                 %d and %d" a_end m_int)
+                          ();
+                        Response.suspect t.response seg
+                    | false, true ->
+                        verdict ~suspects:[ m_int; b_end ] ~alarm:true
+                          ~detail:
+                            (counts
+                            ^ Printf.sprintf
+                                " corroborated: conservation broken between \
+                                 %d and %d" m_int b_end)
+                          ();
+                        Response.suspect t.response seg
+                    | true, true ->
+                        verdict ~suspects:seg ~alarm:true
+                          ~detail:
+                            (counts
+                            ^ " corroborated: interior consistent with \
+                               neither terminal")
+                          ();
+                        Response.suspect t.response seg
+                    | false, false ->
+                        (* Neither half of the segment individually
+                           exceeds the thresholds: the disagreement does
+                           not survive corroboration, so degrade
+                           gracefully instead of accusing. *)
+                        verdict ~suspects:seg ~alarm:false
+                          ~detail:
+                            (counts
+                            ^ " uncorroborated mismatch — degraded, not \
+                               accusing")
+                          ()))
           end);
         (match config.exchange with
         | Full_sets ->

@@ -24,11 +24,17 @@ type config = {
       (** how segment ends compare summaries; affects
           {!words_exchanged}, not detections *)
   response : Response.config;
+  mute_rounds : int;
+      (** consecutive exchange timeouts (or interior-heartbeat
+          refusals, with a Byzantine plan armed) after which the silent
+          party is judged fail-stop: excised from routing with a
+          non-alarming verdict, never accused *)
 }
 
 val default_config : config
 (** tau 5 s, 2% loss tolerance, min 20 packets, Content policy,
-    full-set exchange, default OSPF timers. *)
+    full-set exchange, default OSPF timers, fail-stop after 3 mute
+    rounds. *)
 
 type detection = {
   time : float;
@@ -51,6 +57,7 @@ val deploy :
   ?probe:Netsim.Probe.t ->
   ?ctrl:Ctrl.t ->
   ?retry:Ctrl.retry ->
+  ?byz:Byz.t ->
   unit ->
   t
 (** Start monitoring every 3-segment of the current routed paths.  The
@@ -65,7 +72,30 @@ val deploy :
     over and are compared next round — instead of wedging it or
     producing an accusation.  Rounds in which a segment edge visibly
     dropped packets with its link down are likewise excused rather than
-    judged. *)
+    judged.
+
+    With [byz], the protocol hardens itself against control-plane lies
+    (and validation runs on what the terminals {e claim}, so framing
+    and equivocation actually reach the verifier):
+
+    - claimed summary extras are screened against their origin MACs —
+      a forged entry is rejected, counted, and journaled as a
+      ["forgery_rejected"] fault before validation ever sees it;
+    - a threshold-crossing round is {e corroborated} before alarming:
+      the interior router's own forwarded-claim splits the segment into
+      two conservation halves, and the verdict names the half — a
+      {e pair} of routers that provably contains a faulty one — or the
+      interior alone when its claims to the two terminals disagree
+      (equivocation);
+    - a disagreement that no half of the segment corroborates degrades
+      the round with a non-alarming verdict instead of accusing;
+    - [mute_rounds] consecutive exchange timeouts or refused interior
+      heartbeats judge the silent router {b fail-stop}: the segment is
+      excised via the response engine under a non-alarming verdict.
+
+    Every hardening decision is a pure function of (plan seed, segment,
+    round), so Byzantine runs stay replay-deterministic and
+    byte-identical across shard counts. *)
 
 val detections : t -> detection list
 (** All alerts raised, oldest first. *)

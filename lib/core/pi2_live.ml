@@ -17,6 +17,15 @@ type seg_state = {
   mutable s12 : Summary.t;
   mutable prev_s01 : Summary.t;
   mutable prev_s12 : Summary.t;
+  (* Graceful degradation under a faulty control plane: consecutive
+     rounds in which the interior's consensus submission never arrived,
+     and whether the segment has been written off as fail-stop. *)
+  mutable mute_streak : int;
+  mutable failstopped : bool;
+  (* A segment edge dropped packets with its link down this round: the
+     flap is announced by the link-state flood, so the missing packets
+     are not evidence against either adjacent pair. *)
+  mutable excused : bool;
 }
 
 type misreport = segment:Topology.Graph.node list -> pos:int -> Summary.t -> Summary.t
@@ -26,30 +35,60 @@ type t = {
   min_packets : int;
   segs : (Topology.Graph.node list, seg_state) Hashtbl.t;
   misreports : (Topology.Graph.node, misreport) Hashtbl.t;
+  probe : Netsim.Probe.t option;
+  ctrl : Ctrl.t option;
+  retry : Ctrl.retry option;
+  byz : Byz.t option;
   mutable detections_rev : detection list;
+  mutable rounds_degraded : int;
+  mutable rounds_excused : int;
+  mutable round : int;
 }
+
+let mute_rounds = 3
 
 let detections t = List.rev t.detections_rev
 
 let suspected_pairs t =
   List.sort_uniq compare (List.map (fun d -> d.pair) (detections t))
 
+let rounds_degraded t = t.rounds_degraded
+let rounds_excused t = t.rounds_excused
+
 let set_misreport t ~router f = Hashtbl.replace t.misreports router f
 
 let fresh () = Summary.create Summary.Content
 
 let deploy ~net ~rt ?(tau = 5.0) ?(thresholds = Validation.lenient ())
-    ?(min_packets = 20) ?(key = Crypto_sim.Siphash.key_of_string "pi2-live") () =
+    ?(min_packets = 20) ?(key = Crypto_sim.Siphash.key_of_string "pi2-live")
+    ?probe ?ctrl ?retry ?byz () =
   let t =
     { thresholds; min_packets; segs = Hashtbl.create 256;
-      misreports = Hashtbl.create 4; detections_rev = [] }
+      misreports = Hashtbl.create 4; probe; ctrl; retry; byz;
+      detections_rev = []; rounds_degraded = 0; rounds_excused = 0; round = 0 }
   in
   List.iter
     (fun seg ->
       if List.length seg = 3 && not (Hashtbl.mem t.segs seg) then
         Hashtbl.add t.segs seg
-          { s01 = fresh (); s12 = fresh (); prev_s01 = fresh (); prev_s12 = fresh () })
+          { s01 = fresh (); s12 = fresh (); prev_s01 = fresh ();
+            prev_s12 = fresh (); mute_streak = 0; failstopped = false;
+            excused = false })
     (Topology.Segments.pik2_family rt ~k:1);
+  let edge_index = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun seg _ ->
+      match seg with
+      | [ a; x; b ] ->
+          List.iter
+            (fun edge ->
+              let segs =
+                Option.value (Hashtbl.find_opt edge_index edge) ~default:[]
+              in
+              Hashtbl.replace edge_index edge (seg :: segs))
+            [ (a, x); (x, b) ]
+      | _ -> ())
+    t.segs;
   let path_cache = Hashtbl.create 256 in
   let predicted src dst =
     match Hashtbl.find_opt path_cache (src, dst) with
@@ -81,6 +120,18 @@ let deploy ~net ~rt ?(tau = 5.0) ?(thresholds = Validation.lenient ())
                   if i >= 1 then observe (fun st -> st.s12) [ p.(i - 1); u; v ]
                 end
               done)
+      | Netsim.Iface.Drop_link_down _ -> (
+          match
+            Hashtbl.find_opt edge_index (ev.Netsim.Net.router, ev.Netsim.Net.next)
+          with
+          | Some segs ->
+              List.iter
+                (fun seg ->
+                  match Hashtbl.find_opt t.segs seg with
+                  | Some st -> st.excused <- true
+                  | None -> ())
+                segs
+          | None -> ())
       | _ -> ());
   let sim = Netsim.Net.sim net in
   let report seg ~pos ~router truth =
@@ -88,41 +139,145 @@ let deploy ~net ~rt ?(tau = 5.0) ?(thresholds = Validation.lenient ())
     | Some f -> f ~segment:seg ~pos (Summary.copy truth)
     | None -> truth
   in
+  (* What a router actually submits to consensus: its Byzantine claim
+     (extras screened against their origin MACs — consensus submissions
+     are signed, so a forged entry is unforgeable by construction), then
+     any scripted traffic-level misreport on top.  Consensus broadcasts
+     one signed summary per router, so equivocation is structurally
+     impossible here: the claim is keyed on a single pseudo-peer. *)
+  let submit ~now seg ~pos ~router truth =
+    let claimed =
+      match byz with
+      | None -> truth
+      | Some bz -> (
+          let cl, extras =
+            Byz.summary_claim bz ~claimant:router ~peer:(-1) ~segment:seg
+              ~round:t.round truth
+          in
+          match extras with
+          | [] -> cl
+          | extras ->
+              let c = if cl == truth then Summary.copy cl else cl in
+              ignore
+                (Byz.screen bz ?probe ~time:now ~claimant:router ~summary:c
+                   ~extras ());
+              c)
+    in
+    report seg ~pos ~router claimed
+  in
   let rec tick () =
     let now = Netsim.Sim.now sim in
     Hashtbl.iter
       (fun seg st ->
+        (* An observable benign link failure on a segment edge — seen as
+           drops this round, or still open at judgment time — excuses
+           the whole round: the link-state flood already announced it,
+           so conservation gaps are not evidence against either pair. *)
+        let link_failed =
+          match seg with
+          | [ a; x; b ] ->
+              let down ~src ~dst =
+                match Netsim.Net.iface net ~src ~dst with
+                | Some i -> not (Netsim.Iface.is_up i)
+                | None -> false
+              in
+              down ~src:a ~dst:x || down ~src:x ~dst:b
+          | _ -> false
+        in
         (match seg with
-        | [ a; x; b ] when Summary.packets st.s01 >= t.min_packets ->
-            let r0 = report seg ~pos:0 ~router:a st.s01 in
-            let r1 = report seg ~pos:1 ~router:x st.s12 in
-            let r2 = report seg ~pos:2 ~router:b st.s12 in
-            let judge ~pair ~sent ~received ~prev =
-              let v = Validation.tv ~thresholds:t.thresholds ~sent ~received () in
-              let fabricated =
-                List.filter (fun fp -> not (Summary.mem prev fp)) v.Validation.fabricated
-              in
-              let loss_bad =
-                float_of_int (List.length v.Validation.missing)
-                > t.thresholds.Validation.max_loss_fraction
-                  *. float_of_int (Summary.packets sent)
-              in
-              if loss_bad || List.length fabricated > t.thresholds.Validation.max_fabricated
-              then
-                t.detections_rev <-
-                  { time = now; pair; segment = seg;
-                    missing = List.length v.Validation.missing;
-                    fabricated = List.length fabricated }
-                  :: t.detections_rev
+        | [ _; _; _ ]
+          when Summary.packets st.s01 >= t.min_packets && not st.failstopped
+               && (st.excused || link_failed) ->
+            t.rounds_excused <- t.rounds_excused + 1
+        | [ a; x; b ]
+          when Summary.packets st.s01 >= t.min_packets && not st.failstopped ->
+            (* The interior's consensus submission rides the (possibly
+               faulty) control plane: a refusal degrades the round —
+               only x's own story is missing, and silence is never
+               evidence of malice. *)
+            let x_submitted =
+              match ctrl with
+              | None -> true
+              | Some ch -> (
+                  let tag =
+                    (List.fold_left (fun acc r -> (acc * 8191) + r + 1) t.round
+                       seg)
+                    lxor 0x2b7e1516
+                  in
+                  match Ctrl.send ch ?retry ~now ~src:x ~dst:b ~tag () with
+                  | Ctrl.Delivered _ ->
+                      st.mute_streak <- 0;
+                      true
+                  | Ctrl.Timed_out _ ->
+                      t.rounds_degraded <- t.rounds_degraded + 1;
+                      st.mute_streak <- st.mute_streak + 1;
+                      false)
             in
-            judge ~pair:(a, x) ~sent:r0 ~received:r1 ~prev:st.prev_s01;
-            judge ~pair:(x, b) ~sent:r1 ~received:r2 ~prev:st.prev_s12
+            if not x_submitted then begin
+              (match byz with Some bz -> Byz.note_mute_refusal bz | None -> ());
+              if st.mute_streak >= mute_rounds then begin
+                st.failstopped <- true;
+                match probe with
+                | None -> ()
+                | Some probe ->
+                    Netsim.Probe.record_verdict probe ~time:now ~detector:"pi2"
+                      ~subject:x ~suspects:seg ~alarm:false
+                      ~detail:
+                        (Printf.sprintf
+                           "fail-stop: consensus submission refused %d \
+                            consecutive rounds — excised, not accused"
+                           mute_rounds)
+                      ()
+              end
+            end
+            else begin
+              let r0 = submit ~now seg ~pos:0 ~router:a st.s01 in
+              let r1 = submit ~now seg ~pos:1 ~router:x st.s12 in
+              let r2 = submit ~now seg ~pos:2 ~router:b st.s12 in
+              let judge ~pair ~sent ~received ~prev =
+                let v = Validation.tv ~thresholds:t.thresholds ~sent ~received () in
+                let fabricated =
+                  List.filter (fun fp -> not (Summary.mem prev fp)) v.Validation.fabricated
+                in
+                let loss_bad =
+                  float_of_int (List.length v.Validation.missing)
+                  > t.thresholds.Validation.max_loss_fraction
+                    *. float_of_int (Summary.packets sent)
+                in
+                if loss_bad || List.length fabricated > t.thresholds.Validation.max_fabricated
+                then begin
+                  t.detections_rev <-
+                    { time = now; pair; segment = seg;
+                      missing = List.length v.Validation.missing;
+                      fabricated = List.length fabricated }
+                    :: t.detections_rev;
+                  (* Precision 2 is α-safe by construction: a failing
+                     adjacent pair always contains the router whose
+                     submission broke conservation. *)
+                  match probe with
+                  | None -> ()
+                  | Some probe ->
+                      let pa, pb = pair in
+                      Netsim.Probe.record_verdict probe ~time:now
+                        ~detector:"pi2" ~suspects:[ pa; pb ] ~alarm:true
+                        ~detail:
+                          (Printf.sprintf "missing=%d fabricated=%d"
+                             (List.length v.Validation.missing)
+                             (List.length fabricated))
+                        ()
+                end
+              in
+              judge ~pair:(a, x) ~sent:r0 ~received:r1 ~prev:st.prev_s01;
+              judge ~pair:(x, b) ~sent:r1 ~received:r2 ~prev:st.prev_s12
+            end
         | _ -> ());
         st.prev_s01 <- st.s01;
         st.prev_s12 <- st.s12;
         st.s01 <- fresh ();
-        st.s12 <- fresh ())
+        st.s12 <- fresh ();
+        st.excused <- false)
       t.segs;
+    t.round <- t.round + 1;
     Netsim.Sim.schedule sim ~delay:tau tick
   in
   Netsim.Sim.schedule sim ~delay:tau tick;

@@ -31,11 +31,34 @@ val deploy :
   ?thresholds:Validation.thresholds ->
   ?min_packets:int ->
   ?key:Crypto_sim.Siphash.key ->
+  ?probe:Netsim.Probe.t ->
+  ?ctrl:Ctrl.t ->
+  ?retry:Ctrl.retry ->
+  ?byz:Byz.t ->
   unit ->
   t
 (** Monitor every 3-segment of the routed paths with per-position
     summaries, validating every [tau] seconds (default 5 s, 2% loss
-    tolerance, 20-packet minimum). *)
+    tolerance, 20-packet minimum).
+
+    With [probe], every failing pair is journaled as an alarming
+    {!Netsim.Probe.verdict} suspecting exactly that pair — precision 2
+    is α-safe by construction, because a failing adjacent pair always
+    contains the router whose submission broke conservation.
+
+    With [ctrl], the interior router's consensus submission rides that
+    lossy channel under [retry]: a timed-out submission {e degrades}
+    the round (nothing is judged on a missing story), and three
+    consecutive refusals judge the interior {b fail-stop} — a
+    non-alarming verdict and no further judgment of the segment.
+
+    With [byz], each submission is the router's {e claim}
+    ({!Byz.summary_claim}), with asserted extras screened against their
+    origin MACs before validation — consensus submissions are signed,
+    so a hardened run rejects every forged entry.  Consensus broadcasts
+    one signed summary per router, which makes equivocation
+    structurally impossible here: the claim is keyed on a single
+    pseudo-peer. *)
 
 val set_misreport :
   t ->
@@ -51,3 +74,15 @@ val detections : t -> detection list
 
 val suspected_pairs : t -> (Topology.Graph.node * Topology.Graph.node) list
 (** Distinct pairs suspected so far. *)
+
+val rounds_degraded : t -> int
+(** Segment-rounds skipped because the interior's consensus submission
+    exhausted its [ctrl] retry budget. *)
+
+val rounds_excused : t -> int
+(** Segment-rounds skipped because a segment edge observably failed —
+    packets dropped on a downed link during the round, or the link
+    still down at judgment time.  The link-state flood already
+    announced the failure, so the conservation gap it opens is not
+    evidence against either adjacent pair — excusing it is what keeps
+    α-accuracy intact under benign churn. *)

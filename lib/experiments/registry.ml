@@ -41,7 +41,10 @@ let all =
       cost = Moderate; eval = Fig_robustness.eval_robustness };
     { id = "churn";
       doc = "Detection latency and accuracy vs benign churn (fatih)";
-      cost = Moderate; eval = Fig_robustness.eval_churn } ]
+      cost = Moderate; eval = Fig_robustness.eval_churn };
+    { id = "byzantine";
+      doc = "Framing resistance vs protocol-faulty adversaries (fatih)";
+      cost = Moderate; eval = Fig_robustness.eval_byzantine } ]
 
 let quick = List.filter (fun e -> e.cost = Quick) all
 

@@ -342,6 +342,7 @@ let run ?on_progress ?(progress_interval = 0.5) (config : Config.t) =
       fault_schedule
   in
   let fault_ctrl = Option.map Faults.Injector.ctrl fault_schedule in
+  let fault_byz = Option.bind fault_schedule (Faults.Injector.byz ~n) in
   (* Retry telemetry: every control-plane send feeds the stats histogram. *)
   (match (fault_ctrl, Net.stats net) with
   | Some c, Some st ->
@@ -368,7 +369,8 @@ let run ?on_progress ?(progress_interval = 0.5) (config : Config.t) =
      per-protocol branches used to do inline. *)
   let env =
     { Core.Detector.net; rt; graph = g; probe; ctrl = fault_ctrl; retry = None;
-      skew = fault_skew; attacker = Some attacker; duration; seed }
+      byz = fault_byz; skew = fault_skew; attacker = Some attacker; duration;
+      seed }
   in
   let inst =
     Telemetry.Profile.time profile "setup" (fun () -> Core.Detector.init detector env)
@@ -412,7 +414,14 @@ let run ?on_progress ?(progress_interval = 0.5) (config : Config.t) =
           Printf.printf "faults: %d injected from plan\n"
             (Faults.Injector.injected inj);
           let malicious = if attack <> No_attack then [ attacker ] else [] in
-          let o = Faults.Oracle.of_probe ~malicious ~attack_start probe in
+          let byzantine =
+            match fault_byz with Some bz -> Core.Byz.routers bz | None -> []
+          in
+          let o =
+            Faults.Oracle.of_probe ~malicious ~byzantine
+              ?byz_stats:(Option.map Core.Byz.stats fault_byz) ~attack_start
+              probe
+          in
           Printf.printf
             "oracle: %d verdicts, %d false alarms, FAR %.3f, precision %.3f, \
              recall %.3f%s\n"
@@ -421,7 +430,13 @@ let run ?on_progress ?(progress_interval = 0.5) (config : Config.t) =
             o.Faults.Oracle.recall
             (match o.Faults.Oracle.detection_latency with
             | Some l -> Printf.sprintf ", latency %.1f s" l
-            | None -> "")
+            | None -> "");
+          if byzantine <> [] then
+            Printf.printf
+              "byzantine: %d framing attempts, %d forgeries rejected, %d \
+               framed honest, %d alpha violations\n"
+              o.Faults.Oracle.framing_attempts o.Faults.Oracle.forgeries_rejected
+              o.Faults.Oracle.framed_honest o.Faults.Oracle.alpha_violations
       | _ -> ());
       dump_trace ());
   match probe with

@@ -4,15 +4,22 @@ type budget = {
   max_flaps : int;
   max_msg_loss : float;
   max_skew : float;
+  max_byzantine : int;
 }
 
 let default_budget =
   { max_concurrent = 4; max_crashes = 1; max_flaps = 3; max_msg_loss = 0.15;
-    max_skew = 0.005 }
+    max_skew = 0.005; max_byzantine = 0 }
 
 let gentle_budget =
   { max_concurrent = 2; max_crashes = 0; max_flaps = 1; max_msg_loss = 0.05;
-    max_skew = 0.001 }
+    max_skew = 0.001; max_byzantine = 0 }
+
+(* Benign churn from the default budget plus protocol-faulty roles: the
+   adversary mix the alpha-accuracy golden tests sweep. *)
+let byzantine_budget =
+  { max_concurrent = 4; max_crashes = 1; max_flaps = 3; max_msg_loss = 0.15;
+    max_skew = 0.005; max_byzantine = 2 }
 
 (* Peak weighted overlap of half-open windows [s, e); a window closing
    exactly when another opens does not overlap it. *)
@@ -116,5 +123,39 @@ let generate ~seed ~graph ~duration ?(budget = default_budget) () =
         push
           (Schedule.Clock_skew
              { router = r; skew = uniform rng (-.budget.max_skew) budget.max_skew })
+    done;
+  (* Protocol-faulty roles, at most one per router.  Drawn strictly
+     after every benign draw so a zero [max_byzantine] budget consumes
+     exactly the RNG stream it always did: schedules generated under
+     the pre-Byzantine budgets stay byte-identical. *)
+  let byz = Hashtbl.create 4 in
+  if budget.max_byzantine > 0 && n > 0 then
+    for _ = 1 to budget.max_byzantine do
+      let r = Random.State.int rng n in
+      let kind = Random.State.int rng 4 in
+      let neighbors = Topology.Graph.out_neighbors graph r in
+      if not (Hashtbl.mem byz r) then begin
+        match kind with
+        | 0 when neighbors <> [] ->
+            let victim =
+              List.nth neighbors (Random.State.int rng (List.length neighbors))
+            in
+            Hashtbl.add byz r ();
+            push
+              (Schedule.Byz_frame
+                 { router = r; victim; extras = 2 + Random.State.int rng 6 })
+        | 1 ->
+            Hashtbl.add byz r ();
+            push (Schedule.Byz_equivocate { router = r })
+        | 2 ->
+            Hashtbl.add byz r ();
+            push
+              (Schedule.Byz_mute
+                 { router = r; from = uniform rng (0.2 *. duration) (0.5 *. duration) })
+        | _ ->
+            Hashtbl.add byz r ();
+            push
+              (Schedule.Byz_stall { router = r; margin = uniform rng 0.5 0.95 })
+      end
     done;
   { Schedule.seed; actions = List.rev !actions }

@@ -16,15 +16,27 @@ type budget = {
   max_flaps : int;       (** total duplex link flaps *)
   max_msg_loss : float;  (** per-channel control-plane loss cap, [0,1) *)
   max_skew : float;      (** absolute clock-skew cap, seconds *)
+  max_byzantine : int;
+      (** protocol-faulty role draws (framer / equivocator / mute /
+          staller), at most one role per router *)
 }
 
 val default_budget : budget
 (** 4 concurrent outages, 1 crash, 3 flaps, 15% message loss,
-    5 ms skew. *)
+    5 ms skew, no protocol-faulty routers. *)
 
 val gentle_budget : budget
-(** No crashes, 1 flap, 5% loss, 1 ms skew — churn mild enough that a
-    sound detector should raise {e zero} false accusations. *)
+(** No crashes, 1 flap, 5% loss, 1 ms skew, no protocol-faulty
+    routers — churn mild enough that a sound detector should raise
+    {e zero} false accusations. *)
+
+val byzantine_budget : budget
+(** The default benign churn {e plus} up to two protocol-faulty roles.
+    The alpha-accuracy golden tests sweep this budget: even against
+    framing, equivocation, muting and stalling, no honest router may
+    be convicted.  Byzantine draws happen strictly after every benign
+    draw, so a [max_byzantine = 0] budget generates schedules
+    byte-identical to the pre-Byzantine generator. *)
 
 val generate :
   seed:int ->

@@ -56,7 +56,8 @@ let fire t action =
       List.iter (fun (a, b) -> up t a b) (router_links graph router);
       record t ~time ~kind:"restart" ~routers:[ router ] ~detail:""
   | Schedule.Msg_loss _ | Schedule.Msg_dup _ | Schedule.Msg_reorder _
-  | Schedule.Clock_skew _ ->
+  | Schedule.Clock_skew _ | Schedule.Byz_frame _ | Schedule.Byz_equivocate _
+  | Schedule.Byz_mute _ | Schedule.Byz_stall _ ->
       ()
 
 let apply ?probe ~net schedule =
@@ -80,6 +81,17 @@ let apply ?probe ~net schedule =
       | Schedule.Clock_skew { router; skew } ->
           record t ~time:0.0 ~kind:"clock_skew" ~routers:[ router ]
             ~detail:(Printf.sprintf "skew=%g" skew)
+      | Schedule.Byz_frame { router; victim; extras } ->
+          record t ~time:0.0 ~kind:"byz_frame" ~routers:[ router; victim ]
+            ~detail:(Printf.sprintf "extras=%d" extras)
+      | Schedule.Byz_equivocate { router } ->
+          record t ~time:0.0 ~kind:"byz_equivocate" ~routers:[ router ] ~detail:""
+      | Schedule.Byz_mute { router; from } ->
+          record t ~time:0.0 ~kind:"byz_mute" ~routers:[ router ]
+            ~detail:(Printf.sprintf "from=%g" from)
+      | Schedule.Byz_stall { router; margin } ->
+          record t ~time:0.0 ~kind:"byz_stall" ~routers:[ router ]
+            ~detail:(Printf.sprintf "margin=%g" margin)
       | _ -> ())
     schedule.Schedule.actions;
   List.iter
@@ -120,7 +132,42 @@ let ctrl (schedule : Schedule.t) =
   let links =
     List.sort compare (Hashtbl.fold (fun lk f acc -> (lk, f) :: acc) faults [])
   in
-  Core.Ctrl.create ~seed:schedule.Schedule.seed ~links ()
+  let t = Core.Ctrl.create ~seed:schedule.Schedule.seed ~links () in
+  (* Protocol-faulty peers: muting and stalling live on the channel
+     itself — a muted router exhausts every peer's retry budget, a
+     staller consumes it without tripping it. *)
+  List.iter
+    (fun (a : Schedule.action) ->
+      match a with
+      | Schedule.Byz_mute { router; from } ->
+          Core.Ctrl.set_peer_fault t ~router
+            { (Core.Ctrl.peer_fault t ~router) with Core.Ctrl.mute_from = Some from }
+      | Schedule.Byz_stall { router; margin } ->
+          Core.Ctrl.set_peer_fault t ~router
+            { (Core.Ctrl.peer_fault t ~router) with
+              Core.Ctrl.stall_margin = Some margin }
+      | _ -> ())
+    schedule.Schedule.actions;
+  t
+
+let byz ?hardened ~n (schedule : Schedule.t) =
+  let roles =
+    List.filter_map
+      (fun (a : Schedule.action) ->
+        match a with
+        | Schedule.Byz_frame { router; victim; extras } ->
+            Some (router, Core.Byz.Framer { victim; extras })
+        | Schedule.Byz_equivocate { router } -> Some (router, Core.Byz.Equivocator)
+        | Schedule.Byz_mute { router; from } -> Some (router, Core.Byz.Mute { from })
+        | Schedule.Byz_stall { router; margin } ->
+            Some (router, Core.Byz.Staller { margin })
+        | _ -> None)
+      schedule.Schedule.actions
+  in
+  match roles with
+  | [] -> None
+  | roles ->
+      Some (Core.Byz.create ?hardened ~seed:schedule.Schedule.seed ~n ~roles ())
 
 let skew_fn (schedule : Schedule.t) =
   let skews = Hashtbl.create 8 in

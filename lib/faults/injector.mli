@@ -28,8 +28,19 @@ val injected : t -> int
 val ctrl : Schedule.t -> Core.Ctrl.t
 (** The lossy control-plane channel the schedule describes: per-link
     loss/duplication/reordering probabilities keyed by the schedule
-    seed.  Deterministic: the same schedule always yields a channel
+    seed, plus any protocol-faulty peer behaviour ([byz-mute] routers
+    refuse participation, [byz-stall] routers hold acks just under the
+    timeout).  Deterministic: the same schedule always yields a channel
     making the same coin flips. *)
+
+val byz : ?hardened:bool -> n:int -> Schedule.t -> Core.Byz.t option
+(** The Byzantine adversary layer the schedule's [byz-*] actions
+    describe, over routers [0 .. n-1], keyed by the schedule seed —
+    [None] when the schedule scripts no protocol-faulty role.  Plug the
+    result into [Fatih.deploy ~byz] / [Pi2_live.deploy ~byz] and score
+    the run with the oracle's [byzantine] ground truth.  [hardened]
+    (default true) controls whether the detectors verify origin MACs on
+    claimed summary entries. *)
 
 val skew_fn : Schedule.t -> int -> float
 (** Per-router clock skew lookup (0 for routers without a

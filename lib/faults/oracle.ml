@@ -11,6 +11,14 @@ type outcome = {
   detection_latency : float option;
   latency_hist : Telemetry.Hist.t;
   faults_injected : int;
+  byzantine : int list;
+  framing_attempts : int;
+  forgeries_rejected : int;
+  forgeries_accepted : int;
+  equivocations_detected : int;
+  mute_refusals : int;
+  framed_honest : int;
+  alpha_violations : int;
 }
 
 (* Same geometry as {!Netsim.Stats}' detection-latency histogram, so
@@ -22,20 +30,32 @@ let implicated (v : Netsim.Probe.verdict) =
   | Some s -> [ s ]
   | None -> v.Netsim.Probe.suspects
 
-let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
-  let is_malicious r = List.mem r malicious in
+let score ~malicious ?(byzantine = []) ?(attack_start = 0.0)
+    ?(faults_injected = 0) ?byz_stats verdicts =
+  (* α-accuracy ground truth: a router is faulty if it is either
+     traffic-faulty (drops/modifies packets) or protocol-faulty (lies
+     inside the detection protocol).  An alarm implicating neither kind
+     is an α-accuracy violation. *)
+  let is_faulty r = List.mem r malicious || List.mem r byzantine in
   let n_verdicts = List.length verdicts in
   let alarms = List.filter (fun (v : Netsim.Probe.verdict) -> v.alarm) verdicts in
   let detected = ref [] in
   let falsely_accused = ref [] in
   let true_alarms = ref 0 in
   let false_alarms = ref 0 in
+  let framed_honest = ref 0 in
   let first_true = ref None in
   let latency_hist = latency_hist_create () in
   List.iter
     (fun (v : Netsim.Probe.verdict) ->
       let accused = implicated v in
-      let hits = List.filter is_malicious accused in
+      let hits = List.filter is_faulty accused in
+      (* A conviction-by-name of an honest router: the framing failure
+         mode, counted even when the suspect list happens to also hold
+         a faulty router. *)
+      (match v.Netsim.Probe.subject with
+      | Some s when not (is_faulty s) -> incr framed_honest
+      | _ -> ());
       if hits <> [] then begin
         incr true_alarms;
         Telemetry.Hist.record latency_hist (v.Netsim.Probe.time -. attack_start);
@@ -57,6 +77,9 @@ let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
     alarms;
   let n_alarms = List.length alarms in
   let n_malicious = List.length (List.sort_uniq compare malicious) in
+  let recall_hits =
+    List.length (List.filter (fun r -> List.mem r malicious) !detected)
+  in
   { verdicts = n_verdicts;
     alarms = n_alarms;
     true_alarms = !true_alarms;
@@ -68,18 +91,39 @@ let score ~malicious ?(attack_start = 0.0) ?(faults_injected = 0) verdicts =
        else float_of_int !true_alarms /. float_of_int n_alarms);
     recall =
       (if n_malicious = 0 then 1.0
-       else float_of_int (List.length !detected) /. float_of_int n_malicious);
+       else float_of_int recall_hits /. float_of_int n_malicious);
     false_accusation_rate =
       (if n_verdicts = 0 then 0.0
        else float_of_int !false_alarms /. float_of_int n_verdicts);
     detection_latency = Option.map (fun t -> t -. attack_start) !first_true;
     latency_hist;
-    faults_injected }
+    faults_injected;
+    byzantine = List.sort_uniq compare byzantine;
+    framing_attempts =
+      (match byz_stats with
+      | Some (s : Core.Byz.stats) -> s.Core.Byz.framing_attempts
+      | None -> 0);
+    forgeries_rejected =
+      (match byz_stats with
+      | Some s -> s.Core.Byz.forgeries_rejected
+      | None -> 0);
+    forgeries_accepted =
+      (match byz_stats with
+      | Some s -> s.Core.Byz.forgeries_accepted
+      | None -> 0);
+    equivocations_detected =
+      (match byz_stats with Some s -> s.Core.Byz.equivocations | None -> 0);
+    mute_refusals =
+      (match byz_stats with Some s -> s.Core.Byz.mute_refusals | None -> 0);
+    framed_honest = !framed_honest;
+    (* An alarming verdict that implicates no faulty router at all:
+       exactly the event the α-accuracy bar forbids. *)
+    alpha_violations = !false_alarms }
 
 let verdicts_of_probe = Netsim.Probe.verdicts
 
-let of_probe ~malicious ?attack_start probe =
-  score ~malicious ?attack_start
+let of_probe ~malicious ?byzantine ?attack_start ?byz_stats probe =
+  score ~malicious ?byzantine ?attack_start ?byz_stats
     ~faults_injected:(Netsim.Probe.faults_recorded probe)
     (verdicts_of_probe probe)
 
@@ -112,7 +156,15 @@ let json_of_outcome o =
       ( "detection_latency",
         match o.detection_latency with Some l -> Float l | None -> Null );
       ("detection_latency_quantiles", latency_quantiles_json o.latency_hist);
-      ("faults_injected", Int o.faults_injected) ]
+      ("faults_injected", Int o.faults_injected);
+      ("byzantine", List (List.map (fun r -> Int r) o.byzantine));
+      ("framing_attempts", Int o.framing_attempts);
+      ("forgeries_rejected", Int o.forgeries_rejected);
+      ("forgeries_accepted", Int o.forgeries_accepted);
+      ("equivocations_detected", Int o.equivocations_detected);
+      ("mute_refusals", Int o.mute_refusals);
+      ("framed_honest", Int o.framed_honest);
+      ("alpha_violations", Int o.alpha_violations) ]
 
 let json_report ?label o =
   let open Telemetry.Export in
@@ -128,6 +180,10 @@ let merge_json outcomes =
   let worst_recall = fold (fun acc o -> Float.min acc o.recall) 1.0 in
   let worst_far = fold (fun acc o -> Float.max acc o.false_accusation_rate) 0.0 in
   let total_false = fold (fun acc o -> acc + o.false_alarms) 0 in
+  let total_framing = fold (fun acc o -> acc + o.framing_attempts) 0 in
+  let total_rejected = fold (fun acc o -> acc + o.forgeries_rejected) 0 in
+  let total_framed = fold (fun acc o -> acc + o.framed_honest) 0 in
+  let total_alpha = fold (fun acc o -> acc + o.alpha_violations) 0 in
   (* Exact integer merge of the per-run histograms: the aggregate
      quantiles are byte-identical whatever order the runs arrive in. *)
   let merged_latency = latency_hist_create () in
@@ -143,5 +199,9 @@ let merge_json outcomes =
             ("worst_recall", Float worst_recall);
             ("worst_false_accusation_rate", Float worst_far);
             ("total_false_alarms", Int total_false);
+            ("total_framing_attempts", Int total_framing);
+            ("total_forgeries_rejected", Int total_rejected);
+            ("total_framed_honest", Int total_framed);
+            ("total_alpha_violations", Int total_alpha);
             ( "detection_latency_quantiles",
               latency_quantiles_json merged_latency ) ] ) ]

@@ -41,20 +41,47 @@ type outcome = {
           when no true alarm fired) and, merged exactly across runs, of
           the same field under [aggregate] in {!merge_json}. *)
   faults_injected : int;   (** benign fault records in the run *)
+  byzantine : int list;    (** protocol-faulty ground truth, ascending *)
+  framing_attempts : int;  (** rounds a framer submitted forged entries *)
+  forgeries_rejected : int;   (** forged entries killed by origin MACs *)
+  forgeries_accepted : int;   (** forged entries folded in (unhardened) *)
+  equivocations_detected : int;
+  mute_refusals : int;
+  framed_honest : int;
+      (** alarming verdicts convicting an honest router {e by name}
+          ([subject] set to a non-faulty router) — the framing failure
+          mode the hardened protocols must hold at zero *)
+  alpha_violations : int;
+      (** alarming verdicts implicating {e no} faulty router at all —
+          the event α-accuracy forbids (with no Byzantine ground truth
+          this coincides with [false_alarms]) *)
 }
 
 val score :
   malicious:int list ->
+  ?byzantine:int list ->
   ?attack_start:float ->
   ?faults_injected:int ->
+  ?byz_stats:Core.Byz.stats ->
   Netsim.Probe.verdict list ->
   outcome
 (** Score a verdict stream.  [attack_start] (default 0) anchors the
     detection latency; [faults_injected] is carried through to the
+    report.  [byzantine] (default none) extends the faulty ground truth
+    to protocol-faulty routers: a true alarm may implicate either kind,
+    while [recall] keeps its traffic-faulty denominator (stallers and
+    equivocators need not be {e detected}, only never-framed-by).
+    [byz_stats] carries the adversary-side counters (framing attempts,
+    forgeries rejected/accepted, equivocations, mute refusals) into the
     report. *)
 
 val of_probe :
-  malicious:int list -> ?attack_start:float -> Netsim.Probe.t -> outcome
+  malicious:int list ->
+  ?byzantine:int list ->
+  ?attack_start:float ->
+  ?byz_stats:Core.Byz.stats ->
+  Netsim.Probe.t ->
+  outcome
 (** Score a finished run straight from its probe: verdicts and the
     injected-fault count come from the probe's full-run retention
     ([Probe.verdicts] / [Probe.faults_recorded]), not the bounded

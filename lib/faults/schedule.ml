@@ -7,6 +7,10 @@ type action =
   | Msg_dup of { src : int; dst : int; prob : float }
   | Msg_reorder of { src : int; dst : int; prob : float; delay : float }
   | Clock_skew of { router : int; skew : float }
+  | Byz_frame of { router : int; victim : int; extras : int }
+  | Byz_equivocate of { router : int }
+  | Byz_mute of { router : int; from : float }
+  | Byz_stall of { router : int; margin : float }
 
 type t = { seed : int; actions : action list }
 
@@ -37,6 +41,13 @@ let action_to_string = function
         (fstr delay)
   | Clock_skew { router; skew } ->
       Printf.sprintf "(clock-skew %d skew %s)" router (fstr skew)
+  | Byz_frame { router; victim; extras } ->
+      Printf.sprintf "(byz-frame %d victim %d extras %d)" router victim extras
+  | Byz_equivocate { router } -> Printf.sprintf "(byz-equivocate %d)" router
+  | Byz_mute { router; from } ->
+      Printf.sprintf "(byz-mute %d from %s)" router (fstr from)
+  | Byz_stall { router; margin } ->
+      Printf.sprintf "(byz-stall %d margin %s)" router (fstr margin)
 
 let to_string t =
   String.concat "\n"
@@ -45,28 +56,35 @@ let to_string t =
 
 (* --- parsing --- *)
 
-type token = Lp of int | Rp of int | Atom of int * string
+(* Every token carries its line and 1-based starting column, so parse
+   errors can point at the exact offending atom. *)
+type pos = { line : int; col : int }
+type token = Lp of pos | Rp of pos | Atom of pos * string
 
 let tokenize s =
   let n = String.length s in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in (* index of the current line's first byte *)
   let i = ref 0 in
+  let here () = { line = !line; col = !i - !bol + 1 } in
   while !i < n do
     (match s.[!i] with
     | '\n' ->
         incr line;
-        incr i
+        incr i;
+        bol := !i
     | ' ' | '\t' | '\r' -> incr i
     | '#' -> while !i < n && s.[!i] <> '\n' do incr i done
     | '(' ->
-        toks := Lp !line :: !toks;
+        toks := Lp (here ()) :: !toks;
         incr i
     | ')' ->
-        toks := Rp !line :: !toks;
+        toks := Rp (here ()) :: !toks;
         incr i
     | _ ->
         let start = !i in
+        let pos = here () in
         while
           !i < n
           && not
@@ -76,94 +94,114 @@ let tokenize s =
         do
           incr i
         done;
-        toks := Atom (!line, String.sub s start (!i - start)) :: !toks);
+        toks := Atom (pos, String.sub s start (!i - start)) :: !toks);
   done;
   List.rev !toks
 
 exception Parse of string
 
-let fail line fmt =
-  Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "line %d: %s" line m))) fmt
+let fail pos fmt =
+  Printf.ksprintf
+    (fun m ->
+      raise (Parse (Printf.sprintf "line %d, column %d: %s" pos.line pos.col m)))
+    fmt
 
-let int_atom line what s =
+let int_atom what (pos, s) =
   match int_of_string_opt s with
   | Some v -> v
-  | None -> fail line "%s: expected an integer, got %S" what s
+  | None -> fail pos "%s: expected an integer, got %S" what s
 
-let float_atom line what s =
+let float_atom what (pos, s) =
   match float_of_string_opt s with
   | Some v -> v
-  | None -> fail line "%s: expected a number, got %S" what s
+  | None -> fail pos "%s: expected a number, got %S" what s
 
-let keyword line form expected s =
-  if s <> expected then fail line "%s: expected %S, got %S" form expected s
+let keyword form expected (pos, s) =
+  if s <> expected then fail pos "%s: expected keyword %S, got %S" form expected s
 
-(* One form = a flat list of atoms between parens (nesting rejected). *)
-let parse_form line atoms =
+(* One form = a flat list of positioned atoms between parens (nesting
+   rejected).  Errors cite the offending atom and its exact position. *)
+let parse_form lp_pos atoms =
   match atoms with
-  | [] -> fail line "empty form"
-  | head :: args -> (
-      let arity want =
-        if List.length args <> want then
-          fail line "%s: expected %d arguments, got %d" head want
-            (List.length args)
+  | [] -> fail lp_pos "empty form"
+  | ((head_pos, head) as _hd) :: args -> (
+      let wrong_arity want =
+        fail head_pos "%s: expected %d arguments, got %d" head want
+          (List.length args)
       in
       match (head, args) with
-      | "seed", [ s ] -> `Seed (int_atom line "seed" s)
-      | "seed", _ ->
-          arity 1;
-          assert false
-      | "link-down", [ a; b; at_kw; t ] ->
-          keyword line head "at" at_kw;
+      | "seed", [ s ] -> `Seed (int_atom "seed" s)
+      | "seed", _ -> wrong_arity 1
+      | "link-down", [ a; b; at_kw; tm ] ->
+          keyword head "at" at_kw;
           `Action
             (Link_down
-               { src = int_atom line "src" a; dst = int_atom line "dst" b;
-                 at = float_atom line "time" t })
-      | "link-up", [ a; b; at_kw; t ] ->
-          keyword line head "at" at_kw;
+               { src = int_atom "src" a; dst = int_atom "dst" b;
+                 at = float_atom "time" tm })
+      | "link-up", [ a; b; at_kw; tm ] ->
+          keyword head "at" at_kw;
           `Action
             (Link_up
-               { src = int_atom line "src" a; dst = int_atom line "dst" b;
-                 at = float_atom line "time" t })
-      | "crash", [ r; at_kw; t ] ->
-          keyword line head "at" at_kw;
+               { src = int_atom "src" a; dst = int_atom "dst" b;
+                 at = float_atom "time" tm })
+      | "crash", [ r; at_kw; tm ] ->
+          keyword head "at" at_kw;
           `Action
-            (Crash { router = int_atom line "router" r; at = float_atom line "time" t })
-      | "restart", [ r; at_kw; t ] ->
-          keyword line head "at" at_kw;
+            (Crash { router = int_atom "router" r; at = float_atom "time" tm })
+      | "restart", [ r; at_kw; tm ] ->
+          keyword head "at" at_kw;
           `Action
-            (Restart
-               { router = int_atom line "router" r; at = float_atom line "time" t })
+            (Restart { router = int_atom "router" r; at = float_atom "time" tm })
       | "msg-loss", [ a; b; p_kw; p ] ->
-          keyword line head "prob" p_kw;
+          keyword head "prob" p_kw;
           `Action
             (Msg_loss
-               { src = int_atom line "src" a; dst = int_atom line "dst" b;
-                 prob = float_atom line "prob" p })
+               { src = int_atom "src" a; dst = int_atom "dst" b;
+                 prob = float_atom "prob" p })
       | "msg-dup", [ a; b; p_kw; p ] ->
-          keyword line head "prob" p_kw;
+          keyword head "prob" p_kw;
           `Action
             (Msg_dup
-               { src = int_atom line "src" a; dst = int_atom line "dst" b;
-                 prob = float_atom line "prob" p })
+               { src = int_atom "src" a; dst = int_atom "dst" b;
+                 prob = float_atom "prob" p })
       | "msg-reorder", [ a; b; p_kw; p; d_kw; d ] ->
-          keyword line head "prob" p_kw;
-          keyword line head "delay" d_kw;
+          keyword head "prob" p_kw;
+          keyword head "delay" d_kw;
           `Action
             (Msg_reorder
-               { src = int_atom line "src" a; dst = int_atom line "dst" b;
-                 prob = float_atom line "prob" p;
-                 delay = float_atom line "delay" d })
-      | "clock-skew", [ r; s_kw; s ] ->
-          keyword line head "skew" s_kw;
+               { src = int_atom "src" a; dst = int_atom "dst" b;
+                 prob = float_atom "prob" p;
+                 delay = float_atom "delay" d })
+      | "clock-skew", [ r; s_kw; sk ] ->
+          keyword head "skew" s_kw;
           `Action
             (Clock_skew
-               { router = int_atom line "router" r; skew = float_atom line "skew" s })
+               { router = int_atom "router" r; skew = float_atom "skew" sk })
+      | "byz-frame", [ r; v_kw; v; e_kw; e ] ->
+          keyword head "victim" v_kw;
+          keyword head "extras" e_kw;
+          `Action
+            (Byz_frame
+               { router = int_atom "router" r; victim = int_atom "victim" v;
+                 extras = int_atom "extras" e })
+      | "byz-equivocate", [ r ] ->
+          `Action (Byz_equivocate { router = int_atom "router" r })
+      | "byz-mute", [ r; f_kw; f ] ->
+          keyword head "from" f_kw;
+          `Action
+            (Byz_mute { router = int_atom "router" r; from = float_atom "from" f })
+      | "byz-stall", [ r; m_kw; m ] ->
+          keyword head "margin" m_kw;
+          `Action
+            (Byz_stall
+               { router = int_atom "router" r; margin = float_atom "margin" m })
       | ( ("link-down" | "link-up" | "crash" | "restart" | "msg-loss" | "msg-dup"
-          | "msg-reorder" | "clock-skew"),
+          | "msg-reorder" | "clock-skew" | "byz-frame" | "byz-equivocate"
+          | "byz-mute" | "byz-stall"),
           _ ) ->
-          fail line "%s: wrong number of arguments" head
-      | _ -> fail line "unknown fault form %S" head)
+          fail head_pos "%s: wrong number of arguments (got %d)" head
+            (List.length args)
+      | _ -> fail head_pos "unknown fault form %S" head)
 
 let of_string s =
   try
@@ -172,23 +210,23 @@ let of_string s =
     let actions = ref [] in
     let rec forms = function
       | [] -> ()
-      | Lp line :: rest ->
+      | Lp lp_pos :: rest ->
           let rec atoms acc = function
-            | Atom (l, a) :: tl -> atoms ((l, a) :: acc) tl
+            | Atom (p, a) :: tl -> atoms ((p, a) :: acc) tl
             | Rp _ :: tl -> (List.rev acc, tl)
-            | Lp l :: _ -> fail l "nested lists are not allowed"
-            | [] -> fail line "unterminated form"
+            | Lp p :: _ -> fail p "nested lists are not allowed"
+            | [] -> fail lp_pos "unterminated form"
           in
           let atom_list, rest = atoms [] rest in
-          (match parse_form line (List.map snd atom_list) with
+          (match parse_form lp_pos atom_list with
           | `Seed v -> (
               match !seed with
               | None -> seed := Some v
-              | Some _ -> fail line "duplicate (seed ...) form")
+              | Some _ -> fail lp_pos "duplicate (seed ...) form")
           | `Action a -> actions := a :: !actions);
           forms rest
-      | Rp line :: _ -> fail line "unexpected ')'"
-      | Atom (line, a) :: _ -> fail line "expected '(', got %S" a
+      | Rp pos :: _ -> fail pos "unexpected ')'"
+      | Atom (pos, a) :: _ -> fail pos "expected '(', got %S" a
     in
     forms toks;
     Ok { seed = Option.value !seed ~default:1; actions = List.rev !actions }
@@ -259,7 +297,26 @@ let validate ~graph t =
         | Clock_skew { router; skew } ->
             check_node "clock-skew" router;
             if not (Float.is_finite skew) then
-              raise (Parse "clock-skew: skew must be finite"))
+              raise (Parse "clock-skew: skew must be finite")
+        | Byz_frame { router; victim; extras } ->
+            check_node "byz-frame" router;
+            check_node "byz-frame" victim;
+            if victim = router then
+              raise (Parse "byz-frame: a router cannot frame itself");
+            if extras < 1 then
+              raise
+                (Parse
+                   (Printf.sprintf "byz-frame: extras %d must be positive" extras))
+        | Byz_equivocate { router } -> check_node "byz-equivocate" router
+        | Byz_mute { router; from } ->
+            check_node "byz-mute" router;
+            check_time "byz-mute" from
+        | Byz_stall { router; margin } ->
+            check_node "byz-stall" router;
+            if not (Float.is_finite margin) || margin < 0.0 || margin >= 1.0 then
+              raise
+                (Parse
+                   (Printf.sprintf "byz-stall: margin %g outside [0,1)" margin)))
       t.actions;
     Ok ()
   with Parse m -> Error m
@@ -275,7 +332,9 @@ let action_time = function
   | Link_down { at; _ } | Link_up { at; _ } | Crash { at; _ } | Restart { at; _ }
     ->
       Some at
-  | Msg_loss _ | Msg_dup _ | Msg_reorder _ | Clock_skew _ -> None
+  | Msg_loss _ | Msg_dup _ | Msg_reorder _ | Clock_skew _ | Byz_frame _
+  | Byz_equivocate _ | Byz_mute _ | Byz_stall _ ->
+      None
 
 let timed t =
   List.stable_sort
@@ -324,3 +383,17 @@ let max_concurrent_outages t =
 
 let crash_count t =
   List.length (List.filter (function Crash _ -> true | _ -> false) t.actions)
+
+let byzantine_routers t =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Byz_frame { router; _ }
+         | Byz_equivocate { router }
+         | Byz_mute { router; _ }
+         | Byz_stall { router; _ } ->
+             Some router
+         | _ -> None)
+       t.actions)
+
+let byzantine_count t = List.length (byzantine_routers t)

@@ -13,7 +13,7 @@ module Registry = Experiments.Registry
 
 let test_registry_ids () =
   let ids = List.map (fun (e : Exp.entry) -> e.id) Registry.all in
-  Alcotest.(check int) "eighteen experiments" 18 (List.length ids);
+  Alcotest.(check int) "nineteen experiments" 19 (List.length ids);
   Alcotest.(check bool) "ids are unique" true
     (List.length (List.sort_uniq compare ids) = List.length ids);
   List.iter

@@ -72,6 +72,41 @@ let test_parse_errors () =
   expect_error "bad number" "(crash x at 3)" "line 1";
   expect_error "unterminated" "(crash 1 at 3" "line 1"
 
+(* Parse errors must cite the offending atom and its exact position,
+   not just a line: these pin the full rendered message, column
+   included, so a tokenizer regression cannot silently shift blame to
+   the wrong atom. *)
+let test_parse_positions () =
+  let expect_exact name text error =
+    match Schedule.of_string text with
+    | Ok _ -> Alcotest.failf "%s: bogus schedule accepted" name
+    | Error e -> Alcotest.(check string) name error e
+  in
+  expect_exact "bad integer atom, second line"
+    "(seed 1)\n(crash x at 3)"
+    "line 2, column 8: router: expected an integer, got \"x\"";
+  expect_exact "bad integer atom deep in a byz form"
+    "(byz-frame 1 victim 2 extras nope)"
+    "line 1, column 30: extras: expected an integer, got \"nope\"";
+  expect_exact "wrong keyword cites the atom"
+    "(byz-stall 3 wrong 0.5)"
+    "line 1, column 14: byz-stall: expected keyword \"margin\", got \"wrong\"";
+  expect_exact "unknown head cites the head, indented third line"
+    "(seed 1)\n\n  (frobnicate 1)"
+    "line 3, column 4: unknown fault form \"frobnicate\"";
+  expect_exact "arity error cites the head"
+    "(byz-mute 2 from 1 extra)"
+    "line 1, column 2: byz-mute: wrong number of arguments (got 4)";
+  expect_exact "unterminated form cites its opening paren"
+    "(seed 1)\n  (crash 1 at 3"
+    "line 2, column 3: unterminated form";
+  expect_exact "stray close paren"
+    "(seed 1)\n)"
+    "line 2, column 1: unexpected ')'";
+  expect_exact "bare atom outside a form"
+    "crash"
+    "line 1, column 1: expected '(', got \"crash\""
+
 let test_validate () =
   let g = Topology.Generate.ring ~n:8 in
   let ok s = Schedule.validate ~graph:g s = Ok () in
@@ -152,10 +187,15 @@ let test_chaos_budget () =
               | Schedule.Msg_dup _ | Schedule.Msg_reorder _ -> ()
               | Schedule.Clock_skew { skew; _ } ->
                   Alcotest.(check bool) "skew within budget" true
-                    (Float.abs skew <= budget.Chaos.max_skew))
-            s.Schedule.actions)
+                    (Float.abs skew <= budget.Chaos.max_skew)
+              | Schedule.Byz_frame _ | Schedule.Byz_equivocate _
+              | Schedule.Byz_mute _ | Schedule.Byz_stall _ ->
+                  ())
+            s.Schedule.actions;
+          Alcotest.(check bool) "byzantine roles within budget" true
+            (Schedule.byzantine_count s <= budget.Chaos.max_byzantine))
         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
-    [ Chaos.default_budget; Chaos.gentle_budget ]
+    [ Chaos.default_budget; Chaos.gentle_budget; Chaos.byzantine_budget ]
 
 (* --- the lossy control channel --- *)
 
@@ -176,6 +216,78 @@ let test_ctrl_extremes () =
   Alcotest.(check int) "one send" 1 st.Ctrl.sends;
   Alcotest.(check int) "all attempts lost" st.Ctrl.attempts st.Ctrl.losses;
   Alcotest.(check int) "one timeout" 1 st.Ctrl.timeouts
+
+(* Pin the documented budget-exhaustion semantics (ctrl.mli): under the
+   default retry policy attempt i waits 0.25 * 2^(i-1) seconds, so a
+   send into 100% loss times out after exactly 4 attempts having waited
+   the geometric sum 0.25 + 0.5 + 1 + 2 = 3.75 s — and the prefix sums
+   hold for every truncated budget too. *)
+let test_ctrl_budget_exhaustion () =
+  let dead () =
+    Ctrl.create ~seed:5 ~default:{ Ctrl.clean with Ctrl.loss = 1.0 } ()
+  in
+  Alcotest.(check int) "default budget is 4 attempts" 4
+    Ctrl.default_retry.Ctrl.max_attempts;
+  Alcotest.(check (float 1e-12)) "default base timeout" 0.25
+    Ctrl.default_retry.Ctrl.base_timeout;
+  Alcotest.(check (float 1e-12)) "default backoff doubles" 2.0
+    Ctrl.default_retry.Ctrl.backoff;
+  (* waited after k attempts = 0.25 * (2^k - 1): the backoff sequence
+     0.25/0.5/1/2 s pinned via its prefix sums. *)
+  List.iter
+    (fun (attempts, expected_wait) ->
+      let retry = { Ctrl.default_retry with Ctrl.max_attempts = attempts } in
+      match Ctrl.send (dead ()) ~retry ~src:0 ~dst:1 ~tag:99 () with
+      | Ctrl.Timed_out { attempts = a; waited } ->
+          Alcotest.(check int)
+            (Printf.sprintf "budget %d: all attempts used" attempts)
+            attempts a;
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "budget %d: geometric wait" attempts)
+            expected_wait waited
+      | Ctrl.Delivered _ -> Alcotest.fail "fully lossy channel delivered")
+    [ (1, 0.25); (2, 0.75); (3, 1.75); (4, 3.75) ];
+  (* Exhaustion must be deterministic: an identical fresh channel
+     yields the identical outcome. *)
+  let once () = Ctrl.send (dead ()) ~src:0 ~dst:1 ~tag:99 () in
+  Alcotest.(check bool) "exhaustion replays identically" true (once () = once ())
+
+(* Protocol-faulty endpoints on the channel: a muted router burns the
+   whole retry budget of every send touching it without flipping loss
+   coins, a staller converts its peers' budget into delivery delay. *)
+let test_ctrl_peer_faults () =
+  let ch = Ctrl.reliable () in
+  Ctrl.set_peer_fault ch ~router:3
+    { Ctrl.mute_from = Some 10.0; stall_margin = None };
+  (match Ctrl.send ch ~now:5.0 ~src:0 ~dst:3 ~tag:1 () with
+  | Ctrl.Delivered _ -> ()
+  | Ctrl.Timed_out _ -> Alcotest.fail "mute refused before its start");
+  (match Ctrl.send ch ~now:10.0 ~src:0 ~dst:3 ~tag:2 () with
+  | Ctrl.Timed_out { attempts = 4; waited } ->
+      Alcotest.(check (float 1e-12)) "mute burns the whole budget" 3.75 waited
+  | _ -> Alcotest.fail "muted endpoint participated");
+  (match Ctrl.send ch ~now:11.0 ~src:3 ~dst:0 ~tag:3 () with
+  | Ctrl.Timed_out _ -> ()
+  | Ctrl.Delivered _ -> Alcotest.fail "muted source still sent");
+  Alcotest.(check int) "mute refusals counted" 2 (Ctrl.stats ch).Ctrl.mutes;
+  Ctrl.set_peer_fault ch ~router:3 Ctrl.no_peer_fault;
+  (match Ctrl.send ch ~now:12.0 ~src:0 ~dst:3 ~tag:4 () with
+  | Ctrl.Delivered _ -> ()
+  | Ctrl.Timed_out _ -> Alcotest.fail "cleared mute still refused");
+  Ctrl.set_peer_fault ch ~router:6
+    { Ctrl.mute_from = None; stall_margin = Some 0.8 };
+  (match Ctrl.send ch ~src:0 ~dst:6 ~tag:5 () with
+  | Ctrl.Delivered { extra_delay; _ } ->
+      Alcotest.(check (float 1e-12)) "staller consumes 80% of the budget"
+        (0.8 *. 3.75) extra_delay
+  | Ctrl.Timed_out _ -> Alcotest.fail "stalled delivery timed out");
+  Alcotest.(check int) "stalls counted" 1 (Ctrl.stats ch).Ctrl.stalls;
+  Alcotest.(check bool) "stall margin must lie in [0,1)" true
+    (try
+       Ctrl.set_peer_fault ch ~router:1
+         { Ctrl.mute_from = None; stall_margin = Some 1.0 };
+       false
+     with Invalid_argument _ -> true)
 
 let test_ctrl_replay_determinism () =
   let faults =
@@ -366,6 +478,85 @@ let test_oracle_json () =
           | None -> Alcotest.fail "missing detection_latency_quantiles")
       | None -> Alcotest.fail "missing aggregate"
 
+(* Merge edge cases: a run that never rendered a verdict, a run whose
+   every alarm was false, and a latency-quantile merge where one side's
+   histogram is empty must all aggregate without poisoning the other
+   side's numbers. *)
+let test_oracle_merge_edges () =
+  let get_agg doc path =
+    match Telemetry.Export.of_string (Telemetry.Export.to_string doc) with
+    | Error e -> Alcotest.failf "merged report does not parse: %s" e
+    | Ok json -> (
+        match
+          List.fold_left
+            (fun acc key -> Option.bind acc (Telemetry.Export.member key))
+            (Telemetry.Export.member "aggregate" json)
+            path
+        with
+        | Some v -> v
+        | None -> Alcotest.failf "aggregate missing %s" (String.concat "." path))
+  in
+  let as_float = function
+    | Telemetry.Export.Float f -> f
+    | Telemetry.Export.Int i -> float_of_int i
+    | _ -> Alcotest.fail "expected a number"
+  in
+  (* Zero-verdict run merged with a detecting run: the quiet side
+     contributes recall 0 (its attacker went unseen) but no alarms, no
+     latency samples, no alpha violations. *)
+  let quiet = Oracle.score ~malicious:[ 2 ] [] in
+  let seeing =
+    Oracle.score ~malicious:[ 2 ] ~attack_start:10.0
+      [ verdict ~subject:2 ~alarm:true 12.0 ]
+  in
+  let doc = Oracle.merge_json [ quiet; seeing ] in
+  Alcotest.(check (float 1e-9)) "quiet run drags worst recall to 0" 0.0
+    (as_float (get_agg doc [ "worst_recall" ]));
+  Alcotest.(check (float 1e-9)) "quiet run does not drag precision" 1.0
+    (as_float (get_agg doc [ "worst_precision" ]));
+  Alcotest.(check (float 1e-9)) "no false alarms either side" 0.0
+    (as_float (get_agg doc [ "total_false_alarms" ]));
+  (* One empty latency side: the merged quantiles must equal the
+     detecting run's alone — byte-identical documents. *)
+  let agg_only = get_agg doc [ "detection_latency_quantiles" ] in
+  let agg_alone =
+    get_agg (Oracle.merge_json [ seeing ]) [ "detection_latency_quantiles" ]
+  in
+  Alcotest.(check string) "empty histogram side merges as identity"
+    (Telemetry.Export.to_string agg_alone)
+    (Telemetry.Export.to_string agg_only);
+  Alcotest.(check int) "merged count is the non-empty side's" 1
+    (match Telemetry.Export.member "count" agg_only with
+    | Some (Telemetry.Export.Int n) -> n
+    | _ -> Alcotest.fail "missing count");
+  (* Two empty sides: quantiles stay null, not zero. *)
+  (match
+     get_agg (Oracle.merge_json [ quiet; quiet ]) [ "detection_latency_quantiles" ]
+   with
+  | Telemetry.Export.Null -> ()
+  | _ -> Alcotest.fail "two empty histograms must merge to null");
+  (* All-false-alarm run: every alarming verdict implicates only benign
+     routers, so precision collapses, FAR saturates, and every alarm is
+     an alpha violation. *)
+  let framed =
+    Oracle.score ~malicious:[ 2 ]
+      [ verdict ~subject:5 ~alarm:true 1.0;
+        verdict ~suspects:[ 4; 6 ] ~alarm:true 2.0 ]
+  in
+  Alcotest.(check (float 1e-9)) "all-false precision 0" 0.0 framed.Oracle.precision;
+  Alcotest.(check (float 1e-9)) "all-false FAR 1" 1.0
+    framed.Oracle.false_accusation_rate;
+  Alcotest.(check int) "all alarms are alpha violations" 2
+    framed.Oracle.alpha_violations;
+  Alcotest.(check int) "subject-named framing counted" 1 framed.Oracle.framed_honest;
+  let doc = Oracle.merge_json [ framed; seeing ] in
+  Alcotest.(check (float 1e-9)) "framed run drags worst precision to 0" 0.0
+    (as_float (get_agg doc [ "worst_precision" ]));
+  Alcotest.(check (float 1e-9)) "alpha violations aggregate" 2.0
+    (as_float (get_agg doc [ "total_alpha_violations" ]));
+  Alcotest.(check (float 1e-9)) "framed honest aggregates" 1.0
+    (as_float (get_agg doc [ "total_framed_honest" ]))
+
 (* --- adversary combinators (and their use by the fault runs) --- *)
 
 let mk_ctx ?(now = 0.0) ?(prev = Some 0) () =
@@ -517,7 +708,9 @@ let test_schedule_replay_determinism () =
 let test_chaos_jobs_determinism () =
   let trials = List.init 4 Fun.id in
   let run jobs =
-    Experiments.Pool.map ~jobs (Rob.chaos_trial ~seed:3 ~duration:10.0) trials
+    Experiments.Pool.map ~jobs
+      (Rob.chaos_trial ~seed:3 ~duration:10.0 ~budget:Chaos.default_budget)
+      trials
   in
   Alcotest.(check bool) "jobs=4 equals jobs=1 structurally" true (run 1 = run 4)
 
@@ -571,6 +764,8 @@ let () =
         [ Alcotest.test_case "text round trip" `Quick test_roundtrip;
           Alcotest.test_case "comments" `Quick test_parse_comments;
           Alcotest.test_case "parse errors carry lines" `Quick test_parse_errors;
+          Alcotest.test_case "parse errors cite atom and column" `Quick
+            test_parse_positions;
           Alcotest.test_case "validation" `Quick test_validate;
           Alcotest.test_case "outage accounting" `Quick test_outage_accounting ] );
       ( "chaos",
@@ -578,6 +773,10 @@ let () =
           Alcotest.test_case "budget compliance" `Quick test_chaos_budget ] );
       ( "ctrl",
         [ Alcotest.test_case "loss extremes" `Quick test_ctrl_extremes;
+          Alcotest.test_case "budget exhaustion backoff" `Quick
+            test_ctrl_budget_exhaustion;
+          Alcotest.test_case "peer mute and stall faults" `Quick
+            test_ctrl_peer_faults;
           Alcotest.test_case "replay determinism" `Quick
             test_ctrl_replay_determinism;
           Alcotest.test_case "validation" `Quick test_ctrl_validation ] );
@@ -589,7 +788,8 @@ let () =
             test_injector_ctrl_and_skew ] );
       ( "oracle",
         [ Alcotest.test_case "scoring" `Quick test_oracle_scoring;
-          Alcotest.test_case "json report" `Quick test_oracle_json ] );
+          Alcotest.test_case "json report" `Quick test_oracle_json;
+          Alcotest.test_case "merge edge cases" `Quick test_oracle_merge_edges ] );
       ( "adversary",
         [ Alcotest.test_case "after/on_flows composition" `Quick
             test_adversary_composition;
